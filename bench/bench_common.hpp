@@ -1,0 +1,59 @@
+// Shared helpers for the figure/table benches: flag parsing, scheme-row
+// printing, and the paper-vs-measured framing every binary emits.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/common/table.hpp"
+#include "src/exp/runner.hpp"
+#include "src/exp/scenario.hpp"
+
+namespace paldia::bench {
+
+struct BenchOptions {
+  int repetitions = 3;  // the paper uses 5; --reps=5 reproduces that
+  bool full = false;    // --full: uncompressed traces where applicable
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--reps=", 0) == 0) {
+      options.repetitions = std::max(1, std::atoi(arg.c_str() + 7));
+    } else if (arg == "--full") {
+      options.full = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--reps=N] [--full]\n", argv[0]);
+      std::exit(0);
+    }
+  }
+  return options;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_claim) {
+  std::cout << "=== " << title << " ===\n";
+  std::cout << "Paper: " << paper_claim << "\n\n";
+}
+
+/// Runs the scenario for the given schemes and returns combined metrics in
+/// the same order.
+inline std::vector<telemetry::RunMetrics> run_schemes(
+    const exp::Runner& runner, const exp::Scenario& scenario,
+    const std::vector<exp::SchemeId>& schemes, bool keep_cdf = false) {
+  std::vector<telemetry::RunMetrics> rows;
+  rows.reserve(schemes.size());
+  for (const auto scheme : schemes) {
+    rows.push_back(runner.run(scenario, scheme, keep_cdf).combined);
+  }
+  return rows;
+}
+
+inline std::string ms(double value) { return Table::num(value, 1) + " ms"; }
+inline std::string dollars(double value) { return "$" + Table::num(value, 4); }
+
+}  // namespace paldia::bench

@@ -1,0 +1,126 @@
+// Micro-benchmarks (google-benchmark): hot-path costs of the scheduler and
+// the simulation substrate. The headline check is the paper's claim that
+// the parallel y-sweep finds the best split "with minimal overhead
+// (< 3 ms)" — see BM_YOptimizerSweep.
+#include <benchmark/benchmark.h>
+
+#include "src/cluster/gpu_device.hpp"
+#include "src/common/histogram.hpp"
+#include "src/core/hardware_selection.hpp"
+#include "src/models/profile.hpp"
+#include "src/models/zoo.hpp"
+#include "src/perfmodel/y_optimizer.hpp"
+#include "src/predictor/ewma.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/trace/generators.hpp"
+
+namespace {
+
+using namespace paldia;
+
+void BM_YOptimizerSweep(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  perfmodel::YOptimizer optimizer(perfmodel::TmaxModel(0.2));
+  const perfmodel::WorkloadPoint point{n, 64, 90.0, 0.65, 200.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.best_split(point));
+  }
+  state.SetLabel("paper claims < 3 ms per sweep");
+}
+BENCHMARK(BM_YOptimizerSweep)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_YOptimizerSweepParallel(benchmark::State& state) {
+  static ThreadPool pool(4);
+  perfmodel::YOptimizer optimizer(perfmodel::TmaxModel(0.2), &pool);
+  const perfmodel::WorkloadPoint point{8192, 64, 90.0, 0.65, 200.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.best_split(point));
+  }
+}
+BENCHMARK(BM_YOptimizerSweepParallel);
+
+void BM_HardwareSelectionChoose(benchmark::State& state) {
+  models::ProfileTable profile(hw::Catalog::instance());
+  perfmodel::YOptimizer optimizer(perfmodel::TmaxModel(0.2));
+  core::HardwareSelection selection(models::Zoo::instance(), hw::Catalog::instance(),
+                                    profile, optimizer);
+  core::DemandSnapshot demand;
+  demand.model = models::ModelId::kResNet50;
+  demand.observed_rps = demand.predicted_rps = demand.smoothed_rps =
+      static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selection.choose({demand}));
+  }
+}
+BENCHMARK(BM_HardwareSelectionChoose)->Arg(10)->Arg(200)->Arg(700);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    for (int i = 0; i < 10'000; ++i) {
+      simulator.schedule_in((i * 37) % 1000, [] {});
+    }
+    simulator.run_to_completion();
+    benchmark::DoNotOptimize(simulator.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_GpuDeviceProcessorSharing(benchmark::State& state) {
+  const auto& gpu = *hw::Catalog::instance().spec(hw::NodeType::kG3s_xlarge).gpu;
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    cluster::GpuDevice device(simulator, gpu, Rng(1));
+    for (int i = 0; i < 200; ++i) {
+      cluster::GpuJob job;
+      job.solo_ms = 50.0;
+      job.fbr = 0.4;
+      job.on_complete = [](const cluster::ExecutionReport&) {};
+      if (i % 3 == 0) {
+        device.submit_serial(std::move(job));
+      } else {
+        device.submit_spatial(std::move(job));
+      }
+    }
+    benchmark::DoNotOptimize(simulator.run_to_completion());
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_GpuDeviceProcessorSharing);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  Histogram histogram;
+  Rng rng(3);
+  double value = 1.0;
+  for (auto _ : state) {
+    value = value * 1.37 + 0.11;
+    if (value > 5000.0) value = 1.0;
+    histogram.add(value);
+  }
+  benchmark::DoNotOptimize(histogram.quantile(0.99));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramAdd);
+
+void BM_EwmaObservePredict(benchmark::State& state) {
+  predictor::EwmaPredictor predictor;
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 1000.0;
+    predictor.observe(t, 50.0 + (static_cast<int>(t) % 7));
+    benchmark::DoNotOptimize(predictor.predict(t, 4000.0));
+  }
+}
+BENCHMARK(BM_EwmaObservePredict);
+
+void BM_AzureTraceGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    trace::AzureOptions options;
+    options.seed = static_cast<std::uint64_t>(state.iterations());
+    benchmark::DoNotOptimize(trace::make_azure_trace(options).total_requests());
+  }
+}
+BENCHMARK(BM_AzureTraceGeneration);
+
+}  // namespace

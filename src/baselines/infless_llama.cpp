@@ -1,0 +1,106 @@
+#include "src/baselines/infless_llama.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paldia::baselines {
+
+namespace {
+
+/// Requests that accumulate into one batch at the offered rate within the
+/// batching window (the batcher dispatches after ~SLO/4).
+int current_rate_batch(const models::ModelSpec& model, Rps rate) {
+  const double window_ms = model.slo_ms / 4.0;
+  const int accumulated =
+      static_cast<int>(std::ceil(rate * window_ms / kMsPerSecond));
+  return std::clamp(accumulated, 1, model.max_batch);
+}
+
+}  // namespace
+
+hw::NodeType cheapest_single_batch_node(
+    const models::Zoo& zoo, const hw::Catalog& catalog,
+    const models::ProfileTable& profile,
+    const std::vector<core::DemandSnapshot>& demand) {
+  for (hw::NodeType type : catalog.by_cost_ascending()) {
+    bool capable = true;
+    for (const auto& snapshot : demand) {
+      const auto& model = zoo.spec(snapshot.model);
+      const Rps rate = std::max(snapshot.observed_rps, snapshot.smoothed_rps);
+      const int bs = current_rate_batch(model, rate);
+      const auto entry = profile.lookup(model, type, bs);
+      const DurationMs fill_ms = model.slo_ms / 4.0;
+      if (entry.solo_ms + fill_ms > model.slo_ms) {
+        capable = false;
+        break;
+      }
+      if (!catalog.spec(type).is_gpu()) {
+        // CPU batched mode is sequential: it must drain at the offered rate
+        // with provisioning headroom (no headroom means a permanently
+        // saturated queue).
+        const Rps capacity = bs / (entry.solo_ms / kMsPerSecond);
+        if (capacity < rate * 1.25) {
+          capable = false;
+          break;
+        }
+      }
+    }
+    if (capable) return type;
+  }
+  return catalog.most_performant_gpu();
+}
+
+InflessLlamaPolicy::InflessLlamaPolicy(const models::Zoo& zoo,
+                                       const hw::Catalog& catalog,
+                                       const models::ProfileTable& profile,
+                                       Variant variant,
+                                       std::optional<hw::NodeType> pinned)
+    : SchedulerPolicy(catalog),
+      zoo_(&zoo),
+      profile_(&profile),
+      variant_(variant),
+      pinned_(pinned) {}
+
+std::string InflessLlamaPolicy::name() const {
+  if (pinned_.has_value()) {
+    return std::string("MPS Only (") +
+           (variant_ == Variant::kPerformance ? "P)" : "$)");
+  }
+  return variant_ == Variant::kPerformance ? "INFless/Llama (P)"
+                                           : "INFless/Llama ($)";
+}
+
+hw::NodeType InflessLlamaPolicy::select_hardware(
+    const std::vector<core::DemandSnapshot>& demand, hw::NodeType /*current*/,
+    TimeMs /*now*/) {
+  if (pinned_.has_value()) return *pinned_;
+  if (variant_ == Variant::kPerformance) return catalog().most_performant_gpu();
+  return cheapest_single_batch_node(*zoo_, catalog(), *profile_, demand);
+}
+
+core::SplitPlan InflessLlamaPolicy::plan_dispatch(
+    const core::DemandSnapshot& demand, hw::NodeType node, TimeMs /*now*/) {
+  core::SplitPlan plan;
+  const auto& model = zoo_->spec(demand.model);
+  const int n = demand.backlog;
+  if (n <= 0) return plan;
+
+  if (!catalog().spec(node).is_gpu()) {
+    plan.use_cpu = true;
+    plan.temporal_requests = n;
+    plan.batch_size = std::max(
+        1, std::min(model.max_batch,
+                    profile_->max_batch_within(model, node, model.slo_ms * 0.75)));
+    return plan;
+  }
+
+  // Everything is co-located via MPS; the batch size is the largest whose
+  // *isolated* latency fits the SLO — the scheme's defining blindness to
+  // interference.
+  plan.spatial_requests = n;
+  const int fit = profile_->max_batch_within(model, node, model.slo_ms * 0.75);
+  plan.batch_size = std::clamp(fit, 1, model.max_batch);
+  return plan;
+}
+
+}  // namespace paldia::baselines

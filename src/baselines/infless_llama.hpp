@@ -1,0 +1,58 @@
+// INFless / Llama request-serving policy (Section V, "Evaluated schemes"):
+// spatially shares the GPU among *all* incoming requests via MPS, agnostic
+// of the resulting job interference.
+//
+//  * ($) variant — hardware selection picks the most cost-effective node
+//    that can serve one batch of requests (for the current request rate)
+//    within the SLO, judged *in isolation*. GPU throughput is assumed to
+//    scale via MPS (interference-agnostic); CPU nodes are judged on their
+//    sequential drain rate.
+//  * (P) variant — always the most performant GPU (V100), regardless of
+//    request rate.
+//  * Pinned variant — a fixed node, used by the Fig. 1 motivation study
+//    ("MPS Only (P)/($)").
+#pragma once
+
+#include <optional>
+
+#include "src/core/scheduler_policy.hpp"
+
+namespace paldia::baselines {
+
+enum class Variant {
+  kCostEffective,  // ($)
+  kPerformance,    // (P)
+};
+
+class InflessLlamaPolicy final : public core::SchedulerPolicy {
+ public:
+  InflessLlamaPolicy(const models::Zoo& zoo, const hw::Catalog& catalog,
+                     const models::ProfileTable& profile, Variant variant,
+                     std::optional<hw::NodeType> pinned = std::nullopt);
+
+  std::string name() const override;
+
+  hw::NodeType select_hardware(const std::vector<core::DemandSnapshot>& demand,
+                               hw::NodeType current, TimeMs now) override;
+
+  core::SplitPlan plan_dispatch(const core::DemandSnapshot& demand,
+                                hw::NodeType node, TimeMs now) override;
+
+ private:
+  const models::Zoo* zoo_;
+  const models::ProfileTable* profile_;
+  Variant variant_;
+  std::optional<hw::NodeType> pinned_;
+};
+
+/// Shared by the cost-effective baselines: cheapest node that can serve one
+/// current-rate batch within the SLO in isolation. GPU nodes qualify on
+/// single-batch latency alone (MPS assumed to scale); CPU nodes must also
+/// drain sequentially at the offered rate. Falls back to the most
+/// performant GPU when nothing qualifies.
+hw::NodeType cheapest_single_batch_node(
+    const models::Zoo& zoo, const hw::Catalog& catalog,
+    const models::ProfileTable& profile,
+    const std::vector<core::DemandSnapshot>& demand);
+
+}  // namespace paldia::baselines

@@ -1,0 +1,47 @@
+#include "src/baselines/molecule.hpp"
+
+#include <algorithm>
+
+namespace paldia::baselines {
+
+MoleculePolicy::MoleculePolicy(const models::Zoo& zoo, const hw::Catalog& catalog,
+                               const models::ProfileTable& profile, Variant variant,
+                               std::optional<hw::NodeType> pinned)
+    : SchedulerPolicy(catalog),
+      zoo_(&zoo),
+      profile_(&profile),
+      variant_(variant),
+      pinned_(pinned) {}
+
+std::string MoleculePolicy::name() const {
+  if (pinned_.has_value()) {
+    return std::string("Time Shared Only (") +
+           (variant_ == Variant::kPerformance ? "P)" : "$)");
+  }
+  return variant_ == Variant::kPerformance ? "Molecule (beta) (P)"
+                                           : "Molecule (beta) ($)";
+}
+
+hw::NodeType MoleculePolicy::select_hardware(
+    const std::vector<core::DemandSnapshot>& demand, hw::NodeType /*current*/,
+    TimeMs /*now*/) {
+  if (pinned_.has_value()) return *pinned_;
+  if (variant_ == Variant::kPerformance) return catalog().most_performant_gpu();
+  return cheapest_single_batch_node(*zoo_, catalog(), *profile_, demand);
+}
+
+core::SplitPlan MoleculePolicy::plan_dispatch(const core::DemandSnapshot& demand,
+                                              hw::NodeType node, TimeMs /*now*/) {
+  core::SplitPlan plan;
+  const auto& model = zoo_->spec(demand.model);
+  const int n = demand.backlog;
+  if (n <= 0) return plan;
+
+  const int fit = profile_->max_batch_within(model, node, model.slo_ms * 0.75);
+  plan.batch_size = std::clamp(fit, 1, model.max_batch);
+  plan.temporal_requests = n;  // every batch executes one at a time
+  plan.use_cpu = !catalog().spec(node).is_gpu();
+  return plan;
+}
+
+}  // namespace paldia::baselines

@@ -1,0 +1,38 @@
+// Molecule (beta) request-serving policy (Section V): minimal GPU support —
+// workload batches execute on the GPU one after another via time sharing
+// only (no MPS). Hardware selection is borrowed from INFless/Llama since
+// Molecule has none of its own:
+//  * ($) — cheapest single-batch-capable node,
+//  * (P) — always the most performant GPU,
+//  * Pinned — fixed node ("Time Shared Only (P)/($)" in Fig. 1).
+#pragma once
+
+#include <optional>
+
+#include "src/baselines/infless_llama.hpp"  // Variant, shared hardware rule
+#include "src/core/scheduler_policy.hpp"
+
+namespace paldia::baselines {
+
+class MoleculePolicy final : public core::SchedulerPolicy {
+ public:
+  MoleculePolicy(const models::Zoo& zoo, const hw::Catalog& catalog,
+                 const models::ProfileTable& profile, Variant variant,
+                 std::optional<hw::NodeType> pinned = std::nullopt);
+
+  std::string name() const override;
+
+  hw::NodeType select_hardware(const std::vector<core::DemandSnapshot>& demand,
+                               hw::NodeType current, TimeMs now) override;
+
+  core::SplitPlan plan_dispatch(const core::DemandSnapshot& demand,
+                                hw::NodeType node, TimeMs now) override;
+
+ private:
+  const models::Zoo* zoo_;
+  const models::ProfileTable* profile_;
+  Variant variant_;
+  std::optional<hw::NodeType> pinned_;
+};
+
+}  // namespace paldia::baselines

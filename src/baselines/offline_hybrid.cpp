@@ -1,0 +1,46 @@
+#include "src/baselines/offline_hybrid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paldia::baselines {
+
+OfflineHybridPolicy::OfflineHybridPolicy(const models::Zoo& zoo,
+                                         const hw::Catalog& catalog,
+                                         const models::ProfileTable& profile,
+                                         hw::NodeType pinned, double spatial_fraction)
+    : SchedulerPolicy(catalog),
+      zoo_(&zoo),
+      profile_(&profile),
+      pinned_(pinned),
+      spatial_fraction_(std::clamp(spatial_fraction, 0.0, 1.0)) {}
+
+hw::NodeType OfflineHybridPolicy::select_hardware(
+    const std::vector<core::DemandSnapshot>& /*demand*/, hw::NodeType /*current*/,
+    TimeMs /*now*/) {
+  return pinned_;
+}
+
+core::SplitPlan OfflineHybridPolicy::plan_dispatch(const core::DemandSnapshot& demand,
+                                                   hw::NodeType node,
+                                                   TimeMs /*now*/) {
+  core::SplitPlan plan;
+  const auto& model = zoo_->spec(demand.model);
+  const int n = demand.backlog;
+  if (n <= 0) return plan;
+
+  const int fit = profile_->max_batch_within(model, node, model.slo_ms * 0.75);
+  plan.batch_size = std::clamp(fit, 1, model.max_batch);
+  plan.use_cpu = !catalog().spec(node).is_gpu();
+  if (plan.use_cpu) {
+    plan.temporal_requests = n;
+    return plan;
+  }
+  plan.spatial_requests =
+      static_cast<int>(std::round(spatial_fraction_ * static_cast<double>(n)));
+  plan.spatial_requests = std::clamp(plan.spatial_requests, 0, n);
+  plan.temporal_requests = n - plan.spatial_requests;
+  return plan;
+}
+
+}  // namespace paldia::baselines

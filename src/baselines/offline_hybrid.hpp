@@ -1,0 +1,37 @@
+// Offline Hybrid (Fig. 1 motivation scheme): a fixed node (the
+// cost-effective M60 in the paper) with a *fixed* spatial fraction chosen
+// by an offline sweep — both time and spatial sharing are used, but the
+// split is a constant picked beforehand rather than predicted online.
+// sweep_spatial_fraction() performs the offline sweep the paper describes
+// ("a sweep of numerous possible combinations of workload occupancy on the
+// GPU beforehand") by re-running a pilot experiment per candidate fraction.
+#pragma once
+
+#include "src/core/scheduler_policy.hpp"
+
+namespace paldia::baselines {
+
+class OfflineHybridPolicy final : public core::SchedulerPolicy {
+ public:
+  OfflineHybridPolicy(const models::Zoo& zoo, const hw::Catalog& catalog,
+                      const models::ProfileTable& profile, hw::NodeType pinned,
+                      double spatial_fraction);
+
+  std::string name() const override { return "Offline Hybrid"; }
+
+  hw::NodeType select_hardware(const std::vector<core::DemandSnapshot>& demand,
+                               hw::NodeType current, TimeMs now) override;
+
+  core::SplitPlan plan_dispatch(const core::DemandSnapshot& demand,
+                                hw::NodeType node, TimeMs now) override;
+
+  double spatial_fraction() const { return spatial_fraction_; }
+
+ private:
+  const models::Zoo* zoo_;
+  const models::ProfileTable* profile_;
+  hw::NodeType pinned_;
+  double spatial_fraction_;
+};
+
+}  // namespace paldia::baselines

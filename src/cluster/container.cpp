@@ -1,0 +1,4 @@
+#include "src/cluster/container.hpp"
+
+// Container is a plain record; behaviour lives in Node (assignment, cold
+// start accounting) and in the core Autoscaler (scale-up/-down policy).

@@ -1,0 +1,34 @@
+// Serving containers. A container hosts one model on one node; spawning one
+// incurs a cold-start delay (Section II-A: "up to multiple seconds").
+// Spatial (MPS) execution requires a dedicated container per concurrent
+// batch; time-shared and CPU batches may reuse a warm container
+// (Section IV-C, Reactive scale-up).
+#pragma once
+
+#include "src/common/units.hpp"
+#include "src/models/model_spec.hpp"
+
+namespace paldia::cluster {
+
+enum class ContainerState {
+  kColdStarting,  // booting; becomes warm at ready_ms
+  kWarm,          // ready and idle
+  kBusy,          // executing a spatial batch
+  kTerminated,
+};
+
+struct Container {
+  ContainerId id;
+  models::ModelId model{};
+  ContainerState state = ContainerState::kColdStarting;
+  TimeMs spawned_ms = 0.0;
+  TimeMs ready_ms = 0.0;
+  TimeMs last_used_ms = 0.0;
+  bool was_cold_when_assigned = false;
+
+  bool warm_at(TimeMs now) const {
+    return state != ContainerState::kTerminated && ready_ms <= now;
+  }
+};
+
+}  // namespace paldia::cluster

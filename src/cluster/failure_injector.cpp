@@ -1,0 +1,27 @@
+#include "src/cluster/failure_injector.hpp"
+
+namespace paldia::cluster {
+
+FailureInjector::FailureInjector(sim::Simulator& simulator, FailureInjectorConfig config,
+                                 FailFn on_fail, RecoverFn on_recover)
+    : simulator_(&simulator),
+      config_(config),
+      on_fail_(std::move(on_fail)),
+      on_recover_(std::move(on_recover)) {}
+
+void FailureInjector::arm(TimeMs end_ms) {
+  end_ms_ = end_ms;
+  schedule_next(config_.first_failure_ms);
+}
+
+void FailureInjector::schedule_next(TimeMs at) {
+  if (at >= end_ms_) return;
+  simulator_->schedule_at(at, [this, at] {
+    ++failures_;
+    on_fail_();
+    simulator_->schedule_in(config_.downtime_ms, [this] { on_recover_(); });
+    schedule_next(at + config_.period_ms);
+  });
+}
+
+}  // namespace paldia::cluster

@@ -1,0 +1,45 @@
+// Node failure injection for the Fig. 13b study: the node currently in use
+// is made unavailable at a fixed period and stays down for a fixed hold
+// time. The injector asks the framework which node is active via a callback
+// and notifies it on failure/recovery so the scheme can fail over.
+#pragma once
+
+#include <functional>
+
+#include "src/common/units.hpp"
+#include "src/hw/node_spec.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace paldia::cluster {
+
+struct FailureInjectorConfig {
+  DurationMs period_ms = minutes(2);   // a failure starts every period
+  DurationMs downtime_ms = minutes(1); // and lasts this long
+  TimeMs first_failure_ms = minutes(1);
+};
+
+class FailureInjector {
+ public:
+  using FailFn = std::function<void()>;
+  using RecoverFn = std::function<void()>;
+
+  FailureInjector(sim::Simulator& simulator, FailureInjectorConfig config,
+                  FailFn on_fail, RecoverFn on_recover);
+
+  /// Arm the injector until `end_ms`.
+  void arm(TimeMs end_ms);
+
+  int failures_injected() const { return failures_; }
+
+ private:
+  void schedule_next(TimeMs at);
+
+  sim::Simulator* simulator_;
+  FailureInjectorConfig config_;
+  FailFn on_fail_;
+  RecoverFn on_recover_;
+  TimeMs end_ms_ = 0.0;
+  int failures_ = 0;
+};
+
+}  // namespace paldia::cluster

@@ -1,0 +1,67 @@
+#include "src/cluster/host_interference.hpp"
+
+#include "src/cluster/node.hpp"
+
+namespace paldia::cluster {
+
+std::vector<CoResident> sebs_coresidents() {
+  return {
+      CoResident{"file-compression", 0.85, 0.06, seconds(25), seconds(12)},
+      CoResident{"dynamic-html", 0.45, 0.04, seconds(8), seconds(6)},
+      CoResident{"image-thumbnail", 0.65, 0.05, seconds(15), seconds(10)},
+  };
+}
+
+HostInterference::HostInterference(sim::Simulator& simulator,
+                                   std::vector<CoResident> coresidents, Rng rng)
+    : simulator_(&simulator),
+      coresidents_(std::move(coresidents)),
+      active_(coresidents_.size(), false),
+      rng_(rng) {}
+
+void HostInterference::attach(Node& node) {
+  nodes_.push_back(&node);
+  node.set_host_interference(current_cpu_factor(), current_gpu_factor());
+}
+
+void HostInterference::arm(TimeMs end_ms) {
+  end_ms_ = end_ms;
+  for (std::size_t i = 0; i < coresidents_.size(); ++i) {
+    // Stagger starts so classes do not phase-lock.
+    simulator_->schedule_in(rng_.exponential(1.0 / coresidents_[i].mean_idle_ms),
+                            [this, i] { toggle(i); });
+  }
+}
+
+void HostInterference::toggle(std::size_t index) {
+  if (simulator_->now() >= end_ms_) return;
+  active_[index] = !active_[index];
+  push_factors();
+  const auto& co = coresidents_[index];
+  const DurationMs mean = active_[index] ? co.mean_active_ms : co.mean_idle_ms;
+  simulator_->schedule_in(rng_.exponential(1.0 / mean), [this, index] { toggle(index); });
+}
+
+double HostInterference::current_cpu_factor() const {
+  double load = 0.0;
+  for (std::size_t i = 0; i < coresidents_.size(); ++i) {
+    if (active_[i]) load += coresidents_[i].cpu_intensity;
+  }
+  return 1.0 + load;
+}
+
+double HostInterference::current_gpu_factor() const {
+  double load = 0.0;
+  for (std::size_t i = 0; i < coresidents_.size(); ++i) {
+    if (active_[i]) load += coresidents_[i].gpu_intensity;
+  }
+  return 1.0 + load;
+}
+
+void HostInterference::push_factors() {
+  const double cpu = current_cpu_factor();
+  const double gpu = current_gpu_factor();
+  for (Node* node : nodes_) node->set_host_interference(cpu, gpu);
+}
+
+}  // namespace paldia::cluster

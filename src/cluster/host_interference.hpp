@@ -1,0 +1,60 @@
+// Co-resident "regular" serverless workloads (Table III study): file
+// compression, dynamic HTML generation and image thumbnailing from SeBS
+// run on the host CPUs of every node and contend with inference serving.
+//
+// Modeled as a time-varying multiplicative slowdown: each co-resident class
+// alternates between active and idle phases; while active it adds its
+// intensity to the host load. CPU inference sees the full load (direct
+// contention for cores); GPU serving only the host-side share (input
+// staging, batching plumbing).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/units.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace paldia::cluster {
+
+class Node;
+
+struct CoResident {
+  std::string name;
+  double cpu_intensity = 0.5;   // added CPU slowdown while active
+  double gpu_intensity = 0.05;  // added GPU-path slowdown while active
+  DurationMs mean_active_ms = seconds(20);
+  DurationMs mean_idle_ms = seconds(10);
+};
+
+/// The three SeBS workloads used in the paper's mixed-workload study.
+std::vector<CoResident> sebs_coresidents();
+
+class HostInterference {
+ public:
+  HostInterference(sim::Simulator& simulator, std::vector<CoResident> coresidents,
+                   Rng rng);
+
+  /// Attach a node whose executors will receive the interference factors.
+  void attach(Node& node);
+
+  /// Start the alternating phases until end_ms.
+  void arm(TimeMs end_ms);
+
+  double current_cpu_factor() const;
+  double current_gpu_factor() const;
+
+ private:
+  void toggle(std::size_t index);
+  void push_factors();
+
+  sim::Simulator* simulator_;
+  std::vector<CoResident> coresidents_;
+  std::vector<bool> active_;
+  std::vector<Node*> nodes_;
+  Rng rng_;
+  TimeMs end_ms_ = 0.0;
+};
+
+}  // namespace paldia::cluster

@@ -1,0 +1,15 @@
+#include "src/cluster/request.hpp"
+
+#include <algorithm>
+
+namespace paldia::cluster {
+
+TimeMs Batch::oldest_arrival_ms() const {
+  TimeMs oldest = kTimeNever;
+  for (const auto& request : requests) {
+    oldest = std::min(oldest, request.arrival_ms);
+  }
+  return requests.empty() ? formed_ms : oldest;
+}
+
+}  // namespace paldia::cluster

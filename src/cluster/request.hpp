@@ -1,0 +1,73 @@
+// Requests and batches flowing through the framework.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/units.hpp"
+#include "src/models/model_spec.hpp"
+
+namespace paldia::cluster {
+
+/// One inference request. Kept tiny: millions of these exist per run.
+struct Request {
+  RequestId id;
+  models::ModelId model{};
+  TimeMs arrival_ms = 0.0;
+};
+
+/// How a batch is placed on a GPU.
+enum class ShareMode {
+  kSpatial,   // concurrent execution under MPS
+  kTemporal,  // queued on the time-shared (serial) lane
+  kCpu,       // framework batched CPU mode
+};
+
+/// A batch of requests for one model, formed by the Batcher and scheduled
+/// by the Job Distributor.
+struct Batch {
+  BatchId id;
+  models::ModelId model{};
+  std::vector<Request> requests;
+  TimeMs formed_ms = 0.0;  // when the batcher sealed the batch
+
+  int size() const { return static_cast<int>(requests.size()); }
+  bool empty() const { return requests.empty(); }
+
+  /// Arrival time of the oldest member (its latency is the batch's worst).
+  TimeMs oldest_arrival_ms() const;
+};
+
+/// Execution record the device hands back per batch; the framework fans it
+/// out to per-request completions.
+struct ExecutionReport {
+  TimeMs submit_ms = 0.0;  // handed to the device
+  TimeMs start_ms = 0.0;   // execution actually began (after lane queueing)
+  TimeMs end_ms = 0.0;
+  DurationMs solo_ms = 0.0;       // isolated execution time for this batch
+  DurationMs cold_start_ms = 0.0; // container boot time charged to the batch
+  bool failed = false;            // node died mid-flight; requests re-queued
+
+  /// Queueing component: waiting for a lane/executor.
+  DurationMs queue_ms() const { return start_ms - submit_ms; }
+  /// Interference component: execution stretch beyond isolated time.
+  DurationMs interference_ms() const { return (end_ms - start_ms) - solo_ms; }
+};
+
+/// Monotonic id generators (one per run; not thread-safe by design — the
+/// simulation loop is single-threaded).
+class IdAllocator {
+ public:
+  RequestId next_request() { return RequestId{next_request_++}; }
+  BatchId next_batch() { return BatchId{next_batch_++}; }
+  ContainerId next_container() { return ContainerId{next_container_++}; }
+  NodeId next_node() { return NodeId{next_node_++}; }
+
+ private:
+  std::int64_t next_request_ = 0;
+  std::int64_t next_batch_ = 0;
+  std::int64_t next_container_ = 0;
+  std::int64_t next_node_ = 0;
+};
+
+}  // namespace paldia::cluster

@@ -1,0 +1,100 @@
+#include "src/common/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace paldia {
+
+void CsvWriter::header(const std::vector<std::string>& columns) { row(columns); }
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::cell(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+std::string CsvWriter::cell(std::int64_t value) { return std::to_string(value); }
+
+std::size_t CsvTable::column_index(std::string_view name) const {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == name) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+namespace {
+
+std::vector<std::string> split_line(std::string_view line) {
+  std::vector<std::string> cells;
+  std::string current;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  cells.push_back(std::move(current));
+  return cells;
+}
+
+}  // namespace
+
+CsvTable parse_csv(std::string_view text) {
+  CsvTable table;
+  std::size_t start = 0;
+  bool first = true;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() && start > text.size()) break;
+    if (line.empty()) continue;
+    auto cells = split_line(line);
+    if (first) {
+      table.columns = std::move(cells);
+      first = false;
+    } else {
+      table.rows.push_back(std::move(cells));
+    }
+  }
+  return table;
+}
+
+CsvTable read_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open CSV file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str());
+}
+
+}  // namespace paldia

@@ -1,0 +1,42 @@
+// Minimal CSV writer/reader for exporting figure data series and loading
+// externally captured traces. Only the subset needed here: numeric and
+// string cells, no embedded quotes in our own output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paldia {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void header(const std::vector<std::string>& columns);
+  void row(const std::vector<std::string>& cells);
+
+  /// Format a double with enough digits for round-tripping figure data.
+  static std::string cell(double value);
+  static std::string cell(std::int64_t value);
+
+ private:
+  std::ostream& out_;
+};
+
+struct CsvTable {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a column by name, or npos.
+  std::size_t column_index(std::string_view name) const;
+};
+
+/// Parse CSV text (simple comma split, optional quoted cells, CR tolerated).
+CsvTable parse_csv(std::string_view text);
+
+/// Read and parse a CSV file; throws std::runtime_error when unreadable.
+CsvTable read_csv_file(const std::string& path);
+
+}  // namespace paldia

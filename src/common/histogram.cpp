@@ -1,0 +1,121 @@
+#include "src/common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace paldia {
+
+namespace {
+constexpr std::size_t kLinearBuckets =
+    static_cast<std::size_t>(Histogram::kLinearLimitMs / Histogram::kLinearBucketMs);
+// Exponential region: each bucket grows by 2^(1/16); covers 512ms..300s.
+constexpr double kGrowth = 1.0442737824274138;  // 2^(1/16)
+}  // namespace
+
+Histogram::Histogram() {
+  std::size_t exp_buckets = 0;
+  double upper = kLinearLimitMs;
+  while (upper < kMaxTrackableMs) {
+    upper *= kGrowth;
+    ++exp_buckets;
+  }
+  buckets_.assign(kLinearBuckets + exp_buckets + 1, 0);
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+std::size_t Histogram::bucket_index(double value_ms) const {
+  if (value_ms < 0.0) value_ms = 0.0;
+  if (value_ms < kLinearLimitMs) {
+    return static_cast<std::size_t>(value_ms / kLinearBucketMs);
+  }
+  const double ratio = value_ms / kLinearLimitMs;
+  const auto exp_index = static_cast<std::size_t>(std::log(ratio) / std::log(kGrowth));
+  return std::min(kLinearBuckets + exp_index, buckets_.size() - 1);
+}
+
+double Histogram::bucket_upper(std::size_t index) const {
+  if (index < kLinearBuckets) return (static_cast<double>(index) + 1.0) * kLinearBucketMs;
+  const auto exp_index = static_cast<double>(index - kLinearBuckets);
+  return kLinearLimitMs * std::pow(kGrowth, exp_index + 1.0);
+}
+
+double Histogram::bucket_value(std::size_t index) const {
+  if (index < kLinearBuckets) {
+    return (static_cast<double>(index) + 0.5) * kLinearBucketMs;
+  }
+  const auto exp_index = static_cast<double>(index - kLinearBuckets);
+  const double lo = kLinearLimitMs * std::pow(kGrowth, exp_index);
+  return lo * (1.0 + kGrowth) / 2.0;
+}
+
+void Histogram::add(double value_ms, std::uint64_t count) {
+  if (count == 0) return;
+  buckets_[bucket_index(value_ms)] += count;
+  total_count_ += count;
+  sum_ += value_ms * static_cast<double>(count);
+  min_ = std::min(min_, value_ms);
+  max_ = std::max(max_, value_ms);
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  total_count_ += other.total_count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  total_count_ = 0;
+  sum_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+double Histogram::mean() const {
+  return total_count_ == 0 ? 0.0 : sum_ / static_cast<double>(total_count_);
+}
+
+double Histogram::min() const { return total_count_ == 0 ? 0.0 : min_; }
+double Histogram::max() const { return total_count_ == 0 ? 0.0 : max_; }
+
+double Histogram::quantile(double q) const {
+  if (total_count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::clamp(bucket_value(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+double Histogram::fraction_at_or_below(double threshold_ms) const {
+  if (total_count_ == 0) return 1.0;
+  const std::size_t limit = bucket_index(threshold_ms);
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i <= limit && i < buckets_.size(); ++i) below += buckets_[i];
+  return static_cast<double>(below) / static_cast<double>(total_count_);
+}
+
+std::vector<std::pair<double, double>> Histogram::cdf() const {
+  std::vector<std::pair<double, double>> points;
+  if (total_count_ == 0) return points;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    seen += buckets_[i];
+    points.emplace_back(bucket_upper(i),
+                        static_cast<double>(seen) / static_cast<double>(total_count_));
+  }
+  return points;
+}
+
+}  // namespace paldia

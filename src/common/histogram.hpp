@@ -1,0 +1,58 @@
+// Streaming latency histogram with bounded memory.
+//
+// Latency percentiles over tens of millions of simulated requests must not
+// require storing every sample. We use a log-linear bucketed histogram
+// (HDR-histogram style): linear 0.25 ms buckets up to 512 ms, then
+// exponentially growing buckets up to ~5 minutes. Relative quantile error is
+// < 0.5 ms in the region that matters for a 200 ms SLO.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/units.hpp"
+
+namespace paldia {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void add(double value_ms, std::uint64_t count = 1);
+  void merge(const Histogram& other);
+  void clear();
+
+  std::uint64_t count() const { return total_count_; }
+  double sum() const { return sum_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// Quantile in [0, 1]; returns the representative value of the bucket
+  /// containing the q-th sample. quantile(0.99) == P99.
+  double quantile(double q) const;
+
+  /// Fraction of samples <= threshold (e.g. SLO compliance).
+  double fraction_at_or_below(double threshold_ms) const;
+
+  /// (value, cumulative fraction) pairs for CDF export; one point per
+  /// non-empty bucket.
+  std::vector<std::pair<double, double>> cdf() const;
+
+  static constexpr double kLinearLimitMs = 512.0;
+  static constexpr double kLinearBucketMs = 0.25;
+  static constexpr double kMaxTrackableMs = 300'000.0;
+
+ private:
+  std::size_t bucket_index(double value_ms) const;
+  double bucket_value(std::size_t index) const;
+  double bucket_upper(std::size_t index) const;
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace paldia

@@ -1,0 +1,55 @@
+// Leveled logging with a global threshold. Simulation-heavy code keeps debug
+// logging behind the level check so hot paths pay one branch when disabled.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace paldia {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a message at the given level (no-op when below threshold).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream out;
+  (out << ... << args);
+  return out.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::kDebug) {
+    log_message(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+  }
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::kInfo) {
+    log_message(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+  }
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::kWarn) {
+    log_message(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+  }
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::kError) {
+    log_message(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+  }
+}
+
+}  // namespace paldia

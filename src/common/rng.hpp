@@ -1,0 +1,71 @@
+// Deterministic random-number generation.
+//
+// Every stochastic component of the simulation draws from an Rng that is
+// seeded explicitly, so a (scheme, repetition) pair is bit-reproducible.
+// We use splitmix64 for stream derivation and xoshiro256** as the engine —
+// both are tiny, fast and high quality, and keep the repo free of
+// platform-dependent std::mt19937 distribution behaviour. Distribution
+// sampling is implemented locally for the same reason: libstdc++ and libc++
+// disagree on std::*_distribution streams, and reproducibility across
+// toolchains matters for the recorded EXPERIMENTS.md numbers.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace paldia {
+
+/// xoshiro256** engine with convenience distribution samplers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Derive an independent child stream, e.g. per node or per trace.
+  /// Deterministic in (parent seed, label).
+  Rng fork(std::string_view label) const;
+
+  /// Uniform on [0, 2^64).
+  std::uint64_t next_u64();
+
+  /// Uniform on [0, 1).
+  double uniform();
+
+  /// Uniform on [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer on [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+  double normal(double mean, double stddev);
+
+  /// Lognormal with the given underlying normal parameters.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with the given rate (1/mean).
+  double exponential(double rate);
+
+  /// Poisson-distributed count with the given mean. Uses Knuth for small
+  /// means and a normal approximation above 64 (error is negligible there).
+  std::int64_t poisson(double mean);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::uint64_t s_[4] = {};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// splitmix64 step; exposed for tests and for hashing labels.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// FNV-1a 64-bit hash of a string, used to derive child stream seeds.
+std::uint64_t hash_label(std::string_view label);
+
+}  // namespace paldia

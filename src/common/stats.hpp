@@ -1,0 +1,48 @@
+// Small numeric statistics helpers used by trace analysis, the experiment
+// summariser (mean with 2.5-sigma outlier rejection, as in the paper's
+// Section VI), and tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace paldia {
+
+double mean(std::span<const double> values);
+double variance(std::span<const double> values);  // population variance
+double stddev(std::span<const double> values);
+double min_value(std::span<const double> values);
+double max_value(std::span<const double> values);
+
+/// Exact quantile of a copy of the data (linear interpolation between order
+/// statistics). For small vectors only; streaming data uses Histogram.
+double quantile(std::span<const double> values, double q);
+
+/// Mean after dropping samples further than `sigmas` standard deviations
+/// from the raw mean — the paper's outlier rule ("outliers of more than
+/// 2.5x the standard deviation from the mean ignored").
+double outlier_filtered_mean(std::span<const double> values, double sigmas = 2.5);
+
+/// Welford running accumulator for mean/variance without storing samples.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace paldia

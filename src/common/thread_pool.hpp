@@ -1,0 +1,52 @@
+// Fixed-size worker pool used by the Hardware Selection module's parallel
+// y-sweep (Algorithm 1 probes candidate y values "in parallel" and candidate
+// nodes with par_for). The pool is intentionally simple: submit tasks, wait
+// for a batch to drain. Determinism note: all uses are pure min-reductions
+// over precomputed inputs, so scheduling order never affects results.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace paldia {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Tasks must not throw; exceptions terminate (by design —
+  /// a failed model evaluation is a programming error, not a runtime state).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Run fn(i) for i in [0, n) across the pool and wait. Falls back to the
+  /// calling thread when the pool has a single worker or n == 1.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace paldia

@@ -1,0 +1,75 @@
+// Basic value types and units used throughout the Paldia reproduction.
+//
+// Simulated time is carried as double milliseconds (TimeMs). The simulation
+// never runs long enough for double precision to matter (5 simulated days is
+// 4.3e8 ms, still exactly representable well past the microsecond digit).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace paldia {
+
+/// Simulated wall-clock time, in milliseconds since simulation start.
+using TimeMs = double;
+
+/// A span of simulated time, in milliseconds.
+using DurationMs = double;
+
+/// Requests per second.
+using Rps = double;
+
+/// US dollars.
+using Dollars = double;
+
+/// Watts.
+using Watts = double;
+
+/// Bytes (device or host memory).
+using Bytes = std::uint64_t;
+
+inline constexpr TimeMs kTimeNever = std::numeric_limits<TimeMs>::infinity();
+
+inline constexpr double kMsPerSecond = 1000.0;
+inline constexpr double kMsPerMinute = 60.0 * kMsPerSecond;
+inline constexpr double kMsPerHour = 60.0 * kMsPerMinute;
+
+constexpr DurationMs seconds(double s) { return s * kMsPerSecond; }
+constexpr DurationMs minutes(double m) { return m * kMsPerMinute; }
+constexpr DurationMs hours(double h) { return h * kMsPerHour; }
+
+constexpr Bytes GiB(double g) { return static_cast<Bytes>(g * 1024.0 * 1024.0 * 1024.0); }
+
+/// Strongly-typed integer id. Tag distinguishes unrelated id spaces at
+/// compile time (NodeId vs ContainerId etc.) with zero runtime cost.
+template <typename Tag>
+struct Id {
+  std::int64_t value = -1;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::int64_t v) : value(v) {}
+
+  constexpr bool valid() const { return value >= 0; }
+  friend constexpr bool operator==(Id, Id) = default;
+  friend constexpr auto operator<=>(Id, Id) = default;
+};
+
+struct RequestTag {};
+struct BatchTag {};
+struct ContainerTag {};
+struct NodeTag {};
+struct VmTag {};
+
+using RequestId = Id<RequestTag>;
+using BatchId = Id<BatchTag>;
+using ContainerId = Id<ContainerTag>;
+using NodeId = Id<NodeTag>;
+using VmId = Id<VmTag>;
+
+template <typename Tag>
+std::string to_string(Id<Tag> id) {
+  return std::to_string(id.value);
+}
+
+}  // namespace paldia

@@ -1,0 +1,32 @@
+#include "src/core/autoscaler.hpp"
+
+#include <algorithm>
+
+namespace paldia::core {
+
+int Autoscaler::ensure(cluster::Node& node, models::ModelId model, int desired) const {
+  desired = std::max(desired, config_.min_containers);
+  const int have = node.container_count(model);
+  int spawned = 0;
+  for (int i = have; i < desired; ++i) {
+    node.spawn_container(model);
+    ++spawned;
+  }
+  return spawned;
+}
+
+int Autoscaler::reap(cluster::Node& node, models::ModelId model, int needed,
+                     TimeMs now) const {
+  needed = std::max(needed, config_.min_containers);
+  const TimeMs cutoff = now - config_.keep_alive_ms;
+  int surplus_idle = node.idle_since_count(model, cutoff);
+  int reaped = 0;
+  while (surplus_idle > 0 && node.container_count(model) > needed) {
+    if (!node.terminate_idle_container(model)) break;
+    --surplus_idle;
+    ++reaped;
+  }
+  return reaped;
+}
+
+}  // namespace paldia::core

@@ -1,0 +1,43 @@
+// Autoscaling (Section IV-C), re-purposed for inference apps:
+//  * Reactive scale-up — one container per spatially-shared batch
+//    (n_c = ceil(n_spatial / batch_size)); time-shared batches reuse a warm
+//    container.
+//  * Predictive scale-up — every ~10 s, pre-warm containers for the
+//    EWMA-predicted future load so reactive cold starts are rare.
+//  * Delayed termination — only terminate containers that have been surplus
+//    for an extended keep-alive window (~10 min), which combined with
+//    batching cuts cold starts by up to 98% (bench/ablation_design.cpp).
+#pragma once
+
+#include "src/cluster/node.hpp"
+#include "src/common/units.hpp"
+
+namespace paldia::core {
+
+struct AutoscalerConfig {
+  DurationMs keep_alive_ms = minutes(10);
+  DurationMs predictive_interval_ms = seconds(10);
+  int min_containers = 1;  // never scale an active workload to zero
+};
+
+class Autoscaler {
+ public:
+  explicit Autoscaler(AutoscalerConfig config = {}) : config_(config) {}
+
+  /// Reactive + predictive entry point: make sure at least `desired`
+  /// containers exist (cold-starting ones count — they are on the way).
+  /// Returns how many were spawned.
+  int ensure(cluster::Node& node, models::ModelId model, int desired) const;
+
+  /// Delayed termination: terminate idle containers beyond `needed` that
+  /// have been idle since before now - keep_alive.
+  /// Returns how many were terminated.
+  int reap(cluster::Node& node, models::ModelId model, int needed, TimeMs now) const;
+
+  const AutoscalerConfig& config() const { return config_; }
+
+ private:
+  AutoscalerConfig config_;
+};
+
+}  // namespace paldia::core

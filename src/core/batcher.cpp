@@ -1,0 +1,37 @@
+#include "src/core/batcher.hpp"
+
+#include <algorithm>
+
+namespace paldia::core {
+
+bool Batcher::should_dispatch(int pending, int max_batch,
+                              DurationMs oldest_age_ms) const {
+  if (pending <= 0) return false;
+  if (pending >= max_batch) return true;
+  return oldest_age_ms >= config_.max_wait_ms;
+}
+
+std::vector<cluster::Batch> Batcher::chunk(std::vector<cluster::Request> requests,
+                                           int batch_size, TimeMs now,
+                                           cluster::IdAllocator& ids) const {
+  std::vector<cluster::Batch> batches;
+  if (requests.empty()) return batches;
+  batch_size = std::max(1, batch_size);
+  const auto total = requests.size();
+  batches.reserve((total + batch_size - 1) / batch_size);
+  std::size_t begin = 0;
+  while (begin < total) {
+    const std::size_t end = std::min(total, begin + static_cast<std::size_t>(batch_size));
+    cluster::Batch batch;
+    batch.id = ids.next_batch();
+    batch.model = requests[begin].model;
+    batch.formed_ms = now;
+    batch.requests.assign(requests.begin() + static_cast<std::ptrdiff_t>(begin),
+                          requests.begin() + static_cast<std::ptrdiff_t>(end));
+    batches.push_back(std::move(batch));
+    begin = end;
+  }
+  return batches;
+}
+
+}  // namespace paldia::core

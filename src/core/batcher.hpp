@@ -1,0 +1,41 @@
+// Request Batching (Section IV-B): flexible batch sizes with an upper bound
+// per (hardware, workload), and a dispatch-now rule that caps how long the
+// oldest request may wait for its batch to fill — batch formation delay must
+// never consume the SLO by itself.
+#pragma once
+
+#include <vector>
+
+#include "src/cluster/request.hpp"
+#include "src/common/units.hpp"
+#include "src/models/model_spec.hpp"
+
+namespace paldia::core {
+
+struct BatcherConfig {
+  /// Dispatch a partial batch once the oldest pending request has waited
+  /// this long (SLO/4 with the paper's 200 ms SLO).
+  DurationMs max_wait_ms = 50.0;
+};
+
+class Batcher {
+ public:
+  explicit Batcher(BatcherConfig config = {}) : config_(config) {}
+
+  /// Should this model's queue be dispatched now? True when a full batch is
+  /// available or the oldest request has aged out.
+  bool should_dispatch(int pending, int max_batch, DurationMs oldest_age_ms) const;
+
+  /// Chunk requests into batches of at most batch_size (the last one may be
+  /// smaller — flexible batching).
+  std::vector<cluster::Batch> chunk(std::vector<cluster::Request> requests,
+                                    int batch_size, TimeMs now,
+                                    cluster::IdAllocator& ids) const;
+
+  const BatcherConfig& config() const { return config_; }
+
+ private:
+  BatcherConfig config_;
+};
+
+}  // namespace paldia::core

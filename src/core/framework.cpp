@@ -1,0 +1,390 @@
+#include "src/core/framework.hpp"
+#include <cstdlib>
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/common/log.hpp"
+
+namespace paldia::core {
+
+Framework::Framework(sim::Simulator& simulator, cluster::Cluster& cluster,
+                     std::unique_ptr<SchedulerPolicy> policy, Rng rng,
+                     const models::Zoo& zoo, FrameworkConfig config)
+    : simulator_(&simulator),
+      cluster_(&cluster),
+      policy_(std::move(policy)),
+      zoo_(&zoo),
+      config_(config),
+      rng_(rng),
+      gateway_(rng.fork("gateway")),
+      batcher_(config.batcher),
+      autoscaler_(config.autoscaler) {
+  distributor_ = std::make_unique<JobDistributor>(
+      batcher_, ids_,
+      [this](const cluster::Request& request, const cluster::ExecutionReport& report) {
+        complete_request(request, report);
+      },
+      [this](models::ModelId model, std::vector<cluster::Request> requests) {
+        gateway_.requeue(model, std::move(requests));
+      });
+  power_ = std::make_unique<telemetry::PowerTracker>(simulator, cluster);
+  util_ = std::make_unique<telemetry::UtilTracker>(simulator, cluster);
+}
+
+void Framework::add_workload(models::ModelId model, trace::Trace trace) {
+  Workload workload;
+  workload.model = model;
+  workload.trace = std::move(trace);
+  workload.latency = std::make_unique<telemetry::LatencyRecorder>(
+      200'000, rng_.fork("latency-" + std::string(models::model_id_name(model))).seed());
+  workload.slo =
+      std::make_unique<telemetry::SloTracker>(zoo_->spec(model).slo_ms);
+  trace_end_ms_ = std::max(trace_end_ms_, workload.trace.duration_ms());
+  workloads_.push_back(std::move(workload));
+  gateway_.add_workload(model);
+}
+
+void Framework::enable_failures(cluster::FailureInjectorConfig config) {
+  failure_config_ = config;
+}
+
+void Framework::enable_host_interference(std::vector<cluster::CoResident> coresidents) {
+  coresidents_ = std::move(coresidents);
+}
+
+Framework::Workload& Framework::workload(models::ModelId model) {
+  for (auto& workload : workloads_) {
+    if (workload.model == model) return workload;
+  }
+  assert(false && "unknown workload");
+  return workloads_.front();
+}
+
+const Framework::Workload& Framework::workload(models::ModelId model) const {
+  for (const auto& workload : workloads_) {
+    if (workload.model == model) return workload;
+  }
+  assert(false && "unknown workload");
+  return workloads_.front();
+}
+
+const telemetry::LatencyRecorder& Framework::latency(models::ModelId model) const {
+  return *workload(model).latency;
+}
+
+const telemetry::SloTracker& Framework::slo(models::ModelId model) const {
+  return *workload(model).slo;
+}
+
+DemandSnapshot Framework::snapshot(const Workload& workload, TimeMs now) {
+  DemandSnapshot snapshot;
+  snapshot.model = workload.model;
+  snapshot.observed_rps = gateway_.observed_rate(workload.model, now);
+  // Predictor state is only updated at monitor ticks; between ticks predict
+  // from the last level. The horizon matches the procurement delay
+  // (Section IV-A: hardware for requests ~4 s ahead).
+  snapshot.predicted_rps =
+      gateway_.predictor(workload.model).predict(now, kPredictionHorizonMs);
+  snapshot.predicted_rps = std::max(snapshot.predicted_rps, snapshot.observed_rps);
+  snapshot.smoothed_rps = gateway_.predictor(workload.model).level();
+  snapshot.backlog = gateway_.pending(workload.model, now);
+  return snapshot;
+}
+
+void Framework::schedule_injections(const Workload& workload) {
+  const auto& trace = workload.trace;
+  const auto model = workload.model;
+  // One event per trace epoch keeps the event count proportional to trace
+  // length, not request count.
+  for (std::size_t epoch = 0; epoch < trace.epoch_count(); ++epoch) {
+    const auto count = trace.count_at(epoch);
+    if (count == 0) continue;
+    const TimeMs start = static_cast<double>(epoch) * trace.epoch_ms();
+    simulator_->schedule_at(start, [this, model, count, start, &trace] {
+      gateway_.inject(model, static_cast<int>(count), start, trace.epoch_ms());
+      auto& slo = *this->workload(model).slo;
+      // Arrival seconds are attributed per request for the goodput series.
+      for (std::uint32_t i = 0; i < count; ++i) {
+        slo.record_arrival(start + trace.epoch_ms() * (i + 0.5) / count);
+      }
+    });
+  }
+}
+
+void Framework::dispatch_tick() {
+  const TimeMs now = simulator_->now();
+  if (!cluster_->node(active_node_).is_up()) return;  // failover in flight
+  for (auto& workload : workloads_) {
+    const auto model_id = workload.model;
+    const auto& model = zoo_->spec(model_id);
+    const int pending = gateway_.pending(model_id, now);
+    if (pending <= 0) continue;
+
+    const DemandSnapshot demand = snapshot(workload, now);
+    SplitPlan plan = policy_->plan_dispatch(demand, active_node_, now);
+    const int max_batch = std::max(1, plan.batch_size);
+    if (!batcher_.should_dispatch(pending, std::min(max_batch, model.max_batch),
+                                  gateway_.oldest_age(model_id, now))) {
+      continue;
+    }
+
+    auto& node = cluster_->node(active_node_);
+    autoscaler_.ensure(node, model_id, policy_->desired_containers(plan));
+    auto requests = gateway_.take(model_id, pending, now);
+    if (std::getenv("PALDIA_TRACE_DISPATCH") && now < 30000) {
+      std::fprintf(stderr,
+                   "[dispatch] t=%.0f pending=%d taken=%zu bs=%d cpu=%d sp=%d tp=%d\n",
+                   now, pending, requests.size(), plan.batch_size,
+                   (int)plan.use_cpu, plan.spatial_requests, plan.temporal_requests);
+    }
+    distributor_->dispatch(node, plan, std::move(requests), now);
+  }
+}
+
+void Framework::monitor_tick() {
+  const TimeMs now = simulator_->now();
+  std::vector<DemandSnapshot> demand;
+  demand.reserve(workloads_.size());
+  for (auto& workload : workloads_) {
+    // Feed the predictor with the trailing observed rate, then snapshot.
+    gateway_.predictor(workload.model)
+        .observe(now, gateway_.observed_rate(workload.model, now));
+    demand.push_back(snapshot(workload, now));
+  }
+  const hw::NodeType chosen = policy_->select_hardware(demand, active_node_, now);
+  if (switch_in_progress_) {
+    // A transition is underway; only interrupt it to escalate — a surge
+    // front can outgrow the in-flight target before it even warms up.
+    // "Stay on the current node" (chosen == active) is the policy's normal
+    // hysteresis output, not an escalation — the pending transition
+    // proceeds.
+    if (chosen != pending_target_ && chosen != active_node_ &&
+        cluster_->catalog().spec(chosen).price_per_hour >
+            cluster_->catalog().spec(pending_target_).price_per_hour) {
+      begin_switch(chosen);
+    }
+    return;
+  }
+  if (chosen != active_node_) begin_switch(chosen);
+}
+
+void Framework::begin_switch(hw::NodeType target) {
+  switch_in_progress_ = true;
+  pending_target_ = target;
+  const std::uint64_t generation = ++switch_generation_;
+  if (std::getenv("PALDIA_TRACE_SWITCH")) {
+    std::fprintf(stderr, "[switch] t=%.0f begin -> %s gen=%llu\n", simulator_->now(),
+                 std::string(hw::node_type_name(target)).c_str(),
+                 (unsigned long long)generation);
+  }
+  cluster_->acquire(target, [this, target, generation](cluster::Node& node) {
+    if (generation != switch_generation_) {
+      // Superseded by an escalation; drop the stale acquisition.
+      if (target != active_node_ && target != pending_target_) {
+        cluster_->release(target);
+      }
+      return;
+    }
+    if (!node.is_up()) {
+      switch_in_progress_ = false;
+      return;
+    }
+    // Spawn containers on the new node sized for the predicted load, then
+    // reroute only once they are warm (reconfigure_HW: the current hardware
+    // keeps serving during the transition).
+    const TimeMs now = simulator_->now();
+    for (auto& workload : workloads_) {
+      DemandSnapshot demand = snapshot(workload, now);
+      const auto& model = zoo_->spec(workload.model);
+      demand.backlog = std::max(
+          demand.backlog,
+          static_cast<int>(std::ceil(demand.predicted_rps * model.slo_ms /
+                                     kMsPerSecond)));
+      const SplitPlan plan = policy_->plan_dispatch(demand, target, now);
+      const int desired =
+          std::max(config_.initial_containers, policy_->desired_containers(plan));
+      autoscaler_.ensure(node, workload.model, desired);
+    }
+    const DurationMs warmup = cluster_->catalog().spec(target).is_gpu()
+                                  ? cluster_->config().node.gpu_cold_start_ms
+                                  : cluster_->config().node.cpu_cold_start_ms;
+    simulator_->schedule_in(warmup, [this, target, generation] {
+      if (generation != switch_generation_) {
+        if (target != active_node_ && target != pending_target_) {
+          cluster_->release(target);
+        }
+        return;
+      }
+      const hw::NodeType old_node = active_node_;
+      active_node_ = target;
+      ++hardware_switches_;
+      switch_in_progress_ = false;
+      if (std::getenv("PALDIA_TRACE_SWITCH")) {
+        std::fprintf(stderr, "[switch] t=%.0f active -> %s gen=%llu\n",
+                     simulator_->now(),
+                     std::string(hw::node_type_name(target)).c_str(),
+                     (unsigned long long)generation);
+      }
+      // Relinquish the old node after its in-flight work drains.
+      simulator_->schedule_in(config_.release_grace_ms, [this, old_node] {
+        if (old_node != active_node_) cluster_->release(old_node);
+      });
+    });
+  });
+}
+
+void Framework::predictive_tick() {
+  // Predictive scale-up + delayed termination (Section IV-C).
+  const TimeMs now = simulator_->now();
+  auto& node = cluster_->node(active_node_);
+  if (!node.is_up()) return;
+  for (auto& workload : workloads_) {
+    DemandSnapshot demand = snapshot(workload, now);
+    // Size for the predicted load over one SLO window.
+    const auto& model = zoo_->spec(workload.model);
+    const int predicted_n = static_cast<int>(
+        std::ceil(demand.predicted_rps * model.slo_ms / kMsPerSecond));
+    DemandSnapshot future = demand;
+    future.backlog = predicted_n;
+    const SplitPlan plan = policy_->plan_dispatch(future, active_node_, now);
+    const int needed = policy_->desired_containers(plan);
+    autoscaler_.ensure(node, workload.model, needed);
+    autoscaler_.reap(node, workload.model, needed, now);
+  }
+}
+
+void Framework::complete_request(const cluster::Request& request,
+                                 const cluster::ExecutionReport& report) {
+  auto& workload = this->workload(request.model);
+  telemetry::RequestOutcome outcome;
+  outcome.latency_ms = report.end_ms - request.arrival_ms;
+  outcome.solo_ms = report.solo_ms;
+  outcome.cold_start_ms = report.cold_start_ms;
+  outcome.interference_ms = std::max(0.0, report.interference_ms());
+  outcome.queue_ms =
+      std::max(0.0, outcome.latency_ms - outcome.solo_ms - outcome.interference_ms -
+                        outcome.cold_start_ms);
+  workload.latency->record(outcome);
+  workload.slo->record_completion(request.arrival_ms, report.end_ms);
+}
+
+void Framework::handle_failure() {
+  const hw::NodeType failed = active_node_;
+  cluster_->fail_node(failed);
+  cluster_->release(failed);
+  const hw::NodeType fallback = policy_->on_node_failure(failed);
+  if (fallback == failed) return;
+  switch_in_progress_ = false;  // failover preempts any pending switch
+  begin_switch(fallback);
+}
+
+void Framework::handle_recovery() {
+  // Recovered node stays released; the policy re-selects it at the next
+  // monitor tick if it is still the right choice.
+  for (int i = 0; i < hw::kNodeTypeCount; ++i) {
+    auto& node = cluster_->node(hw::NodeType(i));
+    if (!node.is_up()) node.recover();
+  }
+}
+
+bool Framework::drained(TimeMs now) const {
+  if (distributor_->in_flight() > 0) return false;
+  for (const auto& workload : workloads_) {
+    if (gateway_.pending_total(workload.model) > 0) return false;
+  }
+  (void)now;
+  return true;
+}
+
+TimeMs Framework::run() {
+  assert(!workloads_.empty());
+
+  // Initial hardware: warm node + containers at t = 0.
+  active_node_ = config_.initial_node.value_or(hw::NodeType::kC6i_2xlarge);
+  cluster_->acquire_immediately(active_node_);
+  for (const auto& workload : workloads_) {
+    auto& node = cluster_->node(active_node_);
+    for (int i = 0; i < config_.initial_containers; ++i) {
+      node.spawn_container(workload.model, /*prewarmed=*/true);
+    }
+  }
+
+  for (const auto& workload : workloads_) schedule_injections(workload);
+
+  const TimeMs hard_end = trace_end_ms_ + config_.max_drain_ms;
+  power_->arm(hard_end);
+  util_->arm(hard_end);
+
+  if (failure_config_) {
+    failure_injector_ = std::make_unique<cluster::FailureInjector>(
+        *simulator_, *failure_config_, [this] { handle_failure(); },
+        [this] { handle_recovery(); });
+    failure_injector_->arm(trace_end_ms_);
+  }
+  if (!coresidents_.empty()) {
+    host_interference_ = std::make_unique<cluster::HostInterference>(
+        *simulator_, coresidents_, rng_.fork("host-interference"));
+    for (int i = 0; i < hw::kNodeTypeCount; ++i) {
+      host_interference_->attach(cluster_->node(hw::NodeType(i)));
+    }
+    host_interference_->arm(trace_end_ms_);
+  }
+
+  // Self-rescheduling ticks that stop once the trace ended and everything
+  // drained (or the hard drain cap is reached).
+  auto dispatch_loop = std::make_shared<std::function<void()>>();
+  *dispatch_loop = [this, dispatch_loop, hard_end] {
+    dispatch_tick();
+    const TimeMs now = simulator_->now();
+    if (now >= hard_end) return;
+    if (now >= trace_end_ms_ && drained(now)) return;
+    simulator_->schedule_in(config_.dispatch_interval_ms,
+                            [dispatch_loop] { (*dispatch_loop)(); });
+  };
+  simulator_->schedule_at(0.0, [dispatch_loop] { (*dispatch_loop)(); });
+
+  auto monitor_loop = std::make_shared<std::function<void()>>();
+  *monitor_loop = [this, monitor_loop] {
+    monitor_tick();
+    if (simulator_->now() + config_.monitor_interval_ms <= trace_end_ms_) {
+      simulator_->schedule_in(config_.monitor_interval_ms,
+                              [monitor_loop] { (*monitor_loop)(); });
+    }
+  };
+  simulator_->schedule_at(config_.monitor_interval_ms,
+                          [monitor_loop] { (*monitor_loop)(); });
+
+  auto predictive_loop = std::make_shared<std::function<void()>>();
+  *predictive_loop = [this, predictive_loop] {
+    predictive_tick();
+    if (simulator_->now() + config_.autoscaler.predictive_interval_ms <=
+        trace_end_ms_) {
+      simulator_->schedule_in(config_.autoscaler.predictive_interval_ms,
+                              [predictive_loop] { (*predictive_loop)(); });
+    }
+  };
+  simulator_->schedule_at(config_.autoscaler.predictive_interval_ms,
+                          [predictive_loop] { (*predictive_loop)(); });
+
+  const TimeMs end = simulator_->run_until(hard_end);
+
+  // Requests still unserved at the drain cap are SLO violations.
+  for (auto& workload : workloads_) {
+    const int leftover = gateway_.pending_total(workload.model);
+    for (int i = 0; i < leftover; ++i) {
+      workload.slo->record_completion(0.0, kTimeNever);
+    }
+    unserved_ += static_cast<std::uint64_t>(leftover);
+    // Drop them so repeated run() calls (not supported anyway) don't leak.
+    auto rest = const_cast<Gateway&>(gateway_).take(workload.model, leftover, end);
+    (void)rest;
+  }
+
+  // Close hold intervals so cost reflects the experiment span.
+  for (const auto type : cluster_->held_types()) cluster_->release(type);
+  return end;
+}
+
+}  // namespace paldia::core

@@ -1,0 +1,143 @@
+// The serverless framework harness (Figure 2): wires Gateway, Dispatcher,
+// Hardware Selection (via the policy), Autoscaler, Batcher and Job
+// Distribution into the simulator and runs one experiment: a set of
+// (model, trace) workloads served by one SchedulerPolicy on the simulated
+// cluster, with full telemetry.
+//
+// All schemes share this harness; they differ only in the policy object
+// (Section V: the baselines are "schemes which employ the request serving
+// policies of" INFless/Llama/Molecule).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/cluster/cluster.hpp"
+#include "src/cluster/failure_injector.hpp"
+#include "src/cluster/host_interference.hpp"
+#include "src/core/autoscaler.hpp"
+#include "src/core/batcher.hpp"
+#include "src/core/gateway.hpp"
+#include "src/core/job_distributor.hpp"
+#include "src/core/scheduler_policy.hpp"
+#include "src/telemetry/latency_recorder.hpp"
+#include "src/telemetry/power_tracker.hpp"
+#include "src/telemetry/slo_tracker.hpp"
+#include "src/telemetry/util_tracker.hpp"
+#include "src/trace/trace.hpp"
+
+namespace paldia::core {
+
+struct FrameworkConfig {
+  DurationMs dispatch_interval_ms = 20.0;
+  DurationMs monitor_interval_ms = 500.0;  // Algorithm 1's W
+  BatcherConfig batcher;
+  AutoscalerConfig autoscaler;
+  /// Node to hold (warm) at t = 0. Policies that would pick a different
+  /// node converge within a few monitor intervals.
+  std::optional<hw::NodeType> initial_node;
+  /// Containers pre-warmed per workload on the initial node.
+  int initial_containers = 2;
+  /// Old node keeps serving this long after a switch before release
+  /// (in-flight batches drain; the paper charges transition overlap).
+  DurationMs release_grace_ms = 3000.0;
+  /// Hard cap on post-trace drain; requests still unserved then are counted
+  /// as SLO violations.
+  DurationMs max_drain_ms = minutes(2);
+};
+
+class Framework {
+ public:
+  Framework(sim::Simulator& simulator, cluster::Cluster& cluster,
+            std::unique_ptr<SchedulerPolicy> policy, Rng rng,
+            const models::Zoo& zoo = models::Zoo::instance(),
+            FrameworkConfig config = {});
+
+  /// Register a workload: the model served under the given arrival trace.
+  /// The framework keeps its own copy of the trace (callers may pass
+  /// temporaries).
+  void add_workload(models::ModelId model, trace::Trace trace);
+
+  /// Enable the Fig. 13b failure scenario.
+  void enable_failures(cluster::FailureInjectorConfig config);
+
+  /// Enable the Table III co-resident interference scenario.
+  void enable_host_interference(std::vector<cluster::CoResident> coresidents);
+
+  /// Run the experiment to completion (trace + drain). Returns the
+  /// simulated end time.
+  TimeMs run();
+
+  // --- Telemetry access (valid after run()) --------------------------------
+  const telemetry::LatencyRecorder& latency(models::ModelId model) const;
+  const telemetry::SloTracker& slo(models::ModelId model) const;
+  const telemetry::PowerTracker& power() const { return *power_; }
+  const telemetry::UtilTracker& util() const { return *util_; }
+  std::uint64_t unserved_requests() const { return unserved_; }
+  hw::NodeType active_node() const { return active_node_; }
+  int hardware_switches() const { return hardware_switches_; }
+
+  SchedulerPolicy& policy() { return *policy_; }
+  cluster::Cluster& cluster() { return *cluster_; }
+
+ private:
+  struct Workload {
+    models::ModelId model{};
+    trace::Trace trace;
+    std::unique_ptr<telemetry::LatencyRecorder> latency;
+    std::unique_ptr<telemetry::SloTracker> slo;
+  };
+
+  // Covers procurement (~4 s) plus container warmup (~2.5 s) so capacity is
+  // ready when the predicted demand arrives (Section IV-A).
+  static constexpr DurationMs kPredictionHorizonMs = 7000.0;
+
+  Workload& workload(models::ModelId model);
+  const Workload& workload(models::ModelId model) const;
+
+  DemandSnapshot snapshot(const Workload& workload, TimeMs now);
+  void schedule_injections(const Workload& workload);
+  void dispatch_tick();
+  void monitor_tick();
+  void predictive_tick();
+  void begin_switch(hw::NodeType target);
+  void complete_request(const cluster::Request& request,
+                        const cluster::ExecutionReport& report);
+  void handle_failure();
+  void handle_recovery();
+  bool drained(TimeMs now) const;
+
+  sim::Simulator* simulator_;
+  cluster::Cluster* cluster_;
+  std::unique_ptr<SchedulerPolicy> policy_;
+  const models::Zoo* zoo_;
+  FrameworkConfig config_;
+  Rng rng_;
+
+  Gateway gateway_;
+  Batcher batcher_;
+  Autoscaler autoscaler_;
+  cluster::IdAllocator ids_;
+  std::unique_ptr<JobDistributor> distributor_;
+
+  std::vector<Workload> workloads_;
+  std::unique_ptr<telemetry::PowerTracker> power_;
+  std::unique_ptr<telemetry::UtilTracker> util_;
+
+  hw::NodeType active_node_{};
+  bool switch_in_progress_ = false;
+  hw::NodeType pending_target_{};
+  std::uint64_t switch_generation_ = 0;
+  int hardware_switches_ = 0;
+  TimeMs trace_end_ms_ = 0.0;
+  std::uint64_t unserved_ = 0;
+
+  std::optional<cluster::FailureInjectorConfig> failure_config_;
+  std::unique_ptr<cluster::FailureInjector> failure_injector_;
+  std::unique_ptr<cluster::HostInterference> host_interference_;
+  std::vector<cluster::CoResident> coresidents_;
+};
+
+}  // namespace paldia::core

@@ -1,0 +1,95 @@
+#include "src/core/gateway.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace paldia::core {
+
+void Gateway::add_workload(models::ModelId model) {
+  if (per_model_.contains(model)) return;
+  workloads_.push_back(model);
+  per_model_[model];  // default-construct in place
+}
+
+Gateway::PerModel& Gateway::state(models::ModelId model) {
+  auto it = per_model_.find(model);
+  assert(it != per_model_.end());
+  return it->second;
+}
+
+const Gateway::PerModel& Gateway::state(models::ModelId model) const {
+  auto it = per_model_.find(model);
+  assert(it != per_model_.end());
+  return it->second;
+}
+
+void Gateway::inject(models::ModelId model, int count, TimeMs epoch_start,
+                     DurationMs epoch_ms) {
+  if (count <= 0) return;
+  auto& per_model = state(model);
+  // Uniform offsets, sorted so the queue stays ordered by arrival.
+  std::vector<double> offsets(static_cast<std::size_t>(count));
+  for (auto& offset : offsets) offset = rng_.uniform(0.0, epoch_ms);
+  std::sort(offsets.begin(), offsets.end());
+  for (double offset : offsets) {
+    cluster::Request request;
+    request.id = ids_.next_request();
+    request.model = model;
+    request.arrival_ms = epoch_start + offset;
+    per_model.queue.push_back(request);
+    per_model.window.record(request.arrival_ms);
+  }
+}
+
+void Gateway::requeue(models::ModelId model, std::vector<cluster::Request> requests) {
+  if (requests.empty()) return;
+  auto& per_model = state(model);
+  for (auto& request : requests) per_model.queue.push_back(std::move(request));
+  // Keep oldest-first ordering after mixing re-queued with fresh arrivals.
+  std::sort(per_model.queue.begin(), per_model.queue.end(),
+            [](const cluster::Request& a, const cluster::Request& b) {
+              return a.arrival_ms < b.arrival_ms;
+            });
+}
+
+std::vector<cluster::Request> Gateway::take(models::ModelId model, int max_count,
+                                            TimeMs now) {
+  auto& per_model = state(model);
+  std::vector<cluster::Request> taken;
+  while (!per_model.queue.empty() && static_cast<int>(taken.size()) < max_count &&
+         per_model.queue.front().arrival_ms <= now) {
+    taken.push_back(per_model.queue.front());
+    per_model.queue.pop_front();
+  }
+  return taken;
+}
+
+int Gateway::pending(models::ModelId model, TimeMs now) const {
+  const auto& queue = state(model).queue;
+  // Queue is sorted by arrival; count the prefix that has arrived.
+  auto it = std::upper_bound(queue.begin(), queue.end(), now,
+                             [](TimeMs t, const cluster::Request& request) {
+                               return t < request.arrival_ms;
+                             });
+  return static_cast<int>(it - queue.begin());
+}
+
+int Gateway::pending_total(models::ModelId model) const {
+  return static_cast<int>(state(model).queue.size());
+}
+
+DurationMs Gateway::oldest_age(models::ModelId model, TimeMs now) const {
+  const auto& queue = state(model).queue;
+  if (queue.empty() || queue.front().arrival_ms > now) return 0.0;
+  return now - queue.front().arrival_ms;
+}
+
+Rps Gateway::observed_rate(models::ModelId model, TimeMs now) const {
+  return state(model).window.rate(now);
+}
+
+predictor::EwmaPredictor& Gateway::predictor(models::ModelId model) {
+  return state(model).predictor;
+}
+
+}  // namespace paldia::core

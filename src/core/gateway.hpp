@@ -1,0 +1,67 @@
+// The Gateway (paper component 1): the entry point of user requests. One
+// FIFO per model; trace epochs are injected as counts and spread uniformly
+// inside the epoch. Tracks trailing arrival rates and feeds the demand
+// predictors.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/cluster/request.hpp"
+#include "src/common/rng.hpp"
+#include "src/predictor/ewma.hpp"
+#include "src/predictor/window.hpp"
+
+namespace paldia::core {
+
+class Gateway {
+ public:
+  explicit Gateway(Rng rng) : rng_(rng) {}
+
+  void add_workload(models::ModelId model);
+
+  /// Inject `count` arrivals spread uniformly over [epoch_start,
+  /// epoch_start + epoch_ms). Requests become visible to take() once their
+  /// arrival time passes.
+  void inject(models::ModelId model, int count, TimeMs epoch_start,
+              DurationMs epoch_ms);
+
+  /// Re-queue requests (node failure path); arrival times are preserved.
+  void requeue(models::ModelId model, std::vector<cluster::Request> requests);
+
+  /// Pop up to max_count requests whose arrival time is <= now, oldest
+  /// first.
+  std::vector<cluster::Request> take(models::ModelId model, int max_count, TimeMs now);
+
+  int pending(models::ModelId model, TimeMs now) const;
+  int pending_total(models::ModelId model) const;  // including future arrivals
+
+  /// Age of the oldest pending request, 0 when none.
+  DurationMs oldest_age(models::ModelId model, TimeMs now) const;
+
+  /// Trailing 1 s arrival rate.
+  Rps observed_rate(models::ModelId model, TimeMs now) const;
+
+  predictor::EwmaPredictor& predictor(models::ModelId model);
+
+  const std::vector<models::ModelId>& workloads() const { return workloads_; }
+
+ private:
+  struct PerModel {
+    std::deque<cluster::Request> queue;  // sorted by arrival
+    predictor::ArrivalWindow window{1000.0};
+    predictor::EwmaPredictor predictor;
+  };
+
+  PerModel& state(models::ModelId model);
+  const PerModel& state(models::ModelId model) const;
+
+  Rng rng_;
+  cluster::IdAllocator ids_;
+  std::vector<models::ModelId> workloads_;
+  std::map<models::ModelId, PerModel> per_model_;
+};
+
+}  // namespace paldia::core

@@ -1,0 +1,73 @@
+// The Hardware Selection module (paper component 2, Algorithm 1).
+//
+// Every monitor interval: predict demand ~4 s ahead, build the pool of
+// capable candidates from the profiles, sort by cost, evaluate each node's
+// best achievable T_max in parallel (CPU nodes via approx_T_max, GPU nodes
+// via the parallel y-sweep), then choose the cheapest node within ~50 ms of
+// the most performant one. Hysteresis (wait_limit consecutive mismatches
+// before reconfiguring) lives in PaldiaPolicy, which owns the wait counter.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/common/thread_pool.hpp"
+#include "src/core/scheduler_policy.hpp"
+#include "src/hw/catalog.hpp"
+#include "src/models/profile.hpp"
+#include "src/models/zoo.hpp"
+#include "src/perfmodel/cpu_latency_model.hpp"
+#include "src/perfmodel/y_optimizer.hpp"
+
+namespace paldia::core {
+
+struct HardwareSelectionConfig {
+  /// choose_best_HW: cheapest node within this much of the best T_max.
+  DurationMs performance_band_ms = 50.0;
+  /// Prediction lookahead (matches the procurement delay).
+  DurationMs horizon_ms = 4000.0;
+  /// Headroom factor on the SLO when judging feasibility (leaves room for
+  /// batching delay and model error).
+  double slo_headroom = 0.85;
+};
+
+struct HardwareChoice {
+  hw::NodeType node{};
+  int best_y = 0;              // for GPU nodes: the winning split
+  DurationMs t_max_ms = 0.0;   // predicted worst-case latency on the node
+  bool feasible = false;       // t_max within the (headroomed) SLO
+};
+
+class HardwareSelection {
+ public:
+  HardwareSelection(const models::Zoo& zoo, const hw::Catalog& catalog,
+                    const models::ProfileTable& profile,
+                    const perfmodel::YOptimizer& optimizer, ThreadPool* pool = nullptr,
+                    HardwareSelectionConfig config = {});
+
+  /// Evaluate one candidate node against the demand (max T_max across
+  /// models). Exposed for tests and for the Oracle's offline sweeps.
+  HardwareChoice evaluate(hw::NodeType node,
+                          const std::vector<DemandSnapshot>& demand) const;
+
+  /// Full Algorithm 1 selection (pool, par_for, choose_best_HW). When no
+  /// node is feasible the most performant GPU is returned (the escalation
+  /// path of Section III).
+  HardwareChoice choose(const std::vector<DemandSnapshot>& demand) const;
+
+  /// Requests that must coexist on the node: the current backlog plus the
+  /// predicted arrivals of one SLO window.
+  int coexisting_requests(const DemandSnapshot& demand, DurationMs slo_ms) const;
+
+  const HardwareSelectionConfig& config() const { return config_; }
+
+ private:
+  const models::Zoo* zoo_;
+  const hw::Catalog* catalog_;
+  const models::ProfileTable* profile_;
+  const perfmodel::YOptimizer* optimizer_;
+  ThreadPool* pool_;
+  HardwareSelectionConfig config_;
+};
+
+}  // namespace paldia::core

@@ -1,0 +1,56 @@
+#include "src/core/job_distributor.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace paldia::core {
+
+int JobDistributor::dispatch(cluster::Node& node, const SplitPlan& plan,
+                             std::vector<cluster::Request> requests, TimeMs now) {
+  if (requests.empty()) return 0;
+  const int total = static_cast<int>(requests.size());
+  const int spatial =
+      plan.use_cpu ? 0 : std::clamp(plan.spatial_requests, 0, total);
+
+  std::vector<cluster::Request> spatial_part(
+      requests.begin(), requests.begin() + spatial);
+  std::vector<cluster::Request> temporal_part(requests.begin() + spatial,
+                                              requests.end());
+
+  int batches = 0;
+  for (auto& batch : batcher_->chunk(std::move(spatial_part), plan.batch_size, now, *ids_)) {
+    submit_batch(node, std::move(batch), cluster::ShareMode::kSpatial);
+    ++batches;
+  }
+  const auto rest_mode =
+      plan.use_cpu ? cluster::ShareMode::kCpu : cluster::ShareMode::kTemporal;
+  for (auto& batch : batcher_->chunk(std::move(temporal_part), plan.batch_size, now, *ids_)) {
+    submit_batch(node, std::move(batch), rest_mode);
+    ++batches;
+  }
+  return batches;
+}
+
+void JobDistributor::submit_batch(cluster::Node& node, cluster::Batch batch,
+                                  cluster::ShareMode mode) {
+  ++in_flight_;
+  cluster::ExecRequest exec;
+  exec.batch = batch.id;
+  exec.model = batch.model;
+  exec.batch_size = batch.size();
+  exec.mode = mode;
+  exec.on_complete = [this, batch = std::move(batch)](
+                         const cluster::ExecutionReport& report) {
+    --in_flight_;
+    if (report.failed) {
+      if (on_requeue_) on_requeue_(batch.model, batch.requests);
+      return;
+    }
+    for (const auto& request : batch.requests) {
+      on_request_complete_(request, report);
+    }
+  };
+  node.execute(std::move(exec));
+}
+
+}  // namespace paldia::core

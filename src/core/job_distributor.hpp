@@ -1,0 +1,49 @@
+// The Job Distribution logic (paper component 6): turns a SplitPlan into
+// batches and schedules them on the node — spatial portion via MPS, the
+// remaining y requests on the time-shared lane, CPU plans via the batched
+// CPU mode — and fans batch completions out to per-request outcomes.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/cluster/node.hpp"
+#include "src/core/batcher.hpp"
+#include "src/core/scheduler_policy.hpp"
+
+namespace paldia::core {
+
+class JobDistributor {
+ public:
+  using RequestCompleteFn =
+      std::function<void(const cluster::Request&, const cluster::ExecutionReport&)>;
+  using RequeueFn =
+      std::function<void(models::ModelId, std::vector<cluster::Request>)>;
+
+  JobDistributor(const Batcher& batcher, cluster::IdAllocator& ids,
+                 RequestCompleteFn on_request_complete, RequeueFn on_requeue)
+      : batcher_(&batcher),
+        ids_(&ids),
+        on_request_complete_(std::move(on_request_complete)),
+        on_requeue_(std::move(on_requeue)) {}
+
+  /// Execute the plan. `requests` are oldest-first; the spatial portion
+  /// takes the oldest ones (they have the least SLO slack and spatial
+  /// execution starts immediately). Returns the number of batches created.
+  int dispatch(cluster::Node& node, const SplitPlan& plan,
+               std::vector<cluster::Request> requests, TimeMs now);
+
+  /// Batches submitted but not yet completed (successfully or not).
+  int in_flight() const { return in_flight_; }
+
+ private:
+  void submit_batch(cluster::Node& node, cluster::Batch batch, cluster::ShareMode mode);
+
+  const Batcher* batcher_;
+  cluster::IdAllocator* ids_;
+  RequestCompleteFn on_request_complete_;
+  RequeueFn on_requeue_;
+  int in_flight_ = 0;
+};
+
+}  // namespace paldia::core

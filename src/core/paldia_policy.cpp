@@ -1,0 +1,126 @@
+#include "src/core/paldia_policy.hpp"
+#include <cstdlib>
+#include <cstdio>
+
+#include <algorithm>
+
+namespace paldia::core {
+
+PaldiaPolicy::PaldiaPolicy(const models::Zoo& zoo, const hw::Catalog& catalog,
+                           const models::ProfileTable& profile, ThreadPool* pool,
+                           PaldiaPolicyConfig config)
+    : SchedulerPolicy(catalog),
+      zoo_(&zoo),
+      profile_(&profile),
+      optimizer_(perfmodel::TmaxModel(config.tmax_beta), pool),
+      selection_(zoo, catalog, profile, optimizer_, pool, config.selection),
+      config_(config) {}
+
+hw::NodeType PaldiaPolicy::select_hardware(const std::vector<DemandSnapshot>& demand,
+                                           hw::NodeType current, TimeMs now) {
+  const HardwareChoice choice = selection_.choose(demand);
+  if (std::getenv("PALDIA_TRACE_SELECT")) {
+    std::fprintf(stderr,
+                 "[select] t=%.0f cur=%s chosen=%s tmax=%.0f feas=%d ctr=%d "
+                 "pred=%.1f backlog=%d\n",
+                 now, std::string(hw::node_type_name(current)).c_str(),
+                 std::string(hw::node_type_name(choice.node)).c_str(),
+                 choice.t_max_ms, (int)choice.feasible, downgrade_ctr_,
+                 demand.empty() ? 0.0 : demand[0].predicted_rps,
+                 demand.empty() ? 0 : demand[0].backlog);
+  }
+
+  // Hysteresis (Algorithm 1 tail): only reconfigure after wait_limit
+  // consecutive rounds prefer the same non-current node — repeated
+  // mismatches reveal a trend rather than noise. The downgrade counter is
+  // leaky rather than hard-reset: a single noisy round in which the
+  // current node is preferred should not erase an established
+  // cost-saving trend.
+  if (choice.node == current) {
+    wait_ctr_ = 0;
+    has_last_choice_ = false;
+    downgrade_ctr_ = std::max(0, downgrade_ctr_ - 1);
+    return current;
+  }
+  // Emergency escalation: when the *current* node is predicted to violate
+  // the SLO and the selector wants stronger hardware, waiting out the
+  // hysteresis only deepens the backlog — reconfigure immediately. The
+  // wait counter exists to confirm cost-saving trends, not to delay
+  // SLO-preserving upgrades.
+  const bool upgrade = catalog().spec(choice.node).price_per_hour >
+                       catalog().spec(current).price_per_hour;
+  if (upgrade && !selection_.evaluate(current, demand).feasible) {
+    // Two consecutive confirming rounds filter out single-sample noise in
+    // the rate prediction while still reacting within one monitor period.
+    ++emergency_ctr_;
+    if (emergency_ctr_ >= 2) {
+      emergency_ctr_ = 0;
+      wait_ctr_ = 0;
+      has_last_choice_ = false;
+      return choice.node;
+    }
+  } else {
+    emergency_ctr_ = 0;
+  }
+
+  const bool downgrade = catalog().spec(choice.node).price_per_hour <
+                         catalog().spec(current).price_per_hour;
+  if (downgrade) {
+    // Downgrades only require that *some* cheaper node keeps sufficing —
+    // which cheap node wins may flutter with the rate.
+    ++downgrade_ctr_;
+    if (downgrade_ctr_ >= config_.downgrade_wait_limit) {
+      downgrade_ctr_ = 0;
+      wait_ctr_ = 0;
+      has_last_choice_ = false;
+      return choice.node;
+    }
+    return current;
+  }
+
+  // Upgrades require the *same* target repeatedly (a trend towards
+  // specific stronger hardware).
+  if (has_last_choice_ && last_choice_ == choice.node) {
+    ++wait_ctr_;
+  } else {
+    wait_ctr_ = 1;
+  }
+  last_choice_ = choice.node;
+  has_last_choice_ = true;
+  if (wait_ctr_ >= config_.wait_limit) {
+    wait_ctr_ = 0;
+    has_last_choice_ = false;
+    return choice.node;
+  }
+  return current;
+}
+
+SplitPlan PaldiaPolicy::plan_dispatch(const DemandSnapshot& demand, hw::NodeType node,
+                                      TimeMs) {
+  SplitPlan plan;
+  const auto& model = zoo_->spec(demand.model);
+  const int n = demand.backlog;
+  if (n <= 0) return plan;
+
+  if (!profile_->catalog().spec(node).is_gpu()) {
+    const auto estimate = perfmodel::approx_cpu_t_max(
+        model, *profile_, node, n, model.slo_ms * config_.selection.slo_headroom);
+    plan.use_cpu = true;
+    plan.batch_size = std::max(1, estimate.batch_size);
+    plan.temporal_requests = n;  // CPU mode serves batches sequentially
+    return plan;
+  }
+
+  const int bs = std::min(model.max_batch, std::max(1, n));
+  const auto entry = profile_->lookup(model, node, bs);
+  perfmodel::WorkloadPoint point{n, bs, entry.solo_ms, entry.fbr,
+                                 model.slo_ms * config_.selection.slo_headroom,
+                                 entry.compute};
+  const auto decision = optimizer_.best_split(point, config_.sweep_max_probes);
+  plan.batch_size = bs;
+  plan.temporal_requests = std::clamp(decision.y, 0, n);
+  plan.spatial_requests = n - plan.temporal_requests;
+  return plan;
+}
+
+}  // namespace paldia::core

@@ -1,0 +1,57 @@
+// PALDIA's scheduling policy: Algorithm 1 hardware selection with
+// hysteresis, plus hybrid spatio-temporal dispatch planning (Section IV-D:
+// the Job Distributor enacts the best y split computed by the model).
+#pragma once
+
+#include <memory>
+
+#include "src/core/hardware_selection.hpp"
+#include "src/core/scheduler_policy.hpp"
+
+namespace paldia::core {
+
+struct PaldiaPolicyConfig {
+  HardwareSelectionConfig selection;
+  /// Consecutive mismatches before reconfiguring to a *more expensive*
+  /// node (Algorithm 1's wait_limit).
+  int wait_limit = 3;
+  /// Mismatches required to move to a *cheaper* node. Deliberately much
+  /// larger: downgrades save pennies but each transition risks SLO
+  /// violations, the same conservatism as the delayed-termination
+  /// keep-alive (Section IV-C).
+  int downgrade_wait_limit = 24;
+  double tmax_beta = 0.2;    // scheduler-side contention coefficient
+  int sweep_max_probes = 256;
+};
+
+class PaldiaPolicy final : public SchedulerPolicy {
+ public:
+  PaldiaPolicy(const models::Zoo& zoo, const hw::Catalog& catalog,
+               const models::ProfileTable& profile, ThreadPool* pool = nullptr,
+               PaldiaPolicyConfig config = {});
+
+  std::string name() const override { return "Paldia"; }
+
+  hw::NodeType select_hardware(const std::vector<DemandSnapshot>& demand,
+                               hw::NodeType current, TimeMs now) override;
+
+  SplitPlan plan_dispatch(const DemandSnapshot& demand, hw::NodeType node,
+                          TimeMs now) override;
+
+  const HardwareSelection& selection() const { return selection_; }
+  int wait_counter() const { return wait_ctr_; }
+
+ private:
+  const models::Zoo* zoo_;
+  const models::ProfileTable* profile_;
+  perfmodel::YOptimizer optimizer_;
+  HardwareSelection selection_;
+  PaldiaPolicyConfig config_;
+  int wait_ctr_ = 0;
+  hw::NodeType last_choice_{};
+  bool has_last_choice_ = false;
+  int downgrade_ctr_ = 0;
+  int emergency_ctr_ = 0;
+};
+
+}  // namespace paldia::core

@@ -1,0 +1,47 @@
+#include "src/core/scheduler_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace paldia::core {
+
+hw::NodeType SchedulerPolicy::on_node_failure(hw::NodeType failed) {
+  // "Switch to the more performant hardware with the least cost"; from the
+  // most performant node, step down to the next best GPU (Section VI-B).
+  const auto& catalog = this->catalog();
+  const double failed_speed =
+      catalog.spec(failed).is_gpu() ? catalog.spec(failed).gpu->speed : 0.0;
+
+  hw::NodeType best = failed;
+  double best_price = std::numeric_limits<double>::infinity();
+  for (hw::NodeType type : catalog.gpus_by_capability_ascending()) {
+    if (type == failed) continue;
+    const auto& spec = catalog.spec(type);
+    if (spec.gpu->speed > failed_speed && spec.price_per_hour < best_price) {
+      best = type;
+      best_price = spec.price_per_hour;
+    }
+  }
+  if (best != failed) return best;
+
+  // Already on the top GPU: fall back to the next most capable one.
+  const auto gpus = catalog.gpus_by_capability_ascending();
+  for (auto it = gpus.rbegin(); it != gpus.rend(); ++it) {
+    if (*it != failed) return *it;
+  }
+  return failed;  // single-GPU catalog: nothing else to do
+}
+
+int SchedulerPolicy::desired_containers(const SplitPlan& plan) const {
+  // n_c = ceil(n_spatial / batch_size); one extra warm container serves the
+  // time-shared batches (reused, per Section IV-C).
+  const int batch = std::max(1, plan.batch_size);
+  int containers = (plan.spatial_requests + batch - 1) / batch;
+  if (plan.temporal_requests > 0 || plan.use_cpu) {
+    containers = std::max(containers, 1);
+  }
+  return containers;
+}
+
+}  // namespace paldia::core

@@ -1,0 +1,165 @@
+#include "src/exp/runner.hpp"
+
+#include <algorithm>
+
+#include "src/baselines/oracle.hpp"
+#include "src/exp/summary.hpp"
+#include "src/telemetry/cost_tracker.hpp"
+#include "src/trace/trace_ops.hpp"
+
+namespace paldia::exp {
+
+Runner::Runner(const models::Zoo& zoo, const hw::Catalog& catalog, ThreadPool* pool,
+               SchemeFactoryOptions options)
+    : zoo_(&zoo),
+      catalog_(&catalog),
+      profile_(catalog),
+      factory_(zoo, catalog, profile_, pool, options) {}
+
+RunResult Runner::run_once(const Scenario& scenario, SchemeId scheme,
+                           std::uint64_t seed, bool keep_cdf) const {
+  sim::Simulator simulator;
+  Rng rng(seed);
+  cluster::Cluster cluster(simulator, rng.fork("cluster"), *zoo_, *catalog_);
+
+  auto policy = factory_.make(scheme);
+  if (auto* oracle = dynamic_cast<baselines::OraclePolicy*>(policy.get())) {
+    for (const auto& workload : scenario.workloads) {
+      oracle->reveal_trace(workload.model, workload.trace);
+    }
+  }
+
+  core::FrameworkConfig config = scenario.framework;
+  if (!config.initial_node.has_value()) {
+    config.initial_node = factory_.initial_node(scheme);
+  }
+  core::Framework framework(simulator, cluster, std::move(policy),
+                            rng.fork("framework"), *zoo_, config);
+  for (const auto& workload : scenario.workloads) {
+    framework.add_workload(workload.model, workload.trace);
+  }
+  if (scenario.failures) framework.enable_failures(*scenario.failures);
+  if (!scenario.coresidents.empty()) {
+    framework.enable_host_interference(scenario.coresidents);
+  }
+
+  framework.run();
+
+  RunResult result;
+  Histogram merged_e2e;
+  telemetry::TailBreakdown combined_breakdown;
+  std::uint64_t total_requests = 0, total_compliant = 0, total_completed = 0;
+
+  for (const auto& workload : scenario.workloads) {
+    const auto& latency = framework.latency(workload.model);
+    const auto& slo = framework.slo(workload.model);
+    telemetry::RunMetrics metrics;
+    metrics.scheme = scheme_name(scheme);
+    metrics.workload = std::string(models::model_id_name(workload.model));
+    metrics.trace = scenario.name;
+    metrics.requests = slo.total();
+    metrics.slo_compliance = slo.compliance();
+    metrics.mean_latency_ms = latency.mean_ms();
+    metrics.p99_latency_ms = latency.p99_ms();
+    metrics.p99_breakdown = latency.breakdown_at(0.99);
+
+    // The goodput window covers the busiest span *including its ramp* —
+    // surge-onset violations land on the rising edge, just before the peak
+    // itself (Fig. 7a measures "periods of highest request traffic").
+    auto window = trace::busiest_window(workload.trace, scenario.goodput_window_ms);
+    window.start_ms = std::max(0.0, window.start_ms - scenario.goodput_window_ms);
+    metrics.goodput_rps = slo.goodput_rps(window.start_ms, window.end_ms);
+    metrics.offered_rps = slo.arrival_rps(window.start_ms, window.end_ms);
+    if (keep_cdf) metrics.latency_cdf = latency.cdf();
+
+    merged_e2e.merge(latency.e2e());
+    const auto weight = static_cast<double>(latency.count());
+    combined_breakdown.latency_ms += metrics.p99_breakdown.latency_ms * weight;
+    combined_breakdown.solo_ms += metrics.p99_breakdown.solo_ms * weight;
+    combined_breakdown.queue_ms += metrics.p99_breakdown.queue_ms * weight;
+    combined_breakdown.interference_ms +=
+        metrics.p99_breakdown.interference_ms * weight;
+    combined_breakdown.cold_start_ms += metrics.p99_breakdown.cold_start_ms * weight;
+    total_requests += latency.count();
+    total_compliant += slo.compliant();
+    total_completed += slo.total();
+
+    result.per_workload.push_back(std::move(metrics));
+  }
+
+  telemetry::RunMetrics combined = result.per_workload.front();
+  combined.workload = scenario.workloads.size() == 1
+                          ? result.per_workload.front().workload
+                          : "combined";
+  combined.requests = total_completed;
+  combined.slo_compliance =
+      total_completed == 0
+          ? 1.0
+          : static_cast<double>(total_compliant) / static_cast<double>(total_completed);
+  combined.mean_latency_ms = merged_e2e.mean();
+  combined.p99_latency_ms = merged_e2e.quantile(0.99);
+  if (total_requests > 0) {
+    const auto weight = static_cast<double>(total_requests);
+    combined.p99_breakdown = telemetry::TailBreakdown{
+        combined_breakdown.latency_ms / weight, combined_breakdown.solo_ms / weight,
+        combined_breakdown.queue_ms / weight,
+        combined_breakdown.interference_ms / weight,
+        combined_breakdown.cold_start_ms / weight, total_requests};
+  }
+
+  telemetry::CostTracker cost(cluster);
+  combined.cost = cost.total();
+  combined.average_power = framework.power().average_power();
+  combined.gpu_utilization = framework.util().gpu_utilization();
+  combined.cpu_utilization = framework.util().cpu_utilization();
+  combined.cold_starts = cluster.total_cold_starts();
+  for (auto& per_workload : result.per_workload) {
+    per_workload.cost = combined.cost;
+    per_workload.average_power = combined.average_power;
+    per_workload.gpu_utilization = combined.gpu_utilization;
+    per_workload.cpu_utilization = combined.cpu_utilization;
+    per_workload.cold_starts = combined.cold_starts;
+  }
+  result.combined = std::move(combined);
+  return result;
+}
+
+RunResult Runner::run(const Scenario& scenario, SchemeId scheme, bool keep_cdf) const {
+  std::vector<RunResult> repetitions;
+  repetitions.reserve(static_cast<std::size_t>(scenario.repetitions));
+  for (int rep = 0; rep < scenario.repetitions; ++rep) {
+    const std::uint64_t seed =
+        scenario.base_seed + 0x9e3779b9ull * static_cast<std::uint64_t>(rep + 1) +
+        static_cast<std::uint64_t>(scheme) * 0x51ull;
+    repetitions.push_back(
+        run_once(scenario, scheme, seed, keep_cdf && rep == 0));
+  }
+  return aggregate_runs(repetitions);
+}
+
+double sweep_offline_spatial_fraction(const Scenario& scenario, int steps) {
+  // Pilot sweep: evaluate each candidate split with a single repetition and
+  // keep the one with the highest overall SLO compliance (ties -> lower
+  // tail latency), exactly how the paper's Offline Hybrid was tuned.
+  double best_fraction = 0.5;
+  double best_compliance = -1.0;
+  double best_p99 = 0.0;
+  for (int i = 0; i <= steps; ++i) {
+    const double fraction = static_cast<double>(i) / steps;
+    SchemeFactoryOptions options;
+    options.offline_spatial_fraction = fraction;
+    Runner pilot(models::Zoo::instance(), hw::Catalog::instance(), nullptr, options);
+    const auto result =
+        pilot.run_once(scenario, SchemeId::kOfflineHybrid, scenario.base_seed);
+    const double compliance = result.combined.slo_compliance;
+    if (compliance > best_compliance ||
+        (compliance == best_compliance && result.combined.p99_latency_ms < best_p99)) {
+      best_compliance = compliance;
+      best_p99 = result.combined.p99_latency_ms;
+      best_fraction = fraction;
+    }
+  }
+  return best_fraction;
+}
+
+}  // namespace paldia::exp

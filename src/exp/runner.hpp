@@ -1,0 +1,45 @@
+// Runs (scenario x scheme) experiments and extracts RunMetrics.
+#pragma once
+
+#include <vector>
+
+#include "src/exp/scenario.hpp"
+#include "src/exp/scheme_factory.hpp"
+#include "src/telemetry/metrics.hpp"
+
+namespace paldia::exp {
+
+struct RunResult {
+  std::vector<telemetry::RunMetrics> per_workload;
+  telemetry::RunMetrics combined;
+};
+
+class Runner {
+ public:
+  Runner(const models::Zoo& zoo, const hw::Catalog& catalog, ThreadPool* pool = nullptr,
+         SchemeFactoryOptions options = {});
+
+  /// One repetition with an explicit seed.
+  RunResult run_once(const Scenario& scenario, SchemeId scheme,
+                     std::uint64_t seed, bool keep_cdf = false) const;
+
+  /// All repetitions, aggregated per the paper's rule (mean with >2.5 sigma
+  /// outliers dropped). keep_cdf retains the latency CDF of the first rep.
+  RunResult run(const Scenario& scenario, SchemeId scheme,
+                bool keep_cdf = false) const;
+
+  const SchemeFactory& factory() const { return factory_; }
+
+ private:
+  const models::Zoo* zoo_;
+  const hw::Catalog* catalog_;
+  models::ProfileTable profile_;
+  SchemeFactory factory_;
+};
+
+/// Offline sweep for the Offline Hybrid scheme (Fig. 1): run pilot
+/// experiments across spatial fractions on the pinned node and return the
+/// fraction with the highest overall SLO compliance.
+double sweep_offline_spatial_fraction(const Scenario& scenario, int steps = 10);
+
+}  // namespace paldia::exp

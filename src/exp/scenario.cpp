@@ -1,0 +1,62 @@
+#include "src/exp/scenario.hpp"
+
+#include "src/models/zoo.hpp"
+#include "src/trace/generators.hpp"
+
+namespace paldia::exp {
+
+Rps paper_peak_rps(models::ModelId model) {
+  const auto& spec = models::Zoo::instance().spec(model);
+  if (spec.domain == models::Domain::kLanguage) return 8.0;
+  return spec.high_fbr ? 225.0 : 450.0;
+}
+
+Scenario azure_scenario(models::ModelId model, int repetitions) {
+  Scenario scenario;
+  scenario.name = "azure";
+  trace::AzureOptions options;
+  options.peak_rps = paper_peak_rps(model);
+  scenario.workloads.push_back(WorkloadSpec{model, trace::make_azure_trace(options)});
+  scenario.repetitions = repetitions;
+  return scenario;
+}
+
+Scenario wiki_scenario(models::ModelId model, int repetitions) {
+  Scenario scenario;
+  scenario.name = "wikipedia";
+  trace::WikiOptions options;  // 170 rps peak, compressed days
+  scenario.workloads.push_back(WorkloadSpec{model, trace::make_wiki_trace(options)});
+  scenario.repetitions = repetitions;
+  return scenario;
+}
+
+Scenario twitter_scenario(models::ModelId model, int repetitions) {
+  Scenario scenario;
+  scenario.name = "twitter";
+  trace::TwitterOptions options;  // 5x the Azure mean, erratic
+  scenario.workloads.push_back(WorkloadSpec{model, trace::make_twitter_trace(options)});
+  scenario.repetitions = repetitions;
+  return scenario;
+}
+
+Scenario poisson_scenario(models::ModelId model, Rps mean_rps, int repetitions) {
+  Scenario scenario;
+  scenario.name = "poisson";
+  trace::PoissonOptions options;
+  options.mean_rps = mean_rps;
+  scenario.workloads.push_back(WorkloadSpec{model, trace::make_poisson_trace(options)});
+  scenario.repetitions = repetitions;
+  return scenario;
+}
+
+Scenario llm_scenario(models::ModelId model, int repetitions) {
+  Scenario scenario;
+  scenario.name = "azure-llm";
+  trace::AzureOptions options;
+  options.peak_rps = paper_peak_rps(model);  // 8 rps for language models
+  scenario.workloads.push_back(WorkloadSpec{model, trace::make_azure_trace(options)});
+  scenario.repetitions = repetitions;
+  return scenario;
+}
+
+}  // namespace paldia::exp

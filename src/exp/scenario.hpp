@@ -1,0 +1,46 @@
+// Experiment descriptions: which workloads under which traces, with which
+// adverse conditions, repeated how many times. One Scenario + one SchemeId
+// = one set of runs = one bar/line of a paper figure.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cluster/failure_injector.hpp"
+#include "src/cluster/host_interference.hpp"
+#include "src/core/framework.hpp"
+#include "src/models/model_spec.hpp"
+#include "src/trace/trace.hpp"
+
+namespace paldia::exp {
+
+struct WorkloadSpec {
+  models::ModelId model{};
+  trace::Trace trace;
+};
+
+struct Scenario {
+  std::string name;
+  std::vector<WorkloadSpec> workloads;
+  core::FrameworkConfig framework;
+  std::optional<cluster::FailureInjectorConfig> failures;
+  std::vector<cluster::CoResident> coresidents;
+  /// Window used for the goodput metric (Fig. 7a: busiest traffic period).
+  DurationMs goodput_window_ms = seconds(30);
+  int repetitions = 3;  // the paper uses 5; benches accept a flag
+  std::uint64_t base_seed = 0x9a1d1a;
+};
+
+/// Convenience builders for the paper's standard scenarios.
+Scenario azure_scenario(models::ModelId model, int repetitions = 3);
+Scenario wiki_scenario(models::ModelId model, int repetitions = 3);
+Scenario twitter_scenario(models::ModelId model, int repetitions = 3);
+Scenario poisson_scenario(models::ModelId model, Rps mean_rps, int repetitions = 3);
+Scenario llm_scenario(models::ModelId model, int repetitions = 3);
+
+/// The paper's per-class peak scaling (Section V): high-FBR vision models
+/// peak at 225 rps, the rest at 450 rps, language models at 8 rps.
+Rps paper_peak_rps(models::ModelId model);
+
+}  // namespace paldia::exp

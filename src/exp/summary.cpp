@@ -1,0 +1,71 @@
+#include "src/exp/summary.hpp"
+
+#include <cassert>
+#include <functional>
+
+#include "src/common/stats.hpp"
+
+namespace paldia::exp {
+
+namespace {
+
+double filtered(const std::vector<telemetry::RunMetrics>& runs,
+                const std::function<double(const telemetry::RunMetrics&)>& get) {
+  std::vector<double> values;
+  values.reserve(runs.size());
+  for (const auto& run : runs) values.push_back(get(run));
+  return outlier_filtered_mean(values);
+}
+
+}  // namespace
+
+telemetry::RunMetrics aggregate_metrics(const std::vector<telemetry::RunMetrics>& runs) {
+  assert(!runs.empty());
+  telemetry::RunMetrics out = runs.front();
+  using M = telemetry::RunMetrics;
+  out.slo_compliance = filtered(runs, [](const M& m) { return m.slo_compliance; });
+  out.mean_latency_ms = filtered(runs, [](const M& m) { return m.mean_latency_ms; });
+  out.p99_latency_ms = filtered(runs, [](const M& m) { return m.p99_latency_ms; });
+  out.cost = filtered(runs, [](const M& m) { return m.cost; });
+  out.average_power = filtered(runs, [](const M& m) { return m.average_power; });
+  out.gpu_utilization = filtered(runs, [](const M& m) { return m.gpu_utilization; });
+  out.cpu_utilization = filtered(runs, [](const M& m) { return m.cpu_utilization; });
+  out.goodput_rps = filtered(runs, [](const M& m) { return m.goodput_rps; });
+  out.offered_rps = filtered(runs, [](const M& m) { return m.offered_rps; });
+  out.requests = runs.front().requests;
+  out.cold_starts = static_cast<std::uint64_t>(
+      filtered(runs, [](const M& m) { return static_cast<double>(m.cold_starts); }));
+  out.p99_breakdown.latency_ms =
+      filtered(runs, [](const M& m) { return m.p99_breakdown.latency_ms; });
+  out.p99_breakdown.solo_ms =
+      filtered(runs, [](const M& m) { return m.p99_breakdown.solo_ms; });
+  out.p99_breakdown.queue_ms =
+      filtered(runs, [](const M& m) { return m.p99_breakdown.queue_ms; });
+  out.p99_breakdown.interference_ms =
+      filtered(runs, [](const M& m) { return m.p99_breakdown.interference_ms; });
+  out.p99_breakdown.cold_start_ms =
+      filtered(runs, [](const M& m) { return m.p99_breakdown.cold_start_ms; });
+  return out;
+}
+
+RunResult aggregate_runs(const std::vector<RunResult>& repetitions) {
+  assert(!repetitions.empty());
+  RunResult out;
+  std::vector<telemetry::RunMetrics> combined;
+  combined.reserve(repetitions.size());
+  for (const auto& repetition : repetitions) combined.push_back(repetition.combined);
+  out.combined = aggregate_metrics(combined);
+
+  const std::size_t workload_count = repetitions.front().per_workload.size();
+  for (std::size_t w = 0; w < workload_count; ++w) {
+    std::vector<telemetry::RunMetrics> slot;
+    slot.reserve(repetitions.size());
+    for (const auto& repetition : repetitions) {
+      slot.push_back(repetition.per_workload[w]);
+    }
+    out.per_workload.push_back(aggregate_metrics(slot));
+  }
+  return out;
+}
+
+}  // namespace paldia::exp

@@ -1,0 +1,19 @@
+// Aggregation across repetitions, following the paper's Section VI rule:
+// report means with samples beyond 2.5 standard deviations from the mean
+// dropped.
+#pragma once
+
+#include <vector>
+
+#include "src/exp/runner.hpp"
+
+namespace paldia::exp {
+
+/// Field-wise outlier-filtered mean of per-repetition metrics. String
+/// fields and the CDF come from the first repetition.
+telemetry::RunMetrics aggregate_metrics(const std::vector<telemetry::RunMetrics>& runs);
+
+/// Aggregate whole results (combined + each workload slot).
+RunResult aggregate_runs(const std::vector<RunResult>& repetitions);
+
+}  // namespace paldia::exp

@@ -1,0 +1,110 @@
+#include "src/hw/catalog.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace paldia::hw {
+
+namespace {
+
+std::vector<NodeSpec> default_specs() {
+  std::vector<NodeSpec> specs(kNodeTypeCount);
+
+  // GPU nodes. Host CPUs on GPU instances run request plumbing only; their
+  // inference role is nil, but they contribute to the power model.
+  specs[static_cast<int>(NodeType::kP3_2xlarge)] = NodeSpec{
+      .instance = "p3.2xlarge",
+      .kind = DeviceKind::kGpu,
+      .price_per_hour = 3.06,
+      .cpu = CpuSpec{"Intel Broadwell", 8, 0.75, 35.0, 105.0},
+      .gpu = GpuSpec{"V100", 1.0, 900.0, GiB(16), 80, 55.0, 300.0},
+  };
+  specs[static_cast<int>(NodeType::kP2_xlarge)] = NodeSpec{
+      .instance = "p2.xlarge",
+      .kind = DeviceKind::kGpu,
+      .price_per_hour = 0.90,
+      .cpu = CpuSpec{"Intel Broadwell", 4, 0.75, 25.0, 70.0},
+      .gpu = GpuSpec{"K80", 0.20, 240.0, GiB(12), 13, 62.0, 149.0},
+  };
+  specs[static_cast<int>(NodeType::kG3s_xlarge)] = NodeSpec{
+      .instance = "g3s.xlarge",
+      .kind = DeviceKind::kGpu,
+      .price_per_hour = 0.75,
+      .cpu = CpuSpec{"Intel Broadwell", 4, 0.75, 25.0, 70.0},
+      .gpu = GpuSpec{"M60", 0.30, 160.0, GiB(8), 16, 40.0, 150.0},
+  };
+
+  // CPU-only nodes.
+  specs[static_cast<int>(NodeType::kC6i_4xlarge)] = NodeSpec{
+      .instance = "c6i.4xlarge",
+      .kind = DeviceKind::kCpu,
+      .price_per_hour = 0.68,
+      .cpu = CpuSpec{"Intel IceLake", 16, 1.0, 45.0, 180.0},
+      .gpu = std::nullopt,
+  };
+  specs[static_cast<int>(NodeType::kC6i_2xlarge)] = NodeSpec{
+      .instance = "c6i.2xlarge",
+      .kind = DeviceKind::kCpu,
+      .price_per_hour = 0.34,
+      .cpu = CpuSpec{"Intel IceLake", 8, 1.0, 30.0, 110.0},
+      .gpu = std::nullopt,
+  };
+  // The paper's Table II lists m4.xlarge with 2 vCPUs; we follow the paper.
+  specs[static_cast<int>(NodeType::kM4_xlarge)] = NodeSpec{
+      .instance = "m4.xlarge",
+      .kind = DeviceKind::kCpu,
+      .price_per_hour = 0.20,
+      .cpu = CpuSpec{"Intel Broadwell", 2, 0.72, 20.0, 65.0},
+      .gpu = std::nullopt,
+  };
+  return specs;
+}
+
+}  // namespace
+
+Catalog::Catalog() : specs_(default_specs()) {}
+
+Catalog::Catalog(std::vector<NodeSpec> specs) : specs_(std::move(specs)) {
+  if (specs_.empty()) throw std::invalid_argument("catalog requires at least one spec");
+}
+
+const NodeSpec& Catalog::spec(NodeType type) const {
+  const auto index = static_cast<std::size_t>(type);
+  assert(index < specs_.size());
+  return specs_[index];
+}
+
+std::vector<NodeType> Catalog::by_cost_ascending() const {
+  std::vector<NodeType> types;
+  types.reserve(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) types.push_back(NodeType(i));
+  std::sort(types.begin(), types.end(), [this](NodeType a, NodeType b) {
+    return spec(a).price_per_hour < spec(b).price_per_hour;
+  });
+  return types;
+}
+
+std::vector<NodeType> Catalog::gpus_by_capability_ascending() const {
+  std::vector<NodeType> types;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].is_gpu()) types.push_back(NodeType(i));
+  }
+  std::sort(types.begin(), types.end(), [this](NodeType a, NodeType b) {
+    return spec(a).gpu->speed < spec(b).gpu->speed;
+  });
+  return types;
+}
+
+NodeType Catalog::most_performant_gpu() const {
+  auto gpus = gpus_by_capability_ascending();
+  if (gpus.empty()) throw std::logic_error("catalog has no GPU nodes");
+  return gpus.back();
+}
+
+const Catalog& Catalog::instance() {
+  static const Catalog catalog;
+  return catalog;
+}
+
+}  // namespace paldia::hw

@@ -1,0 +1,42 @@
+// The node-type catalog (paper Table II) and lookups over it.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/hw/node_spec.hpp"
+
+namespace paldia::hw {
+
+/// Immutable catalog of the six Table II node types. A singleton view —
+/// specs never change during a run; tests may build their own Catalog.
+class Catalog {
+ public:
+  /// Build the default Table II catalog.
+  Catalog();
+
+  /// Build from explicit specs (test seam). specs[i] corresponds to
+  /// NodeType(i).
+  explicit Catalog(std::vector<NodeSpec> specs);
+
+  const NodeSpec& spec(NodeType type) const;
+  std::span<const NodeSpec> all() const { return specs_; }
+
+  /// All node types ordered by ascending hourly price (Algorithm 1 iterates
+  /// the candidate pool cheapest-first).
+  std::vector<NodeType> by_cost_ascending() const;
+
+  /// GPU-equipped node types ordered by ascending compute capability.
+  std::vector<NodeType> gpus_by_capability_ascending() const;
+
+  /// The most performant GPU node (highest speed) — the "(P)" baselines pin
+  /// this.
+  NodeType most_performant_gpu() const;
+
+  static const Catalog& instance();
+
+ private:
+  std::vector<NodeSpec> specs_;
+};
+
+}  // namespace paldia::hw

@@ -1,0 +1,22 @@
+#include "src/hw/node_spec.hpp"
+
+namespace paldia::hw {
+
+std::string NodeSpec::display_name() const {
+  if (gpu.has_value()) return gpu->name;
+  return cpu.name + " x" + std::to_string(cpu.vcpus);
+}
+
+std::string_view node_type_name(NodeType type) {
+  switch (type) {
+    case NodeType::kP3_2xlarge: return "p3.2xlarge";
+    case NodeType::kP2_xlarge: return "p2.xlarge";
+    case NodeType::kG3s_xlarge: return "g3s.xlarge";
+    case NodeType::kC6i_4xlarge: return "c6i.4xlarge";
+    case NodeType::kC6i_2xlarge: return "c6i.2xlarge";
+    case NodeType::kM4_xlarge: return "m4.xlarge";
+  }
+  return "?";
+}
+
+}  // namespace paldia::hw

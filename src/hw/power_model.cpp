@@ -1,0 +1,19 @@
+#include "src/hw/power_model.hpp"
+
+#include <algorithm>
+
+namespace paldia::hw {
+
+Watts PowerModel::power(double cpu_util, double gpu_util) const {
+  cpu_util = std::clamp(cpu_util, 0.0, 1.0);
+  gpu_util = std::clamp(gpu_util, 0.0, 1.0);
+  Watts total = spec_->cpu.idle_power +
+                cpu_util * (spec_->cpu.peak_power - spec_->cpu.idle_power);
+  if (spec_->gpu.has_value()) {
+    total += spec_->gpu->idle_power +
+             gpu_util * (spec_->gpu->peak_power - spec_->gpu->idle_power);
+  }
+  return total;
+}
+
+}  // namespace paldia::hw

@@ -1,0 +1,27 @@
+// Linear idle->peak power model per node, substituting the paper's
+// nvtop/powerstat measurements (Section V). Power at utilization u is
+// idle + u * (peak - idle), summed over the node's host CPU and GPU.
+#pragma once
+
+#include "src/hw/node_spec.hpp"
+
+namespace paldia::hw {
+
+class PowerModel {
+ public:
+  explicit PowerModel(const NodeSpec& spec) : spec_(&spec) {}
+
+  /// Instantaneous draw given device utilizations in [0, 1].
+  Watts power(double cpu_util, double gpu_util) const;
+
+  /// Draw of a powered-on but idle node.
+  Watts idle_power() const { return power(0.0, 0.0); }
+
+  /// Draw at full utilization of every device.
+  Watts peak_power() const { return power(1.0, 1.0); }
+
+ private:
+  const NodeSpec* spec_;
+};
+
+}  // namespace paldia::hw

@@ -1,0 +1,27 @@
+#include "src/models/model_spec.hpp"
+
+namespace paldia::models {
+
+std::string_view model_id_name(ModelId id) {
+  switch (id) {
+    case ModelId::kResNet50: return "ResNet 50";
+    case ModelId::kGoogleNet: return "GoogleNet";
+    case ModelId::kDenseNet121: return "DenseNet 121";
+    case ModelId::kDpn92: return "DPN 92";
+    case ModelId::kVgg19: return "VGG 19";
+    case ModelId::kResNet18: return "ResNet 18";
+    case ModelId::kMobileNet: return "MobileNet";
+    case ModelId::kMobileNetV2: return "MobileNet V2";
+    case ModelId::kSeNet18: return "SENet 18";
+    case ModelId::kShuffleNetV2: return "ShuffleNet V2";
+    case ModelId::kEfficientNetB0: return "EfficientNet-B0";
+    case ModelId::kSimplifiedDla: return "Simplified DLA";
+    case ModelId::kAlbert: return "ALBERT";
+    case ModelId::kBert: return "BERT";
+    case ModelId::kDistilBert: return "DistilBERT";
+    case ModelId::kFunnelTransformer: return "Funnel-Transformer";
+  }
+  return "?";
+}
+
+}  // namespace paldia::models

@@ -1,0 +1,114 @@
+#include "src/models/profiler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/cluster/gpu_device.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace paldia::models {
+
+namespace {
+
+cluster::GpuJob make_job(DurationMs solo_ms, double fbr, DurationMs* out_exec) {
+  cluster::GpuJob job;
+  job.solo_ms = solo_ms;
+  job.fbr = fbr;
+  job.on_complete = [out_exec](const cluster::ExecutionReport& report) {
+    *out_exec = report.end_ms - report.start_ms;
+  };
+  return job;
+}
+
+}  // namespace
+
+DurationMs Profiler::measure_solo_ms(const ModelSpec& model, const hw::GpuSpec& gpu,
+                                     int bs, int repetitions) const {
+  const DurationMs analytic_solo = gpu_solo_ms(model, gpu, bs);
+  const double analytic_fbr = gpu_fbr(model, gpu, bs);
+  double total = 0.0;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    sim::Simulator simulator;
+    cluster::GpuDevice device(simulator, gpu,
+                              Rng(seed_ + static_cast<std::uint64_t>(rep)));
+    DurationMs exec = 0.0;
+    device.submit_spatial(make_job(analytic_solo, analytic_fbr, &exec));
+    simulator.run_to_completion();
+    total += exec;
+  }
+  return total / repetitions;
+}
+
+double Profiler::measure_slowdown(const ModelSpec& model, const hw::GpuSpec& gpu,
+                                  int bs, int k, int repetitions) const {
+  const DurationMs analytic_solo = gpu_solo_ms(model, gpu, bs);
+  const double analytic_fbr = gpu_fbr(model, gpu, bs);
+  const DurationMs solo = measure_solo_ms(model, gpu, bs, repetitions);
+  double total = 0.0;
+  int samples = 0;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    sim::Simulator simulator;
+    cluster::GpuDevice device(simulator, gpu,
+                              Rng(seed_ ^ (0x5bd1e995ull * (rep + 1))));
+    std::vector<DurationMs> execs(static_cast<std::size_t>(k), 0.0);
+    for (int j = 0; j < k; ++j) {
+      device.submit_spatial(make_job(analytic_solo, analytic_fbr, &execs[j]));
+    }
+    simulator.run_to_completion();
+    for (DurationMs exec : execs) {
+      total += exec / solo;
+      ++samples;
+    }
+  }
+  return samples == 0 ? 1.0 : total / samples;
+}
+
+std::pair<double, double> Profiler::fit_fbr_beta(
+    const std::vector<std::pair<int, double>>& slowdowns) {
+  // Model: slowdown(k) = S * (1 + beta * (S - 1)), S = k * fbr (for S > 1).
+  // Grid-search fbr; for each candidate, beta has a closed-form least
+  // squares solution from  (slowdown/S - 1) = beta * (S - 1).
+  double best_fbr = 0.0, best_beta = 0.0;
+  double best_error = std::numeric_limits<double>::infinity();
+  for (double fbr = 0.02; fbr <= 0.95; fbr += 0.005) {
+    double num = 0.0, den = 0.0;
+    for (const auto& [k, slowdown] : slowdowns) {
+      const double s = k * fbr;
+      if (s <= 1.0) continue;
+      const double x = s - 1.0;
+      const double y = slowdown / s - 1.0;
+      num += x * y;
+      den += x * x;
+    }
+    if (den <= 0.0) continue;
+    const double beta = std::max(0.0, num / den);
+    double error = 0.0;
+    for (const auto& [k, slowdown] : slowdowns) {
+      const double s = k * fbr;
+      const double predicted = s <= 1.0 ? 1.0 : s * (1.0 + beta * (s - 1.0));
+      error += (predicted - slowdown) * (predicted - slowdown);
+    }
+    if (error < best_error) {
+      best_error = error;
+      best_fbr = fbr;
+      best_beta = beta;
+    }
+  }
+  return {best_fbr, best_beta};
+}
+
+ProfiledWorkload Profiler::profile(const ModelSpec& model, const hw::GpuSpec& gpu,
+                                   int bs) const {
+  ProfiledWorkload result;
+  result.solo_ms = measure_solo_ms(model, gpu, bs);
+  std::vector<std::pair<int, double>> slowdowns;
+  for (int k : {2, 4, 6, 8, 12, 16}) {
+    slowdowns.emplace_back(k, measure_slowdown(model, gpu, bs, k));
+  }
+  const auto [fbr, beta] = fit_fbr_beta(slowdowns);
+  result.fbr = fbr;
+  result.beta = beta;
+  return result;
+}
+
+}  // namespace paldia::models

@@ -1,0 +1,54 @@
+// Device-driven profiling (Section III: Solo and FBR "can be obtained
+// through profiling the workloads over time on the GPU").
+//
+// The Profiler runs measurement batches on a *simulated* GpuDevice — the
+// same way a real provider would measure on real hardware — and recovers
+// Solo, FBR and the contention coefficient beta from observed execution
+// times. Tests use it to verify that what the scheduler's analytic profile
+// claims matches what the device actually does (the paper's <4% model
+// error band).
+#pragma once
+
+#include <vector>
+
+#include "src/hw/node_spec.hpp"
+#include "src/models/model_spec.hpp"
+#include "src/models/profile.hpp"
+
+namespace paldia::models {
+
+struct ProfiledWorkload {
+  DurationMs solo_ms = 0.0;   // isolated batch execution time
+  double fbr = 0.0;           // recovered fractional bandwidth requirement
+  double beta = 0.0;          // recovered superlinear contention coefficient
+};
+
+class Profiler {
+ public:
+  /// Deterministic measurement seed; jitter is part of what is measured.
+  explicit Profiler(std::uint64_t seed = 42) : seed_(seed) {}
+
+  /// Isolated execution time of one `bs` batch on the GPU (averaged over
+  /// `repetitions` runs to smooth jitter).
+  DurationMs measure_solo_ms(const ModelSpec& model, const hw::GpuSpec& gpu, int bs,
+                             int repetitions = 8) const;
+
+  /// Mean execution-time stretch of `k` identical concurrent batches
+  /// relative to solo.
+  double measure_slowdown(const ModelSpec& model, const hw::GpuSpec& gpu, int bs,
+                          int k, int repetitions = 4) const;
+
+  /// Full profile: solo + (FBR, beta) recovered from a co-location sweep.
+  ProfiledWorkload profile(const ModelSpec& model, const hw::GpuSpec& gpu,
+                           int bs) const;
+
+  /// Fit (fbr, beta) to observed (k, slowdown) pairs by grid search over
+  /// fbr followed by a closed-form beta per candidate. Exposed for tests.
+  static std::pair<double, double> fit_fbr_beta(
+      const std::vector<std::pair<int, double>>& slowdowns);
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace paldia::models

@@ -1,0 +1,27 @@
+// The 16-model zoo with calibrated performance envelopes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/models/model_spec.hpp"
+
+namespace paldia::models {
+
+class Zoo {
+ public:
+  Zoo();
+
+  const ModelSpec& spec(ModelId id) const;
+  std::span<const ModelSpec> all() const { return specs_; }
+
+  std::vector<ModelId> vision_models() const;
+  std::vector<ModelId> language_models() const;
+
+  static const Zoo& instance();
+
+ private:
+  std::vector<ModelSpec> specs_;
+};
+
+}  // namespace paldia::models

@@ -1,0 +1,43 @@
+// approx_T_max for CPU nodes (Algorithm 1): CPU nodes serve batches
+// sequentially in the framework's batched CPU mode, so the worst-case
+// completion time for N outstanding requests is the drain time of the batch
+// queue at the best SLO-fitting batch size.
+#pragma once
+
+#include "src/common/units.hpp"
+#include "src/hw/node_spec.hpp"
+#include "src/models/profile.hpp"
+
+namespace paldia::perfmodel {
+
+struct CpuEstimate {
+  DurationMs t_max_ms = 0.0;
+  int batch_size = 1;  // the batch size the estimate assumes
+  bool feasible = false;
+};
+
+/// Worst-case completion time of `n_requests` on the CPU node, assuming the
+/// batcher uses the largest batch size whose isolated latency fits within
+/// the SLO budget (flexible batching, Section IV-B).
+CpuEstimate approx_cpu_t_max(const models::ModelSpec& model,
+                             const models::ProfileTable& profile, hw::NodeType node,
+                             int n_requests, DurationMs slo_ms);
+
+/// Steady-state latency estimate under a *sustained* arrival rate:
+/// batch-fill wait + isolated batch time + an M/D/1-style queueing term
+/// (rho / (2 (1 - rho)) of the service time). Marked infeasible above
+/// max_utilization — a sequential executor near saturation has unbounded
+/// tails no matter what the drain bound says.
+struct CpuSteadyState {
+  DurationMs latency_ms = 0.0;
+  double utilization = 0.0;  // rho
+  int batch_size = 1;
+  bool feasible = false;
+};
+CpuSteadyState cpu_steady_state(const models::ModelSpec& model,
+                                const models::ProfileTable& profile,
+                                hw::NodeType node, Rps rate, DurationMs slo_ms,
+                                DurationMs batch_wait_ms = 50.0,
+                                double max_utilization = 0.85);
+
+}  // namespace paldia::perfmodel

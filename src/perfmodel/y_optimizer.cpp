@@ -1,0 +1,57 @@
+#include "src/perfmodel/y_optimizer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+namespace paldia::perfmodel {
+
+SharingDecision YOptimizer::best_split(const WorkloadPoint& point,
+                                       int max_probes) const {
+  SharingDecision best;
+  if (point.n_requests <= 0) {
+    best.y = 0;
+    best.t_max_ms = 0.0;
+    best.feasible = true;
+    return best;
+  }
+
+  // Assemble the candidate y values.
+  std::vector<int> candidates;
+  candidates.push_back(0);
+  candidates.push_back(point.n_requests);
+  if (const auto range = model_.optimal_range(point)) {
+    const auto [lo, hi] = *range;
+    const int span = hi - lo + 1;
+    const int stride = std::max(1, (span + max_probes - 1) / max_probes);
+    for (int y = lo; y <= hi; y += stride) candidates.push_back(y);
+    if ((hi - lo) % stride != 0) candidates.push_back(hi);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  std::vector<double> t_max(candidates.size());
+  auto evaluate = [&](std::size_t i) {
+    t_max[i] = model_.t_max_ms(point, candidates[i]);
+  };
+  if (pool_ != nullptr && candidates.size() >= 64) {
+    pool_->parallel_for(candidates.size(), evaluate);
+  } else {
+    for (std::size_t i = 0; i < candidates.size(); ++i) evaluate(i);
+  }
+
+  // Min-reduction; ties break towards the smaller y (less queueing).
+  std::size_t best_index = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    if (t_max[i] < t_max[best_index]) best_index = i;
+  }
+  best.y = candidates[best_index];
+  best.t_max_ms = t_max[best_index];
+  best.feasible = best.t_max_ms <= point.slo_ms;
+  return best;
+}
+
+}  // namespace paldia::perfmodel

@@ -1,0 +1,41 @@
+// EWMA rate predictor (the paper's default, as in Atoll/Cypress). A plain
+// exponentially weighted moving average with an optional trend term
+// (Holt-style) so short surges are tracked with bounded lag. With
+// trend_alpha = 0 this is the classic EWMA.
+#pragma once
+
+#include "src/predictor/predictor.hpp"
+
+namespace paldia::predictor {
+
+class EwmaPredictor final : public Predictor {
+ public:
+  explicit EwmaPredictor(double alpha = 0.5, double trend_alpha = 0.35)
+      : alpha_(alpha), trend_alpha_(trend_alpha) {}
+
+  void observe(TimeMs now, Rps rate) override;
+  Rps predict(TimeMs now, DurationMs horizon_ms) const override;
+
+  Rps level() const { return level_; }
+  double trend_per_ms() const { return trend_per_ms_; }
+
+ private:
+  double alpha_;
+  double trend_alpha_;
+  Rps level_ = 0.0;
+  double trend_per_ms_ = 0.0;
+  TimeMs last_observe_ms_ = -1.0;
+  bool primed_ = false;
+};
+
+/// Trivial last-value predictor (ablation baseline).
+class LastValuePredictor final : public Predictor {
+ public:
+  void observe(TimeMs, Rps rate) override { last_ = rate; }
+  Rps predict(TimeMs, DurationMs) const override { return last_; }
+
+ private:
+  Rps last_ = 0.0;
+};
+
+}  // namespace paldia::predictor

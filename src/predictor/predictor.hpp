@@ -1,0 +1,22 @@
+// Pluggable demand predictors (Section IV-A: "a lightweight statistical
+// model (such as EWMA) which relies on current and history request
+// information"). The Hardware Selection module and the predictive
+// autoscaler both consume this interface.
+#pragma once
+
+#include "src/common/units.hpp"
+
+namespace paldia::predictor {
+
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Feed the observed arrival rate over the last observation window.
+  virtual void observe(TimeMs now, Rps rate) = 0;
+
+  /// Predicted arrival rate `horizon_ms` ahead of `now`.
+  virtual Rps predict(TimeMs now, DurationMs horizon_ms) const = 0;
+};
+
+}  // namespace paldia::predictor

@@ -1,0 +1,33 @@
+#include "src/predictor/window.hpp"
+
+namespace paldia::predictor {
+
+void ArrivalWindow::record(TimeMs now, int count) {
+  evict(now);
+  if (!events_.empty() && events_.back().first == now) {
+    events_.back().second += count;
+  } else {
+    events_.emplace_back(now, count);
+  }
+  window_total_ += count;
+}
+
+void ArrivalWindow::evict(TimeMs now) const {
+  const TimeMs cutoff = now - window_ms_;
+  while (!events_.empty() && events_.front().first <= cutoff) {
+    window_total_ -= events_.front().second;
+    events_.pop_front();
+  }
+}
+
+Rps ArrivalWindow::rate(TimeMs now) const {
+  evict(now);
+  return static_cast<double>(window_total_) / (window_ms_ / kMsPerSecond);
+}
+
+int ArrivalWindow::count_in_window(TimeMs now) const {
+  evict(now);
+  return window_total_;
+}
+
+}  // namespace paldia::predictor

@@ -1,0 +1,34 @@
+// Sliding-window arrival counter: turns raw arrival events into the
+// windowed rates the predictors observe, and exposes the instantaneous
+// backlog-aware rate the Hardware Selection module uses.
+#pragma once
+
+#include <deque>
+
+#include "src/common/units.hpp"
+
+namespace paldia::predictor {
+
+class ArrivalWindow {
+ public:
+  explicit ArrivalWindow(DurationMs window_ms = 1000.0) : window_ms_(window_ms) {}
+
+  void record(TimeMs now, int count = 1);
+
+  /// Arrivals per second over the trailing window ending at `now`.
+  Rps rate(TimeMs now) const;
+
+  /// Total arrivals in the trailing window.
+  int count_in_window(TimeMs now) const;
+
+  DurationMs window_ms() const { return window_ms_; }
+
+ private:
+  void evict(TimeMs now) const;
+
+  DurationMs window_ms_;
+  mutable std::deque<std::pair<TimeMs, int>> events_;
+  mutable int window_total_ = 0;
+};
+
+}  // namespace paldia::predictor

@@ -1,0 +1,44 @@
+#include "src/sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace paldia::sim {
+
+void EventHandle::cancel() {
+  if (flag_) *flag_ = true;
+}
+
+bool EventHandle::cancelled() const { return flag_ && *flag_; }
+
+EventHandle EventQueue::schedule(TimeMs t, EventFn fn) {
+  auto flag = std::make_shared<bool>(false);
+  heap_.push(Entry{t, next_sequence_++, std::move(fn), flag});
+  return EventHandle(flag);
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && *heap_.top().cancelled) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+TimeMs EventQueue::next_time() const {
+  drop_cancelled();
+  return heap_.empty() ? kTimeNever : heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  Entry top = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  return Fired{top.time, std::move(top.fn)};
+}
+
+}  // namespace paldia::sim

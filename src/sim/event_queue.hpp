@@ -1,0 +1,84 @@
+// Discrete-event queue: a min-heap of (time, sequence, callback).
+//
+// The sequence number makes simultaneous events fire in submission order,
+// which keeps runs deterministic regardless of heap internals. Events can be
+// cancelled (lazily, via a shared flag) — the GPU processor-sharing engine
+// reschedules completion events whenever the concurrency set changes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/common/units.hpp"
+
+namespace paldia::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle that can cancel a scheduled event. Copyable; cancelling twice is
+/// harmless. A default-constructed handle refers to nothing.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void cancel();
+  bool cancelled() const;
+  bool valid() const { return flag_ != nullptr; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> flag) : flag_(std::move(flag)) {}
+  std::shared_ptr<bool> flag_;
+};
+
+class EventQueue {
+ public:
+  /// Schedule fn at absolute simulated time t. t must be >= now() of the
+  /// owning simulator (checked there, not here).
+  EventHandle schedule(TimeMs t, EventFn fn);
+
+  /// True when no live (non-cancelled) event remains.
+  bool empty() const;
+
+  /// Number of heap entries, including not-yet-collected cancelled ones.
+  /// An upper bound on the live event count; exact when nothing was
+  /// cancelled. Cheap, used only for diagnostics.
+  std::size_t size_upper_bound() const { return heap_.size(); }
+
+  /// Time of the earliest live event; kTimeNever when empty.
+  TimeMs next_time() const;
+
+  /// Pop and return the earliest live event. Precondition: !empty().
+  struct Fired {
+    TimeMs time;
+    EventFn fn;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    TimeMs time;
+    std::uint64_t sequence;
+    EventFn fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  /// Discard cancelled entries sitting at the top of the heap. Cancelled
+  /// entries deeper in the heap are collected when they surface; they never
+  /// affect emptiness (a live entry above them proves non-emptiness).
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace paldia::sim

@@ -1,0 +1,69 @@
+#include "src/sim/simulator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace paldia::sim {
+
+EventHandle Simulator::schedule_in(DurationMs delay, EventFn fn) {
+  return schedule_at(now_ + std::max(0.0, delay), std::move(fn));
+}
+
+EventHandle Simulator::schedule_at(TimeMs t, EventFn fn) {
+  return queue_.schedule(std::max(t, now_), std::move(fn));
+}
+
+void Simulator::PeriodicHandle::cancel() { *stopped_ = true; }
+
+Simulator::PeriodicHandle Simulator::schedule_every(TimeMs start, DurationMs period,
+                                                    EventFn fn) {
+  PeriodicHandle handle;
+  auto stopped = handle.stopped_;
+  // Self-rescheduling closure; stops when the shared flag is set. The
+  // closure holds itself through a weak_ptr to avoid a shared_ptr cycle;
+  // the copy stored in the event queue keeps it alive between firings.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, stopped, period, fn = std::move(fn),
+           weak = std::weak_ptr<std::function<void()>>(tick)]() {
+    if (*stopped) return;
+    fn();
+    if (!*stopped) {
+      if (auto self = weak.lock()) {
+        schedule_in(period, [self] { (*self)(); });
+      }
+    }
+  };
+  // The queued wrapper owns a shared_ptr, keeping the closure alive while a
+  // firing is pending; the closure itself only holds a weak_ptr (no cycle).
+  schedule_at(start, [tick] { (*tick)(); });
+  return handle;
+}
+
+TimeMs Simulator::run_until(TimeMs until) {
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    auto fired = queue_.pop();
+    now_ = fired.time;
+    ++events_processed_;
+    fired.fn();
+  }
+  now_ = std::max(now_, until);
+  return now_;
+}
+
+TimeMs Simulator::run_to_completion() {
+  while (!queue_.empty()) {
+    auto fired = queue_.pop();
+    now_ = fired.time;
+    ++events_processed_;
+    fired.fn();
+  }
+  return now_;
+}
+
+void Simulator::reset() {
+  queue_ = EventQueue{};
+  now_ = 0.0;
+  events_processed_ = 0;
+}
+
+}  // namespace paldia::sim

@@ -1,0 +1,57 @@
+// Simulation driver: advances simulated time by draining the event queue.
+//
+// All framework components (gateway, batcher, autoscaler, devices, trackers)
+// are wired to one Simulator and communicate through scheduled callbacks.
+// The loop is single-threaded, so no component needs internal locking.
+#pragma once
+
+#include <functional>
+
+#include "src/common/units.hpp"
+#include "src/sim/event_queue.hpp"
+
+namespace paldia::sim {
+
+class Simulator {
+ public:
+  TimeMs now() const { return now_; }
+
+  /// Schedule fn `delay` ms from now. Negative delays clamp to now (a
+  /// zero-delay event runs after currently-pending same-time events).
+  EventHandle schedule_in(DurationMs delay, EventFn fn);
+
+  /// Schedule fn at absolute time t (clamped to now).
+  EventHandle schedule_at(TimeMs t, EventFn fn);
+
+  /// Schedule fn every `period` ms starting at `start`. fn receives no
+  /// arguments; read now() for the tick time. Returns a handle cancelling
+  /// the *next* occurrence (and thereby the whole series).
+  class PeriodicHandle {
+   public:
+    void cancel();
+
+   private:
+    friend class Simulator;
+    std::shared_ptr<bool> stopped_ = std::make_shared<bool>(false);
+  };
+  PeriodicHandle schedule_every(TimeMs start, DurationMs period, EventFn fn);
+
+  /// Run until the queue is empty or simulated time would pass `until`.
+  /// Events exactly at `until` still run. Returns the final now().
+  TimeMs run_until(TimeMs until);
+
+  /// Run until the queue is fully drained.
+  TimeMs run_to_completion();
+
+  /// Drop every pending event and reset the clock (for reuse in tests).
+  void reset();
+
+  std::size_t events_processed() const { return events_processed_; }
+
+ private:
+  EventQueue queue_;
+  TimeMs now_ = 0.0;
+  std::size_t events_processed_ = 0;
+};
+
+}  // namespace paldia::sim

@@ -1,0 +1,28 @@
+// Cost accounting view over the cluster (Section V methodology: total
+// weighted cost = time holding each node type x its hourly price).
+#pragma once
+
+#include <vector>
+
+#include "src/cluster/cluster.hpp"
+
+namespace paldia::telemetry {
+
+struct CostBreakdownEntry {
+  hw::NodeType type{};
+  DurationMs held_ms = 0.0;
+  Dollars cost = 0.0;
+};
+
+class CostTracker {
+ public:
+  explicit CostTracker(const cluster::Cluster& cluster) : cluster_(&cluster) {}
+
+  Dollars total() const { return cluster_->total_cost(); }
+  std::vector<CostBreakdownEntry> breakdown() const;
+
+ private:
+  const cluster::Cluster* cluster_;
+};
+
+}  // namespace paldia::telemetry

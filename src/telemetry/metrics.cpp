@@ -1,0 +1,16 @@
+#include "src/telemetry/metrics.hpp"
+
+#include <cstdio>
+
+namespace paldia::telemetry {
+
+std::string RunMetrics::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-22s slo=%6.2f%% p99=%7.1fms mean=%6.1fms cost=$%.4f power=%.0fW",
+                scheme.c_str(), slo_compliance * 100.0, p99_latency_ms,
+                mean_latency_ms, cost, average_power);
+  return buf;
+}
+
+}  // namespace paldia::telemetry

@@ -1,0 +1,40 @@
+// Aggregated per-run metrics handed from the experiment runner to the
+// bench/figure printers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/units.hpp"
+#include "src/telemetry/latency_recorder.hpp"
+
+namespace paldia::telemetry {
+
+struct RunMetrics {
+  std::string scheme;
+  std::string workload;
+  std::string trace;
+
+  std::uint64_t requests = 0;
+  double slo_compliance = 0.0;  // fraction in [0, 1]
+  DurationMs mean_latency_ms = 0.0;
+  DurationMs p99_latency_ms = 0.0;
+  TailBreakdown p99_breakdown;
+
+  Dollars cost = 0.0;
+  Watts average_power = 0.0;
+  double gpu_utilization = 0.0;
+  double cpu_utilization = 0.0;
+
+  Rps goodput_rps = 0.0;        // during the busiest window
+  Rps offered_rps = 0.0;        // arrival rate during the same window
+  std::uint64_t cold_starts = 0;
+
+  std::vector<std::pair<double, double>> latency_cdf;  // optional export
+
+  /// One-line human-readable summary.
+  std::string summary() const;
+};
+
+}  // namespace paldia::telemetry

@@ -1,0 +1,51 @@
+#include "src/telemetry/slo_tracker.hpp"
+
+#include <algorithm>
+
+namespace paldia::telemetry {
+
+std::size_t SloTracker::bucket_of(TimeMs t) const {
+  return static_cast<std::size_t>(std::max(0.0, t) / bucket_ms_);
+}
+
+void SloTracker::record_arrival(TimeMs arrival_ms) {
+  const std::size_t bucket = bucket_of(arrival_ms);
+  if (bucket >= arrivals_per_bucket_.size()) arrivals_per_bucket_.resize(bucket + 1, 0);
+  ++arrivals_per_bucket_[bucket];
+}
+
+void SloTracker::record_completion(TimeMs arrival_ms, TimeMs completion_ms) {
+  ++completed_;
+  if (completion_ms - arrival_ms <= slo_ms_) {
+    ++compliant_;
+    const std::size_t bucket = bucket_of(arrival_ms);
+    if (bucket >= goodput_per_bucket_.size()) goodput_per_bucket_.resize(bucket + 1, 0);
+    ++goodput_per_bucket_[bucket];
+  }
+}
+
+double SloTracker::compliance() const {
+  return completed_ == 0 ? 1.0 : static_cast<double>(compliant_) / completed_;
+}
+
+namespace {
+Rps bucket_rate(const std::vector<std::uint32_t>& buckets, DurationMs bucket_ms,
+                TimeMs start_ms, TimeMs end_ms) {
+  if (end_ms <= start_ms) return 0.0;
+  const auto first = static_cast<std::size_t>(std::max(0.0, start_ms) / bucket_ms);
+  const auto last = static_cast<std::size_t>(std::max(0.0, end_ms) / bucket_ms);
+  std::uint64_t total = 0;
+  for (std::size_t i = first; i < last && i < buckets.size(); ++i) total += buckets[i];
+  return static_cast<double>(total) / ((end_ms - start_ms) / kMsPerSecond);
+}
+}  // namespace
+
+Rps SloTracker::goodput_rps(TimeMs start_ms, TimeMs end_ms) const {
+  return bucket_rate(goodput_per_bucket_, bucket_ms_, start_ms, end_ms);
+}
+
+Rps SloTracker::arrival_rps(TimeMs start_ms, TimeMs end_ms) const {
+  return bucket_rate(arrivals_per_bucket_, bucket_ms_, start_ms, end_ms);
+}
+
+}  // namespace paldia::telemetry

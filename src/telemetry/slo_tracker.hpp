@@ -1,0 +1,44 @@
+// SLO compliance counting plus per-second goodput series (Fig. 7a: goodput
+// = requests served within the SLO per second, compared to the incoming
+// rate during the busiest traffic).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/units.hpp"
+
+namespace paldia::telemetry {
+
+class SloTracker {
+ public:
+  explicit SloTracker(DurationMs slo_ms, DurationMs bucket_ms = 1000.0)
+      : slo_ms_(slo_ms), bucket_ms_(bucket_ms) {}
+
+  void record_arrival(TimeMs arrival_ms);
+  void record_completion(TimeMs arrival_ms, TimeMs completion_ms);
+
+  DurationMs slo_ms() const { return slo_ms_; }
+  std::uint64_t total() const { return completed_; }
+  std::uint64_t compliant() const { return compliant_; }
+  double compliance() const;
+
+  /// Average goodput (SLO-compliant completions per second, attributed to
+  /// the request's arrival second) over [start, end).
+  Rps goodput_rps(TimeMs start_ms, TimeMs end_ms) const;
+
+  /// Average arrival rate over [start, end).
+  Rps arrival_rps(TimeMs start_ms, TimeMs end_ms) const;
+
+ private:
+  std::size_t bucket_of(TimeMs t) const;
+
+  DurationMs slo_ms_;
+  DurationMs bucket_ms_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t compliant_ = 0;
+  std::vector<std::uint32_t> arrivals_per_bucket_;
+  std::vector<std::uint32_t> goodput_per_bucket_;
+};
+
+}  // namespace paldia::telemetry

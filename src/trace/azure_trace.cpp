@@ -1,0 +1,80 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/trace/generators.hpp"
+#include "src/trace/trace_ops.hpp"
+
+namespace paldia::trace {
+
+// The Azure sample in the paper is mostly sparse/stable traffic with a few
+// surges and a very large peak-to-mean ratio (~12.2x). We synthesise a
+// baseline rate with mild lognormal variation plus `surge_count` smooth
+// surges (one dominant), then rescale so the 1 s sliding peak matches
+// `peak_rps` exactly. The relative surge height is solved so that the
+// resulting mean hits peak/peak_to_mean.
+Trace make_azure_trace(const AzureOptions& options) {
+  Rng rng(options.seed);
+  const auto epochs =
+      static_cast<std::size_t>(options.duration_ms / options.epoch_ms);
+  std::vector<double> rates(epochs, 0.0);
+
+  // Baseline: stable traffic at rate 1 (arbitrary unit; rescaled later)
+  // with slow lognormal modulation.
+  double modulation = 1.0;
+  for (std::size_t i = 0; i < epochs; ++i) {
+    if (i % 50 == 0) {  // re-draw every 5 s for slow variation
+      modulation = std::exp(rng.normal(0.0, 0.18));
+    }
+    rates[i] = modulation;
+  }
+
+  // Surges: raised-cosine bumps. The first is dominant (height h), the
+  // rest are 35-60% of it. Width 20-45 s.
+  struct Surge {
+    double center_frac;
+    double rel_height;
+    double width_ms;
+  };
+  std::vector<Surge> surges;
+  for (int s = 0; s < options.surge_count; ++s) {
+    Surge surge;
+    surge.center_frac = rng.uniform(0.12, 0.92);
+    surge.rel_height = s == 0 ? 1.0 : rng.uniform(0.35, 0.6);
+    surge.width_ms = rng.uniform(seconds(30), seconds(70));
+    surges.push_back(surge);
+  }
+
+  // Solve for the dominant surge height h such that
+  //   peak/mean = (1 + h) / (1 + surge_mass) == peak_to_mean,
+  // where surge_mass is the duty-cycle-weighted mean contribution of all
+  // surges (each raised cosine contributes rel_height * width / 2 / T).
+  double duty = 0.0;
+  for (const auto& surge : surges) {
+    duty += surge.rel_height * surge.width_ms / 2.0 / options.duration_ms;
+  }
+  // (1 + h) = ptm * (1 + h * duty)  =>  h = (ptm - 1) / (1 - ptm * duty).
+  const double ptm = options.peak_to_mean;
+  const double denom = 1.0 - ptm * duty;
+  const double h = denom > 0.05 ? (ptm - 1.0) / denom : (ptm - 1.0) / 0.05;
+
+  for (const auto& surge : surges) {
+    const double center = surge.center_frac * options.duration_ms;
+    const double half_width = surge.width_ms / 2.0;
+    const auto begin = static_cast<std::size_t>(
+        std::max(0.0, center - half_width) / options.epoch_ms);
+    const auto end = std::min<std::size_t>(
+        epochs, static_cast<std::size_t>((center + half_width) / options.epoch_ms));
+    for (std::size_t i = begin; i < end; ++i) {
+      const double t = i * options.epoch_ms;
+      const double phase = (t - center) / half_width;  // [-1, 1]
+      const double bump = 0.5 * (1.0 + std::cos(phase * M_PI));
+      rates[i] += h * surge.rel_height * bump;
+    }
+  }
+
+  scale_rates_to_peak(rates, options.epoch_ms, options.peak_rps);
+  return from_rate_profile("azure", options.epoch_ms, rates, rng);
+}
+
+}  // namespace paldia::trace

@@ -1,0 +1,86 @@
+#include "src/trace/csv_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/common/csv.hpp"
+
+namespace paldia::trace {
+
+void write_csv(const Trace& trace, std::ostream& out) {
+  CsvWriter writer(out);
+  writer.header({"epoch_ms", "count"});
+  for (std::size_t i = 0; i < trace.epoch_count(); ++i) {
+    writer.row({CsvWriter::cell(static_cast<double>(i) * trace.epoch_ms()),
+                CsvWriter::cell(static_cast<std::int64_t>(trace.count_at(i)))});
+  }
+}
+
+void write_csv_file(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_csv(trace, out);
+}
+
+Trace read_csv(std::string_view text, std::string name) {
+  const CsvTable table = parse_csv(text);
+  const std::size_t time_column = table.column_index("epoch_ms");
+  const std::size_t count_column = table.column_index("count");
+  if (time_column == static_cast<std::size_t>(-1) ||
+      count_column == static_cast<std::size_t>(-1)) {
+    throw std::runtime_error("trace CSV needs 'epoch_ms' and 'count' columns");
+  }
+
+  std::vector<double> times;
+  std::vector<std::uint32_t> counts;
+  for (const auto& row : table.rows) {
+    if (row.size() <= std::max(time_column, count_column)) {
+      throw std::runtime_error("trace CSV row too short");
+    }
+    std::size_t consumed = 0;
+    double t = 0.0;
+    long count = 0;
+    try {
+      t = std::stod(row[time_column], &consumed);
+      if (consumed != row[time_column].size()) throw std::invalid_argument("");
+    } catch (const std::exception&) {
+      throw std::runtime_error("non-numeric epoch_ms: " + row[time_column]);
+    }
+    try {
+      count = std::stol(row[count_column], &consumed);
+      if (consumed != row[count_column].size()) throw std::invalid_argument("");
+    } catch (const std::exception&) {
+      throw std::runtime_error("bad count: " + row[count_column]);
+    }
+    if (count < 0) throw std::runtime_error("bad count: " + row[count_column]);
+    times.push_back(t);
+    counts.push_back(static_cast<std::uint32_t>(count));
+  }
+  if (counts.empty()) return Trace(std::move(name), 100.0, {});
+
+  double epoch_ms = 100.0;
+  if (times.size() >= 2) {
+    epoch_ms = times[1] - times[0];
+    if (epoch_ms <= 0.0) throw std::runtime_error("epoch_ms must increase");
+    for (std::size_t i = 2; i < times.size(); ++i) {
+      const double spacing = times[i] - times[i - 1];
+      if (std::abs(spacing - epoch_ms) > 0.01 * epoch_ms) {
+        throw std::runtime_error("inconsistent epoch spacing in trace CSV");
+      }
+    }
+  }
+  return Trace(std::move(name), epoch_ms, std::move(counts));
+}
+
+Trace read_csv_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open trace CSV: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return read_csv(buffer.str(), path);
+}
+
+}  // namespace paldia::trace

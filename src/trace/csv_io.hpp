@@ -1,0 +1,27 @@
+// Trace <-> CSV: export generated traces for plotting, and load externally
+// captured arrival traces (e.g. per-epoch counts extracted from the real
+// Azure Functions dataset) to drive experiments with production data.
+//
+// Format: header `epoch_ms,count` on the first data column pair; one row
+// per epoch, in order. Extra columns are ignored on load.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/trace/trace.hpp"
+
+namespace paldia::trace {
+
+/// Write the trace as CSV (epoch start in ms + arrival count per epoch).
+void write_csv(const Trace& trace, std::ostream& out);
+void write_csv_file(const Trace& trace, const std::string& path);
+
+/// Parse a trace from CSV text. The epoch length is inferred from the
+/// first two rows' epoch_ms values (single-row traces default to 100 ms).
+/// Throws std::runtime_error on malformed input (non-numeric cells,
+/// inconsistent epoch spacing beyond 1%, missing columns).
+Trace read_csv(std::string_view text, std::string name = "csv");
+Trace read_csv_trace_file(const std::string& path);
+
+}  // namespace paldia::trace

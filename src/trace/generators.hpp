@@ -1,0 +1,63 @@
+// Synthetic trace generators reproducing the published statistics of the
+// paper's four arrival patterns (Section V "Request Traces" and VI-B):
+//
+//  * Azure serverless sample — ~25 min, large peak-to-mean ratio (~673:55,
+//    i.e. ~12.2x), sparse/stable traffic with occasional surges.
+//  * Wikipedia — 5-day diurnal pattern with ~16 h/day of sustained high
+//    traffic; peak scaled to ~170 rps. Compressible (same shape, shorter
+//    days) to keep bench runtime sane.
+//  * Twitter — 90 min, erratic (log-rate random walk with jumps), average
+//    rate 5x the Azure sample's mean.
+//  * Poisson — constant mean rate (the Fig. 13a resource-exhaustion study
+//    uses mean ~700 rps).
+//
+// Every generator is deterministic in its seed.
+#pragma once
+
+#include "src/common/rng.hpp"
+#include "src/trace/trace.hpp"
+
+namespace paldia::trace {
+
+struct AzureOptions {
+  DurationMs duration_ms = minutes(25);
+  DurationMs epoch_ms = 100.0;
+  Rps peak_rps = 225.0;       // scaled per workload class (225 / 450)
+  double peak_to_mean = 12.2; // the paper's ~673:55 ratio
+  int surge_count = 4;        // occasional request surges
+  std::uint64_t seed = 1;
+};
+Trace make_azure_trace(const AzureOptions& options);
+
+struct WikiOptions {
+  int days = 5;
+  /// Simulated length of one "day". The real trace has 86,400 s days; the
+  /// default compresses 100:1 (shape-preserving) so that benches finish.
+  DurationMs day_length_ms = seconds(864);
+  DurationMs epoch_ms = 100.0;
+  Rps peak_rps = 170.0;
+  double high_hours_per_day = 16.0;  // sustained high-traffic plateau
+  double trough_fraction = 0.25;     // night traffic as a fraction of peak
+  std::uint64_t seed = 2;
+};
+Trace make_wiki_trace(const WikiOptions& options);
+
+struct TwitterOptions {
+  DurationMs duration_ms = minutes(90);
+  DurationMs epoch_ms = 100.0;
+  Rps mean_rps = 275.0;  // 5x the Azure sample's mean
+  double volatility = 0.45;
+  double jump_probability = 0.004;  // per-second probability of a jump
+  std::uint64_t seed = 3;
+};
+Trace make_twitter_trace(const TwitterOptions& options);
+
+struct PoissonOptions {
+  DurationMs duration_ms = minutes(5);
+  DurationMs epoch_ms = 100.0;
+  Rps mean_rps = 700.0;
+  std::uint64_t seed = 4;
+};
+Trace make_poisson_trace(const PoissonOptions& options);
+
+}  // namespace paldia::trace

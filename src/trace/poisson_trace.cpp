@@ -1,0 +1,16 @@
+#include <vector>
+
+#include "src/trace/generators.hpp"
+#include "src/trace/trace_ops.hpp"
+
+namespace paldia::trace {
+
+Trace make_poisson_trace(const PoissonOptions& options) {
+  Rng rng(options.seed);
+  const auto epochs =
+      static_cast<std::size_t>(options.duration_ms / options.epoch_ms);
+  std::vector<double> rates(epochs, options.mean_rps);
+  return from_rate_profile("poisson", options.epoch_ms, rates, rng);
+}
+
+}  // namespace paldia::trace

@@ -1,0 +1,57 @@
+#include "src/trace/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace paldia::trace {
+
+Trace::Trace(std::string name, DurationMs epoch_ms, std::vector<std::uint32_t> counts)
+    : name_(std::move(name)), epoch_ms_(epoch_ms), counts_(std::move(counts)) {
+  if (epoch_ms_ <= 0.0) throw std::invalid_argument("epoch_ms must be positive");
+}
+
+std::uint64_t Trace::total_requests() const {
+  std::uint64_t total = 0;
+  for (auto c : counts_) total += c;
+  return total;
+}
+
+Rps Trace::mean_rps() const {
+  const double duration_s = duration_ms() / kMsPerSecond;
+  return duration_s <= 0.0 ? 0.0 : static_cast<double>(total_requests()) / duration_s;
+}
+
+Rps Trace::peak_rps(DurationMs window_ms) const {
+  const auto window_epochs =
+      std::max<std::size_t>(1, static_cast<std::size_t>(window_ms / epoch_ms_));
+  if (counts_.empty()) return 0.0;
+  std::uint64_t window_sum = 0;
+  std::uint64_t best = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    window_sum += counts_[i];
+    if (i >= window_epochs) window_sum -= counts_[i - window_epochs];
+    best = std::max(best, window_sum);
+  }
+  const double window_s =
+      static_cast<double>(std::min(window_epochs, counts_.size())) * epoch_ms_ /
+      kMsPerSecond;
+  return static_cast<double>(best) / window_s;
+}
+
+Rps Trace::rate_at(TimeMs t, DurationMs window_ms) const {
+  if (counts_.empty()) return 0.0;
+  const auto start = static_cast<std::size_t>(std::max(0.0, t) / epoch_ms_);
+  const auto span =
+      std::max<std::size_t>(1, static_cast<std::size_t>(window_ms / epoch_ms_));
+  std::uint64_t sum = 0;
+  std::size_t used = 0;
+  for (std::size_t i = start; i < counts_.size() && used < span; ++i, ++used) {
+    sum += counts_[i];
+  }
+  if (used == 0) return 0.0;
+  const double window_s = static_cast<double>(used) * epoch_ms_ / kMsPerSecond;
+  return static_cast<double>(sum) / window_s;
+}
+
+}  // namespace paldia::trace

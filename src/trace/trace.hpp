@@ -1,0 +1,47 @@
+// Request arrival traces.
+//
+// A Trace stores arrival *counts per fixed epoch* (default 100 ms) rather
+// than individual timestamps: the simulator spreads each epoch's requests
+// uniformly inside the epoch, which keeps 5-day traces tractable while
+// preserving the arrival dynamics every scheduler in this repo reacts to
+// (burstiness, diurnality, erraticness). See DESIGN.md section 2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/units.hpp"
+
+namespace paldia::trace {
+
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::string name, DurationMs epoch_ms, std::vector<std::uint32_t> counts);
+
+  const std::string& name() const { return name_; }
+  DurationMs epoch_ms() const { return epoch_ms_; }
+  std::size_t epoch_count() const { return counts_.size(); }
+  const std::vector<std::uint32_t>& counts() const { return counts_; }
+
+  std::uint32_t count_at(std::size_t epoch) const { return counts_[epoch]; }
+  DurationMs duration_ms() const { return epoch_ms_ * static_cast<double>(counts_.size()); }
+  std::uint64_t total_requests() const;
+
+  /// Mean arrival rate over the whole trace, requests/s.
+  Rps mean_rps() const;
+
+  /// Peak arrival rate over a sliding window (default 1 s), requests/s.
+  Rps peak_rps(DurationMs window_ms = 1000.0) const;
+
+  /// Arrival rate of the window starting at `t`, requests/s.
+  Rps rate_at(TimeMs t, DurationMs window_ms = 1000.0) const;
+
+ private:
+  std::string name_;
+  DurationMs epoch_ms_ = 100.0;
+  std::vector<std::uint32_t> counts_;
+};
+
+}  // namespace paldia::trace

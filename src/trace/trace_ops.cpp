@@ -1,0 +1,105 @@
+#include "src/trace/trace_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paldia::trace {
+
+Trace from_rate_profile(std::string name, DurationMs epoch_ms,
+                        const std::vector<double>& rates_rps, Rng& rng) {
+  std::vector<std::uint32_t> counts(rates_rps.size());
+  const double epoch_s = epoch_ms / kMsPerSecond;
+  for (std::size_t i = 0; i < rates_rps.size(); ++i) {
+    counts[i] = static_cast<std::uint32_t>(rng.poisson(std::max(0.0, rates_rps[i]) * epoch_s));
+  }
+  return Trace(std::move(name), epoch_ms, std::move(counts));
+}
+
+double profile_peak_rps(const std::vector<double>& rates_rps, DurationMs epoch_ms,
+                        DurationMs window_ms) {
+  const auto span =
+      std::max<std::size_t>(1, static_cast<std::size_t>(window_ms / epoch_ms));
+  if (rates_rps.empty()) return 0.0;
+  double window_sum = 0.0;
+  double best = 0.0;
+  for (std::size_t i = 0; i < rates_rps.size(); ++i) {
+    window_sum += rates_rps[i];
+    if (i >= span) window_sum -= rates_rps[i - span];
+    best = std::max(best, window_sum);
+  }
+  return best / static_cast<double>(std::min(span, rates_rps.size()));
+}
+
+void scale_rates_to_peak(std::vector<double>& rates_rps, DurationMs epoch_ms,
+                         Rps target_peak_rps) {
+  const double peak = profile_peak_rps(rates_rps, epoch_ms);
+  if (peak <= 0.0) return;
+  const double factor = target_peak_rps / peak;
+  for (double& rate : rates_rps) rate *= factor;
+}
+
+void scale_rates_to_mean(std::vector<double>& rates_rps, Rps target_mean_rps) {
+  if (rates_rps.empty()) return;
+  double total = 0.0;
+  for (double rate : rates_rps) total += rate;
+  const double mean = total / static_cast<double>(rates_rps.size());
+  if (mean <= 0.0) return;
+  const double factor = target_mean_rps / mean;
+  for (double& rate : rates_rps) rate *= factor;
+}
+
+Trace scale_counts(const Trace& input, double factor, Rng& rng) {
+  std::vector<std::uint32_t> counts(input.epoch_count());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double scaled = input.count_at(i) * factor;
+    const double floor_part = std::floor(scaled);
+    double value = floor_part;
+    if (rng.uniform() < scaled - floor_part) value += 1.0;
+    counts[i] = static_cast<std::uint32_t>(value);
+  }
+  return Trace(input.name(), input.epoch_ms(), std::move(counts));
+}
+
+Trace scale_to_peak(const Trace& input, Rps target_peak_rps, Rng& rng) {
+  const Rps current = input.peak_rps();
+  if (current <= 0.0) return input;
+  return scale_counts(input, target_peak_rps / current, rng);
+}
+
+Trace scale_to_mean(const Trace& input, Rps target_mean_rps, Rng& rng) {
+  const Rps current = input.mean_rps();
+  if (current <= 0.0) return input;
+  return scale_counts(input, target_mean_rps / current, rng);
+}
+
+Window busiest_window(const Trace& input, DurationMs span_ms) {
+  const auto span = std::max<std::size_t>(
+      1, static_cast<std::size_t>(span_ms / input.epoch_ms()));
+  const auto& counts = input.counts();
+  if (counts.empty()) return Window{};
+  std::uint64_t sum = 0;
+  std::uint64_t best = 0;
+  std::size_t best_end = std::min(span, counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    sum += counts[i];
+    if (i >= span) sum -= counts[i - span];
+    if (sum > best) {
+      best = sum;
+      best_end = i + 1;
+    }
+  }
+  const std::size_t begin = best_end > span ? best_end - span : 0;
+  return Window{begin * input.epoch_ms(), best_end * input.epoch_ms()};
+}
+
+Trace slice(const Trace& input, TimeMs start_ms, TimeMs end_ms) {
+  const auto begin = static_cast<std::size_t>(std::max(0.0, start_ms) / input.epoch_ms());
+  const auto end = std::min<std::size_t>(
+      input.epoch_count(), static_cast<std::size_t>(std::max(0.0, end_ms) / input.epoch_ms()));
+  std::vector<std::uint32_t> counts;
+  counts.reserve(end > begin ? end - begin : 0);
+  for (std::size_t i = begin; i < end; ++i) counts.push_back(input.count_at(i));
+  return Trace(input.name() + "[slice]", input.epoch_ms(), std::move(counts));
+}
+
+}  // namespace paldia::trace

@@ -1,0 +1,52 @@
+// Operations over traces: building from a rate profile, rescaling to hit a
+// target peak/mean, slicing, and locating surge windows (used by the
+// goodput study, Fig. 7a).
+#pragma once
+
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/trace/trace.hpp"
+
+namespace paldia::trace {
+
+/// Sample a trace from a per-epoch rate profile (requests/s): counts are
+/// Poisson(rate * epoch length).
+Trace from_rate_profile(std::string name, DurationMs epoch_ms,
+                        const std::vector<double>& rates_rps, Rng& rng);
+
+/// Peak of a rate profile over a sliding window (requests/s).
+double profile_peak_rps(const std::vector<double>& rates_rps, DurationMs epoch_ms,
+                        DurationMs window_ms = 1000.0);
+
+/// Scale a rate profile in place so its sliding-window peak (resp. mean)
+/// hits the target. Generators scale *rates* before Poisson sampling —
+/// scaling sampled counts instead would multiply the quantisation and turn
+/// a smooth arrival process into pathological clumps.
+void scale_rates_to_peak(std::vector<double>& rates_rps, DurationMs epoch_ms,
+                         Rps target_peak_rps);
+void scale_rates_to_mean(std::vector<double>& rates_rps, Rps target_mean_rps);
+
+/// Multiply all counts by a factor, re-sampling fractional remainders so
+/// the scaled trace stays integral and unbiased.
+Trace scale_counts(const Trace& input, double factor, Rng& rng);
+
+/// Scale so the sliding-1s peak equals target_peak_rps (approximately:
+/// counts stay integral).
+Trace scale_to_peak(const Trace& input, Rps target_peak_rps, Rng& rng);
+
+/// Scale so the overall mean equals target_mean_rps.
+Trace scale_to_mean(const Trace& input, Rps target_mean_rps, Rng& rng);
+
+/// Contiguous [start, end) epoch range with the highest total arrivals over
+/// the given span. Returns the time window in ms.
+struct Window {
+  TimeMs start_ms = 0;
+  TimeMs end_ms = 0;
+};
+Window busiest_window(const Trace& input, DurationMs span_ms);
+
+/// Copy of the [start_ms, end_ms) slice of the trace.
+Trace slice(const Trace& input, TimeMs start_ms, TimeMs end_ms);
+
+}  // namespace paldia::trace

@@ -1,0 +1,38 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/trace/generators.hpp"
+#include "src/trace/trace_ops.hpp"
+
+namespace paldia::trace {
+
+// Erratic and dense: log-rate follows a mean-reverting random walk with
+// occasional multiplicative jumps (retweet cascades), then the whole trace
+// is rescaled to the target mean (5x the Azure sample in the paper).
+Trace make_twitter_trace(const TwitterOptions& options) {
+  Rng rng(options.seed);
+  const auto epochs =
+      static_cast<std::size_t>(options.duration_ms / options.epoch_ms);
+  std::vector<double> rates(epochs, 0.0);
+
+  double log_rate = 0.0;  // log of rate relative to the (unit) mean
+  const double reversion = 0.02;
+  const double step_sigma = options.volatility * std::sqrt(options.epoch_ms / 1000.0);
+  const double jump_per_epoch =
+      options.jump_probability * options.epoch_ms / kMsPerSecond;
+
+  for (std::size_t i = 0; i < epochs; ++i) {
+    log_rate += -reversion * log_rate + rng.normal(0.0, step_sigma);
+    if (rng.bernoulli(jump_per_epoch)) {
+      log_rate += rng.uniform(0.5, 1.4) * (rng.bernoulli(0.6) ? 1.0 : -1.0);
+    }
+    log_rate = std::clamp(log_rate, -2.5, 2.0);
+    rates[i] = std::exp(log_rate);
+  }
+
+  scale_rates_to_mean(rates, options.mean_rps);
+  return from_rate_profile("twitter", options.epoch_ms, rates, rng);
+}
+
+}  // namespace paldia::trace

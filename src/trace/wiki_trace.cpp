@@ -1,0 +1,51 @@
+#include <cmath>
+#include <vector>
+
+#include "src/trace/generators.hpp"
+#include "src/trace/trace_ops.hpp"
+
+namespace paldia::trace {
+
+// Diurnal pattern: each "day" has a sustained high-traffic plateau covering
+// `high_hours_per_day` of its length, with smooth raised-cosine ramps into a
+// night trough at `trough_fraction` of the peak. Small multiplicative noise
+// is layered on top. Matches the Wikipedia workload characterisation the
+// paper cites (sustained ~16 h/day of high traffic).
+Trace make_wiki_trace(const WikiOptions& options) {
+  Rng rng(options.seed);
+  const DurationMs total_ms = options.day_length_ms * options.days;
+  const auto epochs = static_cast<std::size_t>(total_ms / options.epoch_ms);
+  std::vector<double> rates(epochs, 0.0);
+
+  const double high_frac = options.high_hours_per_day / 24.0;
+  const double ramp_frac = 0.10;  // each ramp takes 10% of the day
+
+  double noise = 1.0;
+  for (std::size_t i = 0; i < epochs; ++i) {
+    const double t = i * options.epoch_ms;
+    const double day_pos = std::fmod(t, options.day_length_ms) / options.day_length_ms;
+
+    // Plateau centred mid-day: [center - high/2, center + high/2].
+    const double dist = std::abs(day_pos - 0.5);
+    double level;
+    if (dist <= high_frac / 2.0) {
+      level = 1.0;
+    } else if (dist <= high_frac / 2.0 + ramp_frac) {
+      const double ramp_pos = (dist - high_frac / 2.0) / ramp_frac;  // 0..1
+      level = options.trough_fraction +
+              (1.0 - options.trough_fraction) * 0.5 * (1.0 + std::cos(ramp_pos * M_PI));
+    } else {
+      level = options.trough_fraction;
+    }
+
+    if (i % 30 == 0) {  // re-draw noise every 3 s
+      noise = std::exp(rng.normal(0.0, 0.08));
+    }
+    rates[i] = level * noise;
+  }
+
+  scale_rates_to_peak(rates, options.epoch_ms, options.peak_rps);
+  return from_rate_profile("wiki", options.epoch_ms, rates, rng);
+}
+
+}  // namespace paldia::trace

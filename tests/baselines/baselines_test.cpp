@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "src/baselines/infless_llama.hpp"
+#include "src/baselines/molecule.hpp"
+#include "src/baselines/offline_hybrid.hpp"
+#include "src/baselines/oracle.hpp"
+#include "src/trace/generators.hpp"
+
+namespace paldia::baselines {
+namespace {
+
+core::DemandSnapshot demand(Rps rate, int backlog = 0,
+                            models::ModelId model = models::ModelId::kResNet50) {
+  core::DemandSnapshot snapshot;
+  snapshot.model = model;
+  snapshot.observed_rps = rate;
+  snapshot.predicted_rps = rate;
+  snapshot.smoothed_rps = rate;
+  snapshot.backlog = backlog;
+  return snapshot;
+}
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  BaselinesTest() : profile_(hw::Catalog::instance()) {}
+  models::ProfileTable profile_;
+};
+
+TEST_F(BaselinesTest, InflessPerfAlwaysPicksV100) {
+  InflessLlamaPolicy policy(models::Zoo::instance(), hw::Catalog::instance(),
+                            profile_, Variant::kPerformance);
+  for (Rps rate : {1.0, 50.0, 500.0}) {
+    EXPECT_EQ(policy.select_hardware({demand(rate)}, hw::NodeType::kM4_xlarge, 0.0),
+              hw::NodeType::kP3_2xlarge);
+  }
+  EXPECT_EQ(policy.name(), "INFless/Llama (P)");
+}
+
+TEST_F(BaselinesTest, InflessCostPicksCheapestSingleBatchCapable) {
+  InflessLlamaPolicy policy(models::Zoo::instance(), hw::Catalog::instance(),
+                            profile_, Variant::kCostEffective);
+  // Low rate: a CPU node passes the single-batch test.
+  const auto low = policy.select_hardware({demand(8.0)}, hw::NodeType::kM4_xlarge, 0.0);
+  EXPECT_FALSE(hw::Catalog::instance().spec(low).is_gpu());
+  // High rate: CPUs fail the drain test, the M60 passes the (isolated)
+  // single-batch test despite the coming interference — the scheme's
+  // defining blindness.
+  const auto high =
+      policy.select_hardware({demand(200.0)}, hw::NodeType::kM4_xlarge, 0.0);
+  EXPECT_EQ(high, hw::NodeType::kG3s_xlarge);
+  EXPECT_EQ(policy.name(), "INFless/Llama ($)");
+}
+
+TEST_F(BaselinesTest, InflessPlansAreAllSpatial) {
+  InflessLlamaPolicy policy(models::Zoo::instance(), hw::Catalog::instance(),
+                            profile_, Variant::kCostEffective);
+  const auto plan = policy.plan_dispatch(demand(200.0, 500), hw::NodeType::kG3s_xlarge, 0.0);
+  EXPECT_EQ(plan.spatial_requests, 500);
+  EXPECT_EQ(plan.temporal_requests, 0);
+  EXPECT_FALSE(plan.use_cpu);
+}
+
+TEST_F(BaselinesTest, MoleculePlansAreAllTemporal) {
+  MoleculePolicy policy(models::Zoo::instance(), hw::Catalog::instance(), profile_,
+                        Variant::kCostEffective);
+  const auto plan = policy.plan_dispatch(demand(200.0, 500), hw::NodeType::kG3s_xlarge, 0.0);
+  EXPECT_EQ(plan.spatial_requests, 0);
+  EXPECT_EQ(plan.temporal_requests, 500);
+  EXPECT_EQ(policy.name(), "Molecule (beta) ($)");
+}
+
+TEST_F(BaselinesTest, PinnedVariantsForMotivationStudy) {
+  InflessLlamaPolicy mps_cost(models::Zoo::instance(), hw::Catalog::instance(),
+                              profile_, Variant::kCostEffective,
+                              hw::NodeType::kG3s_xlarge);
+  EXPECT_EQ(mps_cost.name(), "MPS Only ($)");
+  EXPECT_EQ(mps_cost.select_hardware({demand(500.0)}, hw::NodeType::kM4_xlarge, 0.0),
+            hw::NodeType::kG3s_xlarge);
+
+  MoleculePolicy ts_perf(models::Zoo::instance(), hw::Catalog::instance(), profile_,
+                         Variant::kPerformance, hw::NodeType::kP3_2xlarge);
+  EXPECT_EQ(ts_perf.name(), "Time Shared Only (P)");
+  EXPECT_EQ(ts_perf.select_hardware({demand(1.0)}, hw::NodeType::kM4_xlarge, 0.0),
+            hw::NodeType::kP3_2xlarge);
+}
+
+TEST_F(BaselinesTest, OfflineHybridUsesFixedFraction) {
+  OfflineHybridPolicy policy(models::Zoo::instance(), hw::Catalog::instance(),
+                             profile_, hw::NodeType::kG3s_xlarge, 0.75);
+  EXPECT_EQ(policy.select_hardware({demand(100.0)}, hw::NodeType::kM4_xlarge, 0.0),
+            hw::NodeType::kG3s_xlarge);
+  const auto plan = policy.plan_dispatch(demand(100.0, 100), hw::NodeType::kG3s_xlarge, 0.0);
+  EXPECT_EQ(plan.spatial_requests, 75);
+  EXPECT_EQ(plan.temporal_requests, 25);
+}
+
+TEST_F(BaselinesTest, OfflineHybridFractionClamped) {
+  OfflineHybridPolicy policy(models::Zoo::instance(), hw::Catalog::instance(),
+                             profile_, hw::NodeType::kG3s_xlarge, 1.7);
+  EXPECT_DOUBLE_EQ(policy.spatial_fraction(), 1.0);
+}
+
+TEST_F(BaselinesTest, OracleUsesRevealedFutureRates) {
+  OraclePolicy policy(models::Zoo::instance(), hw::Catalog::instance(), profile_);
+  // A trace that is quiet now but surges within the procurement horizon.
+  std::vector<std::uint32_t> counts(200, 0);
+  for (std::size_t i = 30; i < 80; ++i) counts[i] = 30;  // 300 rps from t=3s
+  trace::Trace surge("surge", 100.0, counts);
+  policy.reveal_trace(models::ModelId::kResNet50, surge);
+
+  // At t = 0 the observed rate is ~0, but the oracle sees the 300 rps wall
+  // inside its horizon and provisions a GPU immediately.
+  const auto chosen =
+      policy.select_hardware({demand(0.5)}, hw::NodeType::kC6i_2xlarge, 0.0);
+  EXPECT_TRUE(hw::Catalog::instance().spec(chosen).is_gpu());
+}
+
+TEST_F(BaselinesTest, OracleWithoutTraceActsOnSnapshot) {
+  OraclePolicy policy(models::Zoo::instance(), hw::Catalog::instance(), profile_);
+  const auto chosen =
+      policy.select_hardware({demand(5.0)}, hw::NodeType::kC6i_2xlarge, 0.0);
+  EXPECT_FALSE(hw::Catalog::instance().spec(chosen).is_gpu());
+}
+
+TEST_F(BaselinesTest, OraclePlansHybridSplits) {
+  OraclePolicy policy(models::Zoo::instance(), hw::Catalog::instance(), profile_);
+  const auto plan =
+      policy.plan_dispatch(demand(300.0, 1200), hw::NodeType::kP3_2xlarge, 0.0);
+  EXPECT_GT(plan.temporal_requests, 0);
+  EXPECT_GT(plan.spatial_requests, 0);
+}
+
+TEST_F(BaselinesTest, DefaultFailoverSharedByAllSchemes) {
+  MoleculePolicy policy(models::Zoo::instance(), hw::Catalog::instance(), profile_,
+                        Variant::kPerformance);
+  EXPECT_EQ(policy.on_node_failure(hw::NodeType::kP3_2xlarge),
+            hw::NodeType::kG3s_xlarge);
+}
+
+}  // namespace
+}  // namespace paldia::baselines

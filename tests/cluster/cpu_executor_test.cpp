@@ -1,0 +1,109 @@
+#include "src/cluster/cpu_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/hw/catalog.hpp"
+
+namespace paldia::cluster {
+namespace {
+
+const hw::CpuSpec& icelake16() {
+  return hw::Catalog::instance().spec(hw::NodeType::kC6i_4xlarge).cpu;
+}
+
+CpuJob job(double solo, ExecutionReport* out) {
+  CpuJob j;
+  j.solo_ms = solo;
+  j.on_complete = [out](const ExecutionReport& report) { *out = report; };
+  return j;
+}
+
+TEST(CpuExecutor, RunsOneBatchAtATime) {
+  sim::Simulator simulator;
+  CpuExecutor executor(simulator, icelake16(), Rng(1));
+  ExecutionReport a, b;
+  executor.submit(job(100.0, &a));
+  executor.submit(job(100.0, &b));
+  EXPECT_TRUE(executor.busy());
+  EXPECT_EQ(executor.queued_jobs(), 1);
+  simulator.run_to_completion();
+  EXPECT_GT(b.start_ms, a.end_ms - 1e-9);
+  EXPECT_NEAR(b.queue_ms(), a.end_ms - a.submit_ms, 5.0);
+}
+
+TEST(CpuExecutor, ExecutionTimeNearSolo) {
+  sim::Simulator simulator;
+  CpuExecutor executor(simulator, icelake16(), Rng(2));
+  ExecutionReport report;
+  executor.submit(job(80.0, &report));
+  simulator.run_to_completion();
+  EXPECT_NEAR(report.end_ms - report.start_ms, 80.0, 12.0);  // 3% jitter
+}
+
+TEST(CpuExecutor, InterferenceFactorStretchesExecution) {
+  sim::Simulator simulator;
+  CpuExecutor executor(simulator, icelake16(), Rng(3));
+  executor.set_interference_factor(2.0);
+  ExecutionReport report;
+  executor.submit(job(100.0, &report));
+  simulator.run_to_completion();
+  EXPECT_NEAR(report.end_ms - report.start_ms, 200.0, 20.0);
+  // The report attributes the stretch as interference, not solo time.
+  EXPECT_NEAR(report.solo_ms, (report.end_ms - report.start_ms) / 2.0, 1e-6);
+  EXPECT_GT(report.interference_ms(), 80.0);
+}
+
+TEST(CpuExecutor, FailAllFailsRunningAndQueued) {
+  sim::Simulator simulator;
+  CpuExecutor executor(simulator, icelake16(), Rng(4));
+  ExecutionReport a, b;
+  executor.submit(job(100.0, &a));
+  executor.submit(job(100.0, &b));
+  simulator.run_until(10.0);
+  executor.fail_all();
+  EXPECT_TRUE(a.failed);
+  EXPECT_TRUE(b.failed);
+  EXPECT_FALSE(executor.busy());
+  simulator.run_to_completion();  // no stray completion events
+  EXPECT_TRUE(a.failed);
+}
+
+TEST(CpuExecutor, BusyTimeAccounting) {
+  sim::Simulator simulator;
+  CpuExecutor executor(simulator, icelake16(), Rng(5));
+  ExecutionReport report;
+  executor.submit(job(100.0, &report));
+  simulator.run_to_completion();
+  EXPECT_NEAR(executor.busy_time_ms(), report.end_ms - report.start_ms, 1e-6);
+}
+
+TEST(CpuExecutor, RecoverableAfterFailure) {
+  sim::Simulator simulator;
+  CpuExecutor executor(simulator, icelake16(), Rng(6));
+  ExecutionReport doomed, healthy;
+  executor.submit(job(100.0, &doomed));
+  executor.fail_all();
+  executor.submit(job(50.0, &healthy));
+  simulator.run_to_completion();
+  EXPECT_TRUE(doomed.failed);
+  EXPECT_FALSE(healthy.failed);
+  EXPECT_GT(healthy.end_ms, 0.0);
+}
+
+TEST(CpuExecutor, ThroughputMatchesServiceRate) {
+  sim::Simulator simulator;
+  CpuExecutor executor(simulator, icelake16(), Rng(7));
+  int completed = 0;
+  for (int i = 0; i < 50; ++i) {
+    CpuJob j;
+    j.solo_ms = 20.0;
+    j.on_complete = [&completed](const ExecutionReport&) { ++completed; };
+    executor.submit(std::move(j));
+  }
+  const TimeMs end = simulator.run_to_completion();
+  EXPECT_EQ(completed, 50);
+  EXPECT_NEAR(end, 50 * 20.0, 100.0);
+}
+
+}  // namespace
+}  // namespace paldia::cluster

@@ -1,0 +1,61 @@
+#include "src/cluster/host_interference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/node.hpp"
+
+namespace paldia::cluster {
+namespace {
+
+TEST(HostInterference, SebsWorkloadsDefined) {
+  const auto coresidents = sebs_coresidents();
+  ASSERT_EQ(coresidents.size(), 3u);  // compression, HTML, thumbnailing
+  for (const auto& co : coresidents) {
+    EXPECT_GT(co.cpu_intensity, 0.0);
+    EXPECT_GT(co.gpu_intensity, 0.0);
+    // CPU contention dominates (Table III: effects pronounced on CPU nodes).
+    EXPECT_GT(co.cpu_intensity, co.gpu_intensity * 3.0);
+  }
+}
+
+TEST(HostInterference, FactorsStartAtOne) {
+  sim::Simulator simulator;
+  HostInterference interference(simulator, sebs_coresidents(), Rng(1));
+  EXPECT_DOUBLE_EQ(interference.current_cpu_factor(), 1.0);
+  EXPECT_DOUBLE_EQ(interference.current_gpu_factor(), 1.0);
+}
+
+TEST(HostInterference, PhasesToggleOverTime) {
+  sim::Simulator simulator;
+  HostInterference interference(simulator, sebs_coresidents(), Rng(2));
+  interference.arm(minutes(5));
+  double max_cpu = 1.0;
+  for (int i = 1; i <= 300; ++i) {
+    simulator.run_until(i * 1000.0);
+    max_cpu = std::max(max_cpu, interference.current_cpu_factor());
+  }
+  EXPECT_GT(max_cpu, 1.3);  // at least one class was active at some point
+}
+
+TEST(HostInterference, PushesFactorsToAttachedNodes) {
+  sim::Simulator simulator;
+  Node node(simulator, NodeId{0}, hw::NodeType::kC6i_4xlarge, Rng(3));
+  std::vector<CoResident> always_on{{"hog", 1.0, 0.1, seconds(1000), seconds(0.001)}};
+  HostInterference interference(simulator, always_on, Rng(4));
+  interference.attach(node);
+  interference.arm(minutes(2));
+  simulator.run_until(seconds(30));
+  // The single co-resident toggles on almost immediately and stays on.
+  EXPECT_NEAR(node.cpu_executor()->interference_factor(), 2.0, 0.01);
+}
+
+TEST(HostInterference, StopsAtEndTime) {
+  sim::Simulator simulator;
+  HostInterference interference(simulator, sebs_coresidents(), Rng(5));
+  interference.arm(seconds(10));
+  simulator.run_to_completion();  // must terminate (no unbounded toggling)
+  EXPECT_GE(simulator.now(), seconds(10) - 1.0);
+}
+
+}  // namespace
+}  // namespace paldia::cluster

@@ -1,0 +1,78 @@
+#include "src/common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace paldia {
+namespace {
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.header({"a", "b"});
+  writer.row({"1", "2"});
+  writer.row({"x", "y"});
+  EXPECT_EQ(out.str(), "a,b\n1,2\nx,y\n");
+}
+
+TEST(CsvWriter, NumericCells) {
+  EXPECT_EQ(CsvWriter::cell(std::int64_t{42}), "42");
+  EXPECT_EQ(CsvWriter::cell(1.5), "1.5");
+}
+
+TEST(CsvParse, RoundTrip) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.header({"scheme", "slo", "cost"});
+  writer.row({"Paldia", "0.995", "0.33"});
+  writer.row({"INFless", "0.894", "0.32"});
+
+  const CsvTable table = parse_csv(out.str());
+  ASSERT_EQ(table.columns.size(), 3u);
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[0][0], "Paldia");
+  EXPECT_EQ(table.rows[1][2], "0.32");
+}
+
+TEST(CsvParse, ColumnIndex) {
+  const CsvTable table = parse_csv("a,b,c\n1,2,3\n");
+  EXPECT_EQ(table.column_index("b"), 1u);
+  EXPECT_EQ(table.column_index("missing"), static_cast<std::size_t>(-1));
+}
+
+TEST(CsvParse, QuotedCells) {
+  const CsvTable table = parse_csv("name,value\n\"hello, world\",5\n");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "hello, world");
+}
+
+TEST(CsvParse, EscapedQuote) {
+  const CsvTable table = parse_csv("a\n\"say \"\"hi\"\"\"\n");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "say \"hi\"");
+}
+
+TEST(CsvParse, ToleratesCarriageReturns) {
+  const CsvTable table = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][1], "2");
+}
+
+TEST(CsvParse, SkipsEmptyLines) {
+  const CsvTable table = parse_csv("a\n\n1\n\n2\n");
+  EXPECT_EQ(table.rows.size(), 2u);
+}
+
+TEST(CsvParse, EmptyInput) {
+  const CsvTable table = parse_csv("");
+  EXPECT_TRUE(table.columns.empty());
+  EXPECT_TRUE(table.rows.empty());
+}
+
+TEST(CsvFile, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path/file.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace paldia

@@ -1,0 +1,137 @@
+#include "src/common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/common/stats.hpp"
+
+namespace paldia {
+namespace {
+
+TEST(Histogram, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.fraction_at_or_below(100.0), 1.0);
+  EXPECT_TRUE(h.cdf().empty());
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.add(42.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_NEAR(h.quantile(0.5), 42.0, Histogram::kLinearBucketMs);
+  EXPECT_NEAR(h.mean(), 42.0, 1e-9);
+  EXPECT_EQ(h.min(), 42.0);
+  EXPECT_EQ(h.max(), 42.0);
+}
+
+TEST(Histogram, BulkCount) {
+  Histogram h;
+  h.add(10.0, 1000);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(h.mean(), 10.0, 1e-9);
+}
+
+TEST(Histogram, QuantileAccuracyInLinearRegion) {
+  Histogram h;
+  Rng rng(1);
+  std::vector<double> exact;
+  for (int i = 0; i < 100'000; ++i) {
+    const double v = rng.uniform(0.0, 400.0);
+    h.add(v);
+    exact.push_back(v);
+  }
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(h.quantile(q), quantile(exact, q), 1.0)
+        << "quantile " << q << " drifted";
+  }
+}
+
+TEST(Histogram, QuantileRelativeErrorInExponentialRegion) {
+  Histogram h;
+  Rng rng(2);
+  std::vector<double> exact;
+  for (int i = 0; i < 100'000; ++i) {
+    const double v = rng.uniform(1000.0, 100'000.0);
+    h.add(v);
+    exact.push_back(v);
+  }
+  for (double q : {0.5, 0.95, 0.99}) {
+    const double truth = quantile(exact, q);
+    EXPECT_NEAR(h.quantile(q), truth, truth * 0.05);
+  }
+}
+
+TEST(Histogram, FractionAtOrBelowMatchesSloSemantics) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));  // 1..100 ms
+  // 100 values; threshold at 50 ms should report ~50%.
+  EXPECT_NEAR(h.fraction_at_or_below(50.0), 0.5, 0.02);
+  EXPECT_NEAR(h.fraction_at_or_below(200.0), 1.0, 1e-9);
+  EXPECT_NEAR(h.fraction_at_or_below(0.0), 0.0, 0.02);
+}
+
+TEST(Histogram, MergeEqualsCombinedStream) {
+  Histogram a, b, combined;
+  Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.lognormal(3.0, 1.0);
+    combined.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_EQ(a.quantile(0.99), combined.quantile(0.99));
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.add(5.0, 10);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, CdfIsMonotoneAndEndsAtOne) {
+  Histogram h;
+  Rng rng(4);
+  for (int i = 0; i < 5'000; ++i) h.add(rng.lognormal(4.0, 0.7));
+  const auto cdf = h.cdf();
+  ASSERT_FALSE(cdf.empty());
+  double last_value = -1.0, last_fraction = -1.0;
+  for (const auto& [value, fraction] : cdf) {
+    EXPECT_GT(value, last_value);
+    EXPECT_GE(fraction, last_fraction);
+    last_value = value;
+    last_fraction = fraction;
+  }
+  EXPECT_NEAR(cdf.back().second, 1.0, 1e-12);
+}
+
+TEST(Histogram, NegativeValuesClampToZeroBucket) {
+  Histogram h;
+  h.add(-5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_LE(h.quantile(1.0), Histogram::kLinearBucketMs);
+}
+
+TEST(Histogram, ValuesBeyondMaxTrackable) {
+  Histogram h;
+  h.add(1e9);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.quantile(1.0), Histogram::kMaxTrackableMs * 0.9);
+}
+
+TEST(Histogram, QuantileClampedToObservedRange) {
+  Histogram h;
+  h.add(100.0);
+  h.add(200.0);
+  EXPECT_GE(h.quantile(0.0), 100.0 - Histogram::kLinearBucketMs);
+  EXPECT_LE(h.quantile(1.0), 200.0 + Histogram::kLinearBucketMs);
+}
+
+}  // namespace
+}  // namespace paldia

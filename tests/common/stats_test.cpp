@@ -1,0 +1,97 @@
+#include "src/common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace paldia {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  EXPECT_EQ(mean({}), 0.0);
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_NEAR(mean(v), 2.0, 1e-12);
+}
+
+TEST(Stats, VarianceAndStddev) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(variance(v), 4.0, 1e-12);
+  EXPECT_NEAR(stddev(v), 2.0, 1e-12);
+  EXPECT_EQ(variance(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> v{3.0, -1.0, 7.0};
+  EXPECT_EQ(min_value(v), -1.0);
+  EXPECT_EQ(max_value(v), 7.0);
+  EXPECT_EQ(min_value({}), 0.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_NEAR(quantile(v, 0.0), 10.0, 1e-12);
+  EXPECT_NEAR(quantile(v, 1.0), 40.0, 1e-12);
+  EXPECT_NEAR(quantile(v, 0.5), 25.0, 1e-12);
+}
+
+TEST(Stats, QuantileUnsortedInput) {
+  const std::vector<double> v{40.0, 10.0, 30.0, 20.0};
+  EXPECT_NEAR(quantile(v, 0.5), 25.0, 1e-12);
+}
+
+TEST(Stats, OutlierFilteredMeanDropsOutliers) {
+  // 20 samples at ~10 plus one wild outlier; the paper's 2.5-sigma rule
+  // should exclude it.
+  std::vector<double> v(20, 10.0);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] += (i % 2 == 0 ? 0.1 : -0.1);
+  v.push_back(1000.0);
+  const double filtered = outlier_filtered_mean(v);
+  EXPECT_NEAR(filtered, 10.0, 0.2);
+  EXPECT_GT(mean(v), 50.0);  // raw mean is dominated by the outlier
+}
+
+TEST(Stats, OutlierFilteredMeanNoVariance) {
+  const std::vector<double> v{5.0, 5.0, 5.0};
+  EXPECT_EQ(outlier_filtered_mean(v), 5.0);
+}
+
+TEST(Stats, OutlierFilteredMeanEmpty) {
+  EXPECT_EQ(outlier_filtered_mean({}), 0.0);
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  const std::vector<double> v{1.0, 4.0, 9.0, 16.0, 25.0};
+  RunningStats rs;
+  for (double x : v) rs.add(x);
+  EXPECT_EQ(rs.count(), v.size());
+  EXPECT_NEAR(rs.mean(), mean(v), 1e-12);
+  EXPECT_NEAR(rs.variance(), variance(v), 1e-9);
+  EXPECT_EQ(rs.min(), 1.0);
+  EXPECT_EQ(rs.max(), 25.0);
+}
+
+TEST(RunningStats, MergeEquivalentToCombined) {
+  RunningStats a, b, combined;
+  for (int i = 0; i < 100; ++i) {
+    const double x = i * 0.37;
+    combined.add(x);
+    (i < 60 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.mean(), 3.0);
+}
+
+}  // namespace
+}  // namespace paldia

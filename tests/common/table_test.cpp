@@ -1,0 +1,48 @@
+#include "src/common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace paldia {
+namespace {
+
+TEST(Table, FormatsAlignedColumns) {
+  Table table({"Scheme", "SLO"});
+  table.add_row({"Paldia", "99.5%"});
+  table.add_row({"INFless/Llama ($)", "89.4%"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("| Scheme "), std::string::npos);
+  EXPECT_NE(text.find("| Paldia "), std::string::npos);
+  // Every line has the same length (aligned columns).
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table table({"a", "b", "c"});
+  table.add_row({"1"});
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("| 1 "), std::string::npos);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.0, 0), "3");
+}
+
+TEST(Table, PercentFormatting) {
+  EXPECT_EQ(Table::percent(0.995, 1), "99.5%");
+  EXPECT_EQ(Table::percent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace paldia

@@ -1,0 +1,90 @@
+#include "src/common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace paldia {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPool) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroItems) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, ParallelForSingleItemRunsInline) {
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.parallel_for(1, [&](std::size_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPool, SingleWorkerFallsBackToCaller) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  pool.parallel_for(seen.size(),
+                    [&](std::size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, MinReductionDeterministicAcrossPoolSizes) {
+  // The y-sweep use case: results must not depend on worker count.
+  std::vector<double> values(503);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = 1000.0 - 3.0 * static_cast<double>(i % 97);
+  }
+  auto run = [&](std::size_t workers) {
+    ThreadPool pool(workers);
+    std::vector<double> out(values.size());
+    pool.parallel_for(values.size(), [&](std::size_t i) { out[i] = values[i] * 2.0; });
+    return *std::min_element(out.begin(), out.end());
+  };
+  const double expected = run(1);
+  EXPECT_EQ(run(2), expected);
+  EXPECT_EQ(run(4), expected);
+  EXPECT_EQ(run(8), expected);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.parallel_for(50, [&](std::size_t) { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(counter.load(), 250);
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneThread) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace paldia

@@ -1,0 +1,92 @@
+#include "src/core/autoscaler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paldia::core {
+namespace {
+
+constexpr auto kModel = models::ModelId::kDenseNet121;
+
+TEST(Autoscaler, EnsureSpawnsMissingContainers) {
+  sim::Simulator simulator;
+  cluster::Node node(simulator, NodeId{0}, hw::NodeType::kG3s_xlarge, Rng(1));
+  Autoscaler autoscaler;
+  EXPECT_EQ(autoscaler.ensure(node, kModel, 3), 3);
+  EXPECT_EQ(node.container_count(kModel), 3);
+}
+
+TEST(Autoscaler, EnsureCountsColdStartingContainers) {
+  sim::Simulator simulator;
+  cluster::Node node(simulator, NodeId{0}, hw::NodeType::kG3s_xlarge, Rng(2));
+  Autoscaler autoscaler;
+  autoscaler.ensure(node, kModel, 3);
+  // Still cold-starting; a second ensure must not double-spawn.
+  EXPECT_EQ(autoscaler.ensure(node, kModel, 3), 0);
+  EXPECT_EQ(node.container_count(kModel), 3);
+}
+
+TEST(Autoscaler, EnsureRespectsMinContainers) {
+  sim::Simulator simulator;
+  cluster::Node node(simulator, NodeId{0}, hw::NodeType::kG3s_xlarge, Rng(3));
+  Autoscaler autoscaler(AutoscalerConfig{.min_containers = 2});
+  EXPECT_EQ(autoscaler.ensure(node, kModel, 0), 2);
+}
+
+TEST(Autoscaler, ReapOnlyAfterKeepAlive) {
+  sim::Simulator simulator;
+  cluster::Node node(simulator, NodeId{0}, hw::NodeType::kG3s_xlarge, Rng(4));
+  AutoscalerConfig config;
+  config.keep_alive_ms = minutes(10);
+  Autoscaler autoscaler(config);
+  for (int i = 0; i < 4; ++i) node.spawn_container(kModel, true);
+
+  // Too early: nothing is idle beyond the keep-alive window.
+  simulator.run_until(minutes(5));
+  EXPECT_EQ(autoscaler.reap(node, kModel, 1, simulator.now()), 0);
+  EXPECT_EQ(node.container_count(kModel), 4);
+
+  // Past the keep-alive: surplus idle containers die, floor remains.
+  simulator.run_until(minutes(11));
+  EXPECT_EQ(autoscaler.reap(node, kModel, 1, simulator.now()), 3);
+  EXPECT_EQ(node.container_count(kModel), 1);
+}
+
+TEST(Autoscaler, ReapKeepsNeededContainers) {
+  sim::Simulator simulator;
+  cluster::Node node(simulator, NodeId{0}, hw::NodeType::kG3s_xlarge, Rng(5));
+  Autoscaler autoscaler(AutoscalerConfig{.keep_alive_ms = 0.0});
+  for (int i = 0; i < 5; ++i) node.spawn_container(kModel, true);
+  simulator.run_until(1000.0);
+  autoscaler.reap(node, kModel, 3, simulator.now());
+  EXPECT_EQ(node.container_count(kModel), 3);
+}
+
+TEST(Autoscaler, ReapNeverGoesBelowMin) {
+  sim::Simulator simulator;
+  cluster::Node node(simulator, NodeId{0}, hw::NodeType::kG3s_xlarge, Rng(6));
+  Autoscaler autoscaler(AutoscalerConfig{.keep_alive_ms = 0.0, .min_containers = 1});
+  for (int i = 0; i < 3; ++i) node.spawn_container(kModel, true);
+  simulator.run_until(1000.0);
+  autoscaler.reap(node, kModel, 0, simulator.now());
+  EXPECT_EQ(node.container_count(kModel), 1);
+}
+
+TEST(Autoscaler, DelayedTerminationReducesColdStarts) {
+  // The Section IV-C claim in miniature: with keep-alive, a load dip does
+  // not force a cold start when the load returns; without it, it does.
+  auto run = [](DurationMs keep_alive) {
+    sim::Simulator simulator;
+    cluster::Node node(simulator, NodeId{0}, hw::NodeType::kG3s_xlarge, Rng(7));
+    Autoscaler autoscaler(AutoscalerConfig{.keep_alive_ms = keep_alive,
+                                           .min_containers = 0});
+    autoscaler.ensure(node, kModel, 2);
+    simulator.run_until(seconds(10));           // containers warm
+    autoscaler.reap(node, kModel, 0, simulator.now());  // load dipped
+    autoscaler.ensure(node, kModel, 2);          // load came back
+    return node.cold_starts();
+  };
+  EXPECT_GT(run(0.0), run(minutes(10)));
+}
+
+}  // namespace
+}  // namespace paldia::core

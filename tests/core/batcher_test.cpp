@@ -1,0 +1,97 @@
+#include "src/core/batcher.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paldia::core {
+namespace {
+
+std::vector<cluster::Request> make_requests(int n) {
+  std::vector<cluster::Request> requests;
+  for (int i = 0; i < n; ++i) {
+    cluster::Request request;
+    request.id = RequestId{i};
+    request.model = models::ModelId::kResNet50;
+    request.arrival_ms = i;
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+TEST(Batcher, DispatchesWhenBatchFull) {
+  Batcher batcher;
+  EXPECT_TRUE(batcher.should_dispatch(64, 64, 0.0));
+  EXPECT_TRUE(batcher.should_dispatch(100, 64, 0.0));
+  EXPECT_FALSE(batcher.should_dispatch(63, 64, 0.0));
+}
+
+TEST(Batcher, DispatchesWhenOldestAgesOut) {
+  Batcher batcher(BatcherConfig{.max_wait_ms = 50.0});
+  EXPECT_FALSE(batcher.should_dispatch(1, 64, 49.0));
+  EXPECT_TRUE(batcher.should_dispatch(1, 64, 50.0));
+}
+
+TEST(Batcher, NeverDispatchesEmptyQueue) {
+  Batcher batcher;
+  EXPECT_FALSE(batcher.should_dispatch(0, 64, 1000.0));
+}
+
+TEST(Batcher, ChunksIntoFlexibleBatches) {
+  Batcher batcher;
+  cluster::IdAllocator ids;
+  const auto batches = batcher.chunk(make_requests(150), 64, 10.0, ids);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].size(), 64);
+  EXPECT_EQ(batches[1].size(), 64);
+  EXPECT_EQ(batches[2].size(), 22);  // flexible final batch
+  for (const auto& batch : batches) {
+    EXPECT_EQ(batch.formed_ms, 10.0);
+    EXPECT_EQ(batch.model, models::ModelId::kResNet50);
+  }
+}
+
+TEST(Batcher, ChunkPreservesRequestOrder) {
+  Batcher batcher;
+  cluster::IdAllocator ids;
+  const auto batches = batcher.chunk(make_requests(10), 4, 0.0, ids);
+  std::int64_t expected = 0;
+  for (const auto& batch : batches) {
+    for (const auto& request : batch.requests) {
+      EXPECT_EQ(request.id.value, expected++);
+    }
+  }
+}
+
+TEST(Batcher, ChunkEmptyInput) {
+  Batcher batcher;
+  cluster::IdAllocator ids;
+  EXPECT_TRUE(batcher.chunk({}, 64, 0.0, ids).empty());
+}
+
+TEST(Batcher, ChunkClampsNonPositiveBatchSize) {
+  Batcher batcher;
+  cluster::IdAllocator ids;
+  const auto batches = batcher.chunk(make_requests(3), 0, 0.0, ids);
+  EXPECT_EQ(batches.size(), 3u);  // batch size clamped to 1
+}
+
+TEST(Batcher, BatchIdsUnique) {
+  Batcher batcher;
+  cluster::IdAllocator ids;
+  auto first = batcher.chunk(make_requests(10), 2, 0.0, ids);
+  auto second = batcher.chunk(make_requests(10), 2, 0.0, ids);
+  std::set<std::int64_t> seen;
+  for (const auto& batch : first) seen.insert(batch.id.value);
+  for (const auto& batch : second) seen.insert(batch.id.value);
+  EXPECT_EQ(seen.size(), first.size() + second.size());
+}
+
+TEST(Batch, OldestArrival) {
+  Batcher batcher;
+  cluster::IdAllocator ids;
+  auto batches = batcher.chunk(make_requests(5), 5, 0.0, ids);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].oldest_arrival_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace paldia::core

@@ -1,0 +1,110 @@
+#include "src/core/gateway.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paldia::core {
+namespace {
+
+constexpr auto kModel = models::ModelId::kResNet50;
+
+TEST(Gateway, InjectedRequestsBecomeVisibleByArrivalTime) {
+  Gateway gateway(Rng(1));
+  gateway.add_workload(kModel);
+  gateway.inject(kModel, 10, 0.0, 100.0);
+  EXPECT_EQ(gateway.pending_total(kModel), 10);
+  // Not all have "arrived" at t = 1 (offsets spread over [0, 100)).
+  EXPECT_LE(gateway.pending(kModel, 1.0), 10);
+  EXPECT_EQ(gateway.pending(kModel, 100.0), 10);
+}
+
+TEST(Gateway, TakeRespectsArrivalOrderAndTime) {
+  Gateway gateway(Rng(2));
+  gateway.add_workload(kModel);
+  gateway.inject(kModel, 20, 0.0, 100.0);
+  const auto taken = gateway.take(kModel, 50, 100.0);
+  ASSERT_EQ(taken.size(), 20u);
+  for (std::size_t i = 1; i < taken.size(); ++i) {
+    EXPECT_LE(taken[i - 1].arrival_ms, taken[i].arrival_ms);
+  }
+  EXPECT_EQ(gateway.pending(kModel, 100.0), 0);
+}
+
+TEST(Gateway, TakeHonoursMaxCount) {
+  Gateway gateway(Rng(3));
+  gateway.add_workload(kModel);
+  gateway.inject(kModel, 10, 0.0, 1.0);
+  const auto first = gateway.take(kModel, 4, 10.0);
+  EXPECT_EQ(first.size(), 4u);
+  EXPECT_EQ(gateway.pending(kModel, 10.0), 6);
+}
+
+TEST(Gateway, RequestIdsUnique) {
+  Gateway gateway(Rng(4));
+  gateway.add_workload(kModel);
+  gateway.inject(kModel, 100, 0.0, 1.0);
+  auto taken = gateway.take(kModel, 100, 10.0);
+  std::set<std::int64_t> ids;
+  for (const auto& request : taken) ids.insert(request.id.value);
+  EXPECT_EQ(ids.size(), 100u);
+}
+
+TEST(Gateway, OldestAge) {
+  Gateway gateway(Rng(5));
+  gateway.add_workload(kModel);
+  EXPECT_EQ(gateway.oldest_age(kModel, 100.0), 0.0);
+  gateway.inject(kModel, 1, 0.0, 1.0);
+  EXPECT_NEAR(gateway.oldest_age(kModel, 50.0), 50.0, 1.0);
+}
+
+TEST(Gateway, RequeuePreservesArrivalAndReorders) {
+  Gateway gateway(Rng(6));
+  gateway.add_workload(kModel);
+  gateway.inject(kModel, 5, 0.0, 1.0);
+  auto taken = gateway.take(kModel, 5, 10.0);
+  gateway.inject(kModel, 5, 100.0, 1.0);
+  gateway.requeue(kModel, taken);  // failed batch comes back
+  const auto again = gateway.take(kModel, 10, 200.0);
+  ASSERT_EQ(again.size(), 10u);
+  // The re-queued (older) requests must come out first.
+  EXPECT_LT(again.front().arrival_ms, 10.0);
+  for (std::size_t i = 1; i < again.size(); ++i) {
+    EXPECT_LE(again[i - 1].arrival_ms, again[i].arrival_ms);
+  }
+}
+
+TEST(Gateway, ObservedRateTracksInjections) {
+  Gateway gateway(Rng(7));
+  gateway.add_workload(kModel);
+  // 50 arrivals inside the trailing 1 s window -> 50 rps.
+  gateway.inject(kModel, 50, 0.0, 500.0);
+  EXPECT_NEAR(gateway.observed_rate(kModel, 500.0), 50.0, 5.0);
+  // Window slides: half a second later some arrivals are still in window.
+  EXPECT_NEAR(gateway.observed_rate(kModel, 1000.0), 50.0, 15.0);
+  EXPECT_EQ(gateway.observed_rate(kModel, 2000.0), 0.0);
+}
+
+TEST(Gateway, MultipleWorkloadsIsolated) {
+  Gateway gateway(Rng(8));
+  gateway.add_workload(models::ModelId::kResNet50);
+  gateway.add_workload(models::ModelId::kSeNet18);
+  gateway.inject(models::ModelId::kResNet50, 5, 0.0, 1.0);
+  EXPECT_EQ(gateway.pending_total(models::ModelId::kResNet50), 5);
+  EXPECT_EQ(gateway.pending_total(models::ModelId::kSeNet18), 0);
+}
+
+TEST(Gateway, AddWorkloadIdempotent) {
+  Gateway gateway(Rng(9));
+  gateway.add_workload(kModel);
+  gateway.add_workload(kModel);
+  EXPECT_EQ(gateway.workloads().size(), 1u);
+}
+
+TEST(Gateway, ZeroCountInjectIsNoop) {
+  Gateway gateway(Rng(10));
+  gateway.add_workload(kModel);
+  gateway.inject(kModel, 0, 0.0, 100.0);
+  EXPECT_EQ(gateway.pending_total(kModel), 0);
+}
+
+}  // namespace
+}  // namespace paldia::core

@@ -1,0 +1,157 @@
+#include "src/core/hardware_selection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paldia::core {
+namespace {
+
+class HardwareSelectionTest : public ::testing::Test {
+ protected:
+  HardwareSelectionTest()
+      : profile_(hw::Catalog::instance()),
+        optimizer_(perfmodel::TmaxModel(0.2)),
+        selection_(models::Zoo::instance(), hw::Catalog::instance(), profile_,
+                   optimizer_) {}
+
+  static DemandSnapshot demand(models::ModelId model, Rps rate, int backlog = 0) {
+    DemandSnapshot snapshot;
+    snapshot.model = model;
+    snapshot.observed_rps = rate;
+    snapshot.predicted_rps = rate;
+    snapshot.smoothed_rps = rate;
+    snapshot.backlog = backlog;
+    return snapshot;
+  }
+
+  models::ProfileTable profile_;
+  perfmodel::YOptimizer optimizer_;
+  HardwareSelection selection_;
+};
+
+TEST_F(HardwareSelectionTest, LowRateChoosesCpu) {
+  // ~10 rps of ResNet 50: a CPU node suffices and short-circuits
+  // (Algorithm 1's break).
+  const auto choice = selection_.choose({demand(models::ModelId::kResNet50, 10.0)});
+  EXPECT_FALSE(hw::Catalog::instance().spec(choice.node).is_gpu());
+  EXPECT_TRUE(choice.feasible);
+}
+
+TEST_F(HardwareSelectionTest, MediumRateChoosesCheapGpu) {
+  // 100 rps exceeds every CPU node; the M60 is the cheapest capable GPU.
+  const auto choice = selection_.choose({demand(models::ModelId::kResNet50, 100.0)});
+  EXPECT_EQ(choice.node, hw::NodeType::kG3s_xlarge);
+  EXPECT_TRUE(choice.feasible);
+}
+
+TEST_F(HardwareSelectionTest, SaturatingRateEscalatesToV100) {
+  // ~700 rps of GoogleNet: only the V100 can keep T_max near the SLO
+  // (the Fig. 13a regime).
+  const auto choice = selection_.choose({demand(models::ModelId::kGoogleNet, 700.0)});
+  EXPECT_EQ(choice.node, hw::NodeType::kP3_2xlarge);
+}
+
+TEST_F(HardwareSelectionTest, LanguageModelSkipsCpu) {
+  // BERT at even 2 rps cannot be served by any CPU node within the SLO.
+  const auto choice = selection_.choose({demand(models::ModelId::kBert, 2.0)});
+  EXPECT_TRUE(hw::Catalog::instance().spec(choice.node).is_gpu());
+}
+
+TEST_F(HardwareSelectionTest, ZeroDemandPicksCheapestCapableNode) {
+  const auto choice = selection_.choose({demand(models::ModelId::kResNet50, 0.0)});
+  EXPECT_TRUE(choice.feasible);
+  // With no demand every capable node is feasible; cheapest-first wins.
+  EXPECT_LE(hw::Catalog::instance().spec(choice.node).price_per_hour, 0.75);
+}
+
+TEST_F(HardwareSelectionTest, BacklogForcesEscalation) {
+  // Low rate but a large accumulated backlog: CPU drain bound fails.
+  const auto choice =
+      selection_.choose({demand(models::ModelId::kResNet50, 5.0, 500)});
+  EXPECT_TRUE(hw::Catalog::instance().spec(choice.node).is_gpu());
+}
+
+TEST_F(HardwareSelectionTest, EvaluateCpuFeasibility) {
+  const auto feasible =
+      selection_.evaluate(hw::NodeType::kC6i_4xlarge,
+                          {demand(models::ModelId::kResNet50, 10.0)});
+  EXPECT_TRUE(feasible.feasible);
+  const auto infeasible =
+      selection_.evaluate(hw::NodeType::kC6i_4xlarge,
+                          {demand(models::ModelId::kResNet50, 120.0)});
+  EXPECT_FALSE(infeasible.feasible);
+}
+
+TEST_F(HardwareSelectionTest, EvaluateGpuReportsSplit) {
+  const auto choice =
+      selection_.evaluate(hw::NodeType::kG3s_xlarge,
+                          {demand(models::ModelId::kResNet50, 200.0)});
+  EXPECT_TRUE(choice.feasible);
+  EXPECT_GE(choice.best_y, 0);
+  EXPECT_GT(choice.t_max_ms, 0.0);
+}
+
+TEST_F(HardwareSelectionTest, MultiModelDemandTakesWorstCase) {
+  const auto light = selection_.evaluate(
+      hw::NodeType::kG3s_xlarge, {demand(models::ModelId::kSeNet18, 50.0)});
+  const auto combined = selection_.evaluate(
+      hw::NodeType::kG3s_xlarge, {demand(models::ModelId::kSeNet18, 50.0),
+                                  demand(models::ModelId::kDenseNet121, 150.0)});
+  EXPECT_GE(combined.t_max_ms, light.t_max_ms);
+}
+
+TEST_F(HardwareSelectionTest, PerformanceBandPrefersCheaperGpu) {
+  // At a rate the M60 comfortably serves, its T_max lands within the 50 ms
+  // band of the V100's, so the cheaper node must win despite being slower.
+  const auto m60 = selection_.evaluate(hw::NodeType::kG3s_xlarge,
+                                       {demand(models::ModelId::kResNet50, 150.0)});
+  const auto v100 = selection_.evaluate(hw::NodeType::kP3_2xlarge,
+                                        {demand(models::ModelId::kResNet50, 150.0)});
+  ASSERT_TRUE(m60.feasible);
+  ASSERT_TRUE(v100.feasible);
+  ASSERT_LE(m60.t_max_ms, v100.t_max_ms + 50.0);
+  const auto choice = selection_.choose({demand(models::ModelId::kResNet50, 150.0)});
+  EXPECT_EQ(choice.node, hw::NodeType::kG3s_xlarge);
+}
+
+TEST_F(HardwareSelectionTest, ParallelPoolGivesSameAnswer) {
+  ThreadPool pool(4);
+  HardwareSelection parallel_selection(models::Zoo::instance(),
+                                       hw::Catalog::instance(), profile_, optimizer_,
+                                       &pool);
+  for (Rps rate : {5.0, 60.0, 300.0, 700.0}) {
+    const auto serial = selection_.choose({demand(models::ModelId::kDpn92, rate)});
+    const auto parallel =
+        parallel_selection.choose({demand(models::ModelId::kDpn92, rate)});
+    EXPECT_EQ(serial.node, parallel.node) << "rate " << rate;
+  }
+}
+
+// Sweep: the chosen node's price must be monotone (non-decreasing) in the
+// offered rate for a given model — more load never selects cheaper
+// hardware.
+class RateSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RateSweep, ChosenPriceMonotoneInRate) {
+  models::ProfileTable profile(hw::Catalog::instance());
+  perfmodel::YOptimizer optimizer(perfmodel::TmaxModel(0.2));
+  HardwareSelection selection(models::Zoo::instance(), hw::Catalog::instance(),
+                              profile, optimizer);
+  const auto model = models::ModelId(GetParam());
+  double previous_price = 0.0;
+  for (Rps rate : {1.0, 10.0, 40.0, 120.0, 300.0, 600.0}) {
+    DemandSnapshot snapshot;
+    snapshot.model = model;
+    snapshot.observed_rps = snapshot.predicted_rps = snapshot.smoothed_rps = rate;
+    const auto choice = selection.choose({snapshot});
+    const double price = hw::Catalog::instance().spec(choice.node).price_per_hour;
+    EXPECT_GE(price, previous_price - 1e-9)
+        << models::model_id_name(model) << " at " << rate << " rps";
+    previous_price = price;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VisionModels, RateSweep,
+                         ::testing::Values(0, 1, 2, 3, 4, 8, 10));
+
+}  // namespace
+}  // namespace paldia::core

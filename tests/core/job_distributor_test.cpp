@@ -1,0 +1,141 @@
+#include "src/core/job_distributor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paldia::core {
+namespace {
+
+constexpr auto kModel = models::ModelId::kResNet50;
+
+class JobDistributorTest : public ::testing::Test {
+ protected:
+  JobDistributorTest()
+      : node_(simulator_, NodeId{0}, hw::NodeType::kG3s_xlarge, Rng(1)),
+        distributor_(
+            batcher_, ids_,
+            [this](const cluster::Request& request,
+                   const cluster::ExecutionReport& report) {
+              completions_.emplace_back(request, report);
+            },
+            [this](models::ModelId, std::vector<cluster::Request> requests) {
+              for (auto& request : requests) requeued_.push_back(request);
+            }) {
+    for (int i = 0; i < 8; ++i) node_.spawn_container(kModel, true);
+  }
+
+  std::vector<cluster::Request> make_requests(int n) {
+    std::vector<cluster::Request> requests;
+    for (int i = 0; i < n; ++i) {
+      cluster::Request request;
+      request.id = ids_.next_request();
+      request.model = kModel;
+      request.arrival_ms = i * 0.1;
+      requests.push_back(request);
+    }
+    return requests;
+  }
+
+  sim::Simulator simulator_;
+  cluster::Node node_;
+  Batcher batcher_;
+  cluster::IdAllocator ids_;
+  std::vector<std::pair<cluster::Request, cluster::ExecutionReport>> completions_;
+  std::vector<cluster::Request> requeued_;
+  JobDistributor distributor_;
+};
+
+TEST_F(JobDistributorTest, AllSpatialPlanCompletesEveryRequest) {
+  SplitPlan plan;
+  plan.spatial_requests = 100;
+  plan.batch_size = 32;
+  const int batches = distributor_.dispatch(node_, plan, make_requests(100), 0.0);
+  EXPECT_EQ(batches, 4);  // ceil(100/32)
+  simulator_.run_to_completion();
+  EXPECT_EQ(completions_.size(), 100u);
+  EXPECT_EQ(distributor_.in_flight(), 0);
+}
+
+TEST_F(JobDistributorTest, HybridPlanSplitsSpatialAndTemporal) {
+  SplitPlan plan;
+  plan.spatial_requests = 64;
+  plan.temporal_requests = 64;
+  plan.batch_size = 64;
+  distributor_.dispatch(node_, plan, make_requests(128), 0.0);
+  simulator_.run_to_completion();
+  ASSERT_EQ(completions_.size(), 128u);
+  // Temporal requests show up with queue time or start after the spatial
+  // ones; at minimum every request completed unfailed.
+  for (const auto& [request, report] : completions_) {
+    EXPECT_FALSE(report.failed);
+  }
+}
+
+TEST_F(JobDistributorTest, SpatialPortionTakesOldestRequests) {
+  SplitPlan plan;
+  plan.spatial_requests = 2;
+  plan.temporal_requests = 2;
+  plan.batch_size = 2;
+  auto requests = make_requests(4);
+  distributor_.dispatch(node_, plan, requests, 0.0);
+  simulator_.run_to_completion();
+  ASSERT_EQ(completions_.size(), 4u);
+  // The two oldest ids (0, 1) execute spatially: they start immediately,
+  // i.e. with zero lane-queue time.
+  for (const auto& [request, report] : completions_) {
+    if (request.id.value <= 1) {
+      EXPECT_NEAR(report.queue_ms(), 0.0, 1e-6) << request.id.value;
+    }
+  }
+}
+
+TEST_F(JobDistributorTest, CpuPlanRoutesToCpuMode) {
+  sim::Simulator simulator;
+  cluster::Node cpu_node(simulator, NodeId{1}, hw::NodeType::kC6i_4xlarge, Rng(2));
+  cpu_node.spawn_container(kModel, true);
+  SplitPlan plan;
+  plan.use_cpu = true;
+  plan.temporal_requests = 6;
+  plan.batch_size = 3;
+  distributor_.dispatch(cpu_node, plan, make_requests(6), 0.0);
+  simulator.run_to_completion();
+  EXPECT_EQ(completions_.size(), 6u);
+}
+
+TEST_F(JobDistributorTest, FailureRequeuesRequests) {
+  SplitPlan plan;
+  plan.spatial_requests = 10;
+  plan.batch_size = 10;
+  distributor_.dispatch(node_, plan, make_requests(10), 0.0);
+  node_.fail();
+  EXPECT_EQ(requeued_.size(), 10u);
+  EXPECT_TRUE(completions_.empty());
+  EXPECT_EQ(distributor_.in_flight(), 0);
+}
+
+TEST_F(JobDistributorTest, EmptyDispatchIsNoop) {
+  SplitPlan plan;
+  EXPECT_EQ(distributor_.dispatch(node_, plan, {}, 0.0), 0);
+  EXPECT_EQ(distributor_.in_flight(), 0);
+}
+
+TEST_F(JobDistributorTest, InFlightTracksOutstandingBatches) {
+  SplitPlan plan;
+  plan.spatial_requests = 64;
+  plan.batch_size = 32;
+  distributor_.dispatch(node_, plan, make_requests(64), 0.0);
+  EXPECT_EQ(distributor_.in_flight(), 2);
+  simulator_.run_to_completion();
+  EXPECT_EQ(distributor_.in_flight(), 0);
+}
+
+TEST_F(JobDistributorTest, SpatialClampedToAvailableRequests) {
+  SplitPlan plan;
+  plan.spatial_requests = 1000;  // plan computed from a stale backlog
+  plan.batch_size = 64;
+  distributor_.dispatch(node_, plan, make_requests(10), 0.0);
+  simulator_.run_to_completion();
+  EXPECT_EQ(completions_.size(), 10u);
+}
+
+}  // namespace
+}  // namespace paldia::core

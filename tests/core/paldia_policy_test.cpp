@@ -1,0 +1,167 @@
+#include "src/core/paldia_policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paldia::core {
+namespace {
+
+class PaldiaPolicyTest : public ::testing::Test {
+ protected:
+  PaldiaPolicyTest() : profile_(hw::Catalog::instance()) {}
+
+  std::unique_ptr<PaldiaPolicy> make_policy(PaldiaPolicyConfig config = {}) {
+    return std::make_unique<PaldiaPolicy>(models::Zoo::instance(),
+                                          hw::Catalog::instance(), profile_, nullptr,
+                                          config);
+  }
+
+  static DemandSnapshot demand(Rps rate, int backlog = 0,
+                               models::ModelId model = models::ModelId::kResNet50) {
+    DemandSnapshot snapshot;
+    snapshot.model = model;
+    snapshot.observed_rps = rate;
+    snapshot.predicted_rps = rate;
+    snapshot.smoothed_rps = rate;
+    snapshot.backlog = backlog;
+    return snapshot;
+  }
+
+  models::ProfileTable profile_;
+};
+
+TEST_F(PaldiaPolicyTest, StaysOnCurrentWhenItIsChosen) {
+  auto policy = make_policy();
+  const auto current = hw::NodeType::kC6i_4xlarge;
+  EXPECT_EQ(policy->select_hardware({demand(10.0)}, current, 0.0), current);
+  EXPECT_EQ(policy->wait_counter(), 0);
+}
+
+TEST_F(PaldiaPolicyTest, FirstMismatchNeverSwitchesImmediately) {
+  auto policy = make_policy();
+  const auto current = hw::NodeType::kC6i_2xlarge;
+  // Whatever the preferred target at 60 rps, the very first mismatch round
+  // must hold the current node (both the emergency confirmation and the
+  // wait counter require more than one round).
+  EXPECT_EQ(policy->select_hardware({demand(60.0)}, current, 0.0), current);
+}
+
+TEST_F(PaldiaPolicyTest, EmergencyUpgradeBypassesHysteresisAfterConfirmation) {
+  auto policy = make_policy();
+  const auto current = hw::NodeType::kC6i_2xlarge;
+  // 60 rps: far beyond any CPU node; current is infeasible -> emergency.
+  const auto d = demand(60.0);
+  const auto first = policy->select_hardware({d}, current, 0.0);
+  EXPECT_EQ(first, current);  // first round only arms the confirmation
+  const auto second = policy->select_hardware({d}, current, 500.0);
+  EXPECT_NE(second, current);
+  EXPECT_TRUE(hw::Catalog::instance().spec(second).is_gpu());
+}
+
+TEST_F(PaldiaPolicyTest, DowngradeWaitsForSustainedTrend) {
+  PaldiaPolicyConfig config;
+  config.downgrade_wait_limit = 5;
+  auto policy = make_policy(config);
+  const auto current = hw::NodeType::kG3s_xlarge;  // sitting on the M60
+  const auto d = demand(5.0);                      // traffic died down
+  hw::NodeType chosen = current;
+  int rounds = 0;
+  while (chosen == current && rounds < 20) {
+    chosen = policy->select_hardware({d}, current, rounds * 500.0);
+    ++rounds;
+  }
+  EXPECT_EQ(rounds, 5);  // switched exactly at the limit
+  EXPECT_FALSE(hw::Catalog::instance().spec(chosen).is_gpu());
+}
+
+TEST_F(PaldiaPolicyTest, DowngradeCounterIsLeakyNotReset) {
+  PaldiaPolicyConfig config;
+  config.downgrade_wait_limit = 4;
+  auto policy = make_policy(config);
+  const auto current = hw::NodeType::kG3s_xlarge;
+  // Three downgrade votes, one blip preferring current, then more votes:
+  // the blip must only decrement, not erase, the accumulated trend.
+  policy->select_hardware({demand(5.0)}, current, 0.0);
+  policy->select_hardware({demand(5.0)}, current, 1.0);
+  policy->select_hardware({demand(5.0)}, current, 2.0);
+  policy->select_hardware({demand(140.0)}, current, 3.0);  // blip: stay on M60
+  EXPECT_EQ(policy->select_hardware({demand(5.0)}, current, 4.0), current);
+  const auto chosen = policy->select_hardware({demand(5.0)}, current, 5.0);
+  EXPECT_NE(chosen, current);
+}
+
+TEST_F(PaldiaPolicyTest, PlanUsesCpuModeOnCpuNodes) {
+  auto policy = make_policy();
+  const auto plan =
+      policy->plan_dispatch(demand(10.0, 5), hw::NodeType::kC6i_4xlarge, 0.0);
+  EXPECT_TRUE(plan.use_cpu);
+  EXPECT_EQ(plan.temporal_requests, 5);
+  EXPECT_EQ(plan.spatial_requests, 0);
+  EXPECT_GE(plan.batch_size, 1);
+}
+
+TEST_F(PaldiaPolicyTest, PlanLightGpuLoadIsAllSpatial) {
+  auto policy = make_policy();
+  const auto plan =
+      policy->plan_dispatch(demand(50.0, 20), hw::NodeType::kG3s_xlarge, 0.0);
+  EXPECT_FALSE(plan.use_cpu);
+  EXPECT_EQ(plan.spatial_requests, 20);
+  EXPECT_EQ(plan.temporal_requests, 0);
+}
+
+TEST_F(PaldiaPolicyTest, PlanHeavyGpuLoadIsHybrid) {
+  auto policy = make_policy();
+  // A big backlog on the V100 (whose compute a single batch does not
+  // saturate): the split must queue part of it (y > 0) and run the rest
+  // concurrently.
+  const auto plan =
+      policy->plan_dispatch(demand(300.0, 1200), hw::NodeType::kP3_2xlarge, 0.0);
+  EXPECT_GT(plan.temporal_requests, 0);
+  EXPECT_GT(plan.spatial_requests, 0);
+  EXPECT_EQ(plan.spatial_requests + plan.temporal_requests, 1200);
+}
+
+TEST_F(PaldiaPolicyTest, PlanOnComputeSaturatedGpuDegeneratesToTemporal) {
+  auto policy = make_policy();
+  // Full-size batches saturate the M60's SMs (compute fraction ~1), so
+  // co-locating them buys nothing — the optimizer correctly prefers the
+  // time-shared lane for nearly everything.
+  const auto plan =
+      policy->plan_dispatch(demand(300.0, 1200), hw::NodeType::kG3s_xlarge, 0.0);
+  EXPECT_GT(plan.temporal_requests, plan.spatial_requests);
+}
+
+TEST_F(PaldiaPolicyTest, PlanEmptyBacklogIsEmpty) {
+  auto policy = make_policy();
+  const auto plan = policy->plan_dispatch(demand(10.0, 0), hw::NodeType::kG3s_xlarge, 0.0);
+  EXPECT_EQ(plan.spatial_requests + plan.temporal_requests, 0);
+}
+
+TEST_F(PaldiaPolicyTest, DesiredContainersFollowsPaperFormula) {
+  auto policy = make_policy();
+  SplitPlan plan;
+  plan.spatial_requests = 130;
+  plan.batch_size = 64;
+  plan.temporal_requests = 10;
+  // ceil(130/64) = 3 containers for the spatial batches.
+  EXPECT_EQ(policy->desired_containers(plan), 3);
+  plan.spatial_requests = 0;
+  EXPECT_EQ(policy->desired_containers(plan), 1);  // warm one for temporal
+}
+
+TEST_F(PaldiaPolicyTest, FailoverEscalatesToCheapestStrongerGpu) {
+  auto policy = make_policy();
+  EXPECT_EQ(policy->on_node_failure(hw::NodeType::kG3s_xlarge),
+            hw::NodeType::kP3_2xlarge);  // only stronger GPU
+  EXPECT_EQ(policy->on_node_failure(hw::NodeType::kP2_xlarge),
+            hw::NodeType::kG3s_xlarge);  // M60 stronger *and* cheaper than V100
+  // From the top GPU, step down to the next best.
+  EXPECT_EQ(policy->on_node_failure(hw::NodeType::kP3_2xlarge),
+            hw::NodeType::kG3s_xlarge);
+}
+
+TEST_F(PaldiaPolicyTest, NameIsPaldia) {
+  EXPECT_EQ(make_policy()->name(), "Paldia");
+}
+
+}  // namespace
+}  // namespace paldia::core

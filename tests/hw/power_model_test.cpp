@@ -1,0 +1,59 @@
+#include "src/hw/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/hw/catalog.hpp"
+
+namespace paldia::hw {
+namespace {
+
+TEST(PowerModel, IdleIsSumOfIdleComponents) {
+  const auto& spec = Catalog::instance().spec(NodeType::kP3_2xlarge);
+  PowerModel model(spec);
+  EXPECT_DOUBLE_EQ(model.idle_power(), spec.cpu.idle_power + spec.gpu->idle_power);
+}
+
+TEST(PowerModel, PeakIsSumOfPeakComponents) {
+  const auto& spec = Catalog::instance().spec(NodeType::kP3_2xlarge);
+  PowerModel model(spec);
+  EXPECT_DOUBLE_EQ(model.peak_power(), spec.cpu.peak_power + spec.gpu->peak_power);
+}
+
+TEST(PowerModel, LinearInUtilization) {
+  const auto& spec = Catalog::instance().spec(NodeType::kG3s_xlarge);
+  PowerModel model(spec);
+  const Watts at_half = model.power(0.5, 0.5);
+  EXPECT_NEAR(at_half, (model.idle_power() + model.peak_power()) / 2.0, 1e-9);
+}
+
+TEST(PowerModel, CpuOnlyNodeIgnoresGpuUtil) {
+  const auto& spec = Catalog::instance().spec(NodeType::kC6i_4xlarge);
+  PowerModel model(spec);
+  EXPECT_DOUBLE_EQ(model.power(0.3, 0.0), model.power(0.3, 0.9));
+}
+
+TEST(PowerModel, UtilizationClamped) {
+  const auto& spec = Catalog::instance().spec(NodeType::kP2_xlarge);
+  PowerModel model(spec);
+  EXPECT_DOUBLE_EQ(model.power(-1.0, -1.0), model.idle_power());
+  EXPECT_DOUBLE_EQ(model.power(2.0, 2.0), model.peak_power());
+}
+
+TEST(PowerModel, V100NodeDrawsMoreThanM60NodeAtFullLoad) {
+  PowerModel v100(Catalog::instance().spec(NodeType::kP3_2xlarge));
+  PowerModel m60(Catalog::instance().spec(NodeType::kG3s_xlarge));
+  EXPECT_GT(v100.peak_power(), m60.peak_power());
+}
+
+TEST(PowerModel, MonotoneInUtilization) {
+  PowerModel model(Catalog::instance().spec(NodeType::kP3_2xlarge));
+  Watts previous = -1.0;
+  for (double u = 0.0; u <= 1.0; u += 0.1) {
+    const Watts draw = model.power(u, u);
+    EXPECT_GT(draw, previous);
+    previous = draw;
+  }
+}
+
+}  // namespace
+}  // namespace paldia::hw

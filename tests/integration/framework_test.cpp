@@ -1,0 +1,168 @@
+// Integration tests of the full serving harness: gateway -> batcher ->
+// autoscaler -> job distributor -> devices -> telemetry, driven by real
+// policies on short traces.
+#include <gtest/gtest.h>
+
+#include "src/core/framework.hpp"
+#include "src/core/paldia_policy.hpp"
+#include "src/baselines/molecule.hpp"
+#include "src/trace/generators.hpp"
+
+namespace paldia::core {
+namespace {
+
+constexpr auto kModel = models::ModelId::kResNet50;
+
+trace::Trace steady_trace(Rps rate, DurationMs duration) {
+  trace::PoissonOptions options;
+  options.mean_rps = rate;
+  options.duration_ms = duration;
+  options.seed = 11;
+  return trace::make_poisson_trace(options);
+}
+
+struct Harness {
+  explicit Harness(std::unique_ptr<SchedulerPolicy> policy,
+                   FrameworkConfig config = {})
+      : cluster(simulator, Rng(5)),
+        framework(simulator, cluster, std::move(policy), Rng(6),
+                  models::Zoo::instance(), config) {}
+
+  sim::Simulator simulator;
+  cluster::Cluster cluster;
+  Framework framework;
+  models::ProfileTable profile{hw::Catalog::instance()};
+};
+
+std::unique_ptr<SchedulerPolicy> paldia(const models::ProfileTable& profile) {
+  return std::make_unique<PaldiaPolicy>(models::Zoo::instance(),
+                                        hw::Catalog::instance(), profile);
+}
+
+TEST(Framework, ServesEveryRequestOfASteadyLowTrace) {
+  models::ProfileTable profile(hw::Catalog::instance());
+  Harness harness(paldia(profile));
+  const auto trace = steady_trace(10.0, seconds(60));
+  harness.framework.add_workload(kModel, trace);
+  harness.framework.run();
+
+  const auto& slo = harness.framework.slo(kModel);
+  EXPECT_EQ(slo.total(), trace.total_requests());
+  EXPECT_EQ(harness.framework.unserved_requests(), 0u);
+  EXPECT_GT(slo.compliance(), 0.97);
+  // Low traffic is served on a CPU node (Insight 1).
+  EXPECT_FALSE(
+      harness.cluster.catalog().spec(harness.framework.active_node()).is_gpu());
+}
+
+TEST(Framework, EscalatesToGpuUnderHighSteadyLoad) {
+  models::ProfileTable profile(hw::Catalog::instance());
+  Harness harness(paldia(profile));
+  const auto trace = steady_trace(150.0, seconds(60));
+  harness.framework.add_workload(kModel, trace);
+  harness.framework.run();
+
+  EXPECT_TRUE(
+      harness.cluster.catalog().spec(harness.framework.active_node()).is_gpu());
+  EXPECT_GT(harness.framework.slo(kModel).compliance(), 0.85);
+  EXPECT_GE(harness.framework.hardware_switches(), 1);
+}
+
+TEST(Framework, CostAccruesOnlyForHeldNodes) {
+  models::ProfileTable profile(hw::Catalog::instance());
+  Harness harness(paldia(profile));
+  harness.framework.add_workload(kModel, steady_trace(10.0, seconds(30)));
+  harness.framework.run();
+  const Dollars cost = harness.cluster.total_cost();
+  EXPECT_GT(cost, 0.0);
+  // Upper bound: the most expensive node for the whole run.
+  EXPECT_LT(cost, 3.06 * (seconds(40) / kMsPerHour) * 2);
+}
+
+TEST(Framework, LatencyBreakdownComponentsAddUp) {
+  models::ProfileTable profile(hw::Catalog::instance());
+  Harness harness(paldia(profile));
+  harness.framework.add_workload(kModel, steady_trace(30.0, seconds(30)));
+  harness.framework.run();
+  const auto breakdown = harness.framework.latency(kModel).breakdown_at(0.5, 0.2);
+  ASSERT_GT(breakdown.samples, 0u);
+  EXPECT_NEAR(breakdown.latency_ms,
+              breakdown.solo_ms + breakdown.queue_ms + breakdown.interference_ms +
+                  breakdown.cold_start_ms,
+              breakdown.latency_ms * 0.05);
+}
+
+TEST(Framework, NodeFailureIsSurvivedWithRequeue) {
+  models::ProfileTable profile(hw::Catalog::instance());
+  Harness harness(paldia(profile));
+  cluster::FailureInjectorConfig failures;
+  failures.first_failure_ms = seconds(10);
+  failures.period_ms = seconds(30);
+  failures.downtime_ms = seconds(5);
+  harness.framework.enable_failures(failures);
+  const auto trace = steady_trace(20.0, seconds(45));
+  harness.framework.add_workload(kModel, trace);
+  harness.framework.run();
+
+  const auto& slo = harness.framework.slo(kModel);
+  // Every request is eventually accounted for despite the failures.
+  EXPECT_EQ(slo.total() + harness.framework.unserved_requests(),
+            trace.total_requests());
+  EXPECT_GT(slo.compliance(), 0.50);
+  EXPECT_GE(harness.framework.hardware_switches(), 1);  // failover happened
+}
+
+TEST(Framework, HostInterferenceDegradesCpuServing) {
+  auto run = [](bool interfere) {
+    models::ProfileTable profile(hw::Catalog::instance());
+    Harness harness(std::make_unique<PaldiaPolicy>(models::Zoo::instance(),
+                                                   hw::Catalog::instance(), profile));
+    if (interfere) {
+      harness.framework.enable_host_interference(
+          {{"hog", 1.5, 0.05, seconds(1000), seconds(0.001)}});
+    }
+    harness.framework.add_workload(kModel, steady_trace(14.0, seconds(40)));
+    harness.framework.run();
+    return harness.framework.latency(kModel).mean_ms();
+  };
+  EXPECT_GT(run(true), run(false) * 1.05);
+}
+
+TEST(Framework, MultiWorkloadServing) {
+  models::ProfileTable profile(hw::Catalog::instance());
+  FrameworkConfig config;
+  config.initial_node = hw::NodeType::kG3s_xlarge;
+  Harness harness(
+      std::make_unique<baselines::MoleculePolicy>(
+          models::Zoo::instance(), hw::Catalog::instance(), profile,
+          baselines::Variant::kCostEffective, hw::NodeType::kG3s_xlarge),
+      config);
+  const auto trace_a = steady_trace(40.0, seconds(30));
+  const auto trace_b = steady_trace(25.0, seconds(30));
+  harness.framework.add_workload(models::ModelId::kSeNet18, trace_a);
+  harness.framework.add_workload(models::ModelId::kDenseNet121, trace_b);
+  harness.framework.run();
+  EXPECT_EQ(harness.framework.slo(models::ModelId::kSeNet18).total(),
+            trace_a.total_requests());
+  EXPECT_EQ(harness.framework.slo(models::ModelId::kDenseNet121).total(),
+            trace_b.total_requests());
+}
+
+TEST(Framework, DeterministicAcrossRuns) {
+  auto run = [] {
+    models::ProfileTable profile(hw::Catalog::instance());
+    Harness harness(std::make_unique<PaldiaPolicy>(models::Zoo::instance(),
+                                                   hw::Catalog::instance(), profile));
+    harness.framework.add_workload(kModel, steady_trace(25.0, seconds(30)));
+    harness.framework.run();
+    return std::pair{harness.framework.slo(kModel).compliance(),
+                     harness.cluster.total_cost()};
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace paldia::core

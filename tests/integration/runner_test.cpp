@@ -1,0 +1,135 @@
+#include "src/exp/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/exp/summary.hpp"
+#include "src/trace/generators.hpp"
+
+namespace paldia::exp {
+namespace {
+
+Scenario short_scenario(models::ModelId model, Rps rate, DurationMs duration,
+                        int repetitions = 1) {
+  Scenario scenario;
+  scenario.name = "short";
+  trace::PoissonOptions options;
+  options.mean_rps = rate;
+  options.duration_ms = duration;
+  scenario.workloads.push_back(
+      WorkloadSpec{model, trace::make_poisson_trace(options)});
+  scenario.repetitions = repetitions;
+  return scenario;
+}
+
+TEST(Runner, ProducesCompleteMetrics) {
+  Runner runner(models::Zoo::instance(), hw::Catalog::instance());
+  const auto scenario = short_scenario(models::ModelId::kResNet50, 30.0, seconds(40));
+  const auto result = runner.run_once(scenario, SchemeId::kPaldia, 42);
+  ASSERT_EQ(result.per_workload.size(), 1u);
+  const auto& metrics = result.combined;
+  EXPECT_EQ(metrics.scheme, "Paldia");
+  EXPECT_GT(metrics.requests, 0u);
+  EXPECT_GT(metrics.slo_compliance, 0.5);
+  EXPECT_GT(metrics.cost, 0.0);
+  EXPECT_GT(metrics.average_power, 0.0);
+  EXPECT_GT(metrics.p99_latency_ms, 0.0);
+}
+
+TEST(Runner, DeterministicForSameSeed) {
+  Runner runner(models::Zoo::instance(), hw::Catalog::instance());
+  const auto scenario = short_scenario(models::ModelId::kSeNet18, 40.0, seconds(30));
+  const auto a = runner.run_once(scenario, SchemeId::kMoleculeCost, 7);
+  const auto b = runner.run_once(scenario, SchemeId::kMoleculeCost, 7);
+  EXPECT_EQ(a.combined.slo_compliance, b.combined.slo_compliance);
+  EXPECT_EQ(a.combined.p99_latency_ms, b.combined.p99_latency_ms);
+  EXPECT_EQ(a.combined.cost, b.combined.cost);
+}
+
+TEST(Runner, PerformanceVariantsUseV100AndCostMore) {
+  Runner runner(models::Zoo::instance(), hw::Catalog::instance());
+  const auto scenario = short_scenario(models::ModelId::kResNet50, 30.0, seconds(40));
+  const auto perf = runner.run_once(scenario, SchemeId::kInflessLlamaPerf, 42);
+  const auto cost = runner.run_once(scenario, SchemeId::kInflessLlamaCost, 42);
+  EXPECT_GT(perf.combined.cost, cost.combined.cost * 2.0);
+  EXPECT_GE(perf.combined.slo_compliance, 0.99);
+}
+
+TEST(Runner, KeepCdfPopulatesSeries) {
+  Runner runner(models::Zoo::instance(), hw::Catalog::instance());
+  const auto scenario = short_scenario(models::ModelId::kResNet50, 20.0, seconds(20));
+  const auto result = runner.run_once(scenario, SchemeId::kPaldia, 1, true);
+  EXPECT_FALSE(result.per_workload[0].latency_cdf.empty());
+}
+
+TEST(Runner, AggregationAcrossRepetitions) {
+  Runner runner(models::Zoo::instance(), hw::Catalog::instance());
+  auto scenario = short_scenario(models::ModelId::kResNet50, 25.0, seconds(20), 3);
+  const auto result = runner.run(scenario, SchemeId::kPaldia);
+  EXPECT_GT(result.combined.slo_compliance, 0.5);
+  EXPECT_LE(result.combined.slo_compliance, 1.0);
+}
+
+TEST(SchemeFactory, BuildsEveryScheme) {
+  models::ProfileTable profile(hw::Catalog::instance());
+  SchemeFactory factory(models::Zoo::instance(), hw::Catalog::instance(), profile);
+  for (SchemeId id :
+       {SchemeId::kPaldia, SchemeId::kInflessLlamaCost, SchemeId::kInflessLlamaPerf,
+        SchemeId::kMoleculeCost, SchemeId::kMoleculePerf, SchemeId::kOracle,
+        SchemeId::kOfflineHybrid, SchemeId::kMpsOnlyPerf, SchemeId::kMpsOnlyCost,
+        SchemeId::kTimeSharedPerf, SchemeId::kTimeSharedCost}) {
+    auto policy = factory.make(id);
+    ASSERT_NE(policy, nullptr) << scheme_name(id);
+    EXPECT_EQ(policy->name(), scheme_name(id));
+  }
+}
+
+TEST(SchemeFactory, InitialNodes) {
+  models::ProfileTable profile(hw::Catalog::instance());
+  SchemeFactory factory(models::Zoo::instance(), hw::Catalog::instance(), profile);
+  EXPECT_EQ(factory.initial_node(SchemeId::kInflessLlamaPerf),
+            hw::NodeType::kP3_2xlarge);
+  EXPECT_EQ(factory.initial_node(SchemeId::kMpsOnlyCost), hw::NodeType::kG3s_xlarge);
+  EXPECT_EQ(factory.initial_node(SchemeId::kPaldia), hw::NodeType::kC6i_2xlarge);
+}
+
+TEST(Summary, OutlierRuleApplied) {
+  telemetry::RunMetrics base;
+  base.scheme = "x";
+  base.slo_compliance = 0.99;
+  std::vector<telemetry::RunMetrics> runs(21, base);
+  for (std::size_t i = 0; i < 20; ++i) {
+    runs[i].slo_compliance = 0.99 + (i % 2 == 0 ? 0.001 : -0.001);
+  }
+  runs[20].slo_compliance = 0.10;  // a wild outlier repetition
+  const auto aggregated = aggregate_metrics(runs);
+  EXPECT_NEAR(aggregated.slo_compliance, 0.99, 0.005);
+}
+
+TEST(Summary, AggregateRunsPreservesWorkloadSlots) {
+  RunResult rep;
+  telemetry::RunMetrics m;
+  m.scheme = "s";
+  m.slo_compliance = 0.9;
+  rep.per_workload = {m, m};
+  rep.combined = m;
+  const auto aggregated = aggregate_runs({rep, rep});
+  EXPECT_EQ(aggregated.per_workload.size(), 2u);
+  EXPECT_NEAR(aggregated.combined.slo_compliance, 0.9, 1e-12);
+}
+
+TEST(Scenario, PaperPeakScaling) {
+  EXPECT_EQ(paper_peak_rps(models::ModelId::kGoogleNet), 225.0);   // high FBR
+  EXPECT_EQ(paper_peak_rps(models::ModelId::kSeNet18), 450.0);     // low FBR
+  EXPECT_EQ(paper_peak_rps(models::ModelId::kBert), 8.0);          // language
+}
+
+TEST(Scenario, BuildersProduceTraces) {
+  const auto azure = azure_scenario(models::ModelId::kResNet50);
+  EXPECT_EQ(azure.workloads.size(), 1u);
+  EXPECT_NEAR(azure.workloads[0].trace.peak_rps(), 225.0, 60.0);
+  const auto llm = llm_scenario(models::ModelId::kBert);
+  EXPECT_NEAR(llm.workloads[0].trace.peak_rps(), 8.0, 6.0);
+}
+
+}  // namespace
+}  // namespace paldia::exp

@@ -1,0 +1,85 @@
+#include "src/models/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/gpu_device.hpp"
+#include "src/models/zoo.hpp"
+
+namespace paldia::models {
+namespace {
+
+const ModelSpec& resnet50() { return Zoo::instance().spec(ModelId::kResNet50); }
+const hw::GpuSpec& m60() {
+  return *hw::Catalog::instance().spec(hw::NodeType::kG3s_xlarge).gpu;
+}
+
+TEST(Profiler, MeasuredSoloNearAnalytic) {
+  Profiler profiler;
+  const auto& model = resnet50();
+  const double analytic = gpu_solo_ms(model, m60(), model.max_batch);
+  const double measured = profiler.measure_solo_ms(model, m60(), model.max_batch);
+  // Measured includes launch overhead + jitter; must stay within 5%.
+  EXPECT_NEAR(measured, analytic, analytic * 0.05);
+  EXPECT_GT(measured, analytic);  // overhead is strictly positive on average
+}
+
+TEST(Profiler, SlowdownIsOneWhenUnsaturated) {
+  Profiler profiler;
+  const auto& model = Zoo::instance().spec(ModelId::kEfficientNetB0);
+  // Two low-FBR batches on the V100: total demand < 1, no slowdown.
+  const auto& v100 = *hw::Catalog::instance().spec(hw::NodeType::kP3_2xlarge).gpu;
+  const double slowdown = profiler.measure_slowdown(model, v100, 64, 2);
+  EXPECT_NEAR(slowdown, 1.0, 0.08);
+}
+
+TEST(Profiler, SlowdownGrowsWithColocation) {
+  Profiler profiler;
+  const auto& model = resnet50();
+  const double s4 = profiler.measure_slowdown(model, m60(), model.max_batch, 4);
+  const double s8 = profiler.measure_slowdown(model, m60(), model.max_batch, 8);
+  EXPECT_GT(s4, 1.2);
+  EXPECT_GT(s8, s4);
+}
+
+TEST(Profiler, SlowdownMatchesDeviceFormula) {
+  Profiler profiler;
+  const auto& model = resnet50();
+  const int k = 6;
+  const double fbr = gpu_fbr(model, m60(), model.max_batch);
+  const double expected =
+      cluster::GpuDevice::slowdown(k * fbr, cluster::GpuDeviceConfig{}.beta);
+  const double measured = profiler.measure_slowdown(model, m60(), model.max_batch, k);
+  EXPECT_NEAR(measured, expected, expected * 0.08);
+}
+
+TEST(Profiler, FitRecoversKnownParameters) {
+  // Synthesise exact (k, slowdown) pairs from the model and recover them.
+  const double fbr = 0.6, beta = 0.3;
+  std::vector<std::pair<int, double>> observations;
+  for (int k : {2, 3, 4, 6, 8, 12}) {
+    const double s = k * fbr;
+    observations.emplace_back(k, s <= 1.0 ? 1.0 : s * (1.0 + beta * (s - 1.0)));
+  }
+  const auto [fit_fbr, fit_beta] = Profiler::fit_fbr_beta(observations);
+  EXPECT_NEAR(fit_fbr, fbr, 0.02);
+  EXPECT_NEAR(fit_beta, beta, 0.05);
+}
+
+TEST(Profiler, FullProfileRecoversEnvelope) {
+  Profiler profiler;
+  const auto& model = resnet50();
+  const auto profiled = profiler.profile(model, m60(), model.max_batch);
+  const double analytic_fbr = gpu_fbr(model, m60(), model.max_batch);
+  EXPECT_NEAR(profiled.fbr, analytic_fbr, 0.08);
+  EXPECT_NEAR(profiled.beta, cluster::GpuDeviceConfig{}.beta, 0.12);
+  EXPECT_GT(profiled.solo_ms, 0.0);
+}
+
+TEST(Profiler, DeterministicForSameSeed) {
+  Profiler a(7), b(7);
+  const auto& model = resnet50();
+  EXPECT_EQ(a.measure_solo_ms(model, m60(), 32), b.measure_solo_ms(model, m60(), 32));
+}
+
+}  // namespace
+}  // namespace paldia::models

@@ -1,0 +1,102 @@
+#include "src/models/zoo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paldia::models {
+namespace {
+
+TEST(Zoo, SixteenModels) {
+  const Zoo& zoo = Zoo::instance();
+  EXPECT_EQ(zoo.all().size(), static_cast<std::size_t>(kModelCount));
+  EXPECT_EQ(zoo.vision_models().size(), static_cast<std::size_t>(kVisionModelCount));
+  EXPECT_EQ(zoo.language_models().size(), 4u);
+}
+
+TEST(Zoo, NamesMatchIds) {
+  const Zoo& zoo = Zoo::instance();
+  for (int i = 0; i < kModelCount; ++i) {
+    const auto id = ModelId(i);
+    EXPECT_EQ(zoo.spec(id).name, model_id_name(id));
+  }
+}
+
+TEST(Zoo, PaperBatchSizeBounds) {
+  const Zoo& zoo = Zoo::instance();
+  for (const auto& spec : zoo.all()) {
+    if (spec.domain == Domain::kLanguage) {
+      EXPECT_EQ(spec.max_batch, 8) << spec.name;
+    } else {
+      EXPECT_LE(spec.max_batch, 128) << spec.name;
+      EXPECT_GE(spec.max_batch, 32) << spec.name;
+    }
+  }
+}
+
+TEST(Zoo, AllSlosAre200ms) {
+  for (const auto& spec : Zoo::instance().all()) {
+    EXPECT_DOUBLE_EQ(spec.slo_ms, 200.0) << spec.name;
+  }
+}
+
+TEST(Zoo, LanguageModelsHaveVeryHighFbr) {
+  const Zoo& zoo = Zoo::instance();
+  double min_language_fbr = 1.0, max_vision_fbr = 0.0;
+  for (const auto& spec : zoo.all()) {
+    if (spec.domain == Domain::kLanguage) {
+      min_language_fbr = std::min(min_language_fbr, spec.fbr_v100);
+    } else {
+      max_vision_fbr = std::max(max_vision_fbr, spec.fbr_v100);
+    }
+  }
+  EXPECT_GT(min_language_fbr, max_vision_fbr);
+}
+
+TEST(Zoo, EfficientNetB0IsTheLowFbrOutlier) {
+  const Zoo& zoo = Zoo::instance();
+  const double effnet = zoo.spec(ModelId::kEfficientNetB0).fbr_v100;
+  for (ModelId id : zoo.vision_models()) {
+    if (id == ModelId::kEfficientNetB0) continue;
+    EXPECT_LT(effnet, zoo.spec(id).fbr_v100) << zoo.spec(id).name;
+  }
+}
+
+TEST(Zoo, HighFbrFlagMatchesPaperClassification) {
+  const Zoo& zoo = Zoo::instance();
+  // Section V: GoogleNet, DPN 92 etc. are the high-FBR vision models.
+  EXPECT_TRUE(zoo.spec(ModelId::kGoogleNet).high_fbr);
+  EXPECT_TRUE(zoo.spec(ModelId::kDpn92).high_fbr);
+  EXPECT_TRUE(zoo.spec(ModelId::kResNet50).high_fbr);
+  EXPECT_FALSE(zoo.spec(ModelId::kSeNet18).high_fbr);
+  EXPECT_FALSE(zoo.spec(ModelId::kEfficientNetB0).high_fbr);
+  // Every language model counts as high-FBR traffic-wise.
+  for (ModelId id : zoo.language_models()) {
+    EXPECT_TRUE(zoo.spec(id).high_fbr);
+  }
+}
+
+TEST(Zoo, HeavierArchitecturesAreSlower) {
+  const Zoo& zoo = Zoo::instance();
+  // Relative ordering of well-known architectures must hold.
+  EXPECT_GT(zoo.spec(ModelId::kResNet50).solo_v100_ms,
+            zoo.spec(ModelId::kResNet18).solo_v100_ms);
+  EXPECT_GT(zoo.spec(ModelId::kMobileNetV2).cpu_per_item_ms,
+            zoo.spec(ModelId::kMobileNet).cpu_per_item_ms - 1e-9);
+  EXPECT_GT(zoo.spec(ModelId::kBert).solo_v100_ms,
+            zoo.spec(ModelId::kDistilBert).solo_v100_ms);
+}
+
+TEST(Zoo, MemoryFootprintsPositive) {
+  for (const auto& spec : Zoo::instance().all()) {
+    EXPECT_GT(spec.container_memory, 0u) << spec.name;
+  }
+}
+
+TEST(Zoo, FixedFractionsSane) {
+  for (const auto& spec : Zoo::instance().all()) {
+    EXPECT_GT(spec.fixed_fraction, 0.0) << spec.name;
+    EXPECT_LT(spec.fixed_fraction, 0.5) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace paldia::models

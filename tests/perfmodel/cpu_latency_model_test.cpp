@@ -1,0 +1,122 @@
+#include "src/perfmodel/cpu_latency_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/models/zoo.hpp"
+
+namespace paldia::perfmodel {
+namespace {
+
+const models::ModelSpec& resnet50() {
+  return models::Zoo::instance().spec(models::ModelId::kResNet50);
+}
+const models::ModelSpec& bert() {
+  return models::Zoo::instance().spec(models::ModelId::kBert);
+}
+
+TEST(CpuTmax, ZeroRequestsFeasible) {
+  models::ProfileTable table;
+  const auto estimate =
+      approx_cpu_t_max(resnet50(), table, hw::NodeType::kC6i_4xlarge, 0, 200.0);
+  EXPECT_TRUE(estimate.feasible);
+  EXPECT_EQ(estimate.t_max_ms, 0.0);
+}
+
+TEST(CpuTmax, SmallLoadFeasibleOnBigCpu) {
+  models::ProfileTable table;
+  const auto estimate =
+      approx_cpu_t_max(resnet50(), table, hw::NodeType::kC6i_4xlarge, 3, 200.0);
+  EXPECT_TRUE(estimate.feasible);
+  EXPECT_GT(estimate.batch_size, 0);
+  EXPECT_LE(estimate.t_max_ms, 200.0);
+}
+
+TEST(CpuTmax, LargeLoadInfeasible) {
+  models::ProfileTable table;
+  const auto estimate =
+      approx_cpu_t_max(resnet50(), table, hw::NodeType::kC6i_4xlarge, 200, 200.0);
+  EXPECT_FALSE(estimate.feasible);
+  EXPECT_GT(estimate.t_max_ms, 200.0);
+}
+
+TEST(CpuTmax, HeavyModelInfeasibleEvenAlone) {
+  models::ProfileTable table;
+  // BERT single request on the 2-vCPU m4.xlarge exceeds the SLO by itself.
+  const auto estimate =
+      approx_cpu_t_max(bert(), table, hw::NodeType::kM4_xlarge, 1, 200.0);
+  EXPECT_FALSE(estimate.feasible);
+  EXPECT_EQ(estimate.batch_size, 1);
+}
+
+TEST(CpuTmax, DrainTimeMatchesBatchArithmetic) {
+  models::ProfileTable table;
+  const auto estimate =
+      approx_cpu_t_max(resnet50(), table, hw::NodeType::kC6i_4xlarge, 10, 500.0);
+  const double solo =
+      table.lookup(resnet50(), hw::NodeType::kC6i_4xlarge, estimate.batch_size).solo_ms;
+  const double batches = std::ceil(10.0 / estimate.batch_size);
+  EXPECT_NEAR(estimate.t_max_ms, batches * solo, 1e-9);
+}
+
+TEST(CpuSteadyState, ZeroRateTrivial) {
+  models::ProfileTable table;
+  const auto state =
+      cpu_steady_state(resnet50(), table, hw::NodeType::kC6i_4xlarge, 0.0, 200.0);
+  EXPECT_TRUE(state.feasible);
+}
+
+TEST(CpuSteadyState, ModerateRateFeasible) {
+  models::ProfileTable table;
+  const auto state =
+      cpu_steady_state(resnet50(), table, hw::NodeType::kC6i_4xlarge, 15.0, 200.0);
+  EXPECT_TRUE(state.feasible);
+  EXPECT_LT(state.utilization, 0.85);
+  EXPECT_LE(state.latency_ms, 200.0);
+}
+
+TEST(CpuSteadyState, PaperCpuCeilingNear25Rps) {
+  // Section IV-A: "up to ~25 rps for workloads with high FBRs" on CPU
+  // nodes. ResNet 50 on the best CPU node must flip infeasible somewhere
+  // in the 20-40 rps band.
+  models::ProfileTable table;
+  Rps ceiling = 0.0;
+  for (Rps rate = 5.0; rate <= 60.0; rate += 1.0) {
+    const auto state =
+        cpu_steady_state(resnet50(), table, hw::NodeType::kC6i_4xlarge, rate, 200.0);
+    if (state.feasible) ceiling = rate;
+  }
+  EXPECT_GE(ceiling, 18.0);
+  EXPECT_LE(ceiling, 42.0);
+}
+
+TEST(CpuSteadyState, SaturationIsInfeasibleDespiteShortBatches) {
+  models::ProfileTable table;
+  const auto state =
+      cpu_steady_state(resnet50(), table, hw::NodeType::kC6i_2xlarge, 40.0, 200.0);
+  EXPECT_FALSE(state.feasible);
+  EXPECT_FALSE(std::isfinite(state.latency_ms) && state.latency_ms <= 200.0);
+}
+
+TEST(CpuSteadyState, LatencyGrowsWithRate) {
+  models::ProfileTable table;
+  double previous = 0.0;
+  for (Rps rate : {2.0, 8.0, 14.0, 20.0}) {
+    const auto state =
+        cpu_steady_state(resnet50(), table, hw::NodeType::kC6i_4xlarge, rate, 500.0);
+    ASSERT_TRUE(std::isfinite(state.latency_ms));
+    EXPECT_GE(state.latency_ms, previous * 0.8);  // roughly increasing
+    previous = state.latency_ms;
+  }
+}
+
+TEST(CpuSteadyState, InfeasibleWhenSingleRequestBustsSlo) {
+  models::ProfileTable table;
+  const auto state =
+      cpu_steady_state(bert(), table, hw::NodeType::kM4_xlarge, 1.0, 200.0);
+  EXPECT_FALSE(state.feasible);
+}
+
+}  // namespace
+}  // namespace paldia::perfmodel

@@ -1,0 +1,112 @@
+#include "src/perfmodel/y_optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paldia::perfmodel {
+namespace {
+
+TEST(YOptimizer, ZeroRequestsIsTriviallyFeasible) {
+  YOptimizer optimizer(TmaxModel(0.2));
+  const auto decision = optimizer.best_split({0, 64, 100.0, 0.5, 200.0});
+  EXPECT_TRUE(decision.feasible);
+  EXPECT_EQ(decision.y, 0);
+  EXPECT_EQ(decision.t_max_ms, 0.0);
+}
+
+TEST(YOptimizer, LightLoadGoesAllSpatial) {
+  YOptimizer optimizer(TmaxModel(0.2));
+  // One batch, unsaturated: t_max = solo, y = 0.
+  const auto decision = optimizer.best_split({64, 64, 100.0, 0.5, 200.0});
+  EXPECT_EQ(decision.y, 0);
+  EXPECT_NEAR(decision.t_max_ms, 100.0, 1e-9);
+  EXPECT_TRUE(decision.feasible);
+}
+
+TEST(YOptimizer, MatchesExhaustiveSearch) {
+  TmaxModel model(0.3);
+  YOptimizer optimizer(model);
+  const WorkloadPoint p{700, 64, 90.0, 0.6, 200.0};
+  const auto decision = optimizer.best_split(p, /*max_probes=*/100'000);
+
+  double best = 1e18;
+  for (int y = 0; y <= p.n_requests; ++y) {
+    best = std::min(best, model.t_max_ms(p, y));
+  }
+  EXPECT_NEAR(decision.t_max_ms, best, best * 0.02);
+}
+
+TEST(YOptimizer, InfeasibleWhenNothingFits) {
+  YOptimizer optimizer(TmaxModel(0.2));
+  // Massive demand on a slow device: no split meets the SLO.
+  const auto decision = optimizer.best_split({10'000, 64, 150.0, 0.9, 200.0});
+  EXPECT_FALSE(decision.feasible);
+  EXPECT_GT(decision.t_max_ms, 200.0);
+}
+
+TEST(YOptimizer, PrefersHybridUnderHeavySaturation) {
+  YOptimizer optimizer(TmaxModel(0.3));
+  const auto decision = optimizer.best_split({1500, 64, 60.0, 0.7, 1e9});
+  EXPECT_GT(decision.y, 0);
+  EXPECT_LT(decision.y, 1500);
+}
+
+TEST(YOptimizer, SameResultWithAndWithoutPool) {
+  TmaxModel model(0.25);
+  ThreadPool pool(4);
+  YOptimizer serial(model, nullptr);
+  YOptimizer parallel(model, &pool);
+  const WorkloadPoint p{2000, 64, 70.0, 0.65, 200.0};
+  const auto a = serial.best_split(p);
+  const auto b = parallel.best_split(p);
+  EXPECT_EQ(a.y, b.y);
+  EXPECT_EQ(a.t_max_ms, b.t_max_ms);
+}
+
+TEST(YOptimizer, ProbeBudgetStillCoversRangeEnds) {
+  YOptimizer optimizer(TmaxModel(0.3));
+  const WorkloadPoint p{5000, 64, 60.0, 0.7, 1e9};
+  const auto coarse = optimizer.best_split(p, /*max_probes=*/8);
+  const auto fine = optimizer.best_split(p, /*max_probes=*/100'000);
+  // Coarse probing may be slightly worse but must stay within a few percent
+  // (the objective is piecewise smooth in y).
+  EXPECT_LE(fine.t_max_ms, coarse.t_max_ms + 1e-9);
+  EXPECT_LT(coarse.t_max_ms, fine.t_max_ms * 1.10);
+}
+
+TEST(YOptimizer, TieBreaksTowardLessQueueing) {
+  // With FBR tiny, many y values give identical t_max = solo; pick y = 0.
+  YOptimizer optimizer(TmaxModel(0.0));
+  const auto decision = optimizer.best_split({64, 64, 100.0, 0.01, 1e9});
+  EXPECT_EQ(decision.y, 0);
+}
+
+TEST(YOptimizer, FeasibilityThresholdExact) {
+  YOptimizer optimizer(TmaxModel(0.0));
+  // t_max = solo exactly equals SLO -> feasible (<=).
+  const auto decision = optimizer.best_split({64, 64, 200.0, 0.5, 200.0});
+  EXPECT_TRUE(decision.feasible);
+}
+
+// Parameterized consistency sweep: the chosen split is never worse than
+// both pure strategies.
+class SplitDominance
+    : public ::testing::TestWithParam<std::tuple<int, double, double>> {};
+
+TEST_P(SplitDominance, BeatsOrMatchesPureStrategies) {
+  const auto [n, fbr, beta] = GetParam();
+  TmaxModel model(beta);
+  YOptimizer optimizer(model);
+  const WorkloadPoint p{n, 64, 80.0, fbr, 200.0};
+  const auto decision = optimizer.best_split(p);
+  EXPECT_LE(decision.t_max_ms, model.t_max_ms(p, 0) + 1e-9);
+  EXPECT_LE(decision.t_max_ms, model.t_max_ms(p, n) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SplitDominance,
+    ::testing::Combine(::testing::Values(32, 128, 512, 2048),
+                       ::testing::Values(0.15, 0.4, 0.7, 0.95),
+                       ::testing::Values(0.0, 0.2, 0.35)));
+
+}  // namespace
+}  // namespace paldia::perfmodel

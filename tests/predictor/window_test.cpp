@@ -1,0 +1,54 @@
+#include "src/predictor/window.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paldia::predictor {
+namespace {
+
+TEST(ArrivalWindow, EmptyRateIsZero) {
+  ArrivalWindow window(1000.0);
+  EXPECT_EQ(window.rate(0.0), 0.0);
+  EXPECT_EQ(window.count_in_window(5000.0), 0);
+}
+
+TEST(ArrivalWindow, CountsWithinWindow) {
+  ArrivalWindow window(1000.0);
+  window.record(100.0);
+  window.record(200.0, 3);
+  EXPECT_EQ(window.count_in_window(500.0), 4);
+  EXPECT_NEAR(window.rate(500.0), 4.0, 1e-9);  // 4 per 1 s window
+}
+
+TEST(ArrivalWindow, EvictsOldEvents) {
+  ArrivalWindow window(1000.0);
+  window.record(0.0, 10);
+  window.record(900.0, 5);
+  EXPECT_EQ(window.count_in_window(900.0), 15);
+  EXPECT_EQ(window.count_in_window(1500.0), 5);   // the t=0 batch expired
+  EXPECT_EQ(window.count_in_window(2500.0), 0);
+}
+
+TEST(ArrivalWindow, CoalescesSameTimestamp) {
+  ArrivalWindow window(1000.0);
+  for (int i = 0; i < 100; ++i) window.record(50.0);
+  EXPECT_EQ(window.count_in_window(100.0), 100);
+}
+
+TEST(ArrivalWindow, SteadyRateMeasured) {
+  ArrivalWindow window(1000.0);
+  for (int i = 0; i < 200; ++i) window.record(i * 10.0);  // 100 rps
+  EXPECT_NEAR(window.rate(1999.0), 100.0, 5.0);
+}
+
+TEST(ArrivalWindow, BoundaryExactlyAtCutoff) {
+  ArrivalWindow window(1000.0);
+  window.record(0.0);
+  // Event exactly at now - window is evicted (strictly trailing window).
+  EXPECT_EQ(window.count_in_window(1000.0), 0);
+  ArrivalWindow window2(1000.0);
+  window2.record(1.0);
+  EXPECT_EQ(window2.count_in_window(1000.0), 1);
+}
+
+}  // namespace
+}  // namespace paldia::predictor

@@ -1,0 +1,99 @@
+#include "src/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace paldia::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.next_time(), kTimeNever);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(30.0, [&] { order.push_back(3); });
+  queue.schedule(10.0, [&] { order.push_back(1); });
+  queue.schedule(20.0, [&] { order.push_back(2); });
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakBySubmissionOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) queue.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelledEventNeverFires) {
+  EventQueue queue;
+  bool fired = false;
+  EventHandle handle = queue.schedule(1.0, [&] { fired = true; });
+  handle.cancel();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelBelowTopStillSkipped) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(1.0, [&] { order.push_back(1); });
+  EventHandle mid = queue.schedule(2.0, [&] { order.push_back(2); });
+  queue.schedule(3.0, [&] { order.push_back(3); });
+  mid.cancel();
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CancelTwiceIsHarmless) {
+  EventQueue queue;
+  EventHandle handle = queue.schedule(1.0, [] {});
+  handle.cancel();
+  handle.cancel();
+  EXPECT_TRUE(handle.cancelled());
+}
+
+TEST(EventQueue, DefaultHandleIsInvalid) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.valid());
+  EXPECT_FALSE(handle.cancelled());
+  handle.cancel();  // no-op
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue queue;
+  EventHandle first = queue.schedule(1.0, [] {});
+  queue.schedule(5.0, [] {});
+  first.cancel();
+  EXPECT_EQ(queue.next_time(), 5.0);
+}
+
+TEST(EventQueue, PopReturnsTime) {
+  EventQueue queue;
+  queue.schedule(7.5, [] {});
+  auto fired = queue.pop();
+  EXPECT_EQ(fired.time, 7.5);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue queue;
+  std::vector<double> times;
+  for (int i = 0; i < 10'000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 1000);
+    queue.schedule(t, [&times, t] { times.push_back(t); });
+  }
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  EXPECT_EQ(times.size(), 10'000u);
+}
+
+}  // namespace
+}  // namespace paldia::sim

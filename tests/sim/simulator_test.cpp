@@ -1,0 +1,119 @@
+#include "src/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace paldia::sim {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator simulator;
+  EXPECT_EQ(simulator.now(), 0.0);
+}
+
+TEST(Simulator, ScheduleInAdvancesClock) {
+  Simulator simulator;
+  TimeMs fired_at = -1.0;
+  simulator.schedule_in(100.0, [&] { fired_at = simulator.now(); });
+  simulator.run_to_completion();
+  EXPECT_EQ(fired_at, 100.0);
+  EXPECT_EQ(simulator.now(), 100.0);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator simulator;
+  simulator.schedule_in(50.0, [&] {
+    simulator.schedule_in(-10.0, [&] { EXPECT_EQ(simulator.now(), 50.0); });
+  });
+  simulator.run_to_completion();
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.schedule_at(10.0, [&] { ++fired; });
+  simulator.schedule_at(20.0, [&] { ++fired; });
+  simulator.schedule_at(30.0, [&] { ++fired; });
+  simulator.run_until(20.0);  // events exactly at the boundary run
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(simulator.now(), 20.0);
+  simulator.run_to_completion();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator simulator;
+  simulator.run_until(500.0);
+  EXPECT_EQ(simulator.now(), 500.0);
+}
+
+TEST(Simulator, EventsScheduleMoreEvents) {
+  Simulator simulator;
+  std::vector<TimeMs> firings;
+  std::function<void()> chain = [&] {
+    firings.push_back(simulator.now());
+    if (firings.size() < 5) simulator.schedule_in(10.0, chain);
+  };
+  simulator.schedule_at(0.0, chain);
+  simulator.run_to_completion();
+  EXPECT_EQ(firings, (std::vector<TimeMs>{0.0, 10.0, 20.0, 30.0, 40.0}));
+}
+
+TEST(Simulator, PeriodicFiresAtPeriod) {
+  Simulator simulator;
+  std::vector<TimeMs> firings;
+  simulator.schedule_every(100.0, 50.0, [&] { firings.push_back(simulator.now()); });
+  simulator.run_until(300.0);
+  EXPECT_EQ(firings, (std::vector<TimeMs>{100.0, 150.0, 200.0, 250.0, 300.0}));
+}
+
+TEST(Simulator, PeriodicCancelStopsSeries) {
+  Simulator simulator;
+  int fired = 0;
+  auto handle = simulator.schedule_every(0.0, 10.0, [&] { ++fired; });
+  simulator.run_until(25.0);
+  EXPECT_EQ(fired, 3);  // t = 0, 10, 20
+  handle.cancel();
+  simulator.run_until(100.0);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, CancelScheduledEvent) {
+  Simulator simulator;
+  bool fired = false;
+  auto handle = simulator.schedule_in(10.0, [&] { fired = true; });
+  handle.cancel();
+  simulator.run_to_completion();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, EventsProcessedCount) {
+  Simulator simulator;
+  for (int i = 0; i < 7; ++i) simulator.schedule_in(i, [] {});
+  simulator.run_to_completion();
+  EXPECT_EQ(simulator.events_processed(), 7u);
+}
+
+TEST(Simulator, ResetClearsEverything) {
+  Simulator simulator;
+  bool fired = false;
+  simulator.schedule_in(10.0, [&] { fired = true; });
+  simulator.reset();
+  simulator.run_to_completion();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(simulator.now(), 0.0);
+  EXPECT_EQ(simulator.events_processed(), 0u);
+}
+
+TEST(Simulator, SameTimeEventsRunInSubmissionOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule_at(5.0, [&] { order.push_back(1); });
+  simulator.schedule_at(5.0, [&] { order.push_back(2); });
+  simulator.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace paldia::sim

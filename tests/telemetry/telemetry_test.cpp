@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "src/telemetry/cost_tracker.hpp"
+#include "src/telemetry/latency_recorder.hpp"
+#include "src/telemetry/metrics.hpp"
+#include "src/telemetry/power_tracker.hpp"
+#include "src/telemetry/slo_tracker.hpp"
+#include "src/telemetry/util_tracker.hpp"
+
+namespace paldia::telemetry {
+namespace {
+
+TEST(LatencyRecorder, RecordsBasicStats) {
+  LatencyRecorder recorder;
+  for (int i = 1; i <= 100; ++i) {
+    recorder.record({static_cast<double>(i), 10.0, 1.0, 0.5, 0.0});
+  }
+  EXPECT_EQ(recorder.count(), 100u);
+  EXPECT_NEAR(recorder.mean_ms(), 50.5, 1.0);
+  EXPECT_NEAR(recorder.p99_ms(), 99.0, 2.0);
+}
+
+TEST(LatencyRecorder, TailBreakdownAttributesComponents) {
+  LatencyRecorder recorder;
+  // 99% fast requests dominated by solo time; 1% slow ones dominated by
+  // queueing — the P99 breakdown must be queue-heavy.
+  for (int i = 0; i < 9'900; ++i) recorder.record({50.0, 45.0, 5.0, 0.0, 0.0});
+  for (int i = 0; i < 100; ++i) recorder.record({500.0, 45.0, 450.0, 5.0, 0.0});
+  const auto breakdown = recorder.breakdown_at(0.995);
+  EXPECT_GT(breakdown.queue_ms, breakdown.solo_ms);
+  EXPECT_GT(breakdown.samples, 0u);
+  EXPECT_NEAR(breakdown.latency_ms, 500.0, 50.0);
+}
+
+TEST(LatencyRecorder, ReservoirBoundsMemory) {
+  LatencyRecorder recorder(/*reservoir_capacity=*/1000);
+  for (int i = 0; i < 100'000; ++i) {
+    recorder.record({static_cast<double>(i % 200), 10.0, 1.0, 0.0, 0.0});
+  }
+  EXPECT_EQ(recorder.count(), 100'000u);
+  const auto breakdown = recorder.breakdown_at(0.5, 0.1);
+  EXPECT_GT(breakdown.samples, 0u);
+  EXPECT_LE(breakdown.samples, 1000u);
+}
+
+TEST(LatencyRecorder, CdfExport) {
+  LatencyRecorder recorder;
+  for (int i = 0; i < 1000; ++i) recorder.record({static_cast<double>(i), 0, 0, 0, 0});
+  const auto cdf = recorder.cdf();
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_NEAR(cdf.back().second, 1.0, 1e-12);
+}
+
+TEST(SloTracker, ComplianceCounting) {
+  SloTracker tracker(200.0);
+  tracker.record_completion(0.0, 100.0);   // met
+  tracker.record_completion(0.0, 200.0);   // met (boundary)
+  tracker.record_completion(0.0, 300.0);   // violated
+  EXPECT_EQ(tracker.total(), 3u);
+  EXPECT_EQ(tracker.compliant(), 2u);
+  EXPECT_NEAR(tracker.compliance(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(SloTracker, EmptyIsFullyCompliant) {
+  SloTracker tracker(200.0);
+  EXPECT_EQ(tracker.compliance(), 1.0);
+}
+
+TEST(SloTracker, GoodputSeries) {
+  SloTracker tracker(200.0);
+  // 10 arrivals in second 0; 8 served within SLO, 2 violated.
+  for (int i = 0; i < 10; ++i) tracker.record_arrival(i * 100.0);
+  for (int i = 0; i < 8; ++i) tracker.record_completion(i * 100.0, i * 100.0 + 150.0);
+  for (int i = 8; i < 10; ++i) tracker.record_completion(i * 100.0, i * 100.0 + 500.0);
+  EXPECT_NEAR(tracker.arrival_rps(0.0, 1000.0), 10.0, 1e-9);
+  EXPECT_NEAR(tracker.goodput_rps(0.0, 1000.0), 8.0, 1e-9);
+}
+
+TEST(SloTracker, GoodputAttributedToArrivalSecond) {
+  SloTracker tracker(200.0);
+  tracker.record_arrival(950.0);
+  tracker.record_completion(950.0, 1100.0);  // completes in the next second
+  EXPECT_NEAR(tracker.goodput_rps(0.0, 1000.0), 1.0, 1e-9);
+  EXPECT_NEAR(tracker.goodput_rps(1000.0, 2000.0), 0.0, 1e-9);
+}
+
+TEST(CostTracker, ReflectsClusterHoldings) {
+  sim::Simulator simulator;
+  cluster::Cluster cluster(simulator, Rng(1));
+  CostTracker tracker(cluster);
+  EXPECT_EQ(tracker.total(), 0.0);
+  cluster.acquire_immediately(hw::NodeType::kG3s_xlarge);
+  simulator.run_until(hours(2));
+  EXPECT_NEAR(tracker.total(), 1.5, 1e-9);
+  const auto breakdown = tracker.breakdown();
+  ASSERT_EQ(breakdown.size(), 1u);
+  EXPECT_EQ(breakdown[0].type, hw::NodeType::kG3s_xlarge);
+  EXPECT_NEAR(breakdown[0].cost, 1.5, 1e-9);
+}
+
+TEST(PowerTracker, IdleHeldNodeDrawsIdlePower) {
+  sim::Simulator simulator;
+  cluster::Cluster cluster(simulator, Rng(2));
+  cluster.acquire_immediately(hw::NodeType::kG3s_xlarge);
+  PowerTracker tracker(simulator, cluster, 1000.0);
+  tracker.arm(seconds(30));
+  simulator.run_until(seconds(30));
+  const hw::PowerModel model(cluster.catalog().spec(hw::NodeType::kG3s_xlarge));
+  EXPECT_NEAR(tracker.average_power(), model.idle_power(), 2.0);
+}
+
+TEST(PowerTracker, UnheldNodesDoNotCount) {
+  sim::Simulator simulator;
+  cluster::Cluster cluster(simulator, Rng(3));
+  PowerTracker tracker(simulator, cluster, 1000.0);
+  tracker.arm(seconds(10));
+  simulator.run_until(seconds(10));
+  EXPECT_EQ(tracker.average_power(), 0.0);
+}
+
+TEST(UtilTracker, BusyNodeShowsUtilization) {
+  sim::Simulator simulator;
+  cluster::Cluster cluster(simulator, Rng(4));
+  cluster.acquire_immediately(hw::NodeType::kG3s_xlarge);
+  auto& node = cluster.node(hw::NodeType::kG3s_xlarge);
+  node.spawn_container(models::ModelId::kResNet50, true);
+
+  UtilTracker tracker(simulator, cluster, 100.0);
+  tracker.arm(seconds(20));
+  // Keep the GPU busy for the first 10 of 20 seconds.
+  for (int i = 0; i < 100; ++i) {
+    simulator.schedule_at(i * 100.0, [&node] {
+      cluster::ExecRequest request;
+      request.model = models::ModelId::kResNet50;
+      request.batch_size = 32;
+      request.mode = cluster::ShareMode::kTemporal;
+      request.on_complete = [](const cluster::ExecutionReport&) {};
+      node.execute(std::move(request));
+    });
+  }
+  simulator.run_until(seconds(20));
+  EXPECT_NEAR(tracker.utilization(hw::NodeType::kG3s_xlarge), 0.5, 0.2);
+  EXPECT_NEAR(tracker.gpu_utilization(),
+              tracker.utilization(hw::NodeType::kG3s_xlarge), 1e-9);
+  EXPECT_EQ(tracker.cpu_utilization(), 0.0);  // no CPU node held
+}
+
+TEST(RunMetrics, SummaryFormats) {
+  RunMetrics metrics;
+  metrics.scheme = "Paldia";
+  metrics.slo_compliance = 0.995;
+  metrics.p99_latency_ms = 180.0;
+  const std::string summary = metrics.summary();
+  EXPECT_NE(summary.find("Paldia"), std::string::npos);
+  EXPECT_NE(summary.find("99.50%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paldia::telemetry

@@ -1,0 +1,90 @@
+#include "src/trace/csv_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/trace/generators.hpp"
+
+namespace paldia::trace {
+namespace {
+
+TEST(TraceCsv, RoundTripPreservesEverything) {
+  AzureOptions options;
+  options.duration_ms = minutes(2);
+  const Trace original = make_azure_trace(options);
+
+  std::ostringstream out;
+  write_csv(original, out);
+  const Trace loaded = read_csv(out.str(), original.name());
+
+  EXPECT_EQ(loaded.epoch_count(), original.epoch_count());
+  EXPECT_DOUBLE_EQ(loaded.epoch_ms(), original.epoch_ms());
+  EXPECT_EQ(loaded.counts(), original.counts());
+  EXPECT_EQ(loaded.total_requests(), original.total_requests());
+}
+
+TEST(TraceCsv, ParsesMinimalInput) {
+  const Trace trace = read_csv("epoch_ms,count\n0,3\n100,5\n200,0\n");
+  EXPECT_EQ(trace.epoch_count(), 3u);
+  EXPECT_DOUBLE_EQ(trace.epoch_ms(), 100.0);
+  EXPECT_EQ(trace.count_at(1), 5u);
+}
+
+TEST(TraceCsv, InfersNonDefaultEpoch) {
+  const Trace trace = read_csv("epoch_ms,count\n0,1\n250,1\n500,1\n");
+  EXPECT_DOUBLE_EQ(trace.epoch_ms(), 250.0);
+}
+
+TEST(TraceCsv, IgnoresExtraColumns) {
+  const Trace trace = read_csv("function,epoch_ms,count\nf1,0,2\nf1,100,4\n");
+  EXPECT_EQ(trace.total_requests(), 6u);
+}
+
+TEST(TraceCsv, SingleRowDefaultsEpoch) {
+  const Trace trace = read_csv("epoch_ms,count\n0,7\n");
+  EXPECT_DOUBLE_EQ(trace.epoch_ms(), 100.0);
+  EXPECT_EQ(trace.total_requests(), 7u);
+}
+
+TEST(TraceCsv, EmptyDataIsEmptyTrace) {
+  const Trace trace = read_csv("epoch_ms,count\n");
+  EXPECT_EQ(trace.epoch_count(), 0u);
+}
+
+TEST(TraceCsv, RejectsMissingColumns) {
+  EXPECT_THROW(read_csv("time,n\n0,1\n"), std::runtime_error);
+}
+
+TEST(TraceCsv, RejectsNonNumericCells) {
+  EXPECT_THROW(read_csv("epoch_ms,count\nzero,1\n"), std::runtime_error);
+  EXPECT_THROW(read_csv("epoch_ms,count\n0,many\n"), std::runtime_error);
+}
+
+TEST(TraceCsv, RejectsNegativeCounts) {
+  EXPECT_THROW(read_csv("epoch_ms,count\n0,-4\n"), std::runtime_error);
+}
+
+TEST(TraceCsv, RejectsInconsistentSpacing) {
+  EXPECT_THROW(read_csv("epoch_ms,count\n0,1\n100,1\n350,1\n"),
+               std::runtime_error);
+}
+
+TEST(TraceCsv, RejectsNonIncreasingTime) {
+  EXPECT_THROW(read_csv("epoch_ms,count\n100,1\n100,1\n"), std::runtime_error);
+}
+
+TEST(TraceCsv, FileRoundTrip) {
+  const Trace original("t", 100.0, {1, 2, 3});
+  const std::string path = ::testing::TempDir() + "/trace_roundtrip.csv";
+  write_csv_file(original, path);
+  const Trace loaded = read_csv_trace_file(path);
+  EXPECT_EQ(loaded.counts(), original.counts());
+}
+
+TEST(TraceCsv, MissingFileThrows) {
+  EXPECT_THROW(read_csv_trace_file("/nonexistent/trace.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace paldia::trace

@@ -1,0 +1,125 @@
+#include "src/trace/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/trace/trace_ops.hpp"
+
+namespace paldia::trace {
+namespace {
+
+TEST(AzureTrace, MatchesPaperStatistics) {
+  AzureOptions options;
+  options.peak_rps = 225.0;
+  const Trace trace = make_azure_trace(options);
+  EXPECT_NEAR(trace.duration_ms(), minutes(25), 1.0);
+  // Peak within sampling noise of the target.
+  EXPECT_NEAR(trace.peak_rps(), 225.0, 30.0);
+  // Large peak-to-mean ratio (the paper's sample is ~12.2x; Poisson noise
+  // and the duty-cycle solve leave a band).
+  const double ratio = trace.peak_rps() / trace.mean_rps();
+  EXPECT_GT(ratio, 6.0);
+  EXPECT_LT(ratio, 25.0);
+}
+
+TEST(AzureTrace, DeterministicInSeed) {
+  AzureOptions options;
+  const Trace a = make_azure_trace(options);
+  const Trace b = make_azure_trace(options);
+  EXPECT_EQ(a.counts(), b.counts());
+  options.seed = 999;
+  const Trace c = make_azure_trace(options);
+  EXPECT_NE(a.counts(), c.counts());
+}
+
+TEST(AzureTrace, HasQuietBaselineAndSurges) {
+  const Trace trace = make_azure_trace(AzureOptions{});
+  // Median 10 s window rate is far below the peak (sparse baseline).
+  std::vector<double> window_rates;
+  for (TimeMs t = 0; t + 10'000 <= trace.duration_ms(); t += 10'000) {
+    window_rates.push_back(trace.rate_at(t, 10'000));
+  }
+  std::nth_element(window_rates.begin(),
+                   window_rates.begin() + window_rates.size() / 2,
+                   window_rates.end());
+  const double median = window_rates[window_rates.size() / 2];
+  EXPECT_LT(median * 4.0, trace.peak_rps());
+}
+
+TEST(WikiTrace, DiurnalShape) {
+  WikiOptions options;
+  const Trace trace = make_wiki_trace(options);
+  EXPECT_NEAR(trace.duration_ms(), options.day_length_ms * options.days, 1.0);
+  // The rate profile's peak is scaled to 170; Poisson sampling over many
+  // plateau windows makes the observed max overshoot by a few sigma.
+  EXPECT_NEAR(trace.peak_rps(), 170.0, 60.0);
+
+  // Mid-day plateau of day 0 is much busier than the night trough.
+  const double mid_day = trace.rate_at(options.day_length_ms * 0.5, 10'000);
+  const double night = trace.rate_at(options.day_length_ms * 0.02, 10'000);
+  EXPECT_GT(mid_day, night * 2.0);
+}
+
+TEST(WikiTrace, SustainedHighTrafficFraction) {
+  // ~16 h of 24 h high traffic: a clear majority of the day sits well
+  // above the overall mean (the plateau), the rest far below (the trough).
+  WikiOptions options;
+  const Trace trace = make_wiki_trace(options);
+  int high = 0, total = 0;
+  const double threshold = trace.mean_rps() * 1.15;
+  for (TimeMs t = 0; t + 5'000 <= options.day_length_ms; t += 5'000) {
+    ++total;
+    if (trace.rate_at(t, 5'000) >= threshold) ++high;
+  }
+  EXPECT_GT(static_cast<double>(high) / total, 0.5);
+  EXPECT_LT(static_cast<double>(high) / total, 0.85);
+}
+
+TEST(TwitterTrace, MeanAndErraticness) {
+  TwitterOptions options;
+  options.mean_rps = 275.0;
+  const Trace trace = make_twitter_trace(options);
+  EXPECT_NEAR(trace.duration_ms(), minutes(90), 1.0);
+  EXPECT_NEAR(trace.mean_rps(), 275.0, 20.0);
+
+  // Erratic: the coefficient of variation of 10 s window rates is large.
+  std::vector<double> rates;
+  for (TimeMs t = 0; t + 10'000 <= trace.duration_ms(); t += 10'000) {
+    rates.push_back(trace.rate_at(t, 10'000));
+  }
+  double sum = 0, sq = 0;
+  for (double r : rates) sum += r;
+  const double mean = sum / rates.size();
+  for (double r : rates) sq += (r - mean) * (r - mean);
+  const double cv = std::sqrt(sq / rates.size()) / mean;
+  EXPECT_GT(cv, 0.25);
+}
+
+TEST(PoissonTrace, ConstantMean) {
+  PoissonOptions options;
+  options.mean_rps = 700.0;
+  options.duration_ms = minutes(2);
+  const Trace trace = make_poisson_trace(options);
+  EXPECT_NEAR(trace.mean_rps(), 700.0, 15.0);
+  // Stationary: first and second half have similar rates.
+  const double first = trace.rate_at(0.0, trace.duration_ms() / 2);
+  const double second = trace.rate_at(trace.duration_ms() / 2, trace.duration_ms() / 2);
+  EXPECT_NEAR(first, second, 40.0);
+}
+
+TEST(Generators, ArrivalsAreNotQuantisedClumps) {
+  // Regression test: rates must be scaled before Poisson sampling. A
+  // clumpy trace has most epochs empty at a non-trivial mean rate.
+  AzureOptions options;
+  options.peak_rps = 225.0;
+  const Trace trace = make_azure_trace(options);
+  std::size_t nonzero = 0;
+  for (auto c : trace.counts()) nonzero += c > 0 ? 1 : 0;
+  // Mean ~18 rps at 100 ms epochs -> ~1.8 per epoch; the zero fraction must
+  // be modest, nowhere near the ~90% a clumped trace exhibits.
+  EXPECT_GT(static_cast<double>(nonzero) / trace.epoch_count(), 0.5);
+}
+
+}  // namespace
+}  // namespace paldia::trace

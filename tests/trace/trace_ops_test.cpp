@@ -1,0 +1,98 @@
+#include "src/trace/trace_ops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paldia::trace {
+namespace {
+
+TEST(TraceOps, FromRateProfileMeanMatches) {
+  Rng rng(1);
+  std::vector<double> rates(10'000, 50.0);  // 50 rps for 1000 s
+  const Trace trace = from_rate_profile("t", 100.0, rates, rng);
+  EXPECT_NEAR(trace.mean_rps(), 50.0, 2.0);
+}
+
+TEST(TraceOps, ProfilePeak) {
+  std::vector<double> rates(100, 10.0);
+  for (std::size_t i = 40; i < 60; ++i) rates[i] = 100.0;
+  EXPECT_NEAR(profile_peak_rps(rates, 100.0, 1000.0), 100.0, 1e-9);
+}
+
+TEST(TraceOps, ScaleRatesToPeak) {
+  std::vector<double> rates{1.0, 2.0, 4.0, 2.0, 1.0};
+  scale_rates_to_peak(rates, 1000.0, 100.0);  // 1 s epochs: peak = max epoch
+  EXPECT_NEAR(profile_peak_rps(rates, 1000.0, 1000.0), 100.0, 1e-9);
+  EXPECT_NEAR(rates[0], 25.0, 1e-9);  // shape preserved
+}
+
+TEST(TraceOps, ScaleRatesToMean) {
+  std::vector<double> rates{10.0, 20.0, 30.0};
+  scale_rates_to_mean(rates, 40.0);
+  EXPECT_NEAR((rates[0] + rates[1] + rates[2]) / 3.0, 40.0, 1e-9);
+  EXPECT_NEAR(rates[2] / rates[0], 3.0, 1e-9);  // shape preserved
+}
+
+TEST(TraceOps, ScaleRatesHandlesZero) {
+  std::vector<double> rates{0.0, 0.0};
+  scale_rates_to_peak(rates, 10.0, 100.0);  // no division by zero
+  EXPECT_EQ(rates[0], 0.0);
+  scale_rates_to_mean(rates, 10.0);
+  EXPECT_EQ(rates[0], 0.0);
+}
+
+TEST(TraceOps, ScaleCountsUnbiased) {
+  Rng rng(2);
+  Trace trace("t", 100.0, std::vector<std::uint32_t>(10'000, 4));
+  const Trace scaled = scale_counts(trace, 0.6, rng);
+  EXPECT_NEAR(static_cast<double>(scaled.total_requests()),
+              static_cast<double>(trace.total_requests()) * 0.6,
+              trace.total_requests() * 0.02);
+}
+
+TEST(TraceOps, ScaleToPeakTrace) {
+  Rng rng(3);
+  std::vector<std::uint32_t> counts(1000, 2);
+  for (std::size_t i = 400; i < 500; ++i) counts[i] = 40;
+  Trace trace("t", 100.0, counts);
+  const Trace scaled = scale_to_peak(trace, 100.0, rng);
+  EXPECT_NEAR(scaled.peak_rps(), 100.0, 15.0);
+}
+
+TEST(TraceOps, ScaleToMeanTrace) {
+  Rng rng(4);
+  Trace trace("t", 100.0, std::vector<std::uint32_t>(1000, 5));
+  const Trace scaled = scale_to_mean(trace, 10.0, rng);
+  EXPECT_NEAR(scaled.mean_rps(), 10.0, 1.0);
+}
+
+TEST(TraceOps, BusiestWindowFindsTheSurge) {
+  std::vector<std::uint32_t> counts(600, 1);
+  for (std::size_t i = 300; i < 400; ++i) counts[i] = 50;
+  Trace trace("t", 100.0, counts);
+  const Window window = busiest_window(trace, 10'000.0);  // 10 s span
+  EXPECT_GE(window.start_ms, 29'000.0);
+  EXPECT_LE(window.end_ms, 41'000.0);
+  EXPECT_NEAR(window.end_ms - window.start_ms, 10'000.0, 1e-9);
+}
+
+TEST(TraceOps, BusiestWindowOnEmptyTrace) {
+  Trace trace("t", 100.0, {});
+  const Window window = busiest_window(trace, 1000.0);
+  EXPECT_EQ(window.start_ms, 0.0);
+  EXPECT_EQ(window.end_ms, 0.0);
+}
+
+TEST(TraceOps, SlicePreservesCounts) {
+  Trace trace("t", 100.0, {1, 2, 3, 4, 5, 6});
+  const Trace sliced = slice(trace, 200.0, 500.0);
+  EXPECT_EQ(sliced.counts(), (std::vector<std::uint32_t>{3, 4, 5}));
+}
+
+TEST(TraceOps, SliceClampsToBounds) {
+  Trace trace("t", 100.0, {1, 2, 3});
+  const Trace sliced = slice(trace, -100.0, 10'000.0);
+  EXPECT_EQ(sliced.counts(), trace.counts());
+}
+
+}  // namespace
+}  // namespace paldia::trace

@@ -1,0 +1,61 @@
+#include "src/trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace paldia::trace {
+namespace {
+
+TEST(Trace, BasicProperties) {
+  Trace trace("t", 100.0, {1, 2, 3, 4});
+  EXPECT_EQ(trace.name(), "t");
+  EXPECT_EQ(trace.epoch_count(), 4u);
+  EXPECT_EQ(trace.total_requests(), 10u);
+  EXPECT_DOUBLE_EQ(trace.duration_ms(), 400.0);
+}
+
+TEST(Trace, MeanRps) {
+  // 10 requests over 0.4 s = 25 rps.
+  Trace trace("t", 100.0, {1, 2, 3, 4});
+  EXPECT_NEAR(trace.mean_rps(), 25.0, 1e-9);
+}
+
+TEST(Trace, PeakRpsSlidingWindow) {
+  // 20 epochs of 100 ms; one dense second in the middle.
+  std::vector<std::uint32_t> counts(20, 1);
+  for (std::size_t i = 5; i < 15; ++i) counts[i] = 10;
+  Trace trace("t", 100.0, counts);
+  EXPECT_NEAR(trace.peak_rps(1000.0), 100.0, 1e-9);
+}
+
+TEST(Trace, PeakShorterThanWindow) {
+  Trace trace("t", 100.0, {5, 5});
+  // Window larger than trace: rate over the actual span.
+  EXPECT_NEAR(trace.peak_rps(1000.0), 10.0 / 0.2 * 0.2 / 0.2, 50.0);
+  EXPECT_GT(trace.peak_rps(1000.0), 0.0);
+}
+
+TEST(Trace, RateAtWindow) {
+  Trace trace("t", 100.0, {0, 0, 10, 10, 0, 0});
+  EXPECT_NEAR(trace.rate_at(200.0, 200.0), 100.0, 1e-9);
+  EXPECT_NEAR(trace.rate_at(400.0, 200.0), 0.0, 1e-9);
+}
+
+TEST(Trace, RateAtPastEnd) {
+  Trace trace("t", 100.0, {5});
+  EXPECT_EQ(trace.rate_at(1000.0), 0.0);
+}
+
+TEST(Trace, InvalidEpochThrows) {
+  EXPECT_THROW(Trace("t", 0.0, {1}), std::invalid_argument);
+  EXPECT_THROW(Trace("t", -5.0, {1}), std::invalid_argument);
+}
+
+TEST(Trace, EmptyTrace) {
+  Trace trace("t", 100.0, {});
+  EXPECT_EQ(trace.total_requests(), 0u);
+  EXPECT_EQ(trace.mean_rps(), 0.0);
+  EXPECT_EQ(trace.peak_rps(), 0.0);
+}
+
+}  // namespace
+}  // namespace paldia::trace
