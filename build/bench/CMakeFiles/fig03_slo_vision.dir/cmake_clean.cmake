@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_slo_vision.dir/fig03_slo_vision.cpp.o"
+  "CMakeFiles/fig03_slo_vision.dir/fig03_slo_vision.cpp.o.d"
+  "fig03_slo_vision"
+  "fig03_slo_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_slo_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_slo_vision.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_cost_vs_slo.dir/fig05_cost_vs_slo.cpp.o"
+  "CMakeFiles/fig05_cost_vs_slo.dir/fig05_cost_vs_slo.cpp.o.d"
+  "fig05_cost_vs_slo"
+  "fig05_cost_vs_slo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_cost_vs_slo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

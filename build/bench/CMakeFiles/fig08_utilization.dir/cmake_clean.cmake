@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_utilization.dir/fig08_utilization.cpp.o"
+  "CMakeFiles/fig08_utilization.dir/fig08_utilization.cpp.o.d"
+  "fig08_utilization"
+  "fig08_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

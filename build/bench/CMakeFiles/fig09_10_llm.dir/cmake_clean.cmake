@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_10_llm.dir/fig09_10_llm.cpp.o"
+  "CMakeFiles/fig09_10_llm.dir/fig09_10_llm.cpp.o.d"
+  "fig09_10_llm"
+  "fig09_10_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_10_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_oracle.dir/fig11_oracle.cpp.o"
+  "CMakeFiles/fig11_oracle.dir/fig11_oracle.cpp.o.d"
+  "fig11_oracle"
+  "fig11_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_real_traces.dir/fig12_real_traces.cpp.o"
+  "CMakeFiles/fig12_real_traces.dir/fig12_real_traces.cpp.o.d"
+  "fig12_real_traces"
+  "fig12_real_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_real_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_adverse.dir/fig13_adverse.cpp.o"
+  "CMakeFiles/fig13_adverse.dir/fig13_adverse.cpp.o.d"
+  "fig13_adverse"
+  "fig13_adverse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_adverse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

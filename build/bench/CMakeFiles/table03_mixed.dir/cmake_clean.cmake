@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_mixed.dir/table03_mixed.cpp.o"
+  "CMakeFiles/table03_mixed.dir/table03_mixed.cpp.o.d"
+  "table03_mixed"
+  "table03_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

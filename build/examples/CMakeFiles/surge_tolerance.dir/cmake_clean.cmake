@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surge_tolerance.dir/surge_tolerance.cpp.o"
+  "CMakeFiles/surge_tolerance.dir/surge_tolerance.cpp.o.d"
+  "surge_tolerance"
+  "surge_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surge_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

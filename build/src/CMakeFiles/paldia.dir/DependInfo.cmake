@@ -1,0 +1,77 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/infless_llama.cpp" "src/CMakeFiles/paldia.dir/baselines/infless_llama.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/baselines/infless_llama.cpp.o.d"
+  "/root/repo/src/baselines/molecule.cpp" "src/CMakeFiles/paldia.dir/baselines/molecule.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/baselines/molecule.cpp.o.d"
+  "/root/repo/src/baselines/offline_hybrid.cpp" "src/CMakeFiles/paldia.dir/baselines/offline_hybrid.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/baselines/offline_hybrid.cpp.o.d"
+  "/root/repo/src/baselines/oracle.cpp" "src/CMakeFiles/paldia.dir/baselines/oracle.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/baselines/oracle.cpp.o.d"
+  "/root/repo/src/cluster/cluster.cpp" "src/CMakeFiles/paldia.dir/cluster/cluster.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/cluster/cluster.cpp.o.d"
+  "/root/repo/src/cluster/container.cpp" "src/CMakeFiles/paldia.dir/cluster/container.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/cluster/container.cpp.o.d"
+  "/root/repo/src/cluster/cpu_executor.cpp" "src/CMakeFiles/paldia.dir/cluster/cpu_executor.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/cluster/cpu_executor.cpp.o.d"
+  "/root/repo/src/cluster/failure_injector.cpp" "src/CMakeFiles/paldia.dir/cluster/failure_injector.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/cluster/failure_injector.cpp.o.d"
+  "/root/repo/src/cluster/gpu_device.cpp" "src/CMakeFiles/paldia.dir/cluster/gpu_device.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/cluster/gpu_device.cpp.o.d"
+  "/root/repo/src/cluster/host_interference.cpp" "src/CMakeFiles/paldia.dir/cluster/host_interference.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/cluster/host_interference.cpp.o.d"
+  "/root/repo/src/cluster/node.cpp" "src/CMakeFiles/paldia.dir/cluster/node.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/cluster/node.cpp.o.d"
+  "/root/repo/src/cluster/provisioner.cpp" "src/CMakeFiles/paldia.dir/cluster/provisioner.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/cluster/provisioner.cpp.o.d"
+  "/root/repo/src/cluster/request.cpp" "src/CMakeFiles/paldia.dir/cluster/request.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/cluster/request.cpp.o.d"
+  "/root/repo/src/common/csv.cpp" "src/CMakeFiles/paldia.dir/common/csv.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/common/csv.cpp.o.d"
+  "/root/repo/src/common/histogram.cpp" "src/CMakeFiles/paldia.dir/common/histogram.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/common/histogram.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/paldia.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/paldia.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/paldia.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/paldia.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/common/table.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/paldia.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/common/thread_pool.cpp.o.d"
+  "/root/repo/src/core/autoscaler.cpp" "src/CMakeFiles/paldia.dir/core/autoscaler.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/core/autoscaler.cpp.o.d"
+  "/root/repo/src/core/batcher.cpp" "src/CMakeFiles/paldia.dir/core/batcher.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/core/batcher.cpp.o.d"
+  "/root/repo/src/core/framework.cpp" "src/CMakeFiles/paldia.dir/core/framework.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/core/framework.cpp.o.d"
+  "/root/repo/src/core/gateway.cpp" "src/CMakeFiles/paldia.dir/core/gateway.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/core/gateway.cpp.o.d"
+  "/root/repo/src/core/hardware_selection.cpp" "src/CMakeFiles/paldia.dir/core/hardware_selection.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/core/hardware_selection.cpp.o.d"
+  "/root/repo/src/core/job_distributor.cpp" "src/CMakeFiles/paldia.dir/core/job_distributor.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/core/job_distributor.cpp.o.d"
+  "/root/repo/src/core/paldia_policy.cpp" "src/CMakeFiles/paldia.dir/core/paldia_policy.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/core/paldia_policy.cpp.o.d"
+  "/root/repo/src/core/scheduler_policy.cpp" "src/CMakeFiles/paldia.dir/core/scheduler_policy.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/core/scheduler_policy.cpp.o.d"
+  "/root/repo/src/exp/runner.cpp" "src/CMakeFiles/paldia.dir/exp/runner.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/exp/runner.cpp.o.d"
+  "/root/repo/src/exp/scenario.cpp" "src/CMakeFiles/paldia.dir/exp/scenario.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/exp/scenario.cpp.o.d"
+  "/root/repo/src/exp/scheme_factory.cpp" "src/CMakeFiles/paldia.dir/exp/scheme_factory.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/exp/scheme_factory.cpp.o.d"
+  "/root/repo/src/exp/summary.cpp" "src/CMakeFiles/paldia.dir/exp/summary.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/exp/summary.cpp.o.d"
+  "/root/repo/src/hw/catalog.cpp" "src/CMakeFiles/paldia.dir/hw/catalog.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/hw/catalog.cpp.o.d"
+  "/root/repo/src/hw/node_spec.cpp" "src/CMakeFiles/paldia.dir/hw/node_spec.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/hw/node_spec.cpp.o.d"
+  "/root/repo/src/hw/power_model.cpp" "src/CMakeFiles/paldia.dir/hw/power_model.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/hw/power_model.cpp.o.d"
+  "/root/repo/src/models/model_spec.cpp" "src/CMakeFiles/paldia.dir/models/model_spec.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/models/model_spec.cpp.o.d"
+  "/root/repo/src/models/profile.cpp" "src/CMakeFiles/paldia.dir/models/profile.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/models/profile.cpp.o.d"
+  "/root/repo/src/models/profiler.cpp" "src/CMakeFiles/paldia.dir/models/profiler.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/models/profiler.cpp.o.d"
+  "/root/repo/src/models/zoo.cpp" "src/CMakeFiles/paldia.dir/models/zoo.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/models/zoo.cpp.o.d"
+  "/root/repo/src/perfmodel/cpu_latency_model.cpp" "src/CMakeFiles/paldia.dir/perfmodel/cpu_latency_model.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/perfmodel/cpu_latency_model.cpp.o.d"
+  "/root/repo/src/perfmodel/tmax_model.cpp" "src/CMakeFiles/paldia.dir/perfmodel/tmax_model.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/perfmodel/tmax_model.cpp.o.d"
+  "/root/repo/src/perfmodel/y_optimizer.cpp" "src/CMakeFiles/paldia.dir/perfmodel/y_optimizer.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/perfmodel/y_optimizer.cpp.o.d"
+  "/root/repo/src/predictor/ewma.cpp" "src/CMakeFiles/paldia.dir/predictor/ewma.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/predictor/ewma.cpp.o.d"
+  "/root/repo/src/predictor/window.cpp" "src/CMakeFiles/paldia.dir/predictor/window.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/predictor/window.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/paldia.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/paldia.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/telemetry/cost_tracker.cpp" "src/CMakeFiles/paldia.dir/telemetry/cost_tracker.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/telemetry/cost_tracker.cpp.o.d"
+  "/root/repo/src/telemetry/latency_recorder.cpp" "src/CMakeFiles/paldia.dir/telemetry/latency_recorder.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/telemetry/latency_recorder.cpp.o.d"
+  "/root/repo/src/telemetry/metrics.cpp" "src/CMakeFiles/paldia.dir/telemetry/metrics.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/telemetry/metrics.cpp.o.d"
+  "/root/repo/src/telemetry/power_tracker.cpp" "src/CMakeFiles/paldia.dir/telemetry/power_tracker.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/telemetry/power_tracker.cpp.o.d"
+  "/root/repo/src/telemetry/slo_tracker.cpp" "src/CMakeFiles/paldia.dir/telemetry/slo_tracker.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/telemetry/slo_tracker.cpp.o.d"
+  "/root/repo/src/telemetry/util_tracker.cpp" "src/CMakeFiles/paldia.dir/telemetry/util_tracker.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/telemetry/util_tracker.cpp.o.d"
+  "/root/repo/src/trace/azure_trace.cpp" "src/CMakeFiles/paldia.dir/trace/azure_trace.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/trace/azure_trace.cpp.o.d"
+  "/root/repo/src/trace/csv_io.cpp" "src/CMakeFiles/paldia.dir/trace/csv_io.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/trace/csv_io.cpp.o.d"
+  "/root/repo/src/trace/poisson_trace.cpp" "src/CMakeFiles/paldia.dir/trace/poisson_trace.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/trace/poisson_trace.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/paldia.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/trace/trace.cpp.o.d"
+  "/root/repo/src/trace/trace_ops.cpp" "src/CMakeFiles/paldia.dir/trace/trace_ops.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/trace/trace_ops.cpp.o.d"
+  "/root/repo/src/trace/twitter_trace.cpp" "src/CMakeFiles/paldia.dir/trace/twitter_trace.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/trace/twitter_trace.cpp.o.d"
+  "/root/repo/src/trace/wiki_trace.cpp" "src/CMakeFiles/paldia.dir/trace/wiki_trace.cpp.o" "gcc" "src/CMakeFiles/paldia.dir/trace/wiki_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

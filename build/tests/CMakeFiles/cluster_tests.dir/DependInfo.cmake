@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/cluster_test.cpp" "tests/CMakeFiles/cluster_tests.dir/cluster/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_tests.dir/cluster/cluster_test.cpp.o.d"
+  "/root/repo/tests/cluster/cpu_executor_test.cpp" "tests/CMakeFiles/cluster_tests.dir/cluster/cpu_executor_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_tests.dir/cluster/cpu_executor_test.cpp.o.d"
+  "/root/repo/tests/cluster/gpu_device_properties_test.cpp" "tests/CMakeFiles/cluster_tests.dir/cluster/gpu_device_properties_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_tests.dir/cluster/gpu_device_properties_test.cpp.o.d"
+  "/root/repo/tests/cluster/gpu_device_test.cpp" "tests/CMakeFiles/cluster_tests.dir/cluster/gpu_device_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_tests.dir/cluster/gpu_device_test.cpp.o.d"
+  "/root/repo/tests/cluster/host_interference_test.cpp" "tests/CMakeFiles/cluster_tests.dir/cluster/host_interference_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_tests.dir/cluster/host_interference_test.cpp.o.d"
+  "/root/repo/tests/cluster/node_test.cpp" "tests/CMakeFiles/cluster_tests.dir/cluster/node_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_tests.dir/cluster/node_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/paldia.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

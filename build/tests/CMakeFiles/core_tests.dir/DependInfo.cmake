@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/autoscaler_test.cpp" "tests/CMakeFiles/core_tests.dir/core/autoscaler_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/autoscaler_test.cpp.o.d"
+  "/root/repo/tests/core/batcher_test.cpp" "tests/CMakeFiles/core_tests.dir/core/batcher_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/batcher_test.cpp.o.d"
+  "/root/repo/tests/core/gateway_test.cpp" "tests/CMakeFiles/core_tests.dir/core/gateway_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/gateway_test.cpp.o.d"
+  "/root/repo/tests/core/hardware_selection_test.cpp" "tests/CMakeFiles/core_tests.dir/core/hardware_selection_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/hardware_selection_test.cpp.o.d"
+  "/root/repo/tests/core/job_distributor_test.cpp" "tests/CMakeFiles/core_tests.dir/core/job_distributor_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/job_distributor_test.cpp.o.d"
+  "/root/repo/tests/core/paldia_policy_test.cpp" "tests/CMakeFiles/core_tests.dir/core/paldia_policy_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/paldia_policy_test.cpp.o.d"
+  "/root/repo/tests/predictor/ewma_test.cpp" "tests/CMakeFiles/core_tests.dir/predictor/ewma_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/predictor/ewma_test.cpp.o.d"
+  "/root/repo/tests/predictor/window_test.cpp" "tests/CMakeFiles/core_tests.dir/predictor/window_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/predictor/window_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/paldia.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/autoscaler_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/autoscaler_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/batcher_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/batcher_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/gateway_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/gateway_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/hardware_selection_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/hardware_selection_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/job_distributor_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/job_distributor_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/paldia_policy_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/paldia_policy_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/predictor/ewma_test.cpp.o"
+  "CMakeFiles/core_tests.dir/predictor/ewma_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/predictor/window_test.cpp.o"
+  "CMakeFiles/core_tests.dir/predictor/window_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

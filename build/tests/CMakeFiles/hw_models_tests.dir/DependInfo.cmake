@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw/catalog_test.cpp" "tests/CMakeFiles/hw_models_tests.dir/hw/catalog_test.cpp.o" "gcc" "tests/CMakeFiles/hw_models_tests.dir/hw/catalog_test.cpp.o.d"
+  "/root/repo/tests/hw/power_model_test.cpp" "tests/CMakeFiles/hw_models_tests.dir/hw/power_model_test.cpp.o" "gcc" "tests/CMakeFiles/hw_models_tests.dir/hw/power_model_test.cpp.o.d"
+  "/root/repo/tests/models/profile_test.cpp" "tests/CMakeFiles/hw_models_tests.dir/models/profile_test.cpp.o" "gcc" "tests/CMakeFiles/hw_models_tests.dir/models/profile_test.cpp.o.d"
+  "/root/repo/tests/models/profiler_test.cpp" "tests/CMakeFiles/hw_models_tests.dir/models/profiler_test.cpp.o" "gcc" "tests/CMakeFiles/hw_models_tests.dir/models/profiler_test.cpp.o.d"
+  "/root/repo/tests/models/zoo_test.cpp" "tests/CMakeFiles/hw_models_tests.dir/models/zoo_test.cpp.o" "gcc" "tests/CMakeFiles/hw_models_tests.dir/models/zoo_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/paldia.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_models_tests.dir/hw/catalog_test.cpp.o"
+  "CMakeFiles/hw_models_tests.dir/hw/catalog_test.cpp.o.d"
+  "CMakeFiles/hw_models_tests.dir/hw/power_model_test.cpp.o"
+  "CMakeFiles/hw_models_tests.dir/hw/power_model_test.cpp.o.d"
+  "CMakeFiles/hw_models_tests.dir/models/profile_test.cpp.o"
+  "CMakeFiles/hw_models_tests.dir/models/profile_test.cpp.o.d"
+  "CMakeFiles/hw_models_tests.dir/models/profiler_test.cpp.o"
+  "CMakeFiles/hw_models_tests.dir/models/profiler_test.cpp.o.d"
+  "CMakeFiles/hw_models_tests.dir/models/zoo_test.cpp.o"
+  "CMakeFiles/hw_models_tests.dir/models/zoo_test.cpp.o.d"
+  "hw_models_tests"
+  "hw_models_tests.pdb"
+  "hw_models_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_models_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/perfmodel/cpu_latency_model_test.cpp" "tests/CMakeFiles/perfmodel_tests.dir/perfmodel/cpu_latency_model_test.cpp.o" "gcc" "tests/CMakeFiles/perfmodel_tests.dir/perfmodel/cpu_latency_model_test.cpp.o.d"
+  "/root/repo/tests/perfmodel/model_vs_device_test.cpp" "tests/CMakeFiles/perfmodel_tests.dir/perfmodel/model_vs_device_test.cpp.o" "gcc" "tests/CMakeFiles/perfmodel_tests.dir/perfmodel/model_vs_device_test.cpp.o.d"
+  "/root/repo/tests/perfmodel/tmax_model_test.cpp" "tests/CMakeFiles/perfmodel_tests.dir/perfmodel/tmax_model_test.cpp.o" "gcc" "tests/CMakeFiles/perfmodel_tests.dir/perfmodel/tmax_model_test.cpp.o.d"
+  "/root/repo/tests/perfmodel/y_optimizer_test.cpp" "tests/CMakeFiles/perfmodel_tests.dir/perfmodel/y_optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/perfmodel_tests.dir/perfmodel/y_optimizer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/paldia.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

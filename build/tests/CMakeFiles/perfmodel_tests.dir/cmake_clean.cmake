@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfmodel_tests.dir/perfmodel/cpu_latency_model_test.cpp.o"
+  "CMakeFiles/perfmodel_tests.dir/perfmodel/cpu_latency_model_test.cpp.o.d"
+  "CMakeFiles/perfmodel_tests.dir/perfmodel/model_vs_device_test.cpp.o"
+  "CMakeFiles/perfmodel_tests.dir/perfmodel/model_vs_device_test.cpp.o.d"
+  "CMakeFiles/perfmodel_tests.dir/perfmodel/tmax_model_test.cpp.o"
+  "CMakeFiles/perfmodel_tests.dir/perfmodel/tmax_model_test.cpp.o.d"
+  "CMakeFiles/perfmodel_tests.dir/perfmodel/y_optimizer_test.cpp.o"
+  "CMakeFiles/perfmodel_tests.dir/perfmodel/y_optimizer_test.cpp.o.d"
+  "perfmodel_tests"
+  "perfmodel_tests.pdb"
+  "perfmodel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfmodel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
