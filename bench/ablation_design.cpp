@@ -18,13 +18,14 @@ namespace {
 
 telemetry::RunMetrics run_paldia(const exp::Scenario& scenario,
                                  exp::SchemeFactoryOptions factory_options,
+                                 ThreadPool* pool,
                                  core::FrameworkConfig framework = {}) {
   exp::Scenario local = scenario;
   if (framework.initial_node || framework.autoscaler.keep_alive_ms !=
                                     core::AutoscalerConfig{}.keep_alive_ms) {
     local.framework = framework;
   }
-  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(), nullptr,
+  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(), pool,
                      factory_options);
   return runner.run(local, exp::SchemeId::kPaldia).combined;
 }
@@ -48,7 +49,8 @@ int main(int argc, char** argv) {
       exp::Scenario local = scenario;
       local.framework.autoscaler.keep_alive_ms = keep_alive;
       local.framework.autoscaler.min_containers = keep_alive == 0.0 ? 0 : 1;
-      exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance());
+      exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
+                         &bench::shared_pool(options));
       const auto metrics = runner.run(local, exp::SchemeId::kPaldia).combined;
       table.add_row({Table::num(keep_alive / 1000.0, 0) + " s",
                      std::to_string(metrics.cold_starts),
@@ -73,7 +75,8 @@ int main(int argc, char** argv) {
     for (const double beta : {0.0, 0.1, 0.2, 0.35}) {
       exp::SchemeFactoryOptions factory_options;
       factory_options.tmax_beta = beta;
-      const auto metrics = run_paldia(exhaustion, factory_options);
+      const auto metrics =
+          run_paldia(exhaustion, factory_options, &bench::shared_pool(options));
       table.add_row({Table::num(beta, 2), Table::percent(metrics.slo_compliance),
                      bench::ms(metrics.p99_latency_ms)});
     }

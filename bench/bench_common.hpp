@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/common/table.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/exp/runner.hpp"
 #include "src/exp/scenario.hpp"
 
@@ -17,6 +18,7 @@ namespace paldia::bench {
 struct BenchOptions {
   int repetitions = 3;  // the paper uses 5; --reps=5 reproduces that
   bool full = false;    // --full: uncompressed traces where applicable
+  int threads = 0;      // worker threads; 0 = hardware concurrency, 1 = serial
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -25,14 +27,24 @@ inline BenchOptions parse_options(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--reps=", 0) == 0) {
       options.repetitions = std::max(1, std::atoi(arg.c_str() + 7));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      options.threads = std::max(0, std::atoi(arg.c_str() + 10));
     } else if (arg == "--full") {
       options.full = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: %s [--reps=N] [--full]\n", argv[0]);
+      std::printf("usage: %s [--reps=N] [--threads=N] [--full]\n", argv[0]);
       std::exit(0);
     }
   }
   return options;
+}
+
+/// Pool shared by a figure binary's whole sweep: schemes fan out here, each
+/// scheme's repetitions fan out inside Runner::run, and the policies'
+/// y-sweeps nest one level below that — all on the same task-group executor.
+inline ThreadPool& shared_pool(const BenchOptions& options) {
+  static ThreadPool pool(static_cast<std::size_t>(options.threads));
+  return pool;
 }
 
 inline void print_header(const std::string& title, const std::string& paper_claim) {
@@ -41,14 +53,21 @@ inline void print_header(const std::string& title, const std::string& paper_clai
 }
 
 /// Runs the scenario for the given schemes and returns combined metrics in
-/// the same order.
+/// the same order. With a pool, the (scheme x rep) grid runs concurrently:
+/// schemes fan out here and Runner::run nests a parallel_for over reps —
+/// results land in fixed slots, so rows match the serial order exactly.
 inline std::vector<telemetry::RunMetrics> run_schemes(
     const exp::Runner& runner, const exp::Scenario& scenario,
-    const std::vector<exp::SchemeId>& schemes, bool keep_cdf = false) {
-  std::vector<telemetry::RunMetrics> rows;
-  rows.reserve(schemes.size());
-  for (const auto scheme : schemes) {
-    rows.push_back(runner.run(scenario, scheme, keep_cdf).combined);
+    const std::vector<exp::SchemeId>& schemes, bool keep_cdf = false,
+    ThreadPool* pool = nullptr) {
+  std::vector<telemetry::RunMetrics> rows(schemes.size());
+  auto run_one = [&](std::size_t i) {
+    rows[i] = runner.run(scenario, schemes[i], keep_cdf).combined;
+  };
+  if (pool != nullptr && schemes.size() > 1) {
+    pool->parallel_for(schemes.size(), run_one);
+  } else {
+    for (std::size_t i = 0; i < schemes.size(); ++i) run_one(i);
   }
   return rows;
 }

@@ -45,8 +45,8 @@ int main(int argc, char** argv) {
 
   exp::SchemeFactoryOptions factory_options;
   factory_options.offline_spatial_fraction = fraction;
-  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(), nullptr,
-                     factory_options);
+  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
+                     &bench::shared_pool(options), factory_options);
 
   const std::vector<exp::SchemeId> schemes = {
       exp::SchemeId::kTimeSharedPerf, exp::SchemeId::kMpsOnlyPerf,

@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
       "Paldia ~99.5%+, within 0.8% of the (P) schemes; up to 13.3% above the "
       "($) schemes.");
 
-  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance());
+  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
+                     &bench::shared_pool(options));
   const auto schemes = exp::main_schemes();
 
   std::vector<std::string> columns = {"Model"};

@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
       "($) schemes' tails dominated by interference (INFless) or queueing "
       "(Molecule); Paldia's P99 within the 200 ms SLO.");
 
-  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance());
+  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
+                     &bench::shared_pool(options));
   for (const auto model : {models::ModelId::kResNet50, models::ModelId::kVgg19}) {
     auto scenario = exp::azure_scenario(model, options.repetitions);
     std::cout << "--- " << models::model_id_name(model) << " ---\n";

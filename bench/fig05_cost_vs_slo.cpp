@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
       "marginally (~1-3%) costlier than the ($) schemes while up to ~11% more "
       "compliant.");
 
-  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance());
+  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
+                     &bench::shared_pool(options));
   for (const auto model :
        {models::ModelId::kResNet50, models::ModelId::kEfficientNetB0}) {
     auto scenario = exp::azure_scenario(model, options.repetitions);
@@ -25,7 +26,8 @@ int main(int argc, char** argv) {
 
     // Normalize to the most expensive scheme (the (P) column in the paper).
     std::vector<telemetry::RunMetrics> rows =
-        bench::run_schemes(runner, scenario, exp::main_schemes());
+        bench::run_schemes(runner, scenario, exp::main_schemes(),
+                           /*keep_cdf=*/false, &bench::shared_pool(options));
     double max_cost = 0.0;
     for (const auto& row : rows) max_cost = std::max(max_cost, row.cost);
 

@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
       "Paldia within the 200 ms SLO until P99; ($) schemes exceed it from "
       "~P80; (P) schemes well inside at much higher cost.");
 
-  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance());
+  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
+                     &bench::shared_pool(options));
   auto scenario = exp::azure_scenario(models::ModelId::kSeNet18,
                                       options.repetitions);
 

@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
       "Paldia within ~5% of ideal goodput (vs 27%/34% for the $ schemes); "
       "~45% less power than the (P) schemes.");
 
-  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance());
+  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
+                     &bench::shared_pool(options));
 
   {
     auto scenario = exp::azure_scenario(models::ModelId::kDenseNet121,
@@ -39,7 +40,9 @@ int main(int argc, char** argv) {
     auto scenario = exp::azure_scenario(models::ModelId::kSimplifiedDla,
                                         options.repetitions);
     std::cout << "--- (b) Average power, Simplified DLA ---\n";
-    const auto rows = bench::run_schemes(runner, scenario, exp::main_schemes());
+    const auto rows = bench::run_schemes(runner, scenario, exp::main_schemes(),
+                                         /*keep_cdf=*/false,
+                                         &bench::shared_pool(options));
     double max_power = 0.0;
     for (const auto& row : rows) max_power = std::max(max_power, row.average_power);
     Table table({"Scheme", "Avg power (W)", "Normalized"});

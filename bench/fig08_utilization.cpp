@@ -16,7 +16,8 @@ int main(int argc, char** argv) {
       "GPU util: INFless ($) ~99% > Paldia ~94% > Molecule ($) ~90% >> (P) "
       "schemes; CPU util ~72% for cost-effective schemes.");
 
-  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance());
+  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
+                     &bench::shared_pool(options));
   auto scenario = exp::azure_scenario(models::ModelId::kVgg19, options.repetitions);
 
   Table table({"Scheme", "GPU node util", "CPU node util"});

@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
       "Paldia ~99.5% avg compliance vs ~97.7% for ($) schemes; ~72% cost "
       "savings vs (P) schemes.");
 
-  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance());
+  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
+                     &bench::shared_pool(options));
   const auto schemes = exp::main_schemes();
   const auto llms = models::Zoo::instance().language_models();
 

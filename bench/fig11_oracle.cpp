@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
       "Fig. 11: Paldia vs Oracle (Azure trace)",
       "Paldia within ~0.8% of Oracle's compliance; cost difference <~1%.");
 
-  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance());
+  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
+                     &bench::shared_pool(options));
   Table table({"Model", "Scheme", "SLO compliance", "Cost", "Delta SLO",
                "Delta cost"});
   for (const auto model :

@@ -18,10 +18,11 @@ using namespace paldia;
 namespace {
 
 void run_block(const exp::Runner& runner, exp::Scenario& scenario,
-               const std::string& title) {
+               const std::string& title, ThreadPool* pool) {
   std::cout << "--- " << title << " ---\n";
   Table table({"Scheme", "SLO compliance", "P99", "Cost", "Normalized cost"});
-  const auto rows = bench::run_schemes(runner, scenario, exp::main_schemes());
+  const auto rows = bench::run_schemes(runner, scenario, exp::main_schemes(),
+                                       /*keep_cdf=*/false, pool);
   double max_cost = 0.0;
   for (const auto& row : rows) max_cost = std::max(max_cost, row.cost);
   for (const auto& row : rows) {
@@ -43,7 +44,8 @@ int main(int argc, char** argv) {
       "($) schemes (99.25% vs ~80-84%; 98.48% vs ~70-72%) at a few % more "
       "cost, far below the (P) schemes.");
 
-  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance());
+  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
+                     &bench::shared_pool(options));
 
   {
     exp::Scenario scenario;
@@ -53,7 +55,8 @@ int main(int argc, char** argv) {
     if (options.full) wiki.day_length_ms = hours(24);
     scenario.workloads.push_back(exp::WorkloadSpec{
         models::ModelId::kResNet50, trace::make_wiki_trace(wiki)});
-    run_block(runner, scenario, "(a) Wikipedia trace, ResNet 50");
+    run_block(runner, scenario, "(a) Wikipedia trace, ResNet 50",
+              &bench::shared_pool(options));
   }
   {
     exp::Scenario scenario;
@@ -63,7 +66,8 @@ int main(int argc, char** argv) {
     if (!options.full) twitter.duration_ms = minutes(30);
     scenario.workloads.push_back(exp::WorkloadSpec{
         models::ModelId::kDpn92, trace::make_twitter_trace(twitter)});
-    run_block(runner, scenario, "(b) Twitter trace, DPN 92");
+    run_block(runner, scenario, "(b) Twitter trace, DPN 92",
+              &bench::shared_pool(options));
   }
   return 0;
 }

@@ -22,7 +22,8 @@ int main(int argc, char** argv) {
       "(97.6% / ~62% / ~33%); (b) failover lifts cost-effective schemes, "
       "drops (P) schemes.");
 
-  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance());
+  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
+                     &bench::shared_pool(options));
 
   {
     std::cout << "--- (a) Resource exhaustion: GoogleNet, Poisson ~800 rps ---\n";

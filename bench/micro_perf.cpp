@@ -103,6 +103,24 @@ void BM_HistogramAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_HistogramAdd);
 
+void BM_HistogramPercentiles(benchmark::State& state) {
+  // P50/P95/P99 extraction, the per-workload metrics path: one batched
+  // scan vs three single-quantile scans.
+  Histogram histogram;
+  Rng rng(5);
+  for (int i = 0; i < 200'000; ++i) histogram.add(rng.uniform(0.5, 4000.0));
+  const double qs[] = {0.5, 0.95, 0.99};
+  for (auto _ : state) {
+    if (state.range(0) == 0) {
+      benchmark::DoNotOptimize(histogram.quantiles(qs));
+    } else {
+      for (const double q : qs) benchmark::DoNotOptimize(histogram.quantile(q));
+    }
+  }
+  state.SetLabel(state.range(0) == 0 ? "batched" : "3x single");
+}
+BENCHMARK(BM_HistogramPercentiles)->Arg(0)->Arg(1);
+
 void BM_EwmaObservePredict(benchmark::State& state) {
   predictor::EwmaPredictor predictor;
   double t = 0.0;

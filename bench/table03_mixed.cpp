@@ -16,7 +16,8 @@ int main(int argc, char** argv) {
       "Molecule(P)/INFless(P) 99.99%, Molecule($) 76.44%, INFless($) 75.83%, "
       "Paldia 94.78%.");
 
-  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance());
+  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
+                     &bench::shared_pool(options));
   auto scenario = exp::azure_scenario(models::ModelId::kResNet50,
                                       options.repetitions);
   scenario.coresidents = cluster::sebs_coresidents();

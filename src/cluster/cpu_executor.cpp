@@ -54,20 +54,27 @@ void CpuExecutor::complete_running() {
 
 void CpuExecutor::fail_all() {
   completion_event_.cancel();
-  auto fail_one = [this](CpuJob& job, TimeMs submit_ms, TimeMs start_ms) {
+  auto fail_one = [this](CpuJob& job, TimeMs submit_ms, TimeMs start_ms,
+                         bool started) {
     ExecutionReport report;
     report.submit_ms = submit_ms;
     report.start_ms = start_ms;
     report.end_ms = simulator_->now();
     report.failed = true;
+    report.started = started;
     if (job.on_complete) job.on_complete(report);
   };
   if (running_) {
     busy_time_ms_ += simulator_->now() - busy_since_ms_;
-    fail_one(running_->job, running_->submit_ms, running_->start_ms);
+    fail_one(running_->job, running_->submit_ms, running_->start_ms,
+             /*started=*/true);
     running_.reset();
   }
-  for (auto& [job, submit_ms] : queue_) fail_one(job, submit_ms, simulator_->now());
+  // Queued jobs never began: start_ms == end_ms, so the whole wait counts
+  // as queue time and execution time stays zero.
+  for (auto& [job, submit_ms] : queue_) {
+    fail_one(job, submit_ms, simulator_->now(), /*started=*/false);
+  }
   queue_.clear();
 }
 

@@ -190,12 +190,16 @@ void GpuDevice::fail_all() {
 
   auto fail_queued = [this](std::deque<GpuJob>& queue) {
     for (auto& job : queue) {
+      // These batches never reached a lane: start_ms == end_ms keeps their
+      // execution time at zero and attributes the entire wait since
+      // submission to the queue component.
       ExecutionReport report;
       report.submit_ms = job.submit_time_tag;
       report.start_ms = simulator_->now();
-      report.end_ms = simulator_->now();
+      report.end_ms = report.start_ms;
       report.solo_ms = 0.0;
       report.failed = true;
+      report.started = false;
       if (job.on_complete) job.on_complete(report);
     }
     queue.clear();

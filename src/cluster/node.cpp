@@ -37,11 +37,14 @@ void Node::fail() {
   if (gpu_device_) gpu_device_->fail_all();
   if (cpu_executor_) cpu_executor_->fail_all();
   for (auto& pending : doomed) {
+    // Still waiting for a container — never started; the full wait is
+    // queue time (start_ms == end_ms, no execution component).
     ExecutionReport report;
     report.submit_ms = pending.submitted_ms;
     report.start_ms = simulator_->now();
-    report.end_ms = simulator_->now();
+    report.end_ms = report.start_ms;
     report.failed = true;
+    report.started = false;
     if (pending.request.on_complete) pending.request.on_complete(report);
   }
 }

@@ -47,6 +47,10 @@ struct ExecutionReport {
   DurationMs solo_ms = 0.0;       // isolated execution time for this batch
   DurationMs cold_start_ms = 0.0; // container boot time charged to the batch
   bool failed = false;            // node died mid-flight; requests re-queued
+  /// False for batches that died while still queued (never reached a lane/
+  /// executor). Such reports carry start_ms == end_ms and solo_ms == 0, so
+  /// the whole wait lands in the queue component, not execution time.
+  bool started = true;
 
   /// Queueing component: waiting for a lane/executor.
   DurationMs queue_ms() const { return start_ms - submit_ms; }

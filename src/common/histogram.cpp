@@ -97,6 +97,37 @@ double Histogram::quantile(double q) const {
   return max_;
 }
 
+std::vector<double> Histogram::quantiles(std::span<const double> qs) const {
+  std::vector<double> out(qs.size(), 0.0);
+  if (total_count_ == 0) return out;
+
+  // Visit the probabilities in ascending order so one cumulative walk over
+  // the buckets answers all of them; results land back in input order.
+  std::vector<std::size_t> order(qs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return qs[a] < qs[b]; });
+
+  std::uint64_t seen = 0;  // cumulative count of buckets before `bucket`
+  std::size_t bucket = 0;
+  for (const std::size_t qi : order) {
+    const double q = std::clamp(qs[qi], 0.0, 1.0);
+    const auto target =
+        static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_count_)));
+    // Same rule as quantile(): the first non-empty bucket whose cumulative
+    // count (through itself) reaches the target. Targets ascend, so the
+    // walk never rewinds and a bucket may answer several probabilities.
+    while (bucket < buckets_.size() &&
+           (buckets_[bucket] == 0 || seen + buckets_[bucket] < target)) {
+      seen += buckets_[bucket];
+      ++bucket;
+    }
+    out[qi] = bucket < buckets_.size() ? std::clamp(bucket_value(bucket), min_, max_)
+                                       : max_;
+  }
+  return out;
+}
+
 double Histogram::fraction_at_or_below(double threshold_ms) const {
   if (total_count_ == 0) return 1.0;
   const std::size_t limit = bucket_index(threshold_ms);

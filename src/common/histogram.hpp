@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/common/units.hpp"
@@ -31,6 +32,11 @@ class Histogram {
   /// Quantile in [0, 1]; returns the representative value of the bucket
   /// containing the q-th sample. quantile(0.99) == P99.
   double quantile(double q) const;
+
+  /// Several quantiles in one bucket scan (quantile() walks the bucket
+  /// array per call). Results are bit-identical to calling quantile() on
+  /// each probability and come back in the given order.
+  std::vector<double> quantiles(std::span<const double> qs) const;
 
   /// Fraction of samples <= threshold (e.g. SLO compliance).
   double fraction_at_or_below(double threshold_ms) const;

@@ -30,16 +30,35 @@ double max_value(std::span<const double> values) {
   return values.empty() ? 0.0 : *std::max_element(values.begin(), values.end());
 }
 
-double quantile(std::span<const double> values, double q) {
-  if (values.empty()) return 0.0;
-  std::vector<double> sorted(values.begin(), values.end());
-  std::sort(sorted.begin(), sorted.end());
+namespace {
+
+/// Interpolated order statistic of an already-sorted sample.
+double sorted_quantile(const std::vector<double>& sorted, double q) {
   q = std::clamp(q, 0.0, 1.0);
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const auto hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = pos - static_cast<double>(lo);
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+double quantile(std::span<const double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted_quantile(sorted, q);
+}
+
+std::vector<double> quantiles(std::span<const double> values,
+                              std::span<const double> qs) {
+  std::vector<double> out(qs.size(), 0.0);
+  if (values.empty()) return out;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < qs.size(); ++i) out[i] = sorted_quantile(sorted, qs[i]);
+  return out;
 }
 
 double outlier_filtered_mean(std::span<const double> values, double sigmas) {

@@ -27,15 +27,29 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
-    tasks_.push(std::move(task));
-    ++in_flight_;
+    tasks_.push_back(Task{std::move(task), nullptr});
+    ++total_pending_;
   }
   task_available_.notify_one();
+  all_done_.notify_all();  // a helping wait_idle may want this task
 }
 
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  for (;;) {
+    if (total_pending_ == 0) return;
+    if (!tasks_.empty()) {
+      Task task = std::move(tasks_.front());
+      tasks_.pop_front();
+      lock.unlock();
+      run_task(std::move(task));
+      lock.lock();
+      continue;
+    }
+    // Everything pending is running on workers; wake on completion, or on
+    // a new task we could help with.
+    all_done_.wait(lock, [this] { return total_pending_ == 0 || !tasks_.empty(); });
+  }
 }
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
@@ -46,38 +60,74 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   }
   // Chunked dynamic scheduling: workers pull the next index from a shared
   // counter, which balances uneven per-index costs (e.g. CPU vs GPU nodes in
-  // the hardware sweep).
+  // the hardware sweep). The +1 shard is the caller, which helps drain its
+  // own group below instead of blocking.
   auto counter = std::make_shared<std::atomic<std::size_t>>(0);
-  const std::size_t shards = std::min(n, workers_.size());
-  for (std::size_t s = 0; s < shards; ++s) {
-    submit([counter, n, &fn] {
-      for (std::size_t i = counter->fetch_add(1); i < n; i = counter->fetch_add(1)) {
-        fn(i);
-      }
-    });
+  auto group = std::make_shared<Group>();
+  const std::size_t shards = std::min(n, workers_.size() + 1);
+  {
+    std::lock_guard lock(mutex_);
+    group->pending = shards;
+    total_pending_ += shards;
+    for (std::size_t s = 0; s < shards; ++s) {
+      tasks_.push_back(Task{[counter, n, &fn] {
+                              for (std::size_t i = counter->fetch_add(1); i < n;
+                                   i = counter->fetch_add(1)) {
+                                fn(i);
+                              }
+                            },
+                            group});
+    }
   }
-  wait_idle();
+  task_available_.notify_all();
+  all_done_.notify_all();
+  help_until_done(group);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(mutex_);
       task_available_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        if (stopping_) return;
-        continue;
-      }
+      if (tasks_.empty()) return;  // stopping, queue drained
       task = std::move(tasks_.front());
-      tasks_.pop();
+      tasks_.pop_front();
     }
-    task();
-    {
-      std::lock_guard lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+    run_task(std::move(task));
+  }
+}
+
+void ThreadPool::run_task(Task task) {
+  task.fn();
+  std::lock_guard lock(mutex_);
+  if (task.group != nullptr && --task.group->pending == 0) {
+    task.group->done.notify_all();
+  }
+  if (--total_pending_ == 0) all_done_.notify_all();
+}
+
+void ThreadPool::help_until_done(const std::shared_ptr<Group>& group) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (group->pending == 0) return;
+    // Prefer running our own group's queued shards over blocking. Tasks of
+    // other groups are left for the workers: stealing them here would only
+    // delay this caller behind unrelated work.
+    const auto it = std::find_if(tasks_.begin(), tasks_.end(),
+                                 [&](const Task& t) { return t.group == group; });
+    if (it != tasks_.end()) {
+      Task task = std::move(*it);
+      tasks_.erase(it);
+      lock.unlock();
+      run_task(std::move(task));
+      lock.lock();
+      continue;
     }
+    // No queued shard of ours left: the remainder is running on workers
+    // (each of which always retires, helping through any nested groups of
+    // its own), so waiting on the group latch cannot deadlock.
+    group->done.wait(lock, [&] { return group->pending == 0; });
   }
 }
 

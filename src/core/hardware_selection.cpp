@@ -145,6 +145,9 @@ HardwareChoice HardwareSelection::choose(
   // choose_best_HW over the GPU candidates: among feasible ones, the
   // cheapest within performance_band of the most performant; otherwise
   // escalate to the most performant GPU (Section III's reattempt path).
+  // A misconfigured negative band would disqualify even the best node
+  // itself, so clamp it at zero (exact-best-only).
+  const DurationMs band = std::max(0.0, config_.performance_band_ms);
   DurationMs best_t = std::numeric_limits<double>::infinity();
   for (const auto& choice : choices) {
     if (catalog_->spec(choice.node).is_gpu() && choice.feasible) {
@@ -162,12 +165,16 @@ HardwareChoice HardwareSelection::choose(
   const HardwareChoice* winner = nullptr;
   for (const auto& choice : choices) {  // pool is cost-ascending
     if (!choice.feasible || !catalog_->spec(choice.node).is_gpu()) continue;
-    if (choice.t_max_ms <= best_t + config_.performance_band_ms) {
+    if (choice.t_max_ms <= best_t + band) {
       winner = &choice;
       break;
     }
+    // Defensive fallback: the best_t node always satisfies the clamped band,
+    // but track the best feasible choice so we can never dereference null.
+    if (winner == nullptr || choice.t_max_ms < winner->t_max_ms) winner = &choice;
   }
-  return *winner;  // non-null: at least the best_t node qualifies
+  if (winner != nullptr) return *winner;
+  return evaluate(catalog_->most_performant_gpu(), demand);
 }
 
 }  // namespace paldia::core

@@ -14,7 +14,8 @@ Runner::Runner(const models::Zoo& zoo, const hw::Catalog& catalog, ThreadPool* p
     : zoo_(&zoo),
       catalog_(&catalog),
       profile_(catalog),
-      factory_(zoo, catalog, profile_, pool, options) {}
+      factory_(zoo, catalog, profile_, pool, options),
+      pool_(pool) {}
 
 RunResult Runner::run_once(const Scenario& scenario, SchemeId scheme,
                            std::uint64_t seed, bool keep_cdf) const {
@@ -60,7 +61,10 @@ RunResult Runner::run_once(const Scenario& scenario, SchemeId scheme,
     metrics.requests = slo.total();
     metrics.slo_compliance = slo.compliance();
     metrics.mean_latency_ms = latency.mean_ms();
-    metrics.p99_latency_ms = latency.p99_ms();
+    const auto percentiles = latency.percentiles();  // one histogram scan
+    metrics.p50_latency_ms = percentiles.p50_ms;
+    metrics.p95_latency_ms = percentiles.p95_ms;
+    metrics.p99_latency_ms = percentiles.p99_ms;
     metrics.p99_breakdown = latency.breakdown_at(0.99);
 
     // The goodput window covers the busiest span *including its ramp* —
@@ -97,7 +101,11 @@ RunResult Runner::run_once(const Scenario& scenario, SchemeId scheme,
           ? 1.0
           : static_cast<double>(total_compliant) / static_cast<double>(total_completed);
   combined.mean_latency_ms = merged_e2e.mean();
-  combined.p99_latency_ms = merged_e2e.quantile(0.99);
+  const double merged_qs[] = {0.5, 0.95, 0.99};
+  const auto merged_percentiles = merged_e2e.quantiles(merged_qs);
+  combined.p50_latency_ms = merged_percentiles[0];
+  combined.p95_latency_ms = merged_percentiles[1];
+  combined.p99_latency_ms = merged_percentiles[2];
   if (total_requests > 0) {
     const auto weight = static_cast<double>(total_requests);
     combined.p99_breakdown = telemetry::TailBreakdown{
@@ -125,14 +133,21 @@ RunResult Runner::run_once(const Scenario& scenario, SchemeId scheme,
 }
 
 RunResult Runner::run(const Scenario& scenario, SchemeId scheme, bool keep_cdf) const {
-  std::vector<RunResult> repetitions;
-  repetitions.reserve(static_cast<std::size_t>(scenario.repetitions));
-  for (int rep = 0; rep < scenario.repetitions; ++rep) {
+  std::vector<RunResult> repetitions(static_cast<std::size_t>(scenario.repetitions));
+  auto run_rep = [&](std::size_t rep) {
     const std::uint64_t seed =
         scenario.base_seed + 0x9e3779b9ull * static_cast<std::uint64_t>(rep + 1) +
         static_cast<std::uint64_t>(scheme) * 0x51ull;
-    repetitions.push_back(
-        run_once(scenario, scheme, seed, keep_cdf && rep == 0));
+    repetitions[rep] = run_once(scenario, scheme, seed, keep_cdf && rep == 0);
+  };
+  // Repetitions are independent simulations (per-rep seed, all mutable state
+  // local to run_once), so they can run concurrently. Each result lands in
+  // its slot and the outlier-filtered aggregation sees the serial order —
+  // the metrics are bit-identical with and without the pool.
+  if (pool_ != nullptr && repetitions.size() > 1) {
+    pool_->parallel_for(repetitions.size(), run_rep);
+  } else {
+    for (std::size_t rep = 0; rep < repetitions.size(); ++rep) run_rep(rep);
   }
   return aggregate_runs(repetitions);
 }

@@ -25,6 +25,9 @@ class Runner {
 
   /// All repetitions, aggregated per the paper's rule (mean with >2.5 sigma
   /// outliers dropped). keep_cdf retains the latency CDF of the first rep.
+  /// With a pool, repetitions run concurrently (each rep derives its seed
+  /// independently and lands in a fixed slot before aggregation, so the
+  /// metrics are bit-identical to the serial order).
   RunResult run(const Scenario& scenario, SchemeId scheme,
                 bool keep_cdf = false) const;
 
@@ -35,6 +38,7 @@ class Runner {
   const hw::Catalog* catalog_;
   models::ProfileTable profile_;
   SchemeFactory factory_;
+  ThreadPool* pool_;
 };
 
 /// Offline sweep for the Offline Hybrid scheme (Fig. 1): run pilot

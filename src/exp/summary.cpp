@@ -25,6 +25,8 @@ telemetry::RunMetrics aggregate_metrics(const std::vector<telemetry::RunMetrics>
   using M = telemetry::RunMetrics;
   out.slo_compliance = filtered(runs, [](const M& m) { return m.slo_compliance; });
   out.mean_latency_ms = filtered(runs, [](const M& m) { return m.mean_latency_ms; });
+  out.p50_latency_ms = filtered(runs, [](const M& m) { return m.p50_latency_ms; });
+  out.p95_latency_ms = filtered(runs, [](const M& m) { return m.p95_latency_ms; });
   out.p99_latency_ms = filtered(runs, [](const M& m) { return m.p99_latency_ms; });
   out.cost = filtered(runs, [](const M& m) { return m.cost; });
   out.average_power = filtered(runs, [](const M& m) { return m.average_power; });

@@ -1,5 +1,6 @@
 #include "src/sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -13,13 +14,21 @@ bool EventHandle::cancelled() const { return flag_ && *flag_; }
 
 EventHandle EventQueue::schedule(TimeMs t, EventFn fn) {
   auto flag = std::make_shared<bool>(false);
-  heap_.push(Entry{t, next_sequence_++, std::move(fn), flag});
+  heap_.push_back(Entry{t, next_sequence_++, std::move(fn), flag});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   return EventHandle(flag);
 }
 
+EventQueue::Entry EventQueue::take_top() const {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
+  return entry;
+}
+
 void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && *heap_.top().cancelled) {
-    heap_.pop();
+  while (!heap_.empty() && *heap_.front().cancelled) {
+    take_top();
   }
 }
 
@@ -30,14 +39,13 @@ bool EventQueue::empty() const {
 
 TimeMs EventQueue::next_time() const {
   drop_cancelled();
-  return heap_.empty() ? kTimeNever : heap_.top().time;
+  return heap_.empty() ? kTimeNever : heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
   drop_cancelled();
   assert(!heap_.empty());
-  Entry top = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
+  Entry top = take_top();
   return Fired{top.time, std::move(top.fn)};
 }
 

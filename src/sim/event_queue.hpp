@@ -9,7 +9,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "src/common/units.hpp"
@@ -77,7 +76,14 @@ class EventQueue {
   /// affect emptiness (a live entry above them proves non-emptiness).
   void drop_cancelled() const;
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  /// Pop the heap's top entry and return it. Unlike std::priority_queue,
+  /// owning the heap lets pop() move the entry out legally — top() of a
+  /// priority_queue is const and mutating it through const_cast is UB.
+  Entry take_top() const;
+
+  // Min-heap (via the Later comparator) maintained with std::push_heap /
+  // std::pop_heap over an owned vector.
+  mutable std::vector<Entry> heap_;
   std::uint64_t next_sequence_ = 0;
 };
 

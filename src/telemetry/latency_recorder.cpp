@@ -25,10 +25,14 @@ void LatencyRecorder::record(const RequestOutcome& outcome) {
 TailBreakdown LatencyRecorder::breakdown_at(double quantile, double half_band) const {
   TailBreakdown breakdown;
   if (reservoir_.empty()) return breakdown;
-  const double lo_value =
-      e2e_.quantile(std::clamp(quantile - half_band, 0.0, 1.0));
-  const double hi_value =
-      e2e_.quantile(std::clamp(quantile + half_band, 0.0, 1.0));
+  // One bucket scan answers the band edges and the centre (the centre is
+  // only needed by the narrow-band fallback below, but it rides along for
+  // free in the same pass).
+  const double band_qs[] = {std::clamp(quantile - half_band, 0.0, 1.0),
+                            std::clamp(quantile + half_band, 0.0, 1.0), quantile};
+  const auto band_values = e2e_.quantiles(band_qs);
+  const double lo_value = band_values[0];
+  const double hi_value = band_values[1];
   double latency = 0, solo = 0, queue = 0, interference = 0, cold = 0;
   std::size_t hits = 0;
   for (const auto& outcome : reservoir_) {
@@ -42,7 +46,7 @@ TailBreakdown LatencyRecorder::breakdown_at(double quantile, double half_band) c
   }
   if (hits == 0) {
     // Band too narrow for the reservoir; fall back to the nearest record.
-    const double target = e2e_.quantile(quantile);
+    const double target = band_values[2];
     const auto* nearest = &reservoir_.front();
     for (const auto& outcome : reservoir_) {
       if (std::abs(outcome.latency_ms - target) <

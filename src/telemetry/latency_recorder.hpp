@@ -48,6 +48,18 @@ class LatencyRecorder {
   DurationMs p99_ms() const { return e2e_.quantile(0.99); }
   DurationMs mean_ms() const { return e2e_.mean(); }
 
+  /// P50/P95/P99 in one histogram scan (three quantile() calls pay three).
+  struct Percentiles {
+    DurationMs p50_ms = 0.0;
+    DurationMs p95_ms = 0.0;
+    DurationMs p99_ms = 0.0;
+  };
+  Percentiles percentiles() const {
+    const double qs[] = {0.5, 0.95, 0.99};
+    const auto values = e2e_.quantiles(qs);
+    return Percentiles{values[0], values[1], values[2]};
+  }
+
   /// Component breakdown of requests whose latency falls within
   /// [quantile - half_band, quantile + half_band] of the distribution.
   TailBreakdown breakdown_at(double quantile, double half_band = 0.005) const;

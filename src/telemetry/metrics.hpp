@@ -19,6 +19,8 @@ struct RunMetrics {
   std::uint64_t requests = 0;
   double slo_compliance = 0.0;  // fraction in [0, 1]
   DurationMs mean_latency_ms = 0.0;
+  DurationMs p50_latency_ms = 0.0;
+  DurationMs p95_latency_ms = 0.0;
   DurationMs p99_latency_ms = 0.0;
   TailBreakdown p99_breakdown;
 

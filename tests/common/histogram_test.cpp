@@ -43,9 +43,13 @@ TEST(Histogram, QuantileAccuracyInLinearRegion) {
     h.add(v);
     exact.push_back(v);
   }
-  for (double q : {0.5, 0.9, 0.99, 0.999}) {
-    EXPECT_NEAR(h.quantile(q), quantile(exact, q), 1.0)
-        << "quantile " << q << " drifted";
+  // One sort of the sample, one scan of the histogram, all probes.
+  const std::vector<double> qs = {0.5, 0.9, 0.99, 0.999};
+  const auto truth = quantiles(exact, qs);
+  const auto approx = h.quantiles(qs);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_NEAR(approx[i], truth[i], 1.0) << "quantile " << qs[i] << " drifted";
+    EXPECT_EQ(approx[i], h.quantile(qs[i])) << "batched vs single mismatch";
   }
 }
 
@@ -58,9 +62,12 @@ TEST(Histogram, QuantileRelativeErrorInExponentialRegion) {
     h.add(v);
     exact.push_back(v);
   }
-  for (double q : {0.5, 0.95, 0.99}) {
-    const double truth = quantile(exact, q);
-    EXPECT_NEAR(h.quantile(q), truth, truth * 0.05);
+  const std::vector<double> qs = {0.5, 0.95, 0.99};
+  const auto truth = quantiles(exact, qs);
+  const auto approx = h.quantiles(qs);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_NEAR(approx[i], truth[i], truth[i] * 0.05);
+    EXPECT_EQ(approx[i], h.quantile(qs[i])) << "batched vs single mismatch";
   }
 }
 

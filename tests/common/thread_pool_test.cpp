@@ -86,5 +86,83 @@ TEST(ThreadPool, DefaultsToAtLeastOneThread) {
   EXPECT_GE(pool.thread_count(), 1u);
 }
 
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // The selection -> y-sweep shape: every outer task re-enters the same
+  // pool. With batch-global completion tracking this deadlocked (the inner
+  // wait counted the caller's own still-running task).
+  ThreadPool pool(4);
+  std::atomic<int> inner_hits{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(64, [&](std::size_t) { inner_hits.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_hits.load(), 8 * 64);
+}
+
+TEST(ThreadPool, DeeplyNestedParallelFor) {
+  ThreadPool pool(3);
+  std::atomic<int> leaves{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(4, [&](std::size_t) {
+      pool.parallel_for(4, [&](std::size_t) { leaves.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(leaves.load(), 4 * 4 * 4);
+}
+
+TEST(ThreadPool, NestedResultsLandInFixedSlots) {
+  ThreadPool pool(4);
+  std::vector<std::vector<int>> grid(16, std::vector<int>(100, -1));
+  pool.parallel_for(grid.size(), [&](std::size_t i) {
+    pool.parallel_for(grid[i].size(), [&](std::size_t j) {
+      grid[i][j] = static_cast<int>(i * 1000 + j);
+    });
+  });
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    for (std::size_t j = 0; j < grid[i].size(); ++j) {
+      ASSERT_EQ(grid[i][j], static_cast<int>(i * 1000 + j));
+    }
+  }
+}
+
+TEST(ThreadPool, ConcurrentTopLevelCallersAreIsolated) {
+  // Two external threads drive independent parallel_for batches on one
+  // pool; each caller must see exactly its own batch complete (the old
+  // global in_flight_ counter let one caller return on the other's work).
+  ThreadPool pool(4);
+  constexpr int kRounds = 25;
+  constexpr std::size_t kItems = 64;
+  auto driver = [&](std::atomic<int>& counter) {
+    for (int round = 0; round < kRounds; ++round) {
+      std::vector<int> slots(kItems, 0);
+      pool.parallel_for(kItems, [&](std::size_t i) { slots[i] = 1; });
+      int sum = 0;
+      for (int s : slots) sum += s;
+      // parallel_for returned, so every slot of *this* batch must be set.
+      ASSERT_EQ(sum, static_cast<int>(kItems));
+      counter.fetch_add(sum);
+    }
+  };
+  std::atomic<int> a{0}, b{0};
+  std::thread ta([&] { driver(a); });
+  std::thread tb([&] { driver(b); });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(a.load(), kRounds * static_cast<int>(kItems));
+  EXPECT_EQ(b.load(), kRounds * static_cast<int>(kItems));
+}
+
+TEST(ThreadPool, SubmitInsideTaskThenWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&pool, &counter] {
+      counter.fetch_add(1);
+      pool.submit([&counter] { counter.fetch_add(1); });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 20);
+}
+
 }  // namespace
 }  // namespace paldia

@@ -126,6 +126,47 @@ TEST_F(HardwareSelectionTest, ParallelPoolGivesSameAnswer) {
   }
 }
 
+TEST_F(HardwareSelectionTest, NestedYSweepOnSharedPoolCompletes) {
+  // Full Algorithm 1 nesting: choose() fans the candidate nodes out on the
+  // pool AND every GPU candidate re-enters the same pool for its y-sweep.
+  // With the old global-counter executor this deadlocked; it must now finish
+  // and match the fully-serial answer.
+  ThreadPool pool(4);
+  perfmodel::YOptimizer pooled_optimizer(perfmodel::TmaxModel(0.2), &pool);
+  HardwareSelection nested(models::Zoo::instance(), hw::Catalog::instance(),
+                           profile_, pooled_optimizer, &pool);
+  // Heavy demand so GPU candidates sweep a wide y range (>= 64 splits):
+  // a large backlog drives N = coexisting_requests into the hundreds.
+  const std::vector<DemandSnapshot> heavy = {
+      demand(models::ModelId::kGoogleNet, 700.0, 1500)};
+  ASSERT_GE(nested.coexisting_requests(heavy[0], 200.0), 200);
+  const auto serial = selection_.choose(heavy);
+  const auto parallel = nested.choose(heavy);
+  EXPECT_EQ(parallel.node, serial.node);
+  EXPECT_EQ(parallel.best_y, serial.best_y);
+  EXPECT_EQ(parallel.t_max_ms, serial.t_max_ms);
+}
+
+TEST_F(HardwareSelectionTest, NegativePerformanceBandClampedToZero) {
+  // A negative band used to make every feasible choice fail the band test,
+  // leaving winner null and choose() dereferencing it. Clamped to 0 it must
+  // behave like "cheapest within 0 ms of the best T_max".
+  HardwareSelectionConfig config;
+  config.performance_band_ms = -50.0;
+  HardwareSelection negative_band(models::Zoo::instance(), hw::Catalog::instance(),
+                                  profile_, optimizer_, nullptr, config);
+  const auto choice =
+      negative_band.choose({demand(models::ModelId::kResNet50, 150.0)});
+  EXPECT_TRUE(choice.feasible);
+  // Band 0 keeps only the most performant feasible candidate.
+  HardwareSelectionConfig zero;
+  zero.performance_band_ms = 0.0;
+  HardwareSelection zero_band(models::Zoo::instance(), hw::Catalog::instance(),
+                              profile_, optimizer_, nullptr, zero);
+  const auto baseline = zero_band.choose({demand(models::ModelId::kResNet50, 150.0)});
+  EXPECT_EQ(choice.node, baseline.node);
+}
+
 // Sweep: the chosen node's price must be monotone (non-decreasing) in the
 // offered rate for a given model — more load never selects cheaper
 // hardware.

@@ -69,6 +69,41 @@ TEST(Runner, AggregationAcrossRepetitions) {
   EXPECT_LE(result.combined.slo_compliance, 1.0);
 }
 
+TEST(Runner, ParallelRepetitionsBitIdenticalToSerial) {
+  // The pool must only change wall-clock time: each repetition derives its
+  // seed independently of execution order and lands in a fixed slot, so the
+  // aggregated metrics are bit-for-bit those of the serial runner.
+  ThreadPool pool(4);
+  Runner serial(models::Zoo::instance(), hw::Catalog::instance());
+  Runner parallel(models::Zoo::instance(), hw::Catalog::instance(), &pool);
+  auto scenario = short_scenario(models::ModelId::kResNet50, 25.0, seconds(20), 8);
+  for (SchemeId scheme : {SchemeId::kPaldia, SchemeId::kMoleculeCost}) {
+    const auto a = serial.run(scenario, scheme);
+    const auto b = parallel.run(scenario, scheme);
+    EXPECT_EQ(a.combined.requests, b.combined.requests);
+    EXPECT_EQ(a.combined.slo_compliance, b.combined.slo_compliance);
+    EXPECT_EQ(a.combined.p50_latency_ms, b.combined.p50_latency_ms);
+    EXPECT_EQ(a.combined.p95_latency_ms, b.combined.p95_latency_ms);
+    EXPECT_EQ(a.combined.p99_latency_ms, b.combined.p99_latency_ms);
+    EXPECT_EQ(a.combined.cost, b.combined.cost);
+    EXPECT_EQ(a.combined.average_power, b.combined.average_power);
+    ASSERT_EQ(a.per_workload.size(), b.per_workload.size());
+    for (std::size_t w = 0; w < a.per_workload.size(); ++w) {
+      EXPECT_EQ(a.per_workload[w].p99_latency_ms, b.per_workload[w].p99_latency_ms);
+      EXPECT_EQ(a.per_workload[w].slo_compliance, b.per_workload[w].slo_compliance);
+    }
+  }
+}
+
+TEST(Runner, ParallelKeepCdfStillPopulatesFirstRep) {
+  ThreadPool pool(4);
+  Runner runner(models::Zoo::instance(), hw::Catalog::instance(), &pool);
+  auto scenario = short_scenario(models::ModelId::kResNet50, 20.0, seconds(20), 4);
+  const auto result = runner.run(scenario, SchemeId::kPaldia, /*keep_cdf=*/true);
+  ASSERT_EQ(result.per_workload.size(), 1u);
+  EXPECT_FALSE(result.per_workload[0].latency_cdf.empty());
+}
+
 TEST(SchemeFactory, BuildsEveryScheme) {
   models::ProfileTable profile(hw::Catalog::instance());
   SchemeFactory factory(models::Zoo::instance(), hw::Catalog::instance(), profile);

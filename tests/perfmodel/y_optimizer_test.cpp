@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace paldia::perfmodel {
 namespace {
 
@@ -60,6 +62,29 @@ TEST(YOptimizer, SameResultWithAndWithoutPool) {
   const auto b = parallel.best_split(p);
   EXPECT_EQ(a.y, b.y);
   EXPECT_EQ(a.t_max_ms, b.t_max_ms);
+}
+
+TEST(YOptimizer, NestedSweepInsidePoolTaskCompletes) {
+  // The Algorithm 1 shape that used to deadlock: the candidate-node par_for
+  // runs on the pool, and each task re-enters the same pool for its y-sweep.
+  TmaxModel model(0.25);
+  ThreadPool pool(4);
+  YOptimizer optimizer(model, &pool);
+  const WorkloadPoint p{8192, 64, 90.0, 0.65, 200.0};
+
+  // The point must actually exercise a wide sweep (>= 64 candidate splits).
+  const auto range = model.optimal_range(p);
+  ASSERT_TRUE(range.has_value());
+  ASSERT_GE(range->second - range->first + 1, 64);
+
+  const auto serial = YOptimizer(model, nullptr).best_split(p);
+  std::vector<SharingDecision> decisions(8);
+  pool.parallel_for(decisions.size(),
+                    [&](std::size_t i) { decisions[i] = optimizer.best_split(p); });
+  for (const auto& decision : decisions) {
+    EXPECT_EQ(decision.y, serial.y);
+    EXPECT_EQ(decision.t_max_ms, serial.t_max_ms);
+  }
 }
 
 TEST(YOptimizer, ProbeBudgetStillCoversRangeEnds) {

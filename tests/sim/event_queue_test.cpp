@@ -83,6 +83,82 @@ TEST(EventQueue, PopReturnsTime) {
   EXPECT_EQ(fired.time, 7.5);
 }
 
+TEST(EventQueue, CancelFromInsideFiringEvent) {
+  // Cancel-under-pop regression: an event's callback cancels a later event
+  // while the queue is mid-drain. The old implementation mutated
+  // priority_queue::top() through a const_cast (UB); the owned-heap version
+  // must simply skip the tombstone.
+  EventQueue queue;
+  std::vector<int> order;
+  EventHandle second;
+  queue.schedule(1.0, [&] {
+    order.push_back(1);
+    second.cancel();
+  });
+  second = queue.schedule(2.0, [&] { order.push_back(2); });
+  queue.schedule(3.0, [&] { order.push_back(3); });
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CancelTopThenPopSkipsIt) {
+  EventQueue queue;
+  std::vector<int> order;
+  EventHandle top = queue.schedule(1.0, [&] { order.push_back(1); });
+  queue.schedule(2.0, [&] { order.push_back(2); });
+  top.cancel();
+  EXPECT_EQ(queue.next_time(), 2.0);
+  auto fired = queue.pop();
+  fired.fn();
+  EXPECT_EQ(fired.time, 2.0);
+  EXPECT_EQ(order, (std::vector<int>{2}));
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, InterleavedScheduleCancelPopStress) {
+  // Device-sim shape: pops interleaved with fresh schedules and cancels of
+  // events still buried in the heap.
+  EventQueue queue;
+  std::vector<double> fired_times;
+  std::vector<EventHandle> handles;
+  std::vector<char> done;  // done[i]: handle i's event already fired
+  double clock = 0.0;
+  auto schedule_at = [&](double t) {
+    const std::size_t index = handles.size();
+    done.push_back(0);
+    handles.push_back(queue.schedule(t, [&, t, index] {
+      fired_times.push_back(t);
+      done[index] = 1;
+    }));
+  };
+  for (int i = 0; i < 200; ++i) schedule_at(static_cast<double>((i * 31) % 500));
+  std::size_t cancelled = 0;
+  int step = 0;
+  while (!queue.empty()) {
+    auto event = queue.pop();
+    EXPECT_GE(event.time, clock);
+    clock = event.time;
+    event.fn();
+    ++step;
+    if (step % 3 == 0 && step < 300) {
+      schedule_at(clock + static_cast<double>((step * 17) % 50));
+    }
+    if (step % 5 == 0) {
+      // Cancel the newest handle whose event has not fired yet, if any.
+      for (std::size_t i = handles.size(); i-- > 0;) {
+        if (!done[i] && !handles[i].cancelled()) {
+          handles[i].cancel();
+          ++cancelled;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(std::is_sorted(fired_times.begin(), fired_times.end()));
+  EXPECT_GT(cancelled, 0u);
+  EXPECT_EQ(fired_times.size() + cancelled, handles.size());
+}
+
 TEST(EventQueue, ManyEventsStressOrdering) {
   EventQueue queue;
   std::vector<double> times;
