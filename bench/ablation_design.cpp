@@ -18,7 +18,7 @@ namespace {
 
 telemetry::RunMetrics run_paldia(const exp::Scenario& scenario,
                                  exp::SchemeFactoryOptions factory_options,
-                                 ThreadPool* pool,
+                                 ThreadPool* pool, bench::RunObserver& observer,
                                  core::FrameworkConfig framework = {}) {
   exp::Scenario local = scenario;
   if (framework.initial_node || framework.autoscaler.keep_alive_ms !=
@@ -27,7 +27,7 @@ telemetry::RunMetrics run_paldia(const exp::Scenario& scenario,
   }
   exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(), pool,
                      factory_options);
-  return runner.run(local, exp::SchemeId::kPaldia).combined;
+  return observer.run(runner, local, exp::SchemeId::kPaldia).combined;
 }
 
 }  // namespace
@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
 
   auto scenario = exp::azure_scenario(models::ModelId::kResNet50,
                                       options.repetitions);
+  bench::RunObserver observer(options, "ablation_design");
 
   {
     std::cout << "--- 1. Delayed termination (keep-alive) ---\n";
@@ -51,7 +52,8 @@ int main(int argc, char** argv) {
       local.framework.autoscaler.min_containers = keep_alive == 0.0 ? 0 : 1;
       exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
                          &bench::shared_pool(options));
-      const auto metrics = runner.run(local, exp::SchemeId::kPaldia).combined;
+      const auto metrics =
+          observer.run(runner, local, exp::SchemeId::kPaldia).combined;
       table.add_row({Table::num(keep_alive / 1000.0, 0) + " s",
                      std::to_string(metrics.cold_starts),
                      Table::percent(metrics.slo_compliance)});
@@ -75,8 +77,8 @@ int main(int argc, char** argv) {
     for (const double beta : {0.0, 0.1, 0.2, 0.35}) {
       exp::SchemeFactoryOptions factory_options;
       factory_options.tmax_beta = beta;
-      const auto metrics =
-          run_paldia(exhaustion, factory_options, &bench::shared_pool(options));
+      const auto metrics = run_paldia(exhaustion, factory_options,
+                                      &bench::shared_pool(options), observer);
       table.add_row({Table::num(beta, 2), Table::percent(metrics.slo_compliance),
                      bench::ms(metrics.p99_latency_ms)});
     }

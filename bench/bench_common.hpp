@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +14,8 @@
 #include "src/common/thread_pool.hpp"
 #include "src/exp/runner.hpp"
 #include "src/exp/scenario.hpp"
+#include "src/obs/chrome_trace.hpp"
+#include "src/obs/export.hpp"
 
 namespace paldia::bench {
 
@@ -19,6 +23,13 @@ struct BenchOptions {
   int repetitions = 3;  // the paper uses 5; --reps=5 reproduces that
   bool full = false;    // --full: uncompressed traces where applicable
   int threads = 0;      // worker threads; 0 = hardware concurrency, 1 = serial
+  /// Chrome trace-event JSON base path; each (scenario, scheme) run writes
+  /// its own derived file (see obs::derive_trace_path). Empty = disabled.
+  std::string trace_out;
+  /// Streaming RunMetrics rows (.csv -> CSV, else JSONL). Empty = disabled.
+  std::string metrics_out;
+  /// Streaming scheduler decision log (.csv -> CSV, else JSONL).
+  std::string decisions_out;
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -29,10 +40,24 @@ inline BenchOptions parse_options(int argc, char** argv) {
       options.repetitions = std::max(1, std::atoi(arg.c_str() + 7));
     } else if (arg.rfind("--threads=", 0) == 0) {
       options.threads = std::max(0, std::atoi(arg.c_str() + 10));
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      options.trace_out = arg.substr(12);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      options.metrics_out = arg.substr(14);
+    } else if (arg.rfind("--decisions-out=", 0) == 0) {
+      options.decisions_out = arg.substr(16);
     } else if (arg == "--full") {
       options.full = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: %s [--reps=N] [--threads=N] [--full]\n", argv[0]);
+      std::printf(
+          "usage: %s [--reps=N] [--threads=N] [--full]\n"
+          "          [--trace-out=FILE.json]   Chrome trace-event JSON per\n"
+          "                                    (scenario, scheme) run (Perfetto)\n"
+          "          [--metrics-out=FILE]      RunMetrics rows, streaming\n"
+          "                                    (.csv -> CSV, else JSON Lines)\n"
+          "          [--decisions-out=FILE]    scheduler decision log, one row\n"
+          "                                    per monitor tick per repetition\n",
+          argv[0]);
       std::exit(0);
     }
   }
@@ -52,6 +77,91 @@ inline void print_header(const std::string& title, const std::string& paper_clai
   std::cout << "Paper: " << paper_claim << "\n\n";
 }
 
+/// Observability side-channel of a bench driver: owns the streaming metrics
+/// and decision-log writers and exports one Chrome trace file per completed
+/// (scenario, scheme) run. All export happens on the calling thread, in call
+/// order — parallel sweeps capture traces into per-run slots and serialize
+/// them afterwards, keeping the files deterministic.
+class RunObserver {
+ public:
+  RunObserver(const BenchOptions& options, std::string figure)
+      : figure_(std::move(figure)), trace_out_(options.trace_out) {
+    if (!options.metrics_out.empty()) {
+      metrics_ = std::make_unique<obs::MetricsWriter>(options.metrics_out);
+      if (!metrics_->ok()) {
+        std::fprintf(stderr, "warning: --metrics-out: %s\n",
+                     metrics_->error().c_str());
+      }
+    }
+    if (!options.decisions_out.empty()) {
+      decisions_ = std::make_unique<obs::DecisionLogWriter>(options.decisions_out);
+      if (!decisions_->ok()) {
+        std::fprintf(stderr, "warning: --decisions-out: %s\n",
+                     decisions_->error().c_str());
+      }
+    }
+  }
+
+  /// Per-run tracing needed (Chrome trace or decision log requested)?
+  bool tracing() const { return !trace_out_.empty() || decisions_ != nullptr; }
+
+  /// Run one (scenario, scheme): capture + export the trace when requested,
+  /// stream the combined metrics row, return the full result.
+  exp::RunResult run(const exp::Runner& runner, const exp::Scenario& scenario,
+                     exp::SchemeId scheme, bool keep_cdf = false) {
+    exp::RunResult result;
+    if (tracing()) {
+      obs::RunTrace trace;
+      result = runner.run(scenario, scheme, trace, keep_cdf);
+      export_trace(trace, scenario.name, exp::scheme_name(scheme));
+    } else {
+      result = runner.run(scenario, scheme, keep_cdf);
+    }
+    record(result.combined);
+    return result;
+  }
+
+  /// Stream one metrics row (drivers with hand-rolled sweeps call this).
+  void record(const telemetry::RunMetrics& row) {
+    if (metrics_ != nullptr) metrics_->write(row, figure_);
+  }
+
+  /// Export a captured trace: Chrome JSON to a path derived from the base
+  /// (one file per scenario x scheme) plus the decision-log rows.
+  void export_trace(const obs::RunTrace& trace, const std::string& scenario,
+                    const std::string& scheme) {
+    if (!trace_out_.empty()) {
+      // Drivers that sweep the same scheme over several scenarios with one
+      // name (e.g. fig04's two models, both "azure") would collide on the
+      // derived path — uniquify repeats with a run counter. Exports happen
+      // in call order even under --threads, so the numbering is stable.
+      std::string tag = scenario;
+      const int seen = ++trace_runs_[scenario + "\n" + scheme];
+      if (seen > 1) tag += "-run" + std::to_string(seen);
+      const std::string path = obs::derive_trace_path(trace_out_, tag, scheme);
+      std::string error;
+      if (!obs::write_chrome_trace_file(path, trace, tag + " / " + scheme,
+                                        &error)) {
+        std::fprintf(stderr, "warning: --trace-out: %s\n", error.c_str());
+      }
+    }
+    if (decisions_ != nullptr) decisions_->write(trace, scheme, scenario);
+    if (trace.dropped_events() > 0) {
+      std::fprintf(stderr,
+                   "warning: trace ring buffer overflowed, %llu events dropped "
+                   "(raise TracerConfig::event_capacity)\n",
+                   static_cast<unsigned long long>(trace.dropped_events()));
+    }
+  }
+
+ private:
+  std::string figure_;
+  std::string trace_out_;
+  std::map<std::string, int> trace_runs_;
+  std::unique_ptr<obs::MetricsWriter> metrics_;
+  std::unique_ptr<obs::DecisionLogWriter> decisions_;
+};
+
 /// Runs the scenario for the given schemes and returns combined metrics in
 /// the same order. With a pool, the (scheme x rep) grid runs concurrently:
 /// schemes fan out here and Runner::run nests a parallel_for over reps —
@@ -69,6 +179,36 @@ inline std::vector<telemetry::RunMetrics> run_schemes(
   } else {
     for (std::size_t i = 0; i < schemes.size(); ++i) run_one(i);
   }
+  return rows;
+}
+
+/// Observer-aware run_schemes: traces are captured into per-scheme slots
+/// while the grid runs (possibly in parallel) and exported afterwards in
+/// scheme order, so the trace/metrics/decision files come out byte-identical
+/// regardless of thread count.
+inline std::vector<telemetry::RunMetrics> run_schemes(
+    const exp::Runner& runner, const exp::Scenario& scenario,
+    const std::vector<exp::SchemeId>& schemes, RunObserver& observer,
+    bool keep_cdf = false, ThreadPool* pool = nullptr) {
+  std::vector<telemetry::RunMetrics> rows(schemes.size());
+  if (observer.tracing()) {
+    std::vector<obs::RunTrace> traces(schemes.size());
+    auto run_one = [&](std::size_t i) {
+      rows[i] = runner.run(scenario, schemes[i], traces[i], keep_cdf).combined;
+    };
+    if (pool != nullptr && schemes.size() > 1) {
+      pool->parallel_for(schemes.size(), run_one);
+    } else {
+      for (std::size_t i = 0; i < schemes.size(); ++i) run_one(i);
+    }
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      observer.export_trace(traces[i], scenario.name,
+                            exp::scheme_name(schemes[i]));
+    }
+  } else {
+    rows = run_schemes(runner, scenario, schemes, keep_cdf, pool);
+  }
+  for (const auto& row : rows) observer.record(row);
   return rows;
 }
 

@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
   factory_options.offline_spatial_fraction = fraction;
   exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
                      &bench::shared_pool(options), factory_options);
+  bench::RunObserver observer(options, "fig01");
 
   const std::vector<exp::SchemeId> schemes = {
       exp::SchemeId::kTimeSharedPerf, exp::SchemeId::kMpsOnlyPerf,
@@ -59,7 +60,7 @@ int main(int argc, char** argv) {
     Table table({"Scheme", "SLO compliance", "P99", "Min possible", "Queueing",
                  "Interference", "Cost"});
     for (const auto scheme : schemes) {
-      const auto result = runner.run(scenario, scheme);
+      const auto result = observer.run(runner, scenario, scheme);
       const auto& metrics = result.per_workload[w];
       const auto& breakdown = metrics.p99_breakdown;
       table.add_row({metrics.scheme, Table::percent(metrics.slo_compliance),

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
 
   exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
                      &bench::shared_pool(options));
+  bench::RunObserver observer(options, "fig03");
   const auto schemes = exp::main_schemes();
 
   std::vector<std::string> columns = {"Model"};
@@ -31,7 +32,7 @@ int main(int argc, char** argv) {
     auto scenario = exp::azure_scenario(model, options.repetitions);
     std::vector<std::string> row = {std::string(models::model_id_name(model))};
     for (std::size_t s = 0; s < schemes.size(); ++s) {
-      const auto result = runner.run(scenario, schemes[s]);
+      const auto result = observer.run(runner, scenario, schemes[s]);
       row.push_back(Table::percent(result.combined.slo_compliance));
       sums[s] += result.combined.slo_compliance;
     }

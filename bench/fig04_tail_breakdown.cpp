@@ -19,13 +19,14 @@ int main(int argc, char** argv) {
 
   exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
                      &bench::shared_pool(options));
+  bench::RunObserver observer(options, "fig04");
   for (const auto model : {models::ModelId::kResNet50, models::ModelId::kVgg19}) {
     auto scenario = exp::azure_scenario(model, options.repetitions);
     std::cout << "--- " << models::model_id_name(model) << " ---\n";
     Table table({"Scheme", "P99", "Min possible", "Queueing", "Interference",
                  "Cold start", "Queue share", "Intf share"});
     for (const auto scheme : exp::main_schemes()) {
-      const auto metrics = runner.run(scenario, scheme).combined;
+      const auto metrics = observer.run(runner, scenario, scheme).combined;
       const auto& breakdown = metrics.p99_breakdown;
       const double total = std::max(1e-9, breakdown.latency_ms);
       table.add_row({metrics.scheme, bench::ms(metrics.p99_latency_ms),

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
 
   exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
                      &bench::shared_pool(options));
+  bench::RunObserver observer(options, "fig05");
   for (const auto model :
        {models::ModelId::kResNet50, models::ModelId::kEfficientNetB0}) {
     auto scenario = exp::azure_scenario(model, options.repetitions);
@@ -26,7 +27,7 @@ int main(int argc, char** argv) {
 
     // Normalize to the most expensive scheme (the (P) column in the paper).
     std::vector<telemetry::RunMetrics> rows =
-        bench::run_schemes(runner, scenario, exp::main_schemes(),
+        bench::run_schemes(runner, scenario, exp::main_schemes(), observer,
                            /*keep_cdf=*/false, &bench::shared_pool(options));
     double max_cost = 0.0;
     for (const auto& row : rows) max_cost = std::max(max_cost, row.cost);

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
 
   exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
                      &bench::shared_pool(options));
+  bench::RunObserver observer(options, "fig06");
   auto scenario = exp::azure_scenario(models::ModelId::kSeNet18,
                                       options.repetitions);
 
@@ -24,7 +25,7 @@ int main(int argc, char** argv) {
   std::cout << "CDF series (percentile -> ms); full series in CSV below.\n\n";
   std::vector<std::pair<std::string, std::vector<std::pair<double, double>>>> series;
   for (const auto scheme : exp::main_schemes()) {
-    const auto result = runner.run(scenario, scheme, /*keep_cdf=*/true);
+    const auto result = observer.run(runner, scenario, scheme, /*keep_cdf=*/true);
     const auto& cdf = result.per_workload[0].latency_cdf;
     series.emplace_back(result.combined.scheme, cdf);
     auto value_at = [&](double q) {

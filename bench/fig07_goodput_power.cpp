@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
 
   exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
                      &bench::shared_pool(options));
+  bench::RunObserver observer(options, "fig07");
 
   {
     auto scenario = exp::azure_scenario(models::ModelId::kDenseNet121,
@@ -26,7 +27,7 @@ int main(int argc, char** argv) {
     std::cout << "--- (a) Goodput during the busiest window, DenseNet 121 ---\n";
     Table table({"Scheme", "Offered (rps)", "Goodput (rps)", "Fraction of ideal"});
     for (const auto scheme : exp::main_schemes()) {
-      const auto metrics = runner.run(scenario, scheme).combined;
+      const auto metrics = observer.run(runner, scenario, scheme).combined;
       const double fraction =
           metrics.offered_rps > 0 ? metrics.goodput_rps / metrics.offered_rps : 0.0;
       table.add_row({metrics.scheme, Table::num(metrics.offered_rps, 1),
@@ -41,7 +42,7 @@ int main(int argc, char** argv) {
                                         options.repetitions);
     std::cout << "--- (b) Average power, Simplified DLA ---\n";
     const auto rows = bench::run_schemes(runner, scenario, exp::main_schemes(),
-                                         /*keep_cdf=*/false,
+                                         observer, /*keep_cdf=*/false,
                                          &bench::shared_pool(options));
     double max_power = 0.0;
     for (const auto& row : rows) max_power = std::max(max_power, row.average_power);

@@ -18,11 +18,12 @@ int main(int argc, char** argv) {
 
   exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
                      &bench::shared_pool(options));
+  bench::RunObserver observer(options, "fig08");
   auto scenario = exp::azure_scenario(models::ModelId::kVgg19, options.repetitions);
 
   Table table({"Scheme", "GPU node util", "CPU node util"});
   for (const auto scheme : exp::main_schemes()) {
-    const auto metrics = runner.run(scenario, scheme).combined;
+    const auto metrics = observer.run(runner, scenario, scheme).combined;
     const bool uses_cpu = metrics.cpu_utilization > 0.0;
     table.add_row({metrics.scheme, Table::percent(metrics.gpu_utilization),
                    uses_cpu ? Table::percent(metrics.cpu_utilization)

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
 
   exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
                      &bench::shared_pool(options));
+  bench::RunObserver observer(options, "fig09_10");
   const auto schemes = exp::main_schemes();
   const auto llms = models::Zoo::instance().language_models();
 
@@ -34,7 +35,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> slo_row = {std::string(models::model_id_name(model))};
     std::vector<std::string> cost_row = slo_row;
     for (std::size_t s = 0; s < schemes.size(); ++s) {
-      const auto metrics = runner.run(scenario, schemes[s]).combined;
+      const auto metrics = observer.run(runner, scenario, schemes[s]).combined;
       slo_row.push_back(Table::percent(metrics.slo_compliance));
       cost_row.push_back(bench::dollars(metrics.cost));
       slo_sums[s] += metrics.slo_compliance;

@@ -17,13 +17,16 @@ int main(int argc, char** argv) {
 
   exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
                      &bench::shared_pool(options));
+  bench::RunObserver observer(options, "fig11");
   Table table({"Model", "Scheme", "SLO compliance", "Cost", "Delta SLO",
                "Delta cost"});
   for (const auto model :
        {models::ModelId::kResNet50, models::ModelId::kSeNet18}) {
     auto scenario = exp::azure_scenario(model, options.repetitions);
-    const auto paldia = runner.run(scenario, exp::SchemeId::kPaldia).combined;
-    const auto oracle = runner.run(scenario, exp::SchemeId::kOracle).combined;
+    const auto paldia =
+        observer.run(runner, scenario, exp::SchemeId::kPaldia).combined;
+    const auto oracle =
+        observer.run(runner, scenario, exp::SchemeId::kOracle).combined;
     table.add_row({std::string(models::model_id_name(model)), paldia.scheme,
                    Table::percent(paldia.slo_compliance), bench::dollars(paldia.cost),
                    "-", "-"});

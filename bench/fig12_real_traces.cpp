@@ -18,11 +18,12 @@ using namespace paldia;
 namespace {
 
 void run_block(const exp::Runner& runner, exp::Scenario& scenario,
-               const std::string& title, ThreadPool* pool) {
+               const std::string& title, ThreadPool* pool,
+               bench::RunObserver& observer) {
   std::cout << "--- " << title << " ---\n";
   Table table({"Scheme", "SLO compliance", "P99", "Cost", "Normalized cost"});
   const auto rows = bench::run_schemes(runner, scenario, exp::main_schemes(),
-                                       /*keep_cdf=*/false, pool);
+                                       observer, /*keep_cdf=*/false, pool);
   double max_cost = 0.0;
   for (const auto& row : rows) max_cost = std::max(max_cost, row.cost);
   for (const auto& row : rows) {
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
 
   exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
                      &bench::shared_pool(options));
+  bench::RunObserver observer(options, "fig12");
 
   {
     exp::Scenario scenario;
@@ -56,7 +58,7 @@ int main(int argc, char** argv) {
     scenario.workloads.push_back(exp::WorkloadSpec{
         models::ModelId::kResNet50, trace::make_wiki_trace(wiki)});
     run_block(runner, scenario, "(a) Wikipedia trace, ResNet 50",
-              &bench::shared_pool(options));
+              &bench::shared_pool(options), observer);
   }
   {
     exp::Scenario scenario;
@@ -67,7 +69,7 @@ int main(int argc, char** argv) {
     scenario.workloads.push_back(exp::WorkloadSpec{
         models::ModelId::kDpn92, trace::make_twitter_trace(twitter)});
     run_block(runner, scenario, "(b) Twitter trace, DPN 92",
-              &bench::shared_pool(options));
+              &bench::shared_pool(options), observer);
   }
   return 0;
 }

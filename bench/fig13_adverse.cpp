@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
 
   exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
                      &bench::shared_pool(options));
+  bench::RunObserver observer(options, "fig13");
 
   {
     std::cout << "--- (a) Resource exhaustion: GoogleNet, Poisson ~800 rps ---\n";
@@ -43,7 +44,7 @@ int main(int argc, char** argv) {
     for (const auto scheme :
          {exp::SchemeId::kInflessLlamaPerf, exp::SchemeId::kMoleculePerf,
           exp::SchemeId::kPaldia}) {
-      const auto metrics = runner.run(scenario, scheme).combined;
+      const auto metrics = observer.run(runner, scenario, scheme).combined;
       table.add_row({metrics.scheme, Table::percent(metrics.slo_compliance),
                      bench::ms(metrics.p99_latency_ms), bench::dollars(metrics.cost)});
     }
@@ -58,7 +59,7 @@ int main(int argc, char** argv) {
     scenario.failures = cluster::FailureInjectorConfig{};
     Table table({"Scheme", "SLO compliance", "P99", "Cost"});
     for (const auto scheme : exp::main_schemes()) {
-      const auto metrics = runner.run(scenario, scheme).combined;
+      const auto metrics = observer.run(runner, scenario, scheme).combined;
       table.add_row({metrics.scheme, Table::percent(metrics.slo_compliance),
                      bench::ms(metrics.p99_latency_ms), bench::dollars(metrics.cost)});
     }

@@ -9,6 +9,7 @@
 #include "src/core/hardware_selection.hpp"
 #include "src/models/profile.hpp"
 #include "src/models/zoo.hpp"
+#include "src/obs/tracer.hpp"
 #include "src/perfmodel/y_optimizer.hpp"
 #include "src/predictor/ewma.hpp"
 #include "src/sim/simulator.hpp"
@@ -140,5 +141,45 @@ void BM_AzureTraceGeneration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AzureTraceGeneration);
+
+void BM_TracerDisabledHook(benchmark::State& state) {
+  // The cost every hot-path hook pays when tracing is off: one pointer
+  // compare against null (the log.hpp discipline). This must stay in the
+  // sub-nanosecond range or tracing is not "free when disabled".
+  obs::Tracer* tracer = nullptr;
+  benchmark::DoNotOptimize(tracer);
+  double sink = 0.0;
+  for (auto _ : state) {
+    if (tracer != nullptr) tracer->count("arrivals", 1.0);
+    sink += 1.0;
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("null-tracer branch");
+}
+BENCHMARK(BM_TracerDisabledHook);
+
+void BM_TracerRecordLifecycle(benchmark::State& state) {
+  // Enabled-path cost of the heaviest record: 4 events per request.
+  obs::TracerConfig config;
+  config.event_capacity = 1 << 22;
+  auto tracer = std::make_unique<obs::Tracer>(config);
+  std::int64_t id = 0;
+  double t = 0.0;
+  for (auto _ : state) {
+    if (tracer->events().size() + 4 > config.event_capacity) {
+      state.PauseTiming();
+      tracer = std::make_unique<obs::Tracer>(config);
+      state.ResumeTiming();
+    }
+    t += 1.0;
+    tracer->record_request_lifecycle(id++, models::ModelId::kResNet50,
+                                     hw::NodeType::kG3s_xlarge,
+                                     cluster::ShareMode::kSpatial, 8, 6, 2, t,
+                                     t + 3.0, t + 5.0, t + 95.0, 88.0, 2.0, 0.0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracerRecordLifecycle);
 
 }  // namespace

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
 
   exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
                      &bench::shared_pool(options));
+  bench::RunObserver observer(options, "table03");
   auto scenario = exp::azure_scenario(models::ModelId::kResNet50,
                                       options.repetitions);
   scenario.coresidents = cluster::sebs_coresidents();
@@ -27,8 +28,8 @@ int main(int argc, char** argv) {
   auto clean_scenario = exp::azure_scenario(models::ModelId::kResNet50,
                                             options.repetitions);
   for (const auto scheme : exp::main_schemes()) {
-    const auto mixed = runner.run(scenario, scheme).combined;
-    const auto clean = runner.run(clean_scenario, scheme).combined;
+    const auto mixed = observer.run(runner, scenario, scheme).combined;
+    const auto clean = observer.run(runner, clean_scenario, scheme).combined;
     table.add_row({mixed.scheme, Table::percent(mixed.slo_compliance),
                    Table::percent(clean.slo_compliance),
                    Table::percent(clean.slo_compliance - mixed.slo_compliance)});

@@ -7,6 +7,7 @@
 // split and the hardware selection actually buy.
 #include <iostream>
 
+#include "examples/example_common.hpp"
 #include "src/common/table.hpp"
 #include "src/core/scheduler_policy.hpp"
 #include "src/exp/runner.hpp"
@@ -44,8 +45,9 @@ class GreedyGpuPolicy final : public core::SchedulerPolicy {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace paldia;
+  const auto args = examples::parse_args(argc, argv);
   auto scenario = exp::azure_scenario(models::ModelId::kResNet50, 2);
 
   // Custom policies plug into the same Framework the Runner uses.
@@ -68,7 +70,8 @@ int main() {
       std::make_unique<GreedyGpuPolicy>(models::Zoo::instance(),
                                         hw::Catalog::instance()));
 
-  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance());
+  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
+                     examples::pool_for(args));
   const auto paldia = runner.run(scenario, exp::SchemeId::kPaldia).combined;
 
   Table table({"Scheme", "SLO compliance", "P99", "Cost"});

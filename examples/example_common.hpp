@@ -1,0 +1,69 @@
+// Shared argument handling for the examples: a --threads=N knob that fans
+// repetitions (and the y-sweep) out across a task-group ThreadPool.
+//
+// Parallelism only changes wall-clock time: every repetition derives its
+// seed independently of execution order and lands in a fixed result slot,
+// so the numbers printed with --threads=8 are bit-identical to --threads=1
+// (see README "Deterministic parallelism").
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/thread_pool.hpp"
+
+namespace examples {
+
+struct Args {
+  int threads = 1;
+  /// Non-flag arguments in order (flags never shift positional indices).
+  std::vector<std::string> positional;
+};
+
+inline Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      args.threads = std::max(1, std::atoi(argv[i] + 10));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0] << " [--threads=N] [positional args]\n"
+                << "  --threads=N  run repetitions on N worker threads\n"
+                << "               (output is bit-identical to --threads=1)\n";
+      std::exit(0);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag " << arg << " (try --help)\n";
+      std::exit(2);
+    } else {
+      args.positional.emplace_back(arg);
+    }
+  }
+  return args;
+}
+
+/// nullptr when --threads=1 (serial); otherwise a lazily-built pool that
+/// lives for the rest of the process.
+inline paldia::ThreadPool* pool_for(const Args& args) {
+  static std::unique_ptr<paldia::ThreadPool> pool;
+  if (args.threads > 1 && pool == nullptr) {
+    pool = std::make_unique<paldia::ThreadPool>(args.threads);
+  }
+  return pool.get();
+}
+
+inline int positional_int(const Args& args, std::size_t index, int fallback) {
+  if (index >= args.positional.size()) return fallback;
+  return std::atoi(args.positional[index].c_str());
+}
+
+inline double positional_double(const Args& args, std::size_t index,
+                                double fallback) {
+  if (index >= args.positional.size()) return fallback;
+  return std::atof(args.positional[index].c_str());
+}
+
+}  // namespace examples

@@ -3,23 +3,28 @@
 // the predicted worst-case latency (T_max) per candidate node and the
 // winning choice. A direct window into Section III/IV-A.
 //
-//   ./build/examples/hardware_advisor [model-index 0..15]
+//   ./build/examples/hardware_advisor [--threads=N] [model-index 0..15]
 #include <cstdlib>
 #include <iostream>
 
+#include "examples/example_common.hpp"
 #include "src/common/table.hpp"
 #include "src/core/hardware_selection.hpp"
 #include "src/models/zoo.hpp"
 
 int main(int argc, char** argv) {
   using namespace paldia;
+  const auto args = examples::parse_args(argc, argv);
 
   const int model_index =
-      argc > 1 ? std::clamp(std::atoi(argv[1]), 0, models::kModelCount - 1) : 0;
+      std::clamp(examples::positional_int(args, 0, 0), 0, models::kModelCount - 1);
   const auto model = models::ModelId(model_index);
 
   models::ProfileTable profile(hw::Catalog::instance());
-  perfmodel::YOptimizer optimizer(perfmodel::TmaxModel(0.2));
+  // --threads=N parallelizes the per-node y-sweep; the best split found is
+  // the same either way (the sweep space is scanned exhaustively).
+  perfmodel::YOptimizer optimizer(perfmodel::TmaxModel(0.2),
+                                  examples::pool_for(args));
   core::HardwareSelection selection(models::Zoo::instance(), hw::Catalog::instance(),
                                     profile, optimizer);
 

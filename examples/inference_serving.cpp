@@ -3,22 +3,24 @@
 // the complete metric set (SLO compliance, tail latency, cost, power,
 // utilization, goodput).
 //
-//   ./build/examples/inference_serving [model-index 0..15] [reps]
+//   ./build/examples/inference_serving [--threads=N] [model-index 0..15] [reps]
 //
 // Model indices follow paldia::models::ModelId (0 = ResNet 50).
 #include <cstdlib>
 #include <iostream>
 
+#include "examples/example_common.hpp"
 #include "src/common/table.hpp"
 #include "src/exp/runner.hpp"
 #include "src/exp/scenario.hpp"
 
 int main(int argc, char** argv) {
   using namespace paldia;
+  const auto args = examples::parse_args(argc, argv);
 
   const int model_index =
-      argc > 1 ? std::clamp(std::atoi(argv[1]), 0, models::kModelCount - 1) : 0;
-  const int reps = argc > 2 ? std::max(1, std::atoi(argv[2])) : 2;
+      std::clamp(examples::positional_int(args, 0, 0), 0, models::kModelCount - 1);
+  const int reps = std::max(1, examples::positional_int(args, 1, 2));
   const auto model = models::ModelId(model_index);
   const auto& spec = models::Zoo::instance().spec(model);
 
@@ -32,7 +34,8 @@ int main(int argc, char** argv) {
             << scenario.workloads[0].trace.mean_rps() << " rps, "
             << scenario.workloads[0].trace.total_requests() << " requests.\n\n";
 
-  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance());
+  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
+                     examples::pool_for(args));
   Table table({"Scheme", "SLO", "P99", "Mean", "Cost", "Power", "GPU util",
                "Goodput/offered"});
   for (const auto scheme : exp::main_schemes()) {

@@ -4,15 +4,17 @@
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   ./build/examples/quickstart [--threads=N]
 #include <iostream>
 
+#include "examples/example_common.hpp"
 #include "src/common/table.hpp"
 #include "src/exp/runner.hpp"
 #include "src/exp/scenario.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace paldia;
+  const auto args = examples::parse_args(argc, argv);
 
   // 1. Describe the experiment: ResNet 50 under a 25-minute Azure-style
   //    serverless trace (peak 225 rps, SLO 200 ms), one repetition.
@@ -20,7 +22,8 @@ int main() {
                                                /*repetitions=*/1);
 
   // 2. Run two schemes through the shared serving harness.
-  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance());
+  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
+                     examples::pool_for(args));
   const auto paldia = runner.run(scenario, exp::SchemeId::kPaldia);
   const auto infless = runner.run(scenario, exp::SchemeId::kInflessLlamaCost);
 

@@ -2,11 +2,12 @@
 // baseline -> configurable spike) and watch each scheme's goodput and node
 // choice through the surge window — the dynamics behind Fig. 7a.
 //
-//   ./build/examples/surge_tolerance [peak-rps] [surge-seconds]
+//   ./build/examples/surge_tolerance [--threads=N] [peak-rps] [surge-seconds]
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
 
+#include "examples/example_common.hpp"
 #include "src/common/table.hpp"
 #include "src/exp/runner.hpp"
 #include "src/exp/scenario.hpp"
@@ -14,9 +15,10 @@
 
 int main(int argc, char** argv) {
   using namespace paldia;
+  const auto args = examples::parse_args(argc, argv);
 
-  const double peak = argc > 1 ? std::atof(argv[1]) : 225.0;
-  const double surge_s = argc > 2 ? std::atof(argv[2]) : 45.0;
+  const double peak = examples::positional_double(args, 0, 225.0);
+  const double surge_s = examples::positional_double(args, 1, 45.0);
   constexpr auto kModel = models::ModelId::kDenseNet121;
 
   // Build the trace by hand: 60 s quiet at 10 rps, a raised-cosine surge to
@@ -43,7 +45,8 @@ int main(int argc, char** argv) {
   std::cout << "DenseNet 121, baseline 10 rps, surge to " << peak << " rps over "
             << surge_s << " s. Goodput measured over the surge window.\n\n";
 
-  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance());
+  exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
+                     examples::pool_for(args));
   Table table({"Scheme", "SLO", "Goodput (rps)", "Offered (rps)", "Served",
                "Cost"});
   for (const auto scheme : exp::main_schemes()) {

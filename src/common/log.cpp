@@ -8,6 +8,7 @@ namespace paldia {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<LogSink> g_sink{nullptr};
 std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {
@@ -26,10 +27,26 @@ void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_rela
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+LogSink set_log_sink(LogSink sink) {
+  return g_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
 void log_message(LogLevel level, const std::string& message) {
   if (level < log_level()) return;
+  // Compose the whole line before taking the lock so the critical section
+  // is a single write; concurrent callers can never interleave mid-line.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line.append("[").append(level_name(level)).append("] ");
+  line.append(message).append("\n");
+  const LogSink sink = g_sink.load(std::memory_order_acquire);
   std::lock_guard lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  if (sink != nullptr) {
+    sink(line);
+  } else {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+  }
 }
 
 }  // namespace paldia

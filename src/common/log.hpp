@@ -13,7 +13,20 @@ void set_log_level(LogLevel level);
 LogLevel log_level();
 
 /// Emit a message at the given level (no-op when below threshold).
+///
+/// Thread-safe: the "[LEVEL] message\n" line is composed into a single
+/// buffer and handed to the sink as one write under a global mutex, so
+/// concurrent callers never interleave within a line.
 void log_message(LogLevel level, const std::string& message);
+
+/// Sink invoked with one fully-formatted line (including trailing '\n')
+/// per log_message call, always under the logging mutex.
+using LogSink = void (*)(const std::string& line);
+
+/// Replace the output sink (default writes to stderr). Pass nullptr to
+/// restore the default. Returns the previous sink (nullptr if default).
+/// Intended for tests; the sink must not call back into the logger.
+LogSink set_log_sink(LogSink sink);
 
 namespace detail {
 template <typename... Args>

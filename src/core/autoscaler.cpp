@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/tracer.hpp"
+
 namespace paldia::core {
 
 int Autoscaler::ensure(cluster::Node& node, models::ModelId model, int desired) const {
@@ -11,6 +13,9 @@ int Autoscaler::ensure(cluster::Node& node, models::ModelId model, int desired) 
   for (int i = have; i < desired; ++i) {
     node.spawn_container(model);
     ++spawned;
+  }
+  if (tracer_ != nullptr && spawned > 0) {
+    tracer_->count("container_spawns", spawned);
   }
   return spawned;
 }
@@ -25,6 +30,9 @@ int Autoscaler::reap(cluster::Node& node, models::ModelId model, int needed,
     if (!node.terminate_idle_container(model)) break;
     --surplus_idle;
     ++reaped;
+  }
+  if (tracer_ != nullptr && reaped > 0) {
+    tracer_->count("container_reaps", reaped);
   }
   return reaped;
 }

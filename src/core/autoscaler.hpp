@@ -12,6 +12,10 @@
 #include "src/cluster/node.hpp"
 #include "src/common/units.hpp"
 
+namespace paldia::obs {
+class Tracer;
+}  // namespace paldia::obs
+
 namespace paldia::core {
 
 struct AutoscalerConfig {
@@ -36,8 +40,12 @@ class Autoscaler {
 
   const AutoscalerConfig& config() const { return config_; }
 
+  /// Observability hook (null = tracing disabled; single-branch cost).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   AutoscalerConfig config_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace paldia::core

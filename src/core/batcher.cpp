@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/tracer.hpp"
+
 namespace paldia::core {
 
 bool Batcher::should_dispatch(int pending, int max_batch,
@@ -30,6 +32,10 @@ std::vector<cluster::Batch> Batcher::chunk(std::vector<cluster::Request> request
                           requests.begin() + static_cast<std::ptrdiff_t>(end));
     batches.push_back(std::move(batch));
     begin = end;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->count("batches_formed", static_cast<double>(batches.size()));
+    tracer_->count("batched_requests", static_cast<double>(total));
   }
   return batches;
 }

@@ -10,6 +10,10 @@
 #include "src/common/units.hpp"
 #include "src/models/model_spec.hpp"
 
+namespace paldia::obs {
+class Tracer;
+}  // namespace paldia::obs
+
 namespace paldia::core {
 
 struct BatcherConfig {
@@ -34,8 +38,12 @@ class Batcher {
 
   const BatcherConfig& config() const { return config_; }
 
+  /// Observability hook (null = tracing disabled; single-branch cost).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   BatcherConfig config_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace paldia::core

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "src/common/log.hpp"
+#include "src/obs/tracer.hpp"
 
 namespace paldia::core {
 
@@ -18,9 +19,14 @@ Framework::Framework(sim::Simulator& simulator, cluster::Cluster& cluster,
       zoo_(&zoo),
       config_(config),
       rng_(rng),
+      tracer_(config.tracer),
       gateway_(rng.fork("gateway")),
       batcher_(config.batcher),
       autoscaler_(config.autoscaler) {
+  gateway_.set_tracer(tracer_);
+  batcher_.set_tracer(tracer_);
+  autoscaler_.set_tracer(tracer_);
+  policy_->set_tracer(tracer_);
   distributor_ = std::make_unique<JobDistributor>(
       batcher_, ids_,
       [this](const cluster::Request& request, const cluster::ExecutionReport& report) {
@@ -29,6 +35,7 @@ Framework::Framework(sim::Simulator& simulator, cluster::Cluster& cluster,
       [this](models::ModelId model, std::vector<cluster::Request> requests) {
         gateway_.requeue(model, std::move(requests));
       });
+  distributor_->set_tracer(tracer_);
   power_ = std::make_unique<telemetry::PowerTracker>(simulator, cluster);
   util_ = std::make_unique<telemetry::UtilTracker>(simulator, cluster);
 }
@@ -145,6 +152,7 @@ void Framework::dispatch_tick() {
 
 void Framework::monitor_tick() {
   const TimeMs now = simulator_->now();
+  if (tracer_ != nullptr) tracer_->begin_span("monitor_tick", now);
   std::vector<DemandSnapshot> demand;
   demand.reserve(workloads_.size());
   for (auto& workload : workloads_) {
@@ -153,7 +161,12 @@ void Framework::monitor_tick() {
         .observe(now, gateway_.observed_rate(workload.model, now));
     demand.push_back(snapshot(workload, now));
   }
+  // Open the tick's decision record before select_hardware so the policy can
+  // enrich it with the candidate sweep; seal it once we know whether a
+  // reconfiguration actually started.
+  if (tracer_ != nullptr) tracer_->begin_decision(now, active_node_);
   const hw::NodeType chosen = policy_->select_hardware(demand, active_node_, now);
+  bool switch_begun = false;
   if (switch_in_progress_) {
     // A transition is underway; only interrupt it to escalate — a surge
     // front can outgrow the in-flight target before it even warms up.
@@ -164,16 +177,47 @@ void Framework::monitor_tick() {
         cluster_->catalog().spec(chosen).price_per_hour >
             cluster_->catalog().spec(pending_target_).price_per_hour) {
       begin_switch(chosen);
+      switch_begun = true;
     }
-    return;
+  } else if (chosen != active_node_) {
+    begin_switch(chosen);
+    switch_begun = true;
   }
-  if (chosen != active_node_) begin_switch(chosen);
+  if (tracer_ != nullptr) {
+    tracer_->end_decision(chosen, switch_begun);
+    // Gauge sweep: queue depths and container counts per model, plus the
+    // cluster-wide saturation signals, then the cumulative counters.
+    auto& node = cluster_->node(active_node_);
+    std::uint64_t cold_starts = 0;
+    for (int i = 0; i < hw::kNodeTypeCount; ++i) {
+      cold_starts += cluster_->node(hw::NodeType(i)).cold_starts();
+    }
+    for (const auto& workload : workloads_) {
+      tracer_->gauge("queue_depth", now,
+                     static_cast<double>(gateway_.pending(workload.model, now)),
+                     static_cast<int>(workload.model));
+      tracer_->gauge("containers", now,
+                     static_cast<double>(node.container_count(workload.model)),
+                     static_cast<int>(workload.model));
+    }
+    tracer_->gauge("in_flight_batches", now,
+                   static_cast<double>(distributor_->in_flight()));
+    tracer_->gauge("container_wait_queue", now,
+                   static_cast<double>(node.container_wait_queue_length()));
+    tracer_->gauge("cold_starts_total", now, static_cast<double>(cold_starts));
+    tracer_->sample_counters(now);
+    tracer_->end_span("monitor_tick", now);
+  }
 }
 
 void Framework::begin_switch(hw::NodeType target) {
   switch_in_progress_ = true;
   pending_target_ = target;
   const std::uint64_t generation = ++switch_generation_;
+  if (tracer_ != nullptr) {
+    tracer_->instant("switch_begin", simulator_->now(), target);
+    tracer_->count("switches_initiated");
+  }
   if (std::getenv("PALDIA_TRACE_SWITCH")) {
     std::fprintf(stderr, "[switch] t=%.0f begin -> %s gen=%llu\n", simulator_->now(),
                  std::string(hw::node_type_name(target)).c_str(),
@@ -221,6 +265,10 @@ void Framework::begin_switch(hw::NodeType target) {
       active_node_ = target;
       ++hardware_switches_;
       switch_in_progress_ = false;
+      if (tracer_ != nullptr) {
+        tracer_->instant("switch_active", simulator_->now(), target);
+        tracer_->count("hardware_switches");
+      }
       if (std::getenv("PALDIA_TRACE_SWITCH")) {
         std::fprintf(stderr, "[switch] t=%.0f active -> %s gen=%llu\n",
                      simulator_->now(),
@@ -272,6 +320,10 @@ void Framework::complete_request(const cluster::Request& request,
 
 void Framework::handle_failure() {
   const hw::NodeType failed = active_node_;
+  if (tracer_ != nullptr) {
+    tracer_->instant("node_failure", simulator_->now(), failed);
+    tracer_->count("node_failures");
+  }
   cluster_->fail_node(failed);
   cluster_->release(failed);
   const hw::NodeType fallback = policy_->on_node_failure(failed);
@@ -384,6 +436,9 @@ TimeMs Framework::run() {
 
   // Close hold intervals so cost reflects the experiment span.
   for (const auto type : cluster_->held_types()) cluster_->release(type);
+  // Final counter snapshot: totals accumulated after the last monitor tick
+  // (the drain phase) still reach the event stream.
+  if (tracer_ != nullptr) tracer_->sample_counters(end);
   return end;
 }
 

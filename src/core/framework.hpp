@@ -28,6 +28,10 @@
 #include "src/telemetry/util_tracker.hpp"
 #include "src/trace/trace.hpp"
 
+namespace paldia::obs {
+class Tracer;
+}  // namespace paldia::obs
+
 namespace paldia::core {
 
 struct FrameworkConfig {
@@ -46,6 +50,9 @@ struct FrameworkConfig {
   /// Hard cap on post-trace drain; requests still unserved then are counted
   /// as SLO violations.
   DurationMs max_drain_ms = minutes(2);
+  /// Observability sink (null = tracing disabled). The framework wires it
+  /// into every component; call sites pay a single branch when it is null.
+  obs::Tracer* tracer = nullptr;
 };
 
 class Framework {
@@ -115,6 +122,7 @@ class Framework {
   const models::Zoo* zoo_;
   FrameworkConfig config_;
   Rng rng_;
+  obs::Tracer* tracer_ = nullptr;
 
   Gateway gateway_;
   Batcher batcher_;

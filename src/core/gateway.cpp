@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/obs/tracer.hpp"
+
 namespace paldia::core {
 
 void Gateway::add_workload(models::ModelId model) {
@@ -26,6 +28,7 @@ const Gateway::PerModel& Gateway::state(models::ModelId model) const {
 void Gateway::inject(models::ModelId model, int count, TimeMs epoch_start,
                      DurationMs epoch_ms) {
   if (count <= 0) return;
+  if (tracer_ != nullptr) tracer_->count("arrivals", count);
   auto& per_model = state(model);
   // Uniform offsets, sorted so the queue stays ordered by arrival.
   std::vector<double> offsets(static_cast<std::size_t>(count));
@@ -43,6 +46,9 @@ void Gateway::inject(models::ModelId model, int count, TimeMs epoch_start,
 
 void Gateway::requeue(models::ModelId model, std::vector<cluster::Request> requests) {
   if (requests.empty()) return;
+  if (tracer_ != nullptr) {
+    tracer_->count("requeues", static_cast<double>(requests.size()));
+  }
   auto& per_model = state(model);
   for (auto& request : requests) per_model.queue.push_back(std::move(request));
   // Keep oldest-first ordering after mixing re-queued with fresh arrivals.

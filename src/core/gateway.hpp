@@ -14,11 +14,18 @@
 #include "src/predictor/ewma.hpp"
 #include "src/predictor/window.hpp"
 
+namespace paldia::obs {
+class Tracer;
+}  // namespace paldia::obs
+
 namespace paldia::core {
 
 class Gateway {
  public:
   explicit Gateway(Rng rng) : rng_(rng) {}
+
+  /// Observability hook (null = tracing disabled; single-branch cost).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   void add_workload(models::ModelId model);
 
@@ -59,6 +66,7 @@ class Gateway {
   const PerModel& state(models::ModelId model) const;
 
   Rng rng_;
+  obs::Tracer* tracer_ = nullptr;
   cluster::IdAllocator ids_;
   std::vector<models::ModelId> workloads_;
   std::map<models::ModelId, PerModel> per_model_;

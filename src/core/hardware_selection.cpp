@@ -107,8 +107,8 @@ HardwareChoice HardwareSelection::evaluate(
   return choice;
 }
 
-HardwareChoice HardwareSelection::choose(
-    const std::vector<DemandSnapshot>& demand) const {
+HardwareChoice HardwareSelection::choose(const std::vector<DemandSnapshot>& demand,
+                                         SelectionSweep* sweep) const {
   // Pool: every node whose single-request latency fits the SLO for all
   // active models (profiling prunes hopeless hardware up front).
   std::vector<hw::NodeType> pool;
@@ -135,11 +135,21 @@ HardwareChoice HardwareSelection::choose(
     for (std::size_t i = 0; i < pool.size(); ++i) evaluate_one(i);
   }
 
+  if (sweep != nullptr) {
+    sweep->candidates = choices;  // cost-ascending, same order as the pool
+    sweep->band_ms = std::max(0.0, config_.performance_band_ms);
+    sweep->best_feasible_gpu_t_max_ms = 0.0;
+    sweep->cpu_short_circuit = false;
+  }
+
   // Algorithm 1: walking the pool cheapest-first, the first *feasible CPU
   // node* short-circuits (the pseudocode's `break` after approx_T_max) —
   // CPU nodes handle low request rates whenever one suffices.
   for (const auto& choice : choices) {
-    if (!catalog_->spec(choice.node).is_gpu() && choice.feasible) return choice;
+    if (!catalog_->spec(choice.node).is_gpu() && choice.feasible) {
+      if (sweep != nullptr) sweep->cpu_short_circuit = true;
+      return choice;
+    }
   }
 
   // choose_best_HW over the GPU candidates: among feasible ones, the
@@ -154,13 +164,20 @@ HardwareChoice HardwareSelection::choose(
       best_t = std::min(best_t, choice.t_max_ms);
     }
   }
+  if (sweep != nullptr && std::isfinite(best_t)) {
+    sweep->best_feasible_gpu_t_max_ms = best_t;
+  }
   if (!std::isfinite(best_t)) {
     // No feasible node at all: use the most performant GPU, best split.
     const auto top = catalog_->most_performant_gpu();
     for (const auto& choice : choices) {
       if (choice.node == top) return choice;
     }
-    return evaluate(top, demand);
+    auto escalated = evaluate(top, demand);
+    // The escalation target was outside the capable pool; still surface it
+    // in the sweep so the log shows every node that was actually evaluated.
+    if (sweep != nullptr) sweep->candidates.push_back(escalated);
+    return escalated;
   }
   const HardwareChoice* winner = nullptr;
   for (const auto& choice : choices) {  // pool is cost-ascending

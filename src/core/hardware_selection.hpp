@@ -38,6 +38,16 @@ struct HardwareChoice {
   bool feasible = false;       // t_max within the (headroomed) SLO
 };
 
+/// Optional record of one choose() call: the full candidate sweep plus the
+/// choose_best_HW inputs, for the observability decision log.
+struct SelectionSweep {
+  std::vector<HardwareChoice> candidates;  // capable pool, cost-ascending
+  DurationMs band_ms = 0.0;                // clamped performance band
+  /// Best feasible GPU T_max (the band anchor); 0 when none was feasible.
+  DurationMs best_feasible_gpu_t_max_ms = 0.0;
+  bool cpu_short_circuit = false;  // a feasible CPU node won outright
+};
+
 class HardwareSelection {
  public:
   HardwareSelection(const models::Zoo& zoo, const hw::Catalog& catalog,
@@ -52,8 +62,10 @@ class HardwareSelection {
 
   /// Full Algorithm 1 selection (pool, par_for, choose_best_HW). When no
   /// node is feasible the most performant GPU is returned (the escalation
-  /// path of Section III).
-  HardwareChoice choose(const std::vector<DemandSnapshot>& demand) const;
+  /// path of Section III). When `sweep` is non-null it receives the whole
+  /// candidate evaluation (observability decision log).
+  HardwareChoice choose(const std::vector<DemandSnapshot>& demand,
+                        SelectionSweep* sweep = nullptr) const;
 
   /// Requests that must coexist on the node: the current backlog plus the
   /// predicted arrivals of one SLO window.

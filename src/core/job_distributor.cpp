@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/obs/tracer.hpp"
+
 namespace paldia::core {
 
 int JobDistributor::dispatch(cluster::Node& node, const SplitPlan& plan,
@@ -11,6 +13,7 @@ int JobDistributor::dispatch(cluster::Node& node, const SplitPlan& plan,
   const int total = static_cast<int>(requests.size());
   const int spatial =
       plan.use_cpu ? 0 : std::clamp(plan.spatial_requests, 0, total);
+  const int temporal = total - spatial;
 
   std::vector<cluster::Request> spatial_part(
       requests.begin(), requests.begin() + spatial);
@@ -19,32 +22,57 @@ int JobDistributor::dispatch(cluster::Node& node, const SplitPlan& plan,
 
   int batches = 0;
   for (auto& batch : batcher_->chunk(std::move(spatial_part), plan.batch_size, now, *ids_)) {
-    submit_batch(node, std::move(batch), cluster::ShareMode::kSpatial);
+    submit_batch(node, std::move(batch), cluster::ShareMode::kSpatial, spatial,
+                 temporal);
     ++batches;
   }
   const auto rest_mode =
       plan.use_cpu ? cluster::ShareMode::kCpu : cluster::ShareMode::kTemporal;
   for (auto& batch : batcher_->chunk(std::move(temporal_part), plan.batch_size, now, *ids_)) {
-    submit_batch(node, std::move(batch), rest_mode);
+    submit_batch(node, std::move(batch), rest_mode, spatial, temporal);
     ++batches;
   }
   return batches;
 }
 
 void JobDistributor::submit_batch(cluster::Node& node, cluster::Batch batch,
-                                  cluster::ShareMode mode) {
+                                  cluster::ShareMode mode, int spatial,
+                                  int temporal) {
   ++in_flight_;
   cluster::ExecRequest exec;
   exec.batch = batch.id;
   exec.model = batch.model;
   exec.batch_size = batch.size();
   exec.mode = mode;
-  exec.on_complete = [this, batch = std::move(batch)](
-                         const cluster::ExecutionReport& report) {
+  // The node reference outlives the run but the callback may fire after a
+  // reconfiguration; tag events with the node *type* captured now.
+  const hw::NodeType node_type = node.type();
+  exec.on_complete = [this, batch = std::move(batch), mode, spatial, temporal,
+                      node_type](const cluster::ExecutionReport& report) {
     --in_flight_;
     if (report.failed) {
+      if (tracer_ != nullptr) {
+        tracer_->count("failed_batches");
+        tracer_->instant("batch_failed", report.end_ms, node_type,
+                         static_cast<double>(batch.size()));
+      }
       if (on_requeue_) on_requeue_(batch.model, batch.requests);
       return;
+    }
+    if (tracer_ != nullptr) {
+      tracer_->record_batch(batch.id.value, batch.model,
+                            node_type, mode, batch.size(), report.submit_ms,
+                            report.start_ms, report.end_ms, report.solo_ms,
+                            report.cold_start_ms);
+      const DurationMs interference = std::max(0.0, report.interference_ms());
+      for (const auto& request : batch.requests) {
+        tracer_->record_request_lifecycle(
+            request.id.value, batch.model, node_type, mode,
+            batch.size(), spatial, temporal, request.arrival_ms, report.submit_ms,
+            report.start_ms, report.end_ms, report.solo_ms, interference,
+            report.cold_start_ms);
+      }
+      if (report.cold_start_ms > 0.0) tracer_->count("cold_start_batches");
     }
     for (const auto& request : batch.requests) {
       on_request_complete_(request, report);

@@ -11,6 +11,10 @@
 #include "src/core/batcher.hpp"
 #include "src/core/scheduler_policy.hpp"
 
+namespace paldia::obs {
+class Tracer;
+}  // namespace paldia::obs
+
 namespace paldia::core {
 
 class JobDistributor {
@@ -36,13 +40,20 @@ class JobDistributor {
   /// Batches submitted but not yet completed (successfully or not).
   int in_flight() const { return in_flight_; }
 
+  /// Observability hook (null = tracing disabled; single-branch cost).
+  /// Completed batches then emit per-request lifecycle spans and batch
+  /// execution slices tagged with the round's spatial/temporal split.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
-  void submit_batch(cluster::Node& node, cluster::Batch batch, cluster::ShareMode mode);
+  void submit_batch(cluster::Node& node, cluster::Batch batch, cluster::ShareMode mode,
+                    int spatial, int temporal);
 
   const Batcher* batcher_;
   cluster::IdAllocator* ids_;
   RequestCompleteFn on_request_complete_;
   RequeueFn on_requeue_;
+  obs::Tracer* tracer_ = nullptr;
   int in_flight_ = 0;
 };
 

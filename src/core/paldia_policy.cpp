@@ -4,6 +4,8 @@
 
 #include <algorithm>
 
+#include "src/obs/tracer.hpp"
+
 namespace paldia::core {
 
 PaldiaPolicy::PaldiaPolicy(const models::Zoo& zoo, const hw::Catalog& catalog,
@@ -18,7 +20,44 @@ PaldiaPolicy::PaldiaPolicy(const models::Zoo& zoo, const hw::Catalog& catalog,
 
 hw::NodeType PaldiaPolicy::select_hardware(const std::vector<DemandSnapshot>& demand,
                                            hw::NodeType current, TimeMs now) {
-  const HardwareChoice choice = selection_.choose(demand);
+  // The framework opened the tick's decision record before calling us; the
+  // sweep is only collected when someone will actually read it.
+  obs::DecisionRecord* rec =
+      tracer() != nullptr ? tracer()->current_decision() : nullptr;
+  SelectionSweep sweep;
+  const HardwareChoice choice =
+      selection_.choose(demand, rec != nullptr ? &sweep : nullptr);
+  const hw::NodeType decided = apply_hysteresis(choice, current, demand, now);
+  if (rec != nullptr) {
+    rec->raw_choice = choice.node;
+    rec->raw_feasible = choice.feasible;
+    rec->raw_t_max_ms = choice.t_max_ms;
+    rec->has_sweep = true;
+    rec->band_ms = sweep.band_ms;
+    rec->best_t_max_ms = sweep.best_feasible_gpu_t_max_ms;
+    rec->cpu_short_circuit = sweep.cpu_short_circuit;
+    rec->wait_ctr = wait_ctr_;  // counter state *after* the decision
+    rec->downgrade_ctr = downgrade_ctr_;
+    rec->emergency_ctr = emergency_ctr_;
+    rec->candidates.reserve(sweep.candidates.size());
+    for (const auto& candidate : sweep.candidates) {
+      obs::CandidateEval eval;
+      eval.node = candidate.node;
+      eval.t_max_ms = candidate.t_max_ms;
+      eval.feasible = candidate.feasible;
+      eval.is_gpu = catalog().spec(candidate.node).is_gpu();
+      eval.price_per_hour = catalog().spec(candidate.node).price_per_hour;
+      eval.best_y = candidate.best_y;
+      rec->candidates.push_back(eval);
+    }
+  }
+  return decided;
+}
+
+hw::NodeType PaldiaPolicy::apply_hysteresis(const HardwareChoice& choice,
+                                            hw::NodeType current,
+                                            const std::vector<DemandSnapshot>& demand,
+                                            TimeMs now) {
   if (std::getenv("PALDIA_TRACE_SELECT")) {
     std::fprintf(stderr,
                  "[select] t=%.0f cur=%s chosen=%s tmax=%.0f feas=%d ctr=%d "

@@ -42,6 +42,12 @@ class PaldiaPolicy final : public SchedulerPolicy {
   int wait_counter() const { return wait_ctr_; }
 
  private:
+  /// Algorithm 1's tail: wait/downgrade/emergency counters deciding when
+  /// the raw choice actually triggers a reconfiguration.
+  hw::NodeType apply_hysteresis(const HardwareChoice& choice, hw::NodeType current,
+                                const std::vector<DemandSnapshot>& demand,
+                                TimeMs now);
+
   const models::Zoo* zoo_;
   const models::ProfileTable* profile_;
   perfmodel::YOptimizer optimizer_;

@@ -18,6 +18,10 @@
 #include "src/models/zoo.hpp"
 #include "src/perfmodel/y_optimizer.hpp"
 
+namespace paldia::obs {
+class Tracer;
+}  // namespace paldia::obs
+
 namespace paldia::core {
 
 /// Per-model demand snapshot handed to the policies.
@@ -70,12 +74,18 @@ class SchedulerPolicy {
   /// per spatially-shared batch, as in Section IV-C.
   virtual int desired_containers(const SplitPlan& plan) const;
 
+  /// Observability hook (may be null — tracing disabled). Policies that
+  /// record decision sweeps check tracer() inside select_hardware().
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  protected:
   explicit SchedulerPolicy(const hw::Catalog& catalog) : catalog_(&catalog) {}
   const hw::Catalog& catalog() const { return *catalog_; }
+  obs::Tracer* tracer() const { return tracer_; }
 
  private:
   const hw::Catalog* catalog_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace paldia::core

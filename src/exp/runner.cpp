@@ -18,7 +18,8 @@ Runner::Runner(const models::Zoo& zoo, const hw::Catalog& catalog, ThreadPool* p
       pool_(pool) {}
 
 RunResult Runner::run_once(const Scenario& scenario, SchemeId scheme,
-                           std::uint64_t seed, bool keep_cdf) const {
+                           std::uint64_t seed, bool keep_cdf,
+                           obs::Tracer* tracer) const {
   sim::Simulator simulator;
   Rng rng(seed);
   cluster::Cluster cluster(simulator, rng.fork("cluster"), *zoo_, *catalog_);
@@ -34,6 +35,7 @@ RunResult Runner::run_once(const Scenario& scenario, SchemeId scheme,
   if (!config.initial_node.has_value()) {
     config.initial_node = factory_.initial_node(scheme);
   }
+  config.tracer = tracer;
   core::Framework framework(simulator, cluster, std::move(policy),
                             rng.fork("framework"), *zoo_, config);
   for (const auto& workload : scenario.workloads) {
@@ -144,6 +146,33 @@ RunResult Runner::run(const Scenario& scenario, SchemeId scheme, bool keep_cdf) 
   // local to run_once), so they can run concurrently. Each result lands in
   // its slot and the outlier-filtered aggregation sees the serial order —
   // the metrics are bit-identical with and without the pool.
+  if (pool_ != nullptr && repetitions.size() > 1) {
+    pool_->parallel_for(repetitions.size(), run_rep);
+  } else {
+    for (std::size_t rep = 0; rep < repetitions.size(); ++rep) run_rep(rep);
+  }
+  return aggregate_runs(repetitions);
+}
+
+RunResult Runner::run(const Scenario& scenario, SchemeId scheme, obs::RunTrace& trace,
+                      bool keep_cdf) const {
+  const auto reps = static_cast<std::size_t>(scenario.repetitions);
+  std::vector<RunResult> repetitions(reps);
+  // Tracer slots are allocated up front, one per repetition, so concurrent
+  // repetitions never share a tracer and exporters can walk the slots in
+  // repetition order regardless of which thread filled them.
+  trace.reps.clear();
+  trace.reps.reserve(reps);
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    trace.reps.push_back(std::make_unique<obs::Tracer>(trace.config));
+  }
+  auto run_rep = [&](std::size_t rep) {
+    const std::uint64_t seed =
+        scenario.base_seed + 0x9e3779b9ull * static_cast<std::uint64_t>(rep + 1) +
+        static_cast<std::uint64_t>(scheme) * 0x51ull;
+    repetitions[rep] = run_once(scenario, scheme, seed, keep_cdf && rep == 0,
+                                trace.reps[rep].get());
+  };
   if (pool_ != nullptr && repetitions.size() > 1) {
     pool_->parallel_for(repetitions.size(), run_rep);
   } else {

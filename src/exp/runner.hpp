@@ -5,6 +5,7 @@
 
 #include "src/exp/scenario.hpp"
 #include "src/exp/scheme_factory.hpp"
+#include "src/obs/tracer.hpp"
 #include "src/telemetry/metrics.hpp"
 
 namespace paldia::exp {
@@ -19,9 +20,11 @@ class Runner {
   Runner(const models::Zoo& zoo, const hw::Catalog& catalog, ThreadPool* pool = nullptr,
          SchemeFactoryOptions options = {});
 
-  /// One repetition with an explicit seed.
+  /// One repetition with an explicit seed. `tracer` (optional) receives the
+  /// repetition's lifecycle spans / decision log / counter samples.
   RunResult run_once(const Scenario& scenario, SchemeId scheme,
-                     std::uint64_t seed, bool keep_cdf = false) const;
+                     std::uint64_t seed, bool keep_cdf = false,
+                     obs::Tracer* tracer = nullptr) const;
 
   /// All repetitions, aggregated per the paper's rule (mean with >2.5 sigma
   /// outliers dropped). keep_cdf retains the latency CDF of the first rep.
@@ -29,6 +32,13 @@ class Runner {
   /// independently and lands in a fixed slot before aggregation, so the
   /// metrics are bit-identical to the serial order).
   RunResult run(const Scenario& scenario, SchemeId scheme,
+                bool keep_cdf = false) const;
+
+  /// run() that also captures per-repetition traces. `trace` gets one
+  /// tracer slot per repetition, allocated up front and filled in place —
+  /// exporters walk the slots in repetition order, so serialized trace
+  /// output is byte-identical however many pool threads ran the reps.
+  RunResult run(const Scenario& scenario, SchemeId scheme, obs::RunTrace& trace,
                 bool keep_cdf = false) const;
 
   const SchemeFactory& factory() const { return factory_; }

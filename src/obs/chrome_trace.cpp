@@ -1,0 +1,317 @@
+#include "src/obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <set>
+
+#include "src/hw/node_spec.hpp"
+#include "src/models/model_spec.hpp"
+
+namespace paldia::obs {
+namespace {
+
+// Process-id block per repetition: pid 0 = framework, 1..kNodeTypeCount =
+// one process per hardware node type.
+constexpr int kPidsPerRep = 1 + hw::kNodeTypeCount;
+
+// Fixed-precision microsecond timestamp: deterministic bytes for a given
+// double, enough resolution for sub-ms simulated times.
+std::string us(TimeMs ms) {
+  char buf[48];
+  const double value = std::isfinite(ms) ? ms * 1000.0 : 0.0;
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  return buf;
+}
+
+std::string num(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* lane_name(cluster::ShareMode mode) {
+  switch (mode) {
+    case cluster::ShareMode::kSpatial: return "mps";
+    case cluster::ShareMode::kTemporal: return "time-shared";
+    case cluster::ShareMode::kCpu: return "cpu";
+  }
+  return "?";
+}
+
+int lane_tid(cluster::ShareMode mode) { return static_cast<int>(mode); }
+
+std::string model_name(std::int16_t tag) {
+  if (tag < 0 || tag >= models::kModelCount) return "";
+  return std::string(models::model_id_name(models::ModelId(tag)));
+}
+
+std::string node_name(std::int16_t tag) {
+  if (tag < 0 || tag >= hw::kNodeTypeCount) return "";
+  return std::string(hw::node_type_name(hw::NodeType(tag)));
+}
+
+class EventStream {
+ public:
+  explicit EventStream(std::ostream& out) : out_(out) {}
+
+  /// Emit one raw JSON object (the caller supplies the braces' contents).
+  void emit(const std::string& body) {
+    if (!first_) out_ << ",\n";
+    first_ = false;
+    out_ << "{" << body << "}";
+  }
+
+ private:
+  std::ostream& out_;
+  bool first_ = true;
+};
+
+std::string common_fields(const char* ph, int pid, int tid, TimeMs ts) {
+  std::string body = "\"ph\":\"";
+  body += ph;
+  body += "\",\"pid\":" + std::to_string(pid) + ",\"tid\":" + std::to_string(tid) +
+          ",\"ts\":" + us(ts);
+  return body;
+}
+
+void emit_metadata(EventStream& stream, int pid, int tid, const char* kind,
+                   const std::string& name) {
+  stream.emit("\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+              ",\"tid\":" + std::to_string(tid) + ",\"ts\":0,\"name\":\"" + kind +
+              "\",\"args\":{\"name\":\"" + json_escape(name) + "\"}");
+}
+
+void emit_request_async(EventStream& stream, int pid, const TraceEvent& event,
+                        const char* ph, TimeMs ts, const std::string& args) {
+  std::string body = common_fields(ph, pid, /*tid=*/0, ts);
+  body += ",\"cat\":\"request\",\"id\":" + std::to_string(event.id);
+  body += ",\"name\":\"";
+  body += event.name;
+  body += "\"";
+  if (!args.empty()) body += ",\"args\":{" + args + "}";
+  stream.emit(body);
+}
+
+std::string request_args(const TraceEvent& event, bool with_components) {
+  std::string args = "\"model\":\"" + json_escape(model_name(event.model)) +
+                     "\",\"node\":\"" + json_escape(node_name(event.node)) +
+                     "\",\"lane\":\"" + lane_name(event.mode) +
+                     "\",\"batch_size\":" + std::to_string(event.batch_size) +
+                     ",\"spatial\":" + std::to_string(event.spatial) +
+                     ",\"temporal\":" + std::to_string(event.temporal);
+  if (with_components) {
+    args += ",\"latency_ms\":" + num(event.end_ms - event.start_ms) +
+            ",\"solo_ms\":" + num(event.solo_ms) +
+            ",\"interference_ms\":" + num(event.interference_ms) +
+            ",\"cold_start_ms\":" + num(event.cold_ms);
+  }
+  return args;
+}
+
+void emit_decision(EventStream& stream, int pid, const DecisionRecord& record) {
+  std::string args =
+      "\"current\":\"" +
+      json_escape(std::string(hw::node_type_name(record.current))) +
+      "\",\"chosen\":\"" +
+      json_escape(std::string(hw::node_type_name(record.raw_choice))) +
+      "\",\"final\":\"" +
+      json_escape(std::string(hw::node_type_name(record.final_choice))) +
+      "\",\"switch_begun\":" + (record.switch_begun ? "true" : "false") +
+      ",\"feasible\":" + (record.raw_feasible ? "true" : "false") +
+      ",\"t_max_ms\":" + num(record.raw_t_max_ms) +
+      ",\"best_t_max_ms\":" + num(record.best_t_max_ms) +
+      ",\"band_ms\":" + num(record.band_ms) +
+      ",\"wait_ctr\":" + std::to_string(record.wait_ctr) +
+      ",\"downgrade_ctr\":" + std::to_string(record.downgrade_ctr) +
+      ",\"emergency_ctr\":" + std::to_string(record.emergency_ctr);
+  if (record.has_sweep) {
+    args += ",\"cpu_short_circuit\":";
+    args += record.cpu_short_circuit ? "true" : "false";
+    args += ",\"candidates\":[";
+    bool first = true;
+    for (const auto& candidate : record.candidates) {
+      if (!first) args += ",";
+      first = false;
+      args += "{\"node\":\"" +
+              json_escape(std::string(hw::node_type_name(candidate.node))) +
+              "\",\"t_max_ms\":" + num(candidate.t_max_ms) +
+              ",\"feasible\":" + (candidate.feasible ? "true" : "false") +
+              ",\"price_per_hour\":" + num(candidate.price_per_hour) +
+              ",\"best_y\":" + std::to_string(candidate.best_y) + "}";
+    }
+    args += "]";
+  }
+  std::string body = common_fields("i", pid, /*tid=*/1, record.t_ms);
+  body += ",\"s\":\"p\",\"name\":\"hardware_selection\",\"args\":{" + args + "}";
+  stream.emit(body);
+}
+
+void emit_rep(EventStream& stream, const Tracer& tracer, int rep,
+              const std::string& label) {
+  const int base = rep * kPidsPerRep;
+  const std::string suffix =
+      (label.empty() ? std::string() : label + " ") + "rep " + std::to_string(rep);
+
+  emit_metadata(stream, base, 0, "process_name", "paldia framework (" + suffix + ")");
+  emit_metadata(stream, base, 0, "thread_name", "requests/framework");
+  emit_metadata(stream, base, 1, "thread_name", "scheduler decisions");
+
+  // Name only node processes that actually carry events (deterministic:
+  // derived from the recorded event sequence).
+  std::set<int> used_nodes;
+  for (const auto& event : tracer.events()) {
+    if (event.type == TraceEvent::Type::kBatch && event.node >= 0) {
+      used_nodes.insert(event.node);
+    }
+  }
+  for (const int node : used_nodes) {
+    const int pid = base + 1 + node;
+    emit_metadata(stream, pid, 0, "process_name",
+                  std::string(hw::node_type_name(hw::NodeType(node))) + " (" +
+                      suffix + ")");
+    for (const auto mode : {cluster::ShareMode::kSpatial, cluster::ShareMode::kTemporal,
+                            cluster::ShareMode::kCpu}) {
+      emit_metadata(stream, pid, lane_tid(mode), "thread_name", lane_name(mode));
+    }
+  }
+
+  for (const auto& event : tracer.events()) {
+    switch (event.type) {
+      case TraceEvent::Type::kRequest:
+        emit_request_async(stream, base, event, "b", event.start_ms,
+                           request_args(event, /*with_components=*/true));
+        break;
+      case TraceEvent::Type::kPhase: {
+        emit_request_async(stream, base, event, "b", event.start_ms, "");
+        TraceEvent end = event;
+        std::string args = "\"dur_ms\":" + num(event.end_ms - event.start_ms);
+        emit_request_async(stream, base, end, "e", event.end_ms, args);
+        // The parent kRequest "e" is emitted when its last phase closes:
+        // record_request_lifecycle orders phases queue/dispatch/execute, so
+        // "execute" is always the closer.
+        if (std::string_view(event.name) == "execute") {
+          TraceEvent parent = event;
+          parent.name = "request";
+          emit_request_async(stream, base, parent, "e", event.end_ms, "");
+        }
+        break;
+      }
+      case TraceEvent::Type::kBatch: {
+        std::string body = common_fields("X", base + 1 + std::max<int>(0, event.node),
+                                         lane_tid(event.mode), event.start_ms);
+        body += ",\"dur\":" + us(event.end_ms - event.start_ms);
+        body += ",\"name\":\"batch " + json_escape(model_name(event.model)) + " x" +
+                std::to_string(event.batch_size) + "\"";
+        body += ",\"args\":{\"batch_id\":" + std::to_string(event.id) +
+                ",\"lane\":\"" + lane_name(event.mode) +
+                "\",\"solo_ms\":" + num(event.solo_ms) +
+                ",\"cold_start_ms\":" + num(event.cold_ms) +
+                ",\"lane_wait_ms\":" + num(event.value) + "}";
+        stream.emit(body);
+        break;
+      }
+      case TraceEvent::Type::kInstant: {
+        std::string body = common_fields("i", base, /*tid=*/0, event.start_ms);
+        body += ",\"s\":\"p\",\"name\":\"";
+        body += event.name;
+        body += "\",\"args\":{\"value\":" + num(event.value);
+        if (event.node >= 0) {
+          body += ",\"node\":\"" + json_escape(node_name(event.node)) + "\"";
+        }
+        body += "}";
+        stream.emit(body);
+        break;
+      }
+      case TraceEvent::Type::kCounter: {
+        std::string name = event.counter_name != nullptr
+                               ? std::string(event.counter_name)
+                               : std::string(event.name);
+        if (event.model >= 0) name += ":" + model_name(event.model);
+        std::string body = common_fields("C", base, /*tid=*/0, event.start_ms);
+        body += ",\"name\":\"" + json_escape(name) +
+                "\",\"args\":{\"value\":" + num(event.value) + "}";
+        stream.emit(body);
+        break;
+      }
+      case TraceEvent::Type::kSpanBegin:
+      case TraceEvent::Type::kSpanEnd: {
+        std::string body = common_fields(
+            event.type == TraceEvent::Type::kSpanBegin ? "B" : "E", base,
+            /*tid=*/0, event.start_ms);
+        body += ",\"name\":\"";
+        body += event.name;
+        body += "\"";
+        stream.emit(body);
+        break;
+      }
+    }
+  }
+
+  for (const auto& record : tracer.decisions()) emit_decision(stream, base, record);
+
+  if (tracer.dropped_events() > 0 || tracer.dropped_decisions() > 0) {
+    std::string body = common_fields("i", base, /*tid=*/0, 0.0);
+    body += ",\"s\":\"p\",\"name\":\"dropped_records\",\"args\":{\"events\":" +
+            std::to_string(tracer.dropped_events()) +
+            ",\"decisions\":" + std::to_string(tracer.dropped_decisions()) + "}";
+    stream.emit(body);
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const RunTrace& trace,
+                        const std::string& label) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  EventStream stream(out);
+  for (std::size_t rep = 0; rep < trace.reps.size(); ++rep) {
+    if (trace.reps[rep] == nullptr) continue;
+    emit_rep(stream, *trace.reps[rep], static_cast<int>(rep), label);
+  }
+  out << "\n]}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path, const RunTrace& trace,
+                             const std::string& label, std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  write_chrome_trace(out, trace, label);
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write failed for " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace paldia::obs

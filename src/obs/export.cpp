@@ -1,0 +1,258 @@
+#include "src/obs/export.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "src/hw/node_spec.hpp"
+
+namespace paldia::obs {
+namespace {
+
+std::string num(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+std::string sanitize(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    out += std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '-';
+  }
+  return out;
+}
+
+}  // namespace
+
+ExportFormat format_for_path(const std::string& path) {
+  const auto dot = path.find_last_of('.');
+  if (dot != std::string::npos && path.substr(dot) == ".csv") {
+    return ExportFormat::kCsv;
+  }
+  return ExportFormat::kJsonl;
+}
+
+std::string derive_trace_path(const std::string& base, const std::string& scenario,
+                              const std::string& scheme) {
+  const std::string tag = sanitize(scenario) + "_" + sanitize(scheme);
+  const auto dot = base.find_last_of('.');
+  const auto slash = base.find_last_of('/');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return base + "." + tag + ".json";
+  }
+  return base.substr(0, dot) + "." + tag + base.substr(dot);
+}
+
+// --- MetricsWriter ----------------------------------------------------------
+
+namespace {
+const char* const kMetricsColumns[] = {
+    "figure",         "scheme",          "workload",
+    "trace",          "requests",        "slo_compliance",
+    "mean_latency_ms", "p50_latency_ms", "p95_latency_ms",
+    "p99_latency_ms", "p99_solo_ms",     "p99_queue_ms",
+    "p99_interference_ms", "p99_cold_start_ms", "cost",
+    "average_power",  "gpu_utilization", "cpu_utilization",
+    "goodput_rps",    "offered_rps",     "cold_starts",
+};
+}  // namespace
+
+MetricsWriter::MetricsWriter(std::ostream& out, ExportFormat format)
+    : out_(&out), format_(format) {}
+
+MetricsWriter::MetricsWriter(const std::string& path)
+    : file_(std::make_unique<std::ofstream>(path, std::ios::binary | std::ios::trunc)),
+      format_(format_for_path(path)) {
+  if (!*file_) {
+    error_ = "cannot open " + path;
+    file_.reset();
+    return;
+  }
+  out_ = file_.get();
+}
+
+bool MetricsWriter::ok() const { return out_ != nullptr && error_.empty(); }
+
+void MetricsWriter::write(const telemetry::RunMetrics& metrics,
+                          const std::string& figure) {
+  if (!ok()) return;
+  const auto& breakdown = metrics.p99_breakdown;
+  if (format_ == ExportFormat::kCsv) {
+    if (!header_written_) {
+      header_written_ = true;
+      bool first = true;
+      for (const char* column : kMetricsColumns) {
+        if (!first) *out_ << ",";
+        first = false;
+        *out_ << column;
+      }
+      *out_ << "\n";
+    }
+    *out_ << csv_escape(figure) << "," << csv_escape(metrics.scheme) << ","
+          << csv_escape(metrics.workload) << "," << csv_escape(metrics.trace) << ","
+          << metrics.requests << "," << num(metrics.slo_compliance) << ","
+          << num(metrics.mean_latency_ms) << "," << num(metrics.p50_latency_ms) << ","
+          << num(metrics.p95_latency_ms) << "," << num(metrics.p99_latency_ms) << ","
+          << num(breakdown.solo_ms) << "," << num(breakdown.queue_ms) << ","
+          << num(breakdown.interference_ms) << "," << num(breakdown.cold_start_ms)
+          << "," << num(metrics.cost) << "," << num(metrics.average_power) << ","
+          << num(metrics.gpu_utilization) << "," << num(metrics.cpu_utilization)
+          << "," << num(metrics.goodput_rps) << "," << num(metrics.offered_rps)
+          << "," << metrics.cold_starts << "\n";
+  } else {
+    *out_ << "{\"figure\":\"" << json_escape(figure) << "\",\"scheme\":\""
+          << json_escape(metrics.scheme) << "\",\"workload\":\""
+          << json_escape(metrics.workload) << "\",\"trace\":\""
+          << json_escape(metrics.trace) << "\",\"requests\":" << metrics.requests
+          << ",\"slo_compliance\":" << num(metrics.slo_compliance)
+          << ",\"mean_latency_ms\":" << num(metrics.mean_latency_ms)
+          << ",\"p50_latency_ms\":" << num(metrics.p50_latency_ms)
+          << ",\"p95_latency_ms\":" << num(metrics.p95_latency_ms)
+          << ",\"p99_latency_ms\":" << num(metrics.p99_latency_ms)
+          << ",\"p99_breakdown\":{\"latency_ms\":" << num(breakdown.latency_ms)
+          << ",\"solo_ms\":" << num(breakdown.solo_ms)
+          << ",\"queue_ms\":" << num(breakdown.queue_ms)
+          << ",\"interference_ms\":" << num(breakdown.interference_ms)
+          << ",\"cold_start_ms\":" << num(breakdown.cold_start_ms)
+          << ",\"samples\":" << breakdown.samples << "}"
+          << ",\"cost\":" << num(metrics.cost)
+          << ",\"average_power\":" << num(metrics.average_power)
+          << ",\"gpu_utilization\":" << num(metrics.gpu_utilization)
+          << ",\"cpu_utilization\":" << num(metrics.cpu_utilization)
+          << ",\"goodput_rps\":" << num(metrics.goodput_rps)
+          << ",\"offered_rps\":" << num(metrics.offered_rps)
+          << ",\"cold_starts\":" << metrics.cold_starts << "}\n";
+  }
+  out_->flush();
+}
+
+// --- DecisionLogWriter ------------------------------------------------------
+
+DecisionLogWriter::DecisionLogWriter(std::ostream& out, ExportFormat format)
+    : out_(&out), format_(format) {}
+
+DecisionLogWriter::DecisionLogWriter(const std::string& path)
+    : file_(std::make_unique<std::ofstream>(path, std::ios::binary | std::ios::trunc)),
+      format_(format_for_path(path)) {
+  if (!*file_) {
+    error_ = "cannot open " + path;
+    file_.reset();
+    return;
+  }
+  out_ = file_.get();
+}
+
+bool DecisionLogWriter::ok() const { return out_ != nullptr && error_.empty(); }
+
+void DecisionLogWriter::write(const RunTrace& trace, const std::string& scheme,
+                              const std::string& scenario) {
+  if (!ok()) return;
+  for (std::size_t rep = 0; rep < trace.reps.size(); ++rep) {
+    if (trace.reps[rep] == nullptr) continue;
+    for (const auto& record : trace.reps[rep]->decisions()) {
+      write_record(record, static_cast<int>(rep), scheme, scenario);
+    }
+  }
+  out_->flush();
+}
+
+void DecisionLogWriter::write_record(const DecisionRecord& record, int rep,
+                                     const std::string& scheme,
+                                     const std::string& scenario) {
+  const auto node = [](hw::NodeType type) {
+    return std::string(hw::node_type_name(type));
+  };
+  if (format_ == ExportFormat::kCsv) {
+    if (!header_written_) {
+      header_written_ = true;
+      *out_ << "scheme,scenario,rep,t_ms,current,chosen,final,switch_begun,"
+               "feasible,t_max_ms,best_t_max_ms,band_ms,wait_ctr,downgrade_ctr,"
+               "emergency_ctr,cpu_short_circuit,candidates\n";
+    }
+    // Candidates as "node:t_max:feasible:price" joined with ';' — one cell,
+    // still splittable without a CSV-in-CSV parser.
+    std::string candidates;
+    for (const auto& candidate : record.candidates) {
+      if (!candidates.empty()) candidates += ";";
+      candidates += node(candidate.node) + ":" + num(candidate.t_max_ms) + ":" +
+                    (candidate.feasible ? "1" : "0") + ":" +
+                    num(candidate.price_per_hour);
+    }
+    *out_ << csv_escape(scheme) << "," << csv_escape(scenario) << "," << rep << ","
+          << num(record.t_ms) << "," << node(record.current) << ","
+          << node(record.raw_choice) << "," << node(record.final_choice) << ","
+          << (record.switch_begun ? 1 : 0) << "," << (record.raw_feasible ? 1 : 0)
+          << "," << num(record.raw_t_max_ms) << "," << num(record.best_t_max_ms)
+          << "," << num(record.band_ms) << "," << record.wait_ctr << ","
+          << record.downgrade_ctr << "," << record.emergency_ctr << ","
+          << (record.cpu_short_circuit ? 1 : 0) << "," << csv_escape(candidates)
+          << "\n";
+  } else {
+    *out_ << "{\"scheme\":\"" << json_escape(scheme) << "\",\"scenario\":\""
+          << json_escape(scenario) << "\",\"rep\":" << rep
+          << ",\"t_ms\":" << num(record.t_ms) << ",\"current\":\""
+          << node(record.current) << "\",\"chosen\":\"" << node(record.raw_choice)
+          << "\",\"final\":\"" << node(record.final_choice)
+          << "\",\"switch_begun\":" << (record.switch_begun ? "true" : "false")
+          << ",\"feasible\":" << (record.raw_feasible ? "true" : "false")
+          << ",\"t_max_ms\":" << num(record.raw_t_max_ms)
+          << ",\"best_t_max_ms\":" << num(record.best_t_max_ms)
+          << ",\"band_ms\":" << num(record.band_ms)
+          << ",\"wait_ctr\":" << record.wait_ctr
+          << ",\"downgrade_ctr\":" << record.downgrade_ctr
+          << ",\"emergency_ctr\":" << record.emergency_ctr
+          << ",\"cpu_short_circuit\":" << (record.cpu_short_circuit ? "true" : "false")
+          << ",\"candidates\":[";
+    bool first = true;
+    for (const auto& candidate : record.candidates) {
+      if (!first) *out_ << ",";
+      first = false;
+      *out_ << "{\"node\":\"" << node(candidate.node)
+            << "\",\"t_max_ms\":" << num(candidate.t_max_ms)
+            << ",\"feasible\":" << (candidate.feasible ? "true" : "false")
+            << ",\"price_per_hour\":" << num(candidate.price_per_hour)
+            << ",\"best_y\":" << candidate.best_y << "}";
+    }
+    *out_ << "]}\n";
+  }
+}
+
+}  // namespace paldia::obs

@@ -1,0 +1,79 @@
+// Streaming JSONL/CSV export of RunMetrics rows and scheduler decision
+// logs, so fig sweeps can run unattended and leave machine-readable
+// results behind (ROADMAP "metrics export path").
+//
+// Format is inferred from the file extension: ".csv" writes CSV with a
+// header row, anything else writes JSON Lines (one object per line). Rows
+// are flushed as they are written, so a killed sweep still leaves the
+// completed rows on disk.
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "src/obs/tracer.hpp"
+#include "src/telemetry/metrics.hpp"
+
+namespace paldia::obs {
+
+enum class ExportFormat { kJsonl, kCsv };
+
+/// ".csv" -> CSV, everything else -> JSONL.
+ExportFormat format_for_path(const std::string& path);
+
+/// Streaming RunMetrics writer (one row per completed scheme run).
+class MetricsWriter {
+ public:
+  /// Write to an already-open stream (testing / composition).
+  MetricsWriter(std::ostream& out, ExportFormat format);
+  /// Open `path` (truncating) and infer the format from its extension.
+  explicit MetricsWriter(const std::string& path);
+
+  bool ok() const;
+  const std::string& error() const { return error_; }
+
+  /// Append one row. `figure` tags the row with the emitting driver so
+  /// multi-figure sweeps can share one output file.
+  void write(const telemetry::RunMetrics& metrics, const std::string& figure = "");
+
+ private:
+  std::unique_ptr<std::ofstream> file_;
+  std::ostream* out_ = nullptr;
+  ExportFormat format_ = ExportFormat::kJsonl;
+  bool header_written_ = false;
+  std::string error_;
+};
+
+/// Streaming scheduler-decision-log writer: one row per monitor tick per
+/// repetition, in repetition order (deterministic across thread counts).
+class DecisionLogWriter {
+ public:
+  DecisionLogWriter(std::ostream& out, ExportFormat format);
+  explicit DecisionLogWriter(const std::string& path);
+
+  bool ok() const;
+  const std::string& error() const { return error_; }
+
+  /// Append all decision records of a completed run.
+  void write(const RunTrace& trace, const std::string& scheme,
+             const std::string& scenario);
+
+ private:
+  void write_record(const DecisionRecord& record, int rep, const std::string& scheme,
+                    const std::string& scenario);
+
+  std::unique_ptr<std::ofstream> file_;
+  std::ostream* out_ = nullptr;
+  ExportFormat format_ = ExportFormat::kJsonl;
+  bool header_written_ = false;
+  std::string error_;
+};
+
+/// "out.json" + ("azure", "Paldia") -> "out.azure_Paldia.json": one trace
+/// file per (scenario, scheme) run when a driver sweeps several.
+std::string derive_trace_path(const std::string& base, const std::string& scenario,
+                              const std::string& scheme);
+
+}  // namespace paldia::obs

@@ -1,0 +1,197 @@
+#include "src/obs/tracer.hpp"
+
+#include <cstring>
+
+namespace paldia::obs {
+
+bool Tracer::reserve(std::size_t n) {
+  if (events_.size() + n > config_.event_capacity) {
+    dropped_events_ += n;
+    return false;
+  }
+  return true;
+}
+
+void Tracer::push(const TraceEvent& event) { events_.push_back(event); }
+
+void Tracer::record_request_lifecycle(std::int64_t request_id, models::ModelId model,
+                                      hw::NodeType node, cluster::ShareMode mode,
+                                      int batch_size, int spatial, int temporal,
+                                      TimeMs arrival_ms, TimeMs submit_ms,
+                                      TimeMs start_ms, TimeMs end_ms,
+                                      DurationMs solo_ms, DurationMs interference_ms,
+                                      DurationMs cold_ms) {
+  // Parent + 3 phases are stored atomically so every retained request has a
+  // complete, contiguous decomposition (phases sum to end - arrival).
+  if (!reserve(4)) return;
+
+  TraceEvent event;
+  event.mode = mode;
+  event.model = static_cast<std::int16_t>(model);
+  event.node = static_cast<std::int16_t>(node);
+  event.batch_size = batch_size;
+  event.spatial = spatial;
+  event.temporal = temporal;
+  event.id = request_id;
+
+  event.type = TraceEvent::Type::kRequest;
+  event.name = "request";
+  event.start_ms = arrival_ms;
+  event.end_ms = end_ms;
+  event.solo_ms = solo_ms;
+  event.interference_ms = interference_ms;
+  event.cold_ms = cold_ms;
+  push(event);
+
+  event.type = TraceEvent::Type::kPhase;
+  event.solo_ms = 0.0;
+  event.interference_ms = 0.0;
+  event.cold_ms = 0.0;
+
+  event.name = "queue";  // gateway wait + batch formation
+  event.start_ms = arrival_ms;
+  event.end_ms = submit_ms;
+  push(event);
+
+  event.name = "dispatch";  // lane / container / cold-start waits on the node
+  event.start_ms = submit_ms;
+  event.end_ms = start_ms;
+  event.cold_ms = cold_ms;
+  push(event);
+
+  event.name = "execute";  // device execution (solo + interference stretch)
+  event.start_ms = start_ms;
+  event.end_ms = end_ms;
+  event.solo_ms = solo_ms;
+  event.interference_ms = interference_ms;
+  event.cold_ms = 0.0;
+  push(event);
+}
+
+void Tracer::record_batch(std::int64_t batch_id, models::ModelId model,
+                          hw::NodeType node, cluster::ShareMode mode, int batch_size,
+                          TimeMs submit_ms, TimeMs start_ms, TimeMs end_ms,
+                          DurationMs solo_ms, DurationMs cold_ms) {
+  if (!reserve(1)) return;
+  TraceEvent event;
+  event.type = TraceEvent::Type::kBatch;
+  event.mode = mode;
+  event.model = static_cast<std::int16_t>(model);
+  event.node = static_cast<std::int16_t>(node);
+  event.batch_size = batch_size;
+  event.id = batch_id;
+  event.name = "batch";
+  event.start_ms = start_ms;
+  event.end_ms = end_ms;
+  event.solo_ms = solo_ms;
+  event.cold_ms = cold_ms;
+  event.value = start_ms - submit_ms;  // lane/container wait
+  push(event);
+}
+
+void Tracer::instant(const char* name, TimeMs now, hw::NodeType node, double value) {
+  if (!reserve(1)) return;
+  TraceEvent event;
+  event.type = TraceEvent::Type::kInstant;
+  event.name = name;
+  event.node = static_cast<std::int16_t>(node);
+  event.start_ms = event.end_ms = now;
+  event.value = value;
+  push(event);
+}
+
+void Tracer::instant(const char* name, TimeMs now, double value) {
+  if (!reserve(1)) return;
+  TraceEvent event;
+  event.type = TraceEvent::Type::kInstant;
+  event.name = name;
+  event.start_ms = event.end_ms = now;
+  event.value = value;
+  push(event);
+}
+
+void Tracer::begin_span(const char* name, TimeMs now) {
+  span_stack_.push_back(name);
+  if (!reserve(1)) return;
+  TraceEvent event;
+  event.type = TraceEvent::Type::kSpanBegin;
+  event.name = name;
+  event.start_ms = event.end_ms = now;
+  push(event);
+}
+
+void Tracer::end_span(const char* name, TimeMs now) {
+  if (span_stack_.empty() || std::strcmp(span_stack_.back(), name) != 0) {
+    ++unbalanced_;
+    return;
+  }
+  span_stack_.pop_back();
+  if (!reserve(1)) return;
+  TraceEvent event;
+  event.type = TraceEvent::Type::kSpanEnd;
+  event.name = name;
+  event.start_ms = event.end_ms = now;
+  push(event);
+}
+
+void Tracer::count(const char* name, double delta) { counters_[name] += delta; }
+
+void Tracer::gauge(const char* name, TimeMs now, double value, int model_tag) {
+  if (!reserve(1)) return;
+  TraceEvent event;
+  event.type = TraceEvent::Type::kCounter;
+  event.name = name;
+  event.model = static_cast<std::int16_t>(model_tag);
+  event.start_ms = event.end_ms = now;
+  event.value = value;
+  push(event);
+}
+
+void Tracer::sample_counters(TimeMs now) {
+  for (const auto& [name, value] : counters_) {  // map order: deterministic
+    if (!reserve(1)) return;
+    TraceEvent event;
+    event.type = TraceEvent::Type::kCounter;
+    event.name = nullptr;  // dynamic name: exporters read counter_name
+    event.counter_name = name.c_str();
+    event.start_ms = event.end_ms = now;
+    event.value = value;
+    push(event);
+  }
+}
+
+double Tracer::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+DecisionRecord* Tracer::begin_decision(TimeMs now, hw::NodeType current) {
+  if (decisions_.size() >= config_.decision_capacity) {
+    ++dropped_decisions_;
+    open_decision_ = nullptr;
+    return nullptr;
+  }
+  decisions_.emplace_back();
+  open_decision_ = &decisions_.back();
+  open_decision_->t_ms = now;
+  open_decision_->current = current;
+  open_decision_->final_choice = current;
+  return open_decision_;
+}
+
+void Tracer::end_decision(hw::NodeType final_choice, bool switch_begun) {
+  if (open_decision_ == nullptr) return;
+  open_decision_->final_choice = final_choice;
+  open_decision_->switch_begun = switch_begun;
+  open_decision_ = nullptr;
+}
+
+std::uint64_t RunTrace::dropped_events() const {
+  std::uint64_t total = 0;
+  for (const auto& rep : reps) {
+    if (rep) total += rep->dropped_events();
+  }
+  return total;
+}
+
+}  // namespace paldia::obs

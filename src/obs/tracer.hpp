@@ -1,0 +1,200 @@
+// Request-lifecycle tracing + scheduler decision log (simulated clock).
+//
+// One Tracer per repetition: the simulation loop is single-threaded, so the
+// tracer needs no locking, and parallel repetitions each write their own
+// tracer slot — the exporters (chrome_trace.hpp, export.hpp) merge slots in
+// repetition order, which makes the serialized output byte-identical
+// regardless of how many worker threads ran the repetitions.
+//
+// Three record families:
+//  (a) per-request lifecycle spans — arrival -> gateway queue -> dispatch
+//      (lane/container/cold-start waits) -> execution -> completion, tagged
+//      with model, node, batch size and the spatial/temporal split the Job
+//      Distributor enacted;
+//  (b) scheduler decision records — one per monitor tick: the candidate
+//      sweep of Algorithm 1 (per-node best T_max, feasibility, price), the
+//      winner, hysteresis counter state, and whether a reconfiguration was
+//      started;
+//  (c) a counter/gauge registry (cold starts, requeues, batch sizes, queue
+//      depths) sampled into the event stream on monitor ticks.
+//
+// Hot-path discipline matches log.hpp: call sites hold a Tracer* that is
+// nullptr when tracing is disabled, so the disabled cost is a single branch.
+// Memory is bounded: events land in a fixed-capacity buffer with a drop
+// counter (drop-newest keeps the retained prefix deterministic), decision
+// records have their own cap.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/request.hpp"
+#include "src/common/units.hpp"
+#include "src/hw/node_spec.hpp"
+#include "src/models/model_spec.hpp"
+
+namespace paldia::obs {
+
+struct TracerConfig {
+  /// Event-buffer capacity (events beyond it are counted, not stored).
+  std::size_t event_capacity = 262'144;
+  /// Decision-record capacity (one record per monitor tick; generous).
+  std::size_t decision_capacity = 65'536;
+};
+
+struct TraceEvent {
+  enum class Type : std::uint8_t {
+    kRequest,    // parent request span: arrival -> completion
+    kPhase,      // lifecycle phase of a request (queue / dispatch / execute)
+    kBatch,      // one batch execution on a device lane
+    kInstant,    // point event (hardware switches, failures, ...)
+    kCounter,    // counter/gauge sample
+    kSpanBegin,  // explicit nested span (framework-internal phases)
+    kSpanEnd,
+  };
+
+  Type type{};
+  cluster::ShareMode mode{};    // lane for kBatch / kRequest / kPhase
+  std::int16_t model = -1;      // models::ModelId, -1 = not applicable
+  std::int16_t node = -1;       // hw::NodeType, -1 = not applicable
+  std::int32_t batch_size = 0;
+  std::int32_t spatial = 0;     // the Job Distributor's y split for the round
+  std::int32_t temporal = 0;
+  std::int64_t id = -1;         // request id (kRequest/kPhase) or batch id
+  const char* name = nullptr;   // static string literal
+  /// Counter samples emitted by sample_counters() carry the registry key
+  /// here (points into the tracer's registry; valid while it lives).
+  const char* counter_name = nullptr;
+  TimeMs start_ms = 0.0;
+  TimeMs end_ms = 0.0;
+  double value = 0.0;           // counter/gauge value
+  DurationMs solo_ms = 0.0;
+  DurationMs interference_ms = 0.0;
+  DurationMs cold_ms = 0.0;
+};
+
+/// One candidate of Algorithm 1's per-tick sweep.
+struct CandidateEval {
+  hw::NodeType node{};
+  DurationMs t_max_ms = 0.0;
+  bool feasible = false;
+  bool is_gpu = false;
+  Dollars price_per_hour = 0.0;
+  int best_y = 0;
+};
+
+/// One monitor tick's hardware-selection decision.
+struct DecisionRecord {
+  TimeMs t_ms = 0.0;
+  hw::NodeType current{};       // node serving when the tick fired
+  hw::NodeType raw_choice{};    // HardwareSelection::choose winner
+  hw::NodeType final_choice{};  // post-hysteresis node the policy returned
+  bool switch_begun = false;    // the framework started reconfiguring
+  bool has_sweep = false;       // candidate sweep populated (Paldia policy)
+  bool raw_feasible = false;
+  bool cpu_short_circuit = false;  // a feasible CPU node won outright
+  DurationMs raw_t_max_ms = 0.0;
+  DurationMs best_t_max_ms = 0.0;  // most performant feasible GPU's T_max
+  DurationMs band_ms = 0.0;        // the cheapest-within-band tolerance
+  int wait_ctr = 0;                // hysteresis state after the decision
+  int downgrade_ctr = 0;
+  int emergency_ctr = 0;
+  std::vector<CandidateEval> candidates;  // catalog cost-ascending order
+};
+
+class Tracer {
+ public:
+  explicit Tracer(TracerConfig config = {}) : config_(config) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // --- Request lifecycle ---------------------------------------------------
+  /// Record one completed request: emits a parent kRequest span plus three
+  /// contiguous kPhase children (queue: arrival->submit, dispatch:
+  /// submit->start, execute: start->end) whose durations sum exactly to the
+  /// end-to-end latency. Atomic against the capacity cap: either all four
+  /// events are stored or all four are dropped.
+  void record_request_lifecycle(std::int64_t request_id, models::ModelId model,
+                                hw::NodeType node, cluster::ShareMode mode,
+                                int batch_size, int spatial, int temporal,
+                                TimeMs arrival_ms, TimeMs submit_ms, TimeMs start_ms,
+                                TimeMs end_ms, DurationMs solo_ms,
+                                DurationMs interference_ms, DurationMs cold_ms);
+
+  /// Record one batch execution on a device lane.
+  void record_batch(std::int64_t batch_id, models::ModelId model, hw::NodeType node,
+                    cluster::ShareMode mode, int batch_size, TimeMs submit_ms,
+                    TimeMs start_ms, TimeMs end_ms, DurationMs solo_ms,
+                    DurationMs cold_ms);
+
+  /// Point event (hardware switch milestones, failures, ...).
+  void instant(const char* name, TimeMs now, hw::NodeType node, double value = 0.0);
+  void instant(const char* name, TimeMs now, double value = 0.0);
+
+  // --- Explicit nested spans ----------------------------------------------
+  /// Open/close a named span on the framework track. Properly nested
+  /// (LIFO); an end that does not match the innermost open span is counted
+  /// in unbalanced_spans() and otherwise ignored.
+  void begin_span(const char* name, TimeMs now);
+  void end_span(const char* name, TimeMs now);
+  int open_spans() const { return static_cast<int>(span_stack_.size()); }
+  std::uint64_t unbalanced_spans() const { return unbalanced_; }
+
+  // --- Counter/gauge registry ----------------------------------------------
+  /// Accumulate a named counter (no event emitted; sample_counters() dumps
+  /// the totals). Names must outlive the tracer (string literals).
+  void count(const char* name, double delta = 1.0);
+  /// Emit one gauge sample event. model_tag tags the sample with a model
+  /// (e.g. per-model queue depth); -1 = untagged.
+  void gauge(const char* name, TimeMs now, double value, int model_tag = -1);
+  /// Emit a kCounter event per registered counter, in name order.
+  void sample_counters(TimeMs now);
+  double counter_value(const std::string& name) const;
+  const std::map<std::string, double>& counters() const { return counters_; }
+
+  // --- Scheduler decisions -------------------------------------------------
+  /// Open the decision record for the current monitor tick. Returns nullptr
+  /// when the decision log is full (the tick is then counted as dropped).
+  DecisionRecord* begin_decision(TimeMs now, hw::NodeType current);
+  /// The record opened by begin_decision (policies enrich it mid-tick).
+  DecisionRecord* current_decision() { return open_decision_; }
+  /// Seal the record with the post-hysteresis choice.
+  void end_decision(hw::NodeType final_choice, bool switch_begun);
+
+  // --- Introspection / export ----------------------------------------------
+  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::vector<DecisionRecord>& decisions() const { return decisions_; }
+  std::uint64_t dropped_events() const { return dropped_events_; }
+  std::uint64_t dropped_decisions() const { return dropped_decisions_; }
+  const TracerConfig& config() const { return config_; }
+
+ private:
+  bool reserve(std::size_t n);
+  void push(const TraceEvent& event);
+
+  TracerConfig config_;
+  std::vector<TraceEvent> events_;
+  std::vector<DecisionRecord> decisions_;
+  DecisionRecord* open_decision_ = nullptr;
+  std::vector<const char*> span_stack_;
+  std::map<std::string, double> counters_;
+  std::uint64_t dropped_events_ = 0;
+  std::uint64_t dropped_decisions_ = 0;
+  std::uint64_t unbalanced_ = 0;
+};
+
+/// Per-repetition tracer slots for one Runner::run call. Slots are created
+/// up front (rep order) and filled concurrently; exporters read them in
+/// slot order, so the serialized output is independent of thread count.
+struct RunTrace {
+  TracerConfig config;
+  std::vector<std::unique_ptr<Tracer>> reps;
+
+  /// Total dropped events across repetitions.
+  std::uint64_t dropped_events() const;
+};
+
+}  // namespace paldia::obs

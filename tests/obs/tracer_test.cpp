@@ -1,0 +1,183 @@
+// Unit tests for the per-repetition Tracer: span balance and nesting, the
+// all-or-nothing lifecycle reservation against the ring cap, the counter
+// registry's deterministic sampling order, and the decision-log cap.
+#include "src/obs/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace paldia::obs {
+namespace {
+
+void record_one_lifecycle(Tracer& tracer, std::int64_t id, TimeMs arrival) {
+  tracer.record_request_lifecycle(
+      id, models::ModelId::kResNet50, hw::NodeType::kG3s_xlarge,
+      cluster::ShareMode::kSpatial, /*batch_size=*/4, /*spatial=*/3,
+      /*temporal=*/1, arrival, arrival + 2.0, arrival + 5.0, arrival + 95.0,
+      /*solo_ms=*/85.0, /*interference_ms=*/5.0, /*cold_ms=*/3.0);
+}
+
+TEST(TracerTest, LifecycleEmitsParentPlusThreePhasesSummingToE2e) {
+  Tracer tracer;
+  record_one_lifecycle(tracer, 7, 100.0);
+  const auto& events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);
+
+  const TraceEvent& parent = events[0];
+  EXPECT_EQ(parent.type, TraceEvent::Type::kRequest);
+  EXPECT_EQ(parent.id, 7);
+  EXPECT_EQ(parent.model, static_cast<std::int16_t>(models::ModelId::kResNet50));
+  EXPECT_EQ(parent.node, static_cast<std::int16_t>(hw::NodeType::kG3s_xlarge));
+  EXPECT_EQ(parent.batch_size, 4);
+  EXPECT_EQ(parent.spatial, 3);
+  EXPECT_EQ(parent.temporal, 1);
+  EXPECT_DOUBLE_EQ(parent.start_ms, 100.0);
+  EXPECT_DOUBLE_EQ(parent.end_ms, 195.0);
+
+  double phase_sum = 0.0;
+  TimeMs cursor = parent.start_ms;
+  for (std::size_t i = 1; i < 4; ++i) {
+    const TraceEvent& phase = events[i];
+    EXPECT_EQ(phase.type, TraceEvent::Type::kPhase);
+    EXPECT_EQ(phase.id, 7);
+    // Phases are contiguous: each starts where the previous ended.
+    EXPECT_DOUBLE_EQ(phase.start_ms, cursor);
+    cursor = phase.end_ms;
+    phase_sum += phase.end_ms - phase.start_ms;
+  }
+  EXPECT_DOUBLE_EQ(cursor, parent.end_ms);
+  EXPECT_DOUBLE_EQ(phase_sum, parent.end_ms - parent.start_ms);
+  EXPECT_STREQ(events[1].name, "queue");
+  EXPECT_STREQ(events[2].name, "dispatch");
+  EXPECT_STREQ(events[3].name, "execute");
+  EXPECT_DOUBLE_EQ(events[2].cold_ms, 3.0);
+  EXPECT_DOUBLE_EQ(events[3].solo_ms, 85.0);
+  EXPECT_DOUBLE_EQ(events[3].interference_ms, 5.0);
+}
+
+TEST(TracerTest, RingOverflowDropsWholeLifecycles) {
+  TracerConfig config;
+  config.event_capacity = 10;  // room for 2 lifecycles (4 events each) + 2
+  Tracer tracer(config);
+  for (int i = 0; i < 5; ++i) {
+    record_one_lifecycle(tracer, i, 100.0 * i);
+  }
+  // 2 lifecycles fit; the 3rd would need 4 slots but only 2 remain, so it
+  // (and every later one) is dropped whole — never a partial lifecycle.
+  EXPECT_EQ(tracer.events().size(), 8u);
+  EXPECT_EQ(tracer.dropped_events(), 12u);
+  EXPECT_EQ(tracer.events().back().type, TraceEvent::Type::kPhase);
+  // The two slots left over stay usable for single-event records.
+  tracer.instant("switch_begin", 1000.0, 1.0);
+  tracer.instant("switch_active", 1001.0, 1.0);
+  EXPECT_EQ(tracer.events().size(), 10u);
+  tracer.instant("one_too_many", 1002.0, 1.0);
+  EXPECT_EQ(tracer.events().size(), 10u);
+  EXPECT_EQ(tracer.dropped_events(), 13u);
+}
+
+TEST(TracerTest, SpansNestLifoAndFlagMismatches) {
+  Tracer tracer;
+  tracer.begin_span("outer", 10.0);
+  tracer.begin_span("inner", 11.0);
+  EXPECT_EQ(tracer.open_spans(), 2);
+  tracer.end_span("inner", 12.0);
+  tracer.end_span("outer", 13.0);
+  EXPECT_EQ(tracer.open_spans(), 0);
+  EXPECT_EQ(tracer.unbalanced_spans(), 0u);
+  ASSERT_EQ(tracer.events().size(), 4u);
+  EXPECT_EQ(tracer.events()[0].type, TraceEvent::Type::kSpanBegin);
+  EXPECT_EQ(tracer.events()[3].type, TraceEvent::Type::kSpanEnd);
+
+  // A mismatched end is counted, not applied.
+  tracer.begin_span("outer", 20.0);
+  tracer.end_span("not_outer", 21.0);
+  EXPECT_EQ(tracer.unbalanced_spans(), 1u);
+  EXPECT_EQ(tracer.open_spans(), 1);
+  tracer.end_span("outer", 22.0);
+  EXPECT_EQ(tracer.open_spans(), 0);
+
+  // An end with nothing open is also unbalanced.
+  tracer.end_span("ghost", 30.0);
+  EXPECT_EQ(tracer.unbalanced_spans(), 2u);
+}
+
+TEST(TracerTest, CountersAccumulateAndSampleInNameOrder) {
+  Tracer tracer;
+  tracer.count("requeues");
+  tracer.count("arrivals", 5.0);
+  tracer.count("arrivals", 2.0);
+  EXPECT_DOUBLE_EQ(tracer.counter_value("arrivals"), 7.0);
+  EXPECT_DOUBLE_EQ(tracer.counter_value("requeues"), 1.0);
+  EXPECT_DOUBLE_EQ(tracer.counter_value("never_touched"), 0.0);
+
+  tracer.sample_counters(500.0);
+  ASSERT_EQ(tracer.events().size(), 2u);
+  // std::map keeps samples in lexicographic name order — deterministic
+  // regardless of first-touch order.
+  EXPECT_STREQ(tracer.events()[0].counter_name, "arrivals");
+  EXPECT_STREQ(tracer.events()[1].counter_name, "requeues");
+  EXPECT_DOUBLE_EQ(tracer.events()[0].value, 7.0);
+  EXPECT_DOUBLE_EQ(tracer.events()[0].start_ms, 500.0);
+}
+
+TEST(TracerTest, GaugeCarriesModelTag) {
+  Tracer tracer;
+  tracer.gauge("queue_depth", 100.0, 12.0, /*model_tag=*/3);
+  ASSERT_EQ(tracer.events().size(), 1u);
+  EXPECT_EQ(tracer.events()[0].type, TraceEvent::Type::kCounter);
+  EXPECT_EQ(tracer.events()[0].model, 3);
+  EXPECT_DOUBLE_EQ(tracer.events()[0].value, 12.0);
+}
+
+TEST(TracerTest, DecisionLogCapCountsDrops) {
+  TracerConfig config;
+  config.decision_capacity = 2;
+  Tracer tracer(config);
+
+  DecisionRecord* first = tracer.begin_decision(100.0, hw::NodeType::kC6i_2xlarge);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(tracer.current_decision(), first);
+  first->raw_choice = hw::NodeType::kG3s_xlarge;
+  tracer.end_decision(hw::NodeType::kG3s_xlarge, /*switch_begun=*/true);
+
+  DecisionRecord* second = tracer.begin_decision(200.0, hw::NodeType::kG3s_xlarge);
+  ASSERT_NE(second, nullptr);
+  tracer.end_decision(hw::NodeType::kG3s_xlarge, false);
+
+  // Cap reached: the third tick is dropped and current_decision is null, so
+  // policies skip enrichment; end_decision must be a safe no-op.
+  EXPECT_EQ(tracer.begin_decision(300.0, hw::NodeType::kG3s_xlarge), nullptr);
+  EXPECT_EQ(tracer.current_decision(), nullptr);
+  tracer.end_decision(hw::NodeType::kP3_2xlarge, false);
+
+  ASSERT_EQ(tracer.decisions().size(), 2u);
+  EXPECT_EQ(tracer.dropped_decisions(), 1u);
+  EXPECT_EQ(tracer.decisions()[0].final_choice, hw::NodeType::kG3s_xlarge);
+  EXPECT_TRUE(tracer.decisions()[0].switch_begun);
+  EXPECT_FALSE(tracer.decisions()[1].switch_begun);
+}
+
+TEST(TracerTest, EndDecisionWithoutBeginIsNoOp) {
+  Tracer tracer;
+  tracer.end_decision(hw::NodeType::kC6i_2xlarge, false);
+  EXPECT_TRUE(tracer.decisions().empty());
+}
+
+TEST(TracerTest, RunTraceAggregatesDrops) {
+  RunTrace trace;
+  trace.config.event_capacity = 4;
+  trace.reps.push_back(std::make_unique<Tracer>(trace.config));
+  trace.reps.push_back(std::make_unique<Tracer>(trace.config));
+  record_one_lifecycle(*trace.reps[0], 1, 0.0);
+  record_one_lifecycle(*trace.reps[0], 2, 100.0);  // dropped: buffer full
+  record_one_lifecycle(*trace.reps[1], 3, 0.0);
+  EXPECT_EQ(trace.dropped_events(), 4u);
+  EXPECT_EQ(trace.reps[0]->events().size(), 4u);
+  EXPECT_EQ(trace.reps[1]->events().size(), 4u);
+}
+
+}  // namespace
+}  // namespace paldia::obs
