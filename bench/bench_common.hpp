@@ -16,6 +16,7 @@
 #include "src/exp/scenario.hpp"
 #include "src/obs/chrome_trace.hpp"
 #include "src/obs/export.hpp"
+#include "src/obs/report.hpp"
 
 namespace paldia::bench {
 
@@ -30,6 +31,10 @@ struct BenchOptions {
   std::string metrics_out;
   /// Streaming scheduler decision log (.csv -> CSV, else JSONL).
   std::string decisions_out;
+  /// Analysis report (violation attribution + calibration + occupancy) over
+  /// all runs of the sweep, written as JSON at exit. The same analysis
+  /// `paldia-analyze` performs offline on --trace-out files.
+  std::string report_out;
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -46,6 +51,8 @@ inline BenchOptions parse_options(int argc, char** argv) {
       options.metrics_out = arg.substr(14);
     } else if (arg.rfind("--decisions-out=", 0) == 0) {
       options.decisions_out = arg.substr(16);
+    } else if (arg.rfind("--report-out=", 0) == 0) {
+      options.report_out = arg.substr(13);
     } else if (arg == "--full") {
       options.full = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -56,7 +63,9 @@ inline BenchOptions parse_options(int argc, char** argv) {
           "          [--metrics-out=FILE]      RunMetrics rows, streaming\n"
           "                                    (.csv -> CSV, else JSON Lines)\n"
           "          [--decisions-out=FILE]    scheduler decision log, one row\n"
-          "                                    per monitor tick per repetition\n",
+          "                                    per monitor tick per repetition\n"
+          "          [--report-out=FILE.json]  violation-attribution +\n"
+          "                                    calibration report over the sweep\n",
           argv[0]);
       std::exit(0);
     }
@@ -85,7 +94,9 @@ inline void print_header(const std::string& title, const std::string& paper_clai
 class RunObserver {
  public:
   RunObserver(const BenchOptions& options, std::string figure)
-      : figure_(std::move(figure)), trace_out_(options.trace_out) {
+      : figure_(std::move(figure)),
+        trace_out_(options.trace_out),
+        report_out_(options.report_out) {
     if (!options.metrics_out.empty()) {
       metrics_ = std::make_unique<obs::MetricsWriter>(options.metrics_out);
       if (!metrics_->ok()) {
@@ -102,8 +113,18 @@ class RunObserver {
     }
   }
 
-  /// Per-run tracing needed (Chrome trace or decision log requested)?
-  bool tracing() const { return !trace_out_.empty() || decisions_ != nullptr; }
+  ~RunObserver() {
+    if (report_out_.empty() || reports_.empty()) return;
+    std::string error;
+    if (!obs::write_report_json_file(report_out_, reports_, &error)) {
+      std::fprintf(stderr, "warning: --report-out: %s\n", error.c_str());
+    }
+  }
+
+  /// Per-run tracing needed (Chrome trace, decision log, or report)?
+  bool tracing() const {
+    return !trace_out_.empty() || !report_out_.empty() || decisions_ != nullptr;
+  }
 
   /// Run one (scenario, scheme): capture + export the trace when requested,
   /// stream the combined metrics row, return the full result.
@@ -130,34 +151,38 @@ class RunObserver {
   /// (one file per scenario x scheme) plus the decision-log rows.
   void export_trace(const obs::RunTrace& trace, const std::string& scenario,
                     const std::string& scheme) {
+    // Drivers that sweep the same scheme over several scenarios with one
+    // name (e.g. fig04's two models, both "azure") would collide on the
+    // derived path — uniquify repeats with a run counter. Exports happen
+    // in call order even under --threads, so the numbering is stable.
+    std::string tag = scenario;
+    const int seen = ++trace_runs_[scenario + "\n" + scheme];
+    if (seen > 1) tag += "-run" + std::to_string(seen);
+    const std::string label = tag + " / " + scheme;
     if (!trace_out_.empty()) {
-      // Drivers that sweep the same scheme over several scenarios with one
-      // name (e.g. fig04's two models, both "azure") would collide on the
-      // derived path — uniquify repeats with a run counter. Exports happen
-      // in call order even under --threads, so the numbering is stable.
-      std::string tag = scenario;
-      const int seen = ++trace_runs_[scenario + "\n" + scheme];
-      if (seen > 1) tag += "-run" + std::to_string(seen);
       const std::string path = obs::derive_trace_path(trace_out_, tag, scheme);
       std::string error;
-      if (!obs::write_chrome_trace_file(path, trace, tag + " / " + scheme,
-                                        &error)) {
+      if (!obs::write_chrome_trace_file(path, trace, label, &error)) {
         std::fprintf(stderr, "warning: --trace-out: %s\n", error.c_str());
       }
     }
     if (decisions_ != nullptr) decisions_->write(trace, scheme, scenario);
-    if (trace.dropped_events() > 0) {
-      std::fprintf(stderr,
-                   "warning: trace ring buffer overflowed, %llu events dropped "
-                   "(raise TracerConfig::event_capacity)\n",
-                   static_cast<unsigned long long>(trace.dropped_events()));
+    if (!report_out_.empty()) {
+      // Same analysis paldia-analyze performs on the exported trace file;
+      // extract_run_data quantizes through the exporter formats, so the two
+      // reports come out byte-identical.
+      reports_.push_back(
+          obs::analyze_with_zoo(obs::extract_run_data(trace, label)));
     }
+    obs::warn_if_truncated(trace, figure_ + " " + label);
   }
 
  private:
   std::string figure_;
   std::string trace_out_;
+  std::string report_out_;
   std::map<std::string, int> trace_runs_;
+  std::vector<obs::AnalysisReport> reports_;
   std::unique_ptr<obs::MetricsWriter> metrics_;
   std::unique_ptr<obs::DecisionLogWriter> decisions_;
 };
@@ -214,5 +239,17 @@ inline std::vector<telemetry::RunMetrics> run_schemes(
 
 inline std::string ms(double value) { return Table::num(value, 1) + " ms"; }
 inline std::string dollars(double value) { return "$" + Table::num(value, 4); }
+
+/// Dominant violation cause of a metrics row ("-" when compliant), for the
+/// drivers' per-scheme attribution columns.
+inline std::string top_violation_cause(const telemetry::RunMetrics& metrics) {
+  if (metrics.slo_violations <= 0.0) return "-";
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < metrics.violations_by_cause.size(); ++i) {
+    if (metrics.violations_by_cause[i] > metrics.violations_by_cause[best]) best = i;
+  }
+  return std::string(telemetry::violation_cause_name(
+      static_cast<telemetry::ViolationCause>(best)));
+}
 
 }  // namespace paldia::bench

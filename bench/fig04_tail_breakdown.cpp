@@ -7,6 +7,7 @@
 // Paldia's total overhead ~59% below Molecule ($)'s, with tail within the
 // SLO; (P) schemes under 100 ms.
 #include "bench/bench_common.hpp"
+#include "src/exp/summary.hpp"
 
 using namespace paldia;
 
@@ -25,8 +26,10 @@ int main(int argc, char** argv) {
     std::cout << "--- " << models::model_id_name(model) << " ---\n";
     Table table({"Scheme", "P99", "Min possible", "Queueing", "Interference",
                  "Cold start", "Queue share", "Intf share"});
+    exp::RunResult paldia_result;
     for (const auto scheme : exp::main_schemes()) {
-      const auto metrics = observer.run(runner, scenario, scheme).combined;
+      const auto result = observer.run(runner, scenario, scheme);
+      const auto& metrics = result.combined;
       const auto& breakdown = metrics.p99_breakdown;
       const double total = std::max(1e-9, breakdown.latency_ms);
       table.add_row({metrics.scheme, bench::ms(metrics.p99_latency_ms),
@@ -35,8 +38,11 @@ int main(int argc, char** argv) {
                      bench::ms(breakdown.cold_start_ms),
                      Table::percent(breakdown.queue_ms / total),
                      Table::percent(breakdown.interference_ms / total)});
+      if (scheme == exp::SchemeId::kPaldia) paldia_result = result;
     }
     table.print(std::cout);
+    std::cout << "\nPaldia attribution:\n";
+    exp::print_compliance_summary(std::cout, paldia_result);
     std::cout << "\n";
   }
   return 0;

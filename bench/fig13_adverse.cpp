@@ -10,6 +10,7 @@
 // hardware; Paldia best at 99.82%) while the (P) schemes drop (forced to
 // weaker GPUs), Paldia costing ~70% less than them.
 #include "bench/bench_common.hpp"
+#include "src/exp/summary.hpp"
 #include "src/trace/generators.hpp"
 
 using namespace paldia;
@@ -40,15 +41,23 @@ int main(int argc, char** argv) {
     // weaker hardware is hopeless); we start everyone on it.
     scenario.framework.initial_node = hw::NodeType::kP3_2xlarge;
 
-    Table table({"Scheme", "SLO compliance", "P99", "Cost"});
+    Table table({"Scheme", "SLO compliance", "P99", "Cost", "Violations/rep",
+                 "Top cause"});
+    exp::RunResult paldia_result;
     for (const auto scheme :
          {exp::SchemeId::kInflessLlamaPerf, exp::SchemeId::kMoleculePerf,
           exp::SchemeId::kPaldia}) {
-      const auto metrics = observer.run(runner, scenario, scheme).combined;
+      const auto result = observer.run(runner, scenario, scheme);
+      const auto& metrics = result.combined;
       table.add_row({metrics.scheme, Table::percent(metrics.slo_compliance),
-                     bench::ms(metrics.p99_latency_ms), bench::dollars(metrics.cost)});
+                     bench::ms(metrics.p99_latency_ms), bench::dollars(metrics.cost),
+                     Table::num(metrics.slo_violations, 1),
+                     bench::top_violation_cause(metrics)});
+      if (scheme == exp::SchemeId::kPaldia) paldia_result = result;
     }
     table.print(std::cout);
+    std::cout << "\nPaldia attribution (exhaustion):\n";
+    exp::print_compliance_summary(std::cout, paldia_result);
     std::cout << "\n";
   }
 
@@ -57,13 +66,21 @@ int main(int argc, char** argv) {
     auto scenario = exp::azure_scenario(models::ModelId::kDenseNet121,
                                         options.repetitions);
     scenario.failures = cluster::FailureInjectorConfig{};
-    Table table({"Scheme", "SLO compliance", "P99", "Cost"});
+    Table table({"Scheme", "SLO compliance", "P99", "Cost", "Violations/rep",
+                 "Top cause"});
+    exp::RunResult paldia_result;
     for (const auto scheme : exp::main_schemes()) {
-      const auto metrics = observer.run(runner, scenario, scheme).combined;
+      const auto result = observer.run(runner, scenario, scheme);
+      const auto& metrics = result.combined;
       table.add_row({metrics.scheme, Table::percent(metrics.slo_compliance),
-                     bench::ms(metrics.p99_latency_ms), bench::dollars(metrics.cost)});
+                     bench::ms(metrics.p99_latency_ms), bench::dollars(metrics.cost),
+                     Table::num(metrics.slo_violations, 1),
+                     bench::top_violation_cause(metrics)});
+      if (scheme == exp::SchemeId::kPaldia) paldia_result = result;
     }
     table.print(std::cout);
+    std::cout << "\nPaldia attribution (failures):\n";
+    exp::print_compliance_summary(std::cout, paldia_result);
   }
   return 0;
 }

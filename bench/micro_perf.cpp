@@ -9,6 +9,8 @@
 #include "src/core/hardware_selection.hpp"
 #include "src/models/profile.hpp"
 #include "src/models/zoo.hpp"
+#include "src/obs/attribution.hpp"
+#include "src/obs/sketch.hpp"
 #include "src/obs/tracer.hpp"
 #include "src/perfmodel/y_optimizer.hpp"
 #include "src/predictor/ewma.hpp"
@@ -158,6 +160,64 @@ void BM_TracerDisabledHook(benchmark::State& state) {
   state.SetLabel("null-tracer branch");
 }
 BENCHMARK(BM_TracerDisabledHook);
+
+void BM_SketchInsert(benchmark::State& state) {
+  // Attribution keeps one QuantileSketch per model/node bucket; every
+  // completed request pays one insert per bucket it lands in. Same bucket
+  // math as Histogram::add — this pins the per-sample cost.
+  obs::QuantileSketch sketch;
+  double value = 1.0;
+  for (auto _ : state) {
+    value = value * 1.31 + 0.07;
+    if (value > 4000.0) value = 1.0;
+    sketch.insert(value);
+  }
+  benchmark::DoNotOptimize(sketch.summary().p99_ms);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SketchInsert);
+
+void BM_AttributionDisabledHook(benchmark::State& state) {
+  // The framework holds an AttributionEngine* that is nullptr when
+  // attribution is off — the disabled hot-path cost is one branch, exactly
+  // like the null-tracer discipline above.
+  obs::AttributionEngine* engine = nullptr;
+  benchmark::DoNotOptimize(engine);
+  double sink = 0.0;
+  for (auto _ : state) {
+    if (engine != nullptr) engine->on_requeued(1);
+    sink += 1.0;
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("null-engine branch");
+}
+BENCHMARK(BM_AttributionDisabledHook);
+
+void BM_AttributionObserve(benchmark::State& state) {
+  // Enabled-path cost per completed request: classify + three bucket
+  // updates (total, per-model, per-node) + one sketch insert each.
+  obs::AttributionEngine engine(models::Zoo::instance());
+  obs::LifecycleSample sample;
+  sample.model = static_cast<int>(models::ModelId::kResNet50);
+  sample.node = static_cast<int>(hw::NodeType::kG3s_xlarge);
+  std::int64_t id = 0;
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 1.0;
+    sample.request_id = id++;
+    sample.arrival_ms = t;
+    sample.submit_ms = t + 3.0;
+    sample.start_ms = t + 5.0;
+    // Alternate compliant / violating so both paths are exercised.
+    sample.end_ms = t + ((id & 1) != 0 ? 95.0 : 295.0);
+    sample.solo_ms = 88.0;
+    sample.interference_ms = (id & 1) != 0 ? 2.0 : 202.0;
+    benchmark::DoNotOptimize(engine.observe_request(sample));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AttributionObserve);
 
 void BM_TracerRecordLifecycle(benchmark::State& state) {
   // Enabled-path cost of the heaviest record: 4 events per request.

@@ -6,6 +6,8 @@
 #include <cmath>
 
 #include "src/common/log.hpp"
+#include "src/obs/attribution.hpp"
+#include "src/obs/calibration.hpp"
 #include "src/obs/tracer.hpp"
 
 namespace paldia::core {
@@ -20,6 +22,8 @@ Framework::Framework(sim::Simulator& simulator, cluster::Cluster& cluster,
       config_(config),
       rng_(rng),
       tracer_(config.tracer),
+      attribution_(config.attribution),
+      calibration_(config.calibration),
       gateway_(rng.fork("gateway")),
       batcher_(config.batcher),
       autoscaler_(config.autoscaler) {
@@ -29,13 +33,14 @@ Framework::Framework(sim::Simulator& simulator, cluster::Cluster& cluster,
   policy_->set_tracer(tracer_);
   distributor_ = std::make_unique<JobDistributor>(
       batcher_, ids_,
-      [this](const cluster::Request& request, const cluster::ExecutionReport& report) {
-        complete_request(request, report);
-      },
+      [this](const cluster::Request& request, const cluster::ExecutionReport& report,
+             hw::NodeType node) { complete_request(request, report, node); },
       [this](models::ModelId model, std::vector<cluster::Request> requests) {
         gateway_.requeue(model, std::move(requests));
       });
   distributor_->set_tracer(tracer_);
+  distributor_->set_attribution(attribution_);
+  distributor_->set_calibration(calibration_);
   power_ = std::make_unique<telemetry::PowerTracker>(simulator, cluster);
   util_ = std::make_unique<telemetry::UtilTracker>(simulator, cluster);
 }
@@ -164,7 +169,18 @@ void Framework::monitor_tick() {
   // Open the tick's decision record before select_hardware so the policy can
   // enrich it with the candidate sweep; seal it once we know whether a
   // reconfiguration actually started.
-  if (tracer_ != nullptr) tracer_->begin_decision(now, active_node_);
+  obs::DecisionRecord* record = nullptr;
+  if (tracer_ != nullptr) {
+    record = tracer_->begin_decision(now, active_node_);
+    if (record != nullptr) {
+      // Cluster-wide demand the decision was made against, for calibration
+      // against the arrivals that actually materialize one horizon later.
+      for (const auto& snapshot : demand) {
+        record->predicted_rps += snapshot.predicted_rps;
+        record->observed_rps += snapshot.observed_rps;
+      }
+    }
+  }
   const hw::NodeType chosen = policy_->select_hardware(demand, active_node_, now);
   bool switch_begun = false;
   if (switch_in_progress_) {
@@ -185,6 +201,19 @@ void Framework::monitor_tick() {
   }
   if (tracer_ != nullptr) {
     tracer_->end_decision(chosen, switch_begun);
+    if (calibration_ != nullptr && record != nullptr && record->has_sweep) {
+      // The final candidate's prediction is what the following interval
+      // gets to answer; the sweep always contains the chosen node.
+      for (const auto& candidate : record->candidates) {
+        if (candidate.node != record->final_choice) continue;
+        calibration_->on_decision(now, static_cast<int>(candidate.node),
+                                  candidate.t_max_ms, candidate.best_y,
+                                  candidate.feasible, record->predicted_rps,
+                                  record->observed_rps);
+        break;
+      }
+    }
+    if (attribution_ != nullptr) attribution_->sample(*tracer_, now);
     // Gauge sweep: queue depths and container counts per model, plus the
     // cluster-wide saturation signals, then the cumulative counters.
     auto& node = cluster_->node(active_node_);
@@ -218,6 +247,7 @@ void Framework::begin_switch(hw::NodeType target) {
     tracer_->instant("switch_begin", simulator_->now(), target);
     tracer_->count("switches_initiated");
   }
+  if (attribution_ != nullptr) attribution_->on_switch_begin(simulator_->now());
   if (std::getenv("PALDIA_TRACE_SWITCH")) {
     std::fprintf(stderr, "[switch] t=%.0f begin -> %s gen=%llu\n", simulator_->now(),
                  std::string(hw::node_type_name(target)).c_str(),
@@ -269,6 +299,9 @@ void Framework::begin_switch(hw::NodeType target) {
         tracer_->instant("switch_active", simulator_->now(), target);
         tracer_->count("hardware_switches");
       }
+      if (attribution_ != nullptr) {
+        attribution_->on_switch_active(simulator_->now());
+      }
       if (std::getenv("PALDIA_TRACE_SWITCH")) {
         std::fprintf(stderr, "[switch] t=%.0f active -> %s gen=%llu\n",
                      simulator_->now(),
@@ -304,7 +337,8 @@ void Framework::predictive_tick() {
 }
 
 void Framework::complete_request(const cluster::Request& request,
-                                 const cluster::ExecutionReport& report) {
+                                 const cluster::ExecutionReport& report,
+                                 hw::NodeType node) {
   auto& workload = this->workload(request.model);
   telemetry::RequestOutcome outcome;
   outcome.latency_ms = report.end_ms - request.arrival_ms;
@@ -316,6 +350,21 @@ void Framework::complete_request(const cluster::Request& request,
                         outcome.cold_start_ms);
   workload.latency->record(outcome);
   workload.slo->record_completion(request.arrival_ms, report.end_ms);
+  if (attribution_ != nullptr) {
+    obs::LifecycleSample sample;
+    sample.request_id = request.id.value;
+    sample.model = static_cast<int>(request.model);
+    sample.node = static_cast<int>(node);
+    sample.arrival_ms = request.arrival_ms;
+    sample.submit_ms = report.submit_ms;
+    sample.start_ms = report.start_ms;
+    sample.end_ms = report.end_ms;
+    sample.solo_ms = report.solo_ms;
+    sample.interference_ms = std::max(0.0, report.interference_ms());
+    sample.cold_ms = report.cold_start_ms;
+    const auto cause = attribution_->observe_request(sample);
+    if (cause) workload.slo->record_violation_cause(*cause);
+  }
 }
 
 void Framework::handle_failure() {
@@ -324,6 +373,7 @@ void Framework::handle_failure() {
     tracer_->instant("node_failure", simulator_->now(), failed);
     tracer_->count("node_failures");
   }
+  if (attribution_ != nullptr) attribution_->on_node_failure(simulator_->now());
   cluster_->fail_node(failed);
   cluster_->release(failed);
   const hw::NodeType fallback = policy_->on_node_failure(failed);
@@ -337,7 +387,13 @@ void Framework::handle_recovery() {
   // monitor tick if it is still the right choice.
   for (int i = 0; i < hw::kNodeTypeCount; ++i) {
     auto& node = cluster_->node(hw::NodeType(i));
-    if (!node.is_up()) node.recover();
+    if (!node.is_up()) {
+      node.recover();
+      if (tracer_ != nullptr) {
+        tracer_->instant("node_recovered", simulator_->now(), hw::NodeType(i));
+        tracer_->count("node_recoveries");
+      }
+    }
   }
 }
 
@@ -427,6 +483,19 @@ TimeMs Framework::run() {
     const int leftover = gateway_.pending_total(workload.model);
     for (int i = 0; i < leftover; ++i) {
       workload.slo->record_completion(0.0, kTimeNever);
+      workload.slo->record_violation_cause(telemetry::ViolationCause::kUnserved);
+    }
+    if (attribution_ != nullptr && leftover > 0) {
+      attribution_->record_unserved(static_cast<int>(workload.model),
+                                    static_cast<std::uint64_t>(leftover));
+    }
+    if (tracer_ != nullptr && leftover > 0) {
+      // Per-model counter reaches the event stream via the final
+      // sample_counters(end) below; the analyzer reads it back for the
+      // unserved slice of the attribution report.
+      const std::string key =
+          "unserved:" + std::string(models::model_id_name(workload.model));
+      tracer_->count(key.c_str(), static_cast<double>(leftover));
     }
     unserved_ += static_cast<std::uint64_t>(leftover);
     // Drop them so repeated run() calls (not supported anyway) don't leak.

@@ -29,6 +29,8 @@
 #include "src/trace/trace.hpp"
 
 namespace paldia::obs {
+class AttributionEngine;
+class CalibrationTracker;
 class Tracer;
 }  // namespace paldia::obs
 
@@ -53,6 +55,14 @@ struct FrameworkConfig {
   /// Observability sink (null = tracing disabled). The framework wires it
   /// into every component; call sites pay a single branch when it is null.
   obs::Tracer* tracer = nullptr;
+  /// SLO-violation attribution (null = disabled, single-branch cost). Works
+  /// with or without a tracer; per-cause totals land in the per-model
+  /// SloTrackers and the engine's own aggregates.
+  obs::AttributionEngine* attribution = nullptr;
+  /// Predicted-vs-observed T_max / demand-forecast calibration. Only fed
+  /// when a tracer is present (the candidate sweep lives in its decision
+  /// records).
+  obs::CalibrationTracker* calibration = nullptr;
 };
 
 class Framework {
@@ -111,7 +121,8 @@ class Framework {
   void predictive_tick();
   void begin_switch(hw::NodeType target);
   void complete_request(const cluster::Request& request,
-                        const cluster::ExecutionReport& report);
+                        const cluster::ExecutionReport& report,
+                        hw::NodeType node);
   void handle_failure();
   void handle_recovery();
   bool drained(TimeMs now) const;
@@ -123,6 +134,8 @@ class Framework {
   FrameworkConfig config_;
   Rng rng_;
   obs::Tracer* tracer_ = nullptr;
+  obs::AttributionEngine* attribution_ = nullptr;
+  obs::CalibrationTracker* calibration_ = nullptr;
 
   Gateway gateway_;
   Batcher batcher_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/obs/attribution.hpp"
+#include "src/obs/calibration.hpp"
 #include "src/obs/tracer.hpp"
 
 namespace paldia::core {
@@ -55,9 +57,22 @@ void JobDistributor::submit_batch(cluster::Node& node, cluster::Batch batch,
         tracer_->count("failed_batches");
         tracer_->instant("batch_failed", report.end_ms, node_type,
                          static_cast<double>(batch.size()));
+        for (const auto& request : batch.requests) {
+          tracer_->request_requeued(request.id.value, batch.model, report.end_ms,
+                                    node_type);
+        }
+      }
+      if (attribution_ != nullptr) {
+        for (const auto& request : batch.requests) {
+          attribution_->on_requeued(request.id.value);
+        }
       }
       if (on_requeue_) on_requeue_(batch.model, batch.requests);
       return;
+    }
+    if (calibration_ != nullptr) {
+      calibration_->observe_batch(static_cast<int>(node_type), report.submit_ms,
+                                  report.end_ms);
     }
     if (tracer_ != nullptr) {
       tracer_->record_batch(batch.id.value, batch.model,
@@ -75,7 +90,7 @@ void JobDistributor::submit_batch(cluster::Node& node, cluster::Batch batch,
       if (report.cold_start_ms > 0.0) tracer_->count("cold_start_batches");
     }
     for (const auto& request : batch.requests) {
-      on_request_complete_(request, report);
+      on_request_complete_(request, report, node_type);
     }
   };
   node.execute(std::move(exec));

@@ -12,6 +12,8 @@
 #include "src/core/scheduler_policy.hpp"
 
 namespace paldia::obs {
+class AttributionEngine;
+class CalibrationTracker;
 class Tracer;
 }  // namespace paldia::obs
 
@@ -19,8 +21,12 @@ namespace paldia::core {
 
 class JobDistributor {
  public:
+  /// Per-request completion. The node type is the one the batch actually
+  /// executed on (captured at submit; the active node may have moved by the
+  /// time the callback fires).
   using RequestCompleteFn =
-      std::function<void(const cluster::Request&, const cluster::ExecutionReport&)>;
+      std::function<void(const cluster::Request&, const cluster::ExecutionReport&,
+                         hw::NodeType)>;
   using RequeueFn =
       std::function<void(models::ModelId, std::vector<cluster::Request>)>;
 
@@ -45,6 +51,19 @@ class JobDistributor {
   /// execution slices tagged with the round's spatial/temporal split.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Attribution hook (null = disabled): failed batches mark their requests
+  /// as retried before the requeue, so the eventual completions classify as
+  /// failure_retry.
+  void set_attribution(obs::AttributionEngine* attribution) {
+    attribution_ = attribution;
+  }
+
+  /// Calibration hook (null = disabled): successful batches report their
+  /// submit->completion time against the monitor tick's T_max prediction.
+  void set_calibration(obs::CalibrationTracker* calibration) {
+    calibration_ = calibration;
+  }
+
  private:
   void submit_batch(cluster::Node& node, cluster::Batch batch, cluster::ShareMode mode,
                     int spatial, int temporal);
@@ -54,6 +73,8 @@ class JobDistributor {
   RequestCompleteFn on_request_complete_;
   RequeueFn on_requeue_;
   obs::Tracer* tracer_ = nullptr;
+  obs::AttributionEngine* attribution_ = nullptr;
+  obs::CalibrationTracker* calibration_ = nullptr;
   int in_flight_ = 0;
 };
 

@@ -4,6 +4,8 @@
 
 #include "src/baselines/oracle.hpp"
 #include "src/exp/summary.hpp"
+#include "src/obs/attribution.hpp"
+#include "src/obs/calibration.hpp"
 #include "src/telemetry/cost_tracker.hpp"
 #include "src/trace/trace_ops.hpp"
 
@@ -36,6 +38,22 @@ RunResult Runner::run_once(const Scenario& scenario, SchemeId scheme,
     config.initial_node = factory_.initial_node(scheme);
   }
   config.tracer = tracer;
+
+  // Violation attribution runs on every repetition (it feeds the per-cause
+  // RunMetrics); calibration needs the tracer's decision sweeps, but the
+  // tracker itself is harmless without them.
+  obs::AttributionEngine attribution(*zoo_);
+  obs::CalibrationTracker::Config calibration_config;
+  if (!scenario.workloads.empty()) {
+    calibration_config.slo_ms = kTimeNever;
+    for (const auto& workload : scenario.workloads) {
+      calibration_config.slo_ms = std::min(calibration_config.slo_ms,
+                                           zoo_->spec(workload.model).slo_ms);
+    }
+  }
+  obs::CalibrationTracker calibration(calibration_config);
+  config.attribution = &attribution;
+  config.calibration = &calibration;
   core::Framework framework(simulator, cluster, std::move(policy),
                             rng.fork("framework"), *zoo_, config);
   for (const auto& workload : scenario.workloads) {
@@ -76,6 +94,12 @@ RunResult Runner::run_once(const Scenario& scenario, SchemeId scheme,
     window.start_ms = std::max(0.0, window.start_ms - scenario.goodput_window_ms);
     metrics.goodput_rps = slo.goodput_rps(window.start_ms, window.end_ms);
     metrics.offered_rps = slo.arrival_rps(window.start_ms, window.end_ms);
+    metrics.slo_violations = static_cast<double>(slo.violations());
+    for (int cause = 0; cause < telemetry::kViolationCauseCount; ++cause) {
+      metrics.violations_by_cause[static_cast<std::size_t>(cause)] =
+          static_cast<double>(
+              slo.violation_causes()[static_cast<std::size_t>(cause)]);
+    }
     if (keep_cdf) metrics.latency_cdf = latency.cdf();
 
     merged_e2e.merge(latency.e2e());
@@ -123,12 +147,36 @@ RunResult Runner::run_once(const Scenario& scenario, SchemeId scheme,
   combined.gpu_utilization = framework.util().gpu_utilization();
   combined.cpu_utilization = framework.util().cpu_utilization();
   combined.cold_starts = cluster.total_cold_starts();
+
+  // Attribution/calibration roll-ups: the combined violation count is the
+  // per-workload sum (classification is exhaustive, so the per-cause counts
+  // sum back to it); calibration is framework-wide, mirrored into every
+  // workload row like the other shared columns.
+  combined.slo_violations = 0.0;
+  combined.violations_by_cause.fill(0.0);
+  for (const auto& per_workload : result.per_workload) {
+    combined.slo_violations += per_workload.slo_violations;
+    for (std::size_t cause = 0; cause < combined.violations_by_cause.size();
+         ++cause) {
+      combined.violations_by_cause[cause] += per_workload.violations_by_cause[cause];
+    }
+  }
+  const obs::CalibrationSummary calibration_summary = calibration.finalize();
+  combined.tmax_mape = calibration_summary.tmax_mape;
+  combined.tmax_coverage = calibration_summary.tmax_coverage;
+  combined.rate_mape = calibration_summary.rate.mape;
+  combined.calib_intervals = static_cast<double>(calibration_summary.intervals_total);
+
   for (auto& per_workload : result.per_workload) {
     per_workload.cost = combined.cost;
     per_workload.average_power = combined.average_power;
     per_workload.gpu_utilization = combined.gpu_utilization;
     per_workload.cpu_utilization = combined.cpu_utilization;
     per_workload.cold_starts = combined.cold_starts;
+    per_workload.tmax_mape = combined.tmax_mape;
+    per_workload.tmax_coverage = combined.tmax_coverage;
+    per_workload.rate_mape = combined.rate_mape;
+    per_workload.calib_intervals = combined.calib_intervals;
   }
   result.combined = std::move(combined);
   return result;

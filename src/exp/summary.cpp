@@ -2,8 +2,11 @@
 
 #include <cassert>
 #include <functional>
+#include <ostream>
 
 #include "src/common/stats.hpp"
+#include "src/common/table.hpp"
+#include "src/telemetry/slo_tracker.hpp"
 
 namespace paldia::exp {
 
@@ -15,6 +18,16 @@ double filtered(const std::vector<telemetry::RunMetrics>& runs,
   values.reserve(runs.size());
   for (const auto& run : runs) values.push_back(get(run));
   return outlier_filtered_mean(values);
+}
+
+// Plain (unfiltered) mean. The attribution fields must keep the invariant
+// sum(violations_by_cause) == slo_violations after aggregation; a linear
+// mean preserves it exactly, per-field outlier filtering would not.
+double plain_mean(const std::vector<telemetry::RunMetrics>& runs,
+                  const std::function<double(const telemetry::RunMetrics&)>& get) {
+  double sum = 0.0;
+  for (const auto& run : runs) sum += get(run);
+  return runs.empty() ? 0.0 : sum / static_cast<double>(runs.size());
 }
 
 }  // namespace
@@ -47,6 +60,15 @@ telemetry::RunMetrics aggregate_metrics(const std::vector<telemetry::RunMetrics>
       filtered(runs, [](const M& m) { return m.p99_breakdown.interference_ms; });
   out.p99_breakdown.cold_start_ms =
       filtered(runs, [](const M& m) { return m.p99_breakdown.cold_start_ms; });
+  out.slo_violations = plain_mean(runs, [](const M& m) { return m.slo_violations; });
+  for (std::size_t cause = 0; cause < out.violations_by_cause.size(); ++cause) {
+    out.violations_by_cause[cause] =
+        plain_mean(runs, [cause](const M& m) { return m.violations_by_cause[cause]; });
+  }
+  out.tmax_mape = plain_mean(runs, [](const M& m) { return m.tmax_mape; });
+  out.tmax_coverage = plain_mean(runs, [](const M& m) { return m.tmax_coverage; });
+  out.rate_mape = plain_mean(runs, [](const M& m) { return m.rate_mape; });
+  out.calib_intervals = plain_mean(runs, [](const M& m) { return m.calib_intervals; });
   return out;
 }
 
@@ -68,6 +90,51 @@ RunResult aggregate_runs(const std::vector<RunResult>& repetitions) {
     out.per_workload.push_back(aggregate_metrics(slot));
   }
   return out;
+}
+
+void print_compliance_summary(std::ostream& out, const RunResult& result) {
+  Table table({"workload", "requests", "compliance", "violations", "top cause"});
+  const auto top_cause = [](const telemetry::RunMetrics& metrics) -> std::string {
+    if (metrics.slo_violations <= 0.0) return "-";
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < metrics.violations_by_cause.size(); ++i) {
+      if (metrics.violations_by_cause[i] > metrics.violations_by_cause[best]) {
+        best = i;
+      }
+    }
+    return std::string(telemetry::violation_cause_name(
+        static_cast<telemetry::ViolationCause>(best)));
+  };
+  for (const auto& metrics : result.per_workload) {
+    table.add_row({metrics.workload, std::to_string(metrics.requests),
+                   Table::percent(metrics.slo_compliance),
+                   Table::num(metrics.slo_violations, 1), top_cause(metrics)});
+  }
+  if (result.per_workload.size() > 1) {
+    table.add_row({"(combined)", std::to_string(result.combined.requests),
+                   Table::percent(result.combined.slo_compliance),
+                   Table::num(result.combined.slo_violations, 1),
+                   top_cause(result.combined)});
+  }
+  table.print(out);
+
+  out << "violation causes:";
+  bool any = false;
+  for (std::size_t i = 0; i < result.combined.violations_by_cause.size(); ++i) {
+    if (result.combined.violations_by_cause[i] <= 0.0) continue;
+    any = true;
+    out << " " << telemetry::violation_cause_name(
+                      static_cast<telemetry::ViolationCause>(i))
+        << "=" << Table::num(result.combined.violations_by_cause[i], 1);
+  }
+  if (!any) out << " none";
+  out << "\n";
+  if (result.combined.calib_intervals > 0.0) {
+    out << "calibration: T_max MAPE " << Table::percent(result.combined.tmax_mape)
+        << ", SLO coverage " << Table::percent(result.combined.tmax_coverage)
+        << ", rate MAPE " << Table::percent(result.combined.rate_mape) << " over "
+        << Table::num(result.combined.calib_intervals, 1) << " intervals/rep\n";
+  }
 }
 
 }  // namespace paldia::exp

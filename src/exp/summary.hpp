@@ -1,8 +1,10 @@
 // Aggregation across repetitions, following the paper's Section VI rule:
 // report means with samples beyond 2.5 standard deviations from the mean
-// dropped.
+// dropped. (The violation-attribution fields use a plain mean instead so
+// per-cause counts keep summing to the violation total.)
 #pragma once
 
+#include <iosfwd>
 #include <vector>
 
 #include "src/exp/runner.hpp"
@@ -15,5 +17,11 @@ telemetry::RunMetrics aggregate_metrics(const std::vector<telemetry::RunMetrics>
 
 /// Aggregate whole results (combined + each workload slot).
 RunResult aggregate_runs(const std::vector<RunResult>& repetitions);
+
+/// Per-workload SLO-compliance table plus the violation-cause totals of the
+/// combined row: one row per workload (requests, compliance, violations,
+/// dominant causes), then a cause-total line. Counts are per-repetition
+/// means, so fractional values are expected with --reps > 1.
+void print_compliance_summary(std::ostream& out, const RunResult& result);
 
 }  // namespace paldia::exp

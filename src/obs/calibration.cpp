@@ -1,0 +1,153 @@
+#include "src/obs/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace paldia::obs {
+
+int interval_containing(const std::vector<CalibrationInterval>& intervals,
+                        TimeMs t_ms) {
+  if (intervals.empty() || t_ms < intervals.front().t_ms) return -1;
+  const auto it = std::upper_bound(
+      intervals.begin(), intervals.end(), t_ms,
+      [](TimeMs t, const CalibrationInterval& interval) { return t < interval.t_ms; });
+  return static_cast<int>(it - intervals.begin()) - 1;
+}
+
+void CalibrationTracker::on_decision(TimeMs t_ms, int node,
+                                     DurationMs predicted_tmax_ms, int best_y,
+                                     bool feasible, double predicted_rps,
+                                     double observed_rps) {
+  CalibrationInterval interval;
+  interval.t_ms = t_ms;
+  interval.node = node;
+  interval.predicted_tmax_ms = predicted_tmax_ms;
+  interval.best_y = best_y;
+  interval.predicted_feasible = feasible;
+  interval.predicted_rps = predicted_rps;
+  interval.observed_rps = observed_rps;
+  intervals_.push_back(interval);
+}
+
+void CalibrationTracker::observe_batch(int node, TimeMs submit_ms, TimeMs end_ms) {
+  const int index = interval_containing(intervals_, submit_ms);
+  if (index < 0) return;
+  CalibrationInterval& interval = intervals_[static_cast<std::size_t>(index)];
+  if (interval.node != node) return;  // served by the outgoing node mid-switch
+  const DurationMs e2e = end_ms - submit_ms;
+  interval.observed = true;
+  interval.observed_max_e2e_ms = std::max(interval.observed_max_e2e_ms, e2e);
+}
+
+CalibrationSummary summarize_calibration(
+    const std::vector<std::vector<CalibrationInterval>>& runs, DurationMs slo_ms,
+    DurationMs rate_horizon_ms) {
+  CalibrationSummary out;
+
+  struct NodeAcc {
+    int intervals = 0;
+    double error_sum = 0.0;
+    int feasible = 0;
+    int covered = 0;
+    double predicted_sum = 0.0;
+    double observed_sum = 0.0;
+  };
+  struct YAcc {
+    int intervals = 0;
+    double error_sum = 0.0;
+  };
+  std::map<int, NodeAcc> nodes;
+  std::map<int, YAcc> splits;
+  double error_sum = 0.0;
+  int error_count = 0;
+  int feasible_total = 0;
+  int covered_total = 0;
+
+  double rate_error_sum = 0.0;
+  double rate_predicted_sum = 0.0;
+  double rate_observed_sum = 0.0;
+
+  for (const auto& intervals : runs) {
+    for (std::size_t i = 0; i < intervals.size(); ++i) {
+      const CalibrationInterval& interval = intervals[i];
+      ++out.intervals_total;
+      if (interval.observed && interval.predicted_tmax_ms > 0.0) {
+        ++out.intervals_observed;
+        const double error =
+            std::abs(interval.observed_max_e2e_ms - interval.predicted_tmax_ms) /
+            interval.predicted_tmax_ms;
+        error_sum += error;
+        ++error_count;
+        NodeAcc& node = nodes[interval.node];
+        ++node.intervals;
+        node.error_sum += error;
+        node.predicted_sum += interval.predicted_tmax_ms;
+        node.observed_sum += interval.observed_max_e2e_ms;
+        if (interval.predicted_feasible) {
+          ++feasible_total;
+          ++node.feasible;
+          if (interval.observed_max_e2e_ms <= slo_ms) {
+            ++covered_total;
+            ++node.covered;
+          }
+        }
+        YAcc& split = splits[interval.best_y];
+        ++split.intervals;
+        split.error_sum += error;
+      }
+      // Rate pairing: the forecast at t_i targets t_i + horizon; the first
+      // tick at or past that answers it (within the same repetition).
+      if (interval.predicted_rps > 0.0) {
+        const TimeMs target = interval.t_ms + rate_horizon_ms;
+        const auto it = std::lower_bound(
+            intervals.begin() + static_cast<std::ptrdiff_t>(i), intervals.end(),
+            target, [](const CalibrationInterval& candidate, TimeMs t) {
+              return candidate.t_ms < t;
+            });
+        if (it == intervals.end()) continue;
+        ++out.rate.pairs;
+        rate_error_sum += std::abs(it->observed_rps - interval.predicted_rps) /
+                          interval.predicted_rps;
+        rate_predicted_sum += interval.predicted_rps;
+        rate_observed_sum += it->observed_rps;
+      }
+    }
+  }
+
+  if (error_count > 0) out.tmax_mape = error_sum / error_count;
+  if (feasible_total > 0) {
+    out.tmax_coverage =
+        static_cast<double>(covered_total) / static_cast<double>(feasible_total);
+  }
+  for (const auto& [node, acc] : nodes) {
+    NodeCalibration row;
+    row.node = node;
+    row.intervals = acc.intervals;
+    row.mape = acc.intervals > 0 ? acc.error_sum / acc.intervals : 0.0;
+    row.feasible_intervals = acc.feasible;
+    row.coverage = acc.feasible > 0
+                       ? static_cast<double>(acc.covered) / acc.feasible
+                       : 1.0;
+    row.mean_predicted_ms =
+        acc.intervals > 0 ? acc.predicted_sum / acc.intervals : 0.0;
+    row.mean_observed_ms =
+        acc.intervals > 0 ? acc.observed_sum / acc.intervals : 0.0;
+    out.per_node.push_back(row);
+  }
+  for (const auto& [y, acc] : splits) {
+    YSplitCalibration row;
+    row.best_y = y;
+    row.intervals = acc.intervals;
+    row.mape = acc.intervals > 0 ? acc.error_sum / acc.intervals : 0.0;
+    out.per_y_split.push_back(row);
+  }
+  if (out.rate.pairs > 0) {
+    out.rate.mape = rate_error_sum / out.rate.pairs;
+    out.rate.mean_predicted_rps = rate_predicted_sum / out.rate.pairs;
+    out.rate.mean_observed_rps = rate_observed_sum / out.rate.pairs;
+  }
+  return out;
+}
+
+}  // namespace paldia::obs

@@ -150,7 +150,9 @@ void emit_decision(EventStream& stream, int pid, const DecisionRecord& record) {
       ",\"band_ms\":" + num(record.band_ms) +
       ",\"wait_ctr\":" + std::to_string(record.wait_ctr) +
       ",\"downgrade_ctr\":" + std::to_string(record.downgrade_ctr) +
-      ",\"emergency_ctr\":" + std::to_string(record.emergency_ctr);
+      ",\"emergency_ctr\":" + std::to_string(record.emergency_ctr) +
+      ",\"predicted_rps\":" + num(record.predicted_rps) +
+      ",\"observed_rps\":" + num(record.observed_rps);
   if (record.has_sweep) {
     args += ",\"cpu_short_circuit\":";
     args += record.cpu_short_circuit ? "true" : "false";
@@ -229,11 +231,16 @@ void emit_rep(EventStream& stream, const Tracer& tracer, int rep,
         body += ",\"dur\":" + us(event.end_ms - event.start_ms);
         body += ",\"name\":\"batch " + json_escape(model_name(event.model)) + " x" +
                 std::to_string(event.batch_size) + "\"";
+        // submit/e2e are reconstructed from start - lane_wait so the inline
+        // report extraction can quantize through the exact same arithmetic.
+        const double submit_ms = event.start_ms - event.value;
         body += ",\"args\":{\"batch_id\":" + std::to_string(event.id) +
                 ",\"lane\":\"" + lane_name(event.mode) +
                 "\",\"solo_ms\":" + num(event.solo_ms) +
                 ",\"cold_start_ms\":" + num(event.cold_ms) +
-                ",\"lane_wait_ms\":" + num(event.value) + "}";
+                ",\"lane_wait_ms\":" + num(event.value) +
+                ",\"submit_ms\":" + num(submit_ms) +
+                ",\"e2e_ms\":" + num(event.end_ms - submit_ms) + "}";
         stream.emit(body);
         break;
       }
@@ -244,6 +251,10 @@ void emit_rep(EventStream& stream, const Tracer& tracer, int rep,
         body += "\",\"args\":{\"value\":" + num(event.value);
         if (event.node >= 0) {
           body += ",\"node\":\"" + json_escape(node_name(event.node)) + "\"";
+        }
+        if (event.id >= 0) body += ",\"id\":" + std::to_string(event.id);
+        if (event.model >= 0) {
+          body += ",\"model\":\"" + json_escape(model_name(event.model)) + "\"";
         }
         body += "}";
         stream.emit(body);
@@ -295,7 +306,11 @@ void write_chrome_trace(std::ostream& out, const RunTrace& trace,
     if (trace.reps[rep] == nullptr) continue;
     emit_rep(stream, *trace.reps[rep], static_cast<int>(rep), label);
   }
-  out << "\n]}\n";
+  // Truncation is surfaced in machine-readable form: an analyzer must be
+  // able to tell a complete trace from one whose ring buffers overflowed.
+  out << "\n],\"metadata\":{\"reps\":" << trace.reps.size()
+      << ",\"dropped_events\":" << trace.dropped_events()
+      << ",\"dropped_decisions\":" << trace.dropped_decisions() << "}}\n";
 }
 
 bool write_chrome_trace_file(const std::string& path, const RunTrace& trace,

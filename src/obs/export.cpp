@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <ostream>
 
+#include "src/common/log.hpp"
 #include "src/hw/node_spec.hpp"
+#include "src/telemetry/slo_tracker.hpp"
 
 namespace paldia::obs {
 namespace {
@@ -70,6 +72,17 @@ ExportFormat format_for_path(const std::string& path) {
   return ExportFormat::kJsonl;
 }
 
+bool warn_if_truncated(const RunTrace& trace, const std::string& context) {
+  const std::uint64_t events = trace.dropped_events();
+  const std::uint64_t decisions = trace.dropped_decisions();
+  if (events == 0 && decisions == 0) return false;
+  log_warn("trace export '", context, "' is truncated: ", events,
+           " events and ", decisions,
+           " decision records were dropped (raise TracerConfig capacities); "
+           "attribution/calibration reports over this trace undercount");
+  return true;
+}
+
 std::string derive_trace_path(const std::string& base, const std::string& scenario,
                               const std::string& scheme) {
   const std::string tag = sanitize(scenario) + "_" + sanitize(scheme);
@@ -92,6 +105,12 @@ const char* const kMetricsColumns[] = {
     "p99_interference_ms", "p99_cold_start_ms", "cost",
     "average_power",  "gpu_utilization", "cpu_utilization",
     "goodput_rps",    "offered_rps",     "cold_starts",
+    "slo_violations",
+    // One column per telemetry::ViolationCause, in enum order.
+    "viol_cold_start", "viol_gateway_queue", "viol_batching",
+    "viol_mps_interference", "viol_hardware_switch", "viol_failure_retry",
+    "viol_execution", "viol_unserved",
+    "tmax_mape", "tmax_coverage", "rate_mape", "calib_intervals",
 };
 }  // namespace
 
@@ -136,7 +155,11 @@ void MetricsWriter::write(const telemetry::RunMetrics& metrics,
           << "," << num(metrics.cost) << "," << num(metrics.average_power) << ","
           << num(metrics.gpu_utilization) << "," << num(metrics.cpu_utilization)
           << "," << num(metrics.goodput_rps) << "," << num(metrics.offered_rps)
-          << "," << metrics.cold_starts << "\n";
+          << "," << metrics.cold_starts << "," << num(metrics.slo_violations);
+    for (const double count : metrics.violations_by_cause) *out_ << "," << num(count);
+    *out_ << "," << num(metrics.tmax_mape) << "," << num(metrics.tmax_coverage)
+          << "," << num(metrics.rate_mape) << "," << num(metrics.calib_intervals)
+          << "\n";
   } else {
     *out_ << "{\"figure\":\"" << json_escape(figure) << "\",\"scheme\":\""
           << json_escape(metrics.scheme) << "\",\"workload\":\""
@@ -159,7 +182,19 @@ void MetricsWriter::write(const telemetry::RunMetrics& metrics,
           << ",\"cpu_utilization\":" << num(metrics.cpu_utilization)
           << ",\"goodput_rps\":" << num(metrics.goodput_rps)
           << ",\"offered_rps\":" << num(metrics.offered_rps)
-          << ",\"cold_starts\":" << metrics.cold_starts << "}\n";
+          << ",\"cold_starts\":" << metrics.cold_starts
+          << ",\"slo_violations\":" << num(metrics.slo_violations)
+          << ",\"violation_causes\":{";
+    for (int cause = 0; cause < telemetry::kViolationCauseCount; ++cause) {
+      if (cause > 0) *out_ << ",";
+      *out_ << "\"" << telemetry::violation_cause_name(
+                           static_cast<telemetry::ViolationCause>(cause))
+            << "\":" << num(metrics.violations_by_cause[cause]);
+    }
+    *out_ << "},\"calibration\":{\"tmax_mape\":" << num(metrics.tmax_mape)
+          << ",\"tmax_coverage\":" << num(metrics.tmax_coverage)
+          << ",\"rate_mape\":" << num(metrics.rate_mape)
+          << ",\"intervals\":" << num(metrics.calib_intervals) << "}}\n";
   }
   out_->flush();
 }
@@ -205,7 +240,8 @@ void DecisionLogWriter::write_record(const DecisionRecord& record, int rep,
       header_written_ = true;
       *out_ << "scheme,scenario,rep,t_ms,current,chosen,final,switch_begun,"
                "feasible,t_max_ms,best_t_max_ms,band_ms,wait_ctr,downgrade_ctr,"
-               "emergency_ctr,cpu_short_circuit,candidates\n";
+               "emergency_ctr,cpu_short_circuit,predicted_rps,observed_rps,"
+               "candidates\n";
     }
     // Candidates as "node:t_max:feasible:price" joined with ';' — one cell,
     // still splittable without a CSV-in-CSV parser.
@@ -223,7 +259,8 @@ void DecisionLogWriter::write_record(const DecisionRecord& record, int rep,
           << "," << num(record.raw_t_max_ms) << "," << num(record.best_t_max_ms)
           << "," << num(record.band_ms) << "," << record.wait_ctr << ","
           << record.downgrade_ctr << "," << record.emergency_ctr << ","
-          << (record.cpu_short_circuit ? 1 : 0) << "," << csv_escape(candidates)
+          << (record.cpu_short_circuit ? 1 : 0) << "," << num(record.predicted_rps)
+          << "," << num(record.observed_rps) << "," << csv_escape(candidates)
           << "\n";
   } else {
     *out_ << "{\"scheme\":\"" << json_escape(scheme) << "\",\"scenario\":\""
@@ -240,6 +277,8 @@ void DecisionLogWriter::write_record(const DecisionRecord& record, int rep,
           << ",\"downgrade_ctr\":" << record.downgrade_ctr
           << ",\"emergency_ctr\":" << record.emergency_ctr
           << ",\"cpu_short_circuit\":" << (record.cpu_short_circuit ? "true" : "false")
+          << ",\"predicted_rps\":" << num(record.predicted_rps)
+          << ",\"observed_rps\":" << num(record.observed_rps)
           << ",\"candidates\":[";
     bool first = true;
     for (const auto& candidate : record.candidates) {

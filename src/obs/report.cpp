@@ -1,0 +1,795 @@
+#include "src/obs/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <unordered_map>
+
+#include "src/common/table.hpp"
+#include "src/hw/node_spec.hpp"
+#include "src/models/model_spec.hpp"
+#include "src/models/zoo.hpp"
+
+namespace paldia::obs {
+namespace {
+
+using telemetry::ViolationCause;
+
+constexpr int kPidsPerRep = 1 + hw::kNodeTypeCount;  // chrome_trace layout
+constexpr std::string_view kUnservedPrefix = "unserved:";
+
+std::string num(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+int model_index(std::string_view name) {
+  for (int i = 0; i < models::kModelCount; ++i) {
+    if (models::model_id_name(models::ModelId(i)) == name) return i;
+  }
+  return -1;
+}
+
+int node_index(std::string_view name) {
+  for (int i = 0; i < hw::kNodeTypeCount; ++i) {
+    if (hw::node_type_name(hw::NodeType(i)) == name) return i;
+  }
+  return -1;
+}
+
+bool is_blackout_open(std::string_view name) {
+  return name == "switch_begin" || name == "node_failure";
+}
+
+bool is_timeline_event(std::string_view name) {
+  return name == "switch_begin" || name == "switch_active" ||
+         name == "node_failure" || name == "node_recovered";
+}
+
+/// One repetition's ingestion state, shared verbatim between the inline
+/// (RunTrace) and offline (parsed file) producers so both yield identical
+/// RepData for the same underlying run.
+class RepBuilder {
+ public:
+  explicit RepBuilder(RepData& out) : out_(out) {}
+
+  void on_request_begin(std::int64_t id, TimeMs arrival_ms, int model, int node,
+                        DurationMs solo_ms, DurationMs interference_ms,
+                        DurationMs cold_ms) {
+    LifecycleSample& sample = pending_[id];
+    sample.request_id = id;
+    sample.arrival_ms = arrival_ms;
+    sample.model = model;
+    sample.node = node;
+    sample.solo_ms = solo_ms;
+    sample.interference_ms = interference_ms;
+    sample.cold_ms = cold_ms;
+  }
+
+  /// Phase close at `t`; "execute" completes the sample.
+  void on_phase_end(std::int64_t id, std::string_view phase, TimeMs t_ms) {
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) return;  // lifecycle head was dropped
+    if (phase == "queue") {
+      it->second.submit_ms = t_ms;
+    } else if (phase == "dispatch") {
+      it->second.start_ms = t_ms;
+    } else if (phase == "execute") {
+      it->second.end_ms = t_ms;
+      out_.requests.push_back(it->second);
+      pending_.erase(it);
+    }
+  }
+
+  void on_batch(int node, TimeMs start_ms, DurationMs dur_ms, TimeMs submit_ms,
+                DurationMs e2e_ms) {
+    RepData::BatchObs obs;
+    obs.node = node;
+    obs.start_ms = start_ms;
+    obs.dur_ms = dur_ms;
+    obs.submit_ms = submit_ms;
+    obs.end_ms = submit_ms + e2e_ms;
+    out_.batches.push_back(obs);
+  }
+
+  void on_decision(TimeMs t_ms, int node, DurationMs t_max_ms, int best_y,
+                   bool feasible, double predicted_rps, double observed_rps) {
+    CalibrationInterval interval;
+    interval.t_ms = t_ms;
+    interval.node = node;
+    interval.predicted_tmax_ms = t_max_ms;
+    interval.best_y = best_y;
+    interval.predicted_feasible = feasible;
+    interval.predicted_rps = predicted_rps;
+    interval.observed_rps = observed_rps;
+    out_.ticks.push_back(interval);
+  }
+
+  void on_instant(std::string_view name, TimeMs t_ms, std::string node,
+                  std::int64_t id) {
+    if (name == "request_requeued") {
+      if (id >= 0) out_.retried.insert(id);
+      return;
+    }
+    if (!is_timeline_event(name)) return;
+    if (is_blackout_open(name)) {
+      out_.blackouts.open(t_ms);
+    } else if (name == "switch_active") {
+      out_.blackouts.close_all(t_ms);
+    }
+    RepData::SwitchEvent event;
+    event.t_ms = t_ms;
+    event.event = std::string(name);
+    event.node = std::move(node);
+    out_.switches.push_back(std::move(event));
+  }
+
+  /// Counter sample; only the last value per counter survives (counters are
+  /// cumulative, so the final sample is the run total).
+  void on_counter(std::string_view name, double value) {
+    if (name.substr(0, kUnservedPrefix.size()) != kUnservedPrefix) return;
+    const int model = model_index(name.substr(kUnservedPrefix.size()));
+    if (model < 0) return;
+    unserved_last_[model] = value;
+  }
+
+  void finish() {
+    for (const auto& [model, value] : unserved_last_) {
+      const auto count = static_cast<std::uint64_t>(std::llround(value));
+      if (count > 0) out_.unserved[model] = count;
+    }
+  }
+
+ private:
+  RepData& out_;
+  std::unordered_map<std::int64_t, LifecycleSample> pending_;
+  std::map<int, double> unserved_last_;
+};
+
+}  // namespace
+
+double quantize_timestamp(TimeMs ms) {
+  char buf[48];
+  const double value = std::isfinite(ms) ? ms * 1000.0 : 0.0;
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  return std::strtod(buf, nullptr) / 1000.0;
+}
+
+double quantize_number(double value) {
+  if (!std::isfinite(value)) return 0.0;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return std::strtod(buf, nullptr);
+}
+
+// --- Inline producer --------------------------------------------------------
+
+RunData extract_run_data(const RunTrace& trace, const std::string& label) {
+  RunData out;
+  out.label = label;
+  out.reps_declared = static_cast<int>(trace.reps.size());
+  out.dropped_events = trace.dropped_events();
+  out.dropped_decisions = trace.dropped_decisions();
+  out.reps.resize(trace.reps.size());
+
+  for (std::size_t rep = 0; rep < trace.reps.size(); ++rep) {
+    const Tracer* tracer = trace.reps[rep].get();
+    if (tracer == nullptr) continue;
+    RepBuilder builder(out.reps[rep]);
+
+    for (const TraceEvent& event : tracer->events()) {
+      switch (event.type) {
+        case TraceEvent::Type::kRequest:
+          builder.on_request_begin(event.id, quantize_timestamp(event.start_ms),
+                                   event.model, event.node,
+                                   quantize_number(event.solo_ms),
+                                   quantize_number(event.interference_ms),
+                                   quantize_number(event.cold_ms));
+          break;
+        case TraceEvent::Type::kPhase:
+          builder.on_phase_end(event.id, event.name,
+                               quantize_timestamp(event.end_ms));
+          break;
+        case TraceEvent::Type::kBatch: {
+          // Mirror chrome_trace.cpp's field arithmetic exactly, then
+          // quantize through the same formats a file reader sees.
+          const double submit_ms = event.start_ms - event.value;
+          builder.on_batch(event.node, quantize_timestamp(event.start_ms),
+                           quantize_timestamp(event.end_ms - event.start_ms),
+                           quantize_number(submit_ms),
+                           quantize_number(event.end_ms - submit_ms));
+          break;
+        }
+        case TraceEvent::Type::kInstant:
+          builder.on_instant(
+              event.name, quantize_timestamp(event.start_ms),
+              event.node >= 0
+                  ? std::string(hw::node_type_name(hw::NodeType(event.node)))
+                  : std::string(),
+              event.id);
+          break;
+        case TraceEvent::Type::kCounter: {
+          const char* name =
+              event.counter_name != nullptr ? event.counter_name : event.name;
+          if (name != nullptr) builder.on_counter(name, quantize_number(event.value));
+          break;
+        }
+        case TraceEvent::Type::kSpanBegin:
+        case TraceEvent::Type::kSpanEnd:
+          break;
+      }
+    }
+
+    for (const DecisionRecord& record : tracer->decisions()) {
+      if (!record.has_sweep) continue;
+      for (const CandidateEval& candidate : record.candidates) {
+        if (candidate.node != record.final_choice) continue;
+        builder.on_decision(quantize_timestamp(record.t_ms),
+                            static_cast<int>(record.final_choice),
+                            quantize_number(candidate.t_max_ms), candidate.best_y,
+                            candidate.feasible,
+                            quantize_number(record.predicted_rps),
+                            quantize_number(record.observed_rps));
+        break;
+      }
+    }
+    builder.finish();
+  }
+  return out;
+}
+
+// --- Offline producer -------------------------------------------------------
+
+bool parse_chrome_trace(const common::JsonValue& root, const std::string& label,
+                        RunData* out, std::string* error) {
+  *out = RunData{};
+  out->label = label;
+  const common::JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    if (error != nullptr) *error = "no traceEvents array (not a trace export?)";
+    return false;
+  }
+  if (const common::JsonValue* meta = root.find("metadata")) {
+    out->reps_declared = static_cast<int>(meta->number_or("reps", 0));
+    out->dropped_events =
+        static_cast<std::uint64_t>(meta->number_or("dropped_events", 0));
+    out->dropped_decisions =
+        static_cast<std::uint64_t>(meta->number_or("dropped_decisions", 0));
+  }
+  out->reps.resize(static_cast<std::size_t>(std::max(0, out->reps_declared)));
+
+  // Builders are created on demand per repetition; events within a rep
+  // appear in recording order (the exporter writes rep blocks sequentially).
+  std::vector<std::unique_ptr<RepBuilder>> builders;
+  const auto builder_for = [&](int rep) -> RepBuilder& {
+    if (static_cast<std::size_t>(rep) >= out->reps.size()) {
+      out->reps.resize(static_cast<std::size_t>(rep) + 1);
+    }
+    if (static_cast<std::size_t>(rep) >= builders.size()) {
+      builders.resize(static_cast<std::size_t>(rep) + 1);
+    }
+    if (builders[static_cast<std::size_t>(rep)] == nullptr) {
+      builders[static_cast<std::size_t>(rep)] =
+          std::make_unique<RepBuilder>(out->reps[static_cast<std::size_t>(rep)]);
+    }
+    return *builders[static_cast<std::size_t>(rep)];
+  };
+
+  for (const common::JsonValue& event : events->as_array()) {
+    const std::string ph = event.string_or("ph", "");
+    if (ph.empty() || ph == "M") continue;
+    const int pid = static_cast<int>(event.number_or("pid", 0));
+    const int rep = pid / kPidsPerRep;
+    if (rep < 0) continue;
+    const TimeMs t_ms = event.number_or("ts", 0.0) / 1000.0;
+    const std::string name = event.string_or("name", "");
+    const common::JsonValue* args = event.find("args");
+
+    if (ph == "b" && name == "request") {
+      if (args == nullptr) continue;
+      builder_for(rep).on_request_begin(
+          static_cast<std::int64_t>(event.number_or("id", -1)), t_ms,
+          model_index(args->string_or("model", "")),
+          node_index(args->string_or("node", "")), args->number_or("solo_ms", 0.0),
+          args->number_or("interference_ms", 0.0),
+          args->number_or("cold_start_ms", 0.0));
+    } else if (ph == "e") {
+      builder_for(rep).on_phase_end(
+          static_cast<std::int64_t>(event.number_or("id", -1)), name, t_ms);
+    } else if (ph == "X") {
+      if (args == nullptr) continue;
+      builder_for(rep).on_batch(pid % kPidsPerRep - 1, t_ms,
+                                event.number_or("dur", 0.0) / 1000.0,
+                                args->number_or("submit_ms", 0.0),
+                                args->number_or("e2e_ms", 0.0));
+    } else if (ph == "i") {
+      if (name == "hardware_selection") {
+        if (args == nullptr) continue;
+        const common::JsonValue* candidates = args->find("candidates");
+        if (candidates == nullptr || !candidates->is_array()) continue;
+        const std::string final_node = args->string_or("final", "");
+        for (const common::JsonValue& candidate : candidates->as_array()) {
+          if (candidate.string_or("node", "") != final_node) continue;
+          builder_for(rep).on_decision(
+              t_ms, node_index(final_node), candidate.number_or("t_max_ms", 0.0),
+              static_cast<int>(candidate.number_or("best_y", 0)),
+              candidate.bool_or("feasible", false),
+              args->number_or("predicted_rps", 0.0),
+              args->number_or("observed_rps", 0.0));
+          break;
+        }
+      } else {
+        std::string node;
+        std::int64_t id = -1;
+        if (args != nullptr) {
+          node = args->string_or("node", "");
+          id = static_cast<std::int64_t>(args->number_or("id", -1));
+        }
+        builder_for(rep).on_instant(name, t_ms, std::move(node), id);
+      }
+    } else if (ph == "C") {
+      if (args != nullptr) builder_for(rep).on_counter(name, args->number_or("value", 0.0));
+    }
+  }
+  for (const auto& builder : builders) {
+    if (builder != nullptr) builder->finish();
+  }
+  return true;
+}
+
+// --- Shared analysis --------------------------------------------------------
+
+AnalysisReport analyze(
+    const RunData& data,
+    const std::array<DurationMs, models::kModelCount>& slo_by_model,
+    DurationMs slo_ms, DurationMs rate_horizon_ms) {
+  AnalysisReport report;
+  report.label = data.label;
+  report.reps = static_cast<int>(
+      std::max<std::size_t>(data.reps.size(),
+                            static_cast<std::size_t>(std::max(0, data.reps_declared))));
+  report.dropped_events = data.dropped_events;
+  report.dropped_decisions = data.dropped_decisions;
+  report.total.label = "total";
+
+  std::array<ReportBucket, models::kModelCount> per_model;
+  std::array<ReportBucket, hw::kNodeTypeCount> per_node;
+  struct UsageAcc {
+    std::uint64_t batches = 0;
+    DurationMs busy_ms = 0.0;
+  };
+  std::array<UsageAcc, hw::kNodeTypeCount> usage{};
+  DurationMs span_sum_ms = 0.0;
+  std::vector<std::vector<CalibrationInterval>> all_ticks;
+  all_ticks.reserve(data.reps.size());
+
+  for (std::size_t rep = 0; rep < data.reps.size(); ++rep) {
+    const RepData& rd = data.reps[rep];
+    TimeMs span_ms = 0.0;
+
+    for (LifecycleSample sample : rd.requests) {
+      // Mirror AttributionEngine::observe_request exactly.
+      const bool model_ok = sample.model >= 0 && sample.model < models::kModelCount;
+      const bool node_ok = sample.node >= 0 && sample.node < hw::kNodeTypeCount;
+      sample.retried = rd.retried.count(sample.request_id) > 0;
+      sample.blackout = rd.blackouts.overlaps(sample.arrival_ms, sample.start_ms);
+      const DurationMs latency = sample.end_ms - sample.arrival_ms;
+      span_ms = std::max(span_ms, sample.end_ms);
+
+      ++report.total.completed;
+      report.total.latency.insert(latency);
+      if (model_ok) {
+        ++per_model[sample.model].completed;
+        per_model[sample.model].latency.insert(latency);
+      }
+      if (node_ok) {
+        ++per_node[sample.node].completed;
+        per_node[sample.node].latency.insert(latency);
+      }
+      if (!model_ok || latency <= slo_by_model[sample.model]) continue;
+
+      const ViolationCause cause = classify_violation(sample);
+      const auto index = static_cast<std::size_t>(cause);
+      ++report.total.violations;
+      ++report.total.causes[index];
+      ++per_model[sample.model].violations;
+      ++per_model[sample.model].causes[index];
+      if (node_ok) {
+        ++per_node[sample.node].violations;
+        ++per_node[sample.node].causes[index];
+      }
+    }
+
+    for (const auto& [model, count] : rd.unserved) {
+      const auto index = static_cast<std::size_t>(ViolationCause::kUnserved);
+      report.total.completed += count;
+      report.total.violations += count;
+      report.total.causes[index] += count;
+      report.unserved += count;
+      if (model >= 0 && model < models::kModelCount) {
+        per_model[model].completed += count;
+        per_model[model].violations += count;
+        per_model[model].causes[index] += count;
+      }
+    }
+
+    // Calibration: fold batch observations into their decision interval
+    // (same arithmetic as CalibrationTracker::observe_batch).
+    std::vector<CalibrationInterval> ticks = rd.ticks;
+    for (const RepData::BatchObs& batch : rd.batches) {
+      span_ms = std::max(span_ms, batch.start_ms + batch.dur_ms);
+      if (batch.node >= 0 && batch.node < hw::kNodeTypeCount) {
+        usage[batch.node].batches += 1;
+        usage[batch.node].busy_ms += batch.dur_ms;
+      }
+      const int index = interval_containing(ticks, batch.submit_ms);
+      if (index < 0) continue;
+      CalibrationInterval& interval = ticks[static_cast<std::size_t>(index)];
+      if (interval.node != batch.node) continue;
+      interval.observed = true;
+      interval.observed_max_e2e_ms = std::max(interval.observed_max_e2e_ms,
+                                              batch.end_ms - batch.submit_ms);
+    }
+    for (const CalibrationInterval& tick : ticks) {
+      span_ms = std::max(span_ms, tick.t_ms);
+    }
+    all_ticks.push_back(std::move(ticks));
+
+    for (const RepData::SwitchEvent& sw : rd.switches) {
+      span_ms = std::max(span_ms, sw.t_ms);
+      TimelineEntry entry;
+      entry.rep = static_cast<int>(rep);
+      entry.t_ms = sw.t_ms;
+      entry.event = sw.event;
+      entry.node = sw.node;
+      report.switch_timeline.push_back(std::move(entry));
+    }
+    span_sum_ms += span_ms;
+  }
+
+  report.compliance =
+      report.total.completed > 0
+          ? 1.0 - static_cast<double>(report.total.violations) /
+                      static_cast<double>(report.total.completed)
+          : 1.0;
+  report.total.index = -1;
+  report.calibration = summarize_calibration(all_ticks, slo_ms, rate_horizon_ms);
+
+  for (int i = 0; i < models::kModelCount; ++i) {
+    if (per_model[i].completed == 0) continue;
+    per_model[i].index = i;
+    per_model[i].label = std::string(models::model_id_name(models::ModelId(i)));
+    report.per_model.push_back(std::move(per_model[i]));
+  }
+  for (int i = 0; i < hw::kNodeTypeCount; ++i) {
+    if (per_node[i].completed == 0) continue;
+    per_node[i].index = i;
+    per_node[i].label = std::string(hw::node_type_name(hw::NodeType(i)));
+    report.per_node.push_back(std::move(per_node[i]));
+  }
+  for (int i = 0; i < hw::kNodeTypeCount; ++i) {
+    if (usage[i].batches == 0) continue;
+    NodeUsage row;
+    row.node = i;
+    row.label = std::string(hw::node_type_name(hw::NodeType(i)));
+    row.batches = usage[i].batches;
+    row.busy_ms = usage[i].busy_ms;
+    row.occupancy = span_sum_ms > 0.0 ? usage[i].busy_ms / span_sum_ms : 0.0;
+    report.node_usage.push_back(std::move(row));
+  }
+  return report;
+}
+
+AnalysisReport analyze_with_zoo(const RunData& data) {
+  const models::Zoo& zoo = models::Zoo::instance();
+  std::array<DurationMs, models::kModelCount> slo_by_model{};
+  DurationMs min_slo = kTimeNever;
+  for (int i = 0; i < models::kModelCount; ++i) {
+    slo_by_model[i] = zoo.spec(models::ModelId(i)).slo_ms;
+    min_slo = std::min(min_slo, slo_by_model[i]);
+  }
+  const CalibrationTracker::Config defaults;
+  if (!std::isfinite(min_slo)) min_slo = defaults.slo_ms;
+  return analyze(data, slo_by_model, min_slo, defaults.rate_horizon_ms);
+}
+
+// --- Text rendering ---------------------------------------------------------
+
+namespace {
+
+std::string top_cause(const ReportBucket& bucket) {
+  if (bucket.violations == 0) return "-";
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < bucket.causes.size(); ++i) {
+    if (bucket.causes[i] > bucket.causes[best]) best = i;
+  }
+  return std::string(
+      telemetry::violation_cause_name(static_cast<ViolationCause>(best)));
+}
+
+constexpr std::size_t kTimelineRows = 40;  // text report cap; JSON keeps all
+
+}  // namespace
+
+void render_report_text(std::ostream& out,
+                        const std::vector<AnalysisReport>& runs) {
+  for (const AnalysisReport& report : runs) {
+    out << "=== " << report.label << " (" << report.reps << " rep"
+        << (report.reps == 1 ? "" : "s") << ") ===\n";
+    out << "requests " << report.total.completed << " | violations "
+        << report.total.violations << " (" << Table::percent(report.compliance)
+        << " compliant) | unserved " << report.unserved << "\n";
+    if (report.dropped_events > 0 || report.dropped_decisions > 0) {
+      out << "WARNING: trace truncated (" << report.dropped_events
+          << " events, " << report.dropped_decisions
+          << " decisions dropped) — counts below undercount\n";
+    }
+
+    out << "\nViolation attribution:\n";
+    {
+      Table table({"cause", "count", "share"});
+      for (std::size_t i = 0; i < report.total.causes.size(); ++i) {
+        if (report.total.causes[i] == 0) continue;
+        const double share =
+            report.total.violations > 0
+                ? static_cast<double>(report.total.causes[i]) /
+                      static_cast<double>(report.total.violations)
+                : 0.0;
+        table.add_row({std::string(telemetry::violation_cause_name(
+                           static_cast<ViolationCause>(i))),
+                       std::to_string(report.total.causes[i]),
+                       Table::percent(share)});
+      }
+      if (report.total.violations == 0) table.add_row({"(none)", "0", "-"});
+      table.print(out);
+    }
+
+    if (!report.per_model.empty()) {
+      out << "\nPer-model:\n";
+      Table table({"model", "completed", "violations", "p50 ms", "p95 ms",
+                   "p99 ms", "top cause"});
+      for (const ReportBucket& bucket : report.per_model) {
+        const SketchSummary latency = bucket.latency.summary();
+        table.add_row({bucket.label, std::to_string(bucket.completed),
+                       std::to_string(bucket.violations), Table::num(latency.p50_ms),
+                       Table::num(latency.p95_ms), Table::num(latency.p99_ms),
+                       top_cause(bucket)});
+      }
+      table.print(out);
+    }
+
+    if (!report.per_node.empty() || !report.node_usage.empty()) {
+      out << "\nPer-node:\n";
+      Table table({"node", "completed", "violations", "p99 ms", "batches",
+                   "busy s", "occupancy"});
+      for (const ReportBucket& bucket : report.per_node) {
+        const NodeUsage* usage = nullptr;
+        for (const NodeUsage& row : report.node_usage) {
+          if (row.node == bucket.index) usage = &row;
+        }
+        table.add_row(
+            {bucket.label, std::to_string(bucket.completed),
+             std::to_string(bucket.violations),
+             Table::num(bucket.latency.summary().p99_ms),
+             usage != nullptr ? std::to_string(usage->batches) : "0",
+             usage != nullptr ? Table::num(usage->busy_ms / 1000.0) : "0",
+             usage != nullptr ? Table::num(usage->occupancy) : "0"});
+      }
+      table.print(out);
+    }
+
+    const CalibrationSummary& calibration = report.calibration;
+    out << "\nCalibration: " << calibration.intervals_observed << "/"
+        << calibration.intervals_total << " intervals observed | T_max MAPE "
+        << Table::percent(calibration.tmax_mape) << " | SLO coverage "
+        << Table::percent(calibration.tmax_coverage) << " | rate MAPE "
+        << Table::percent(calibration.rate.mape) << " ("
+        << calibration.rate.pairs << " pairs)\n";
+    if (!calibration.per_node.empty()) {
+      Table table({"node", "intervals", "MAPE", "coverage", "mean pred ms",
+                   "mean obs ms"});
+      for (const NodeCalibration& row : calibration.per_node) {
+        table.add_row({row.node >= 0 && row.node < hw::kNodeTypeCount
+                           ? std::string(hw::node_type_name(hw::NodeType(row.node)))
+                           : std::to_string(row.node),
+                       std::to_string(row.intervals), Table::percent(row.mape),
+                       Table::percent(row.coverage),
+                       Table::num(row.mean_predicted_ms),
+                       Table::num(row.mean_observed_ms)});
+      }
+      table.print(out);
+    }
+    if (!calibration.per_y_split.empty()) {
+      Table table({"y split", "intervals", "MAPE"});
+      for (const YSplitCalibration& row : calibration.per_y_split) {
+        table.add_row({std::to_string(row.best_y), std::to_string(row.intervals),
+                       Table::percent(row.mape)});
+      }
+      table.print(out);
+    }
+
+    if (!report.switch_timeline.empty()) {
+      out << "\nSwitch timeline (" << report.switch_timeline.size()
+          << " events):\n";
+      std::size_t shown = 0;
+      for (const TimelineEntry& entry : report.switch_timeline) {
+        if (shown++ >= kTimelineRows) {
+          out << "  ... (" << report.switch_timeline.size() - kTimelineRows
+              << " more in the JSON report)\n";
+          break;
+        }
+        out << "  rep " << entry.rep << "  t=" << Table::num(entry.t_ms / 1000.0, 3)
+            << "s  " << entry.event;
+        if (!entry.node.empty()) out << " -> " << entry.node;
+        out << "\n";
+      }
+    }
+    out << "\n";
+  }
+}
+
+// --- JSON rendering ---------------------------------------------------------
+
+namespace {
+
+void write_causes(std::ostream& out, const telemetry::ViolationCauseCounts& causes) {
+  out << "{";
+  for (int i = 0; i < telemetry::kViolationCauseCount; ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << telemetry::violation_cause_name(static_cast<ViolationCause>(i))
+        << "\":" << causes[static_cast<std::size_t>(i)];
+  }
+  out << "}";
+}
+
+void write_latency(std::ostream& out, const QuantileSketch& sketch) {
+  const SketchSummary summary = sketch.summary();
+  out << "{\"count\":" << summary.count << ",\"mean_ms\":" << num(summary.mean_ms)
+      << ",\"p50_ms\":" << num(summary.p50_ms)
+      << ",\"p95_ms\":" << num(summary.p95_ms)
+      << ",\"p99_ms\":" << num(summary.p99_ms)
+      << ",\"max_ms\":" << num(summary.max_ms) << "}";
+}
+
+void write_bucket(std::ostream& out, const char* key, const ReportBucket& bucket) {
+  out << "{\"" << key << "\":\"" << json_escape(bucket.label)
+      << "\",\"completed\":" << bucket.completed
+      << ",\"violations\":" << bucket.violations << ",\"causes\":";
+  write_causes(out, bucket.causes);
+  out << ",\"latency\":";
+  write_latency(out, bucket.latency);
+  out << "}";
+}
+
+}  // namespace
+
+void write_report_json(std::ostream& out, const std::vector<AnalysisReport>& runs) {
+  out << "{\"runs\":[";
+  bool first_run = true;
+  for (const AnalysisReport& report : runs) {
+    if (!first_run) out << ",\n";
+    first_run = false;
+    out << "{\"label\":\"" << json_escape(report.label)
+        << "\",\"reps\":" << report.reps
+        << ",\"meta\":{\"dropped_events\":" << report.dropped_events
+        << ",\"dropped_decisions\":" << report.dropped_decisions << "}";
+
+    out << ",\"attribution\":{\"requests\":" << report.total.completed
+        << ",\"violations\":" << report.total.violations
+        << ",\"unserved\":" << report.unserved
+        << ",\"compliance\":" << num(report.compliance) << ",\"causes\":";
+    write_causes(out, report.total.causes);
+    out << ",\"latency\":";
+    write_latency(out, report.total.latency);
+    out << ",\"per_model\":[";
+    for (std::size_t i = 0; i < report.per_model.size(); ++i) {
+      if (i > 0) out << ",";
+      write_bucket(out, "model", report.per_model[i]);
+    }
+    out << "],\"per_node\":[";
+    for (std::size_t i = 0; i < report.per_node.size(); ++i) {
+      if (i > 0) out << ",";
+      write_bucket(out, "node", report.per_node[i]);
+    }
+    out << "]}";
+
+    const CalibrationSummary& calibration = report.calibration;
+    out << ",\"calibration\":{\"intervals\":" << calibration.intervals_total
+        << ",\"observed\":" << calibration.intervals_observed
+        << ",\"tmax_mape\":" << num(calibration.tmax_mape)
+        << ",\"tmax_coverage\":" << num(calibration.tmax_coverage)
+        << ",\"per_node\":[";
+    for (std::size_t i = 0; i < calibration.per_node.size(); ++i) {
+      const NodeCalibration& row = calibration.per_node[i];
+      if (i > 0) out << ",";
+      out << "{\"node\":\""
+          << json_escape(row.node >= 0 && row.node < hw::kNodeTypeCount
+                             ? std::string(hw::node_type_name(hw::NodeType(row.node)))
+                             : std::to_string(row.node))
+          << "\",\"intervals\":" << row.intervals << ",\"mape\":" << num(row.mape)
+          << ",\"feasible_intervals\":" << row.feasible_intervals
+          << ",\"coverage\":" << num(row.coverage)
+          << ",\"mean_predicted_ms\":" << num(row.mean_predicted_ms)
+          << ",\"mean_observed_ms\":" << num(row.mean_observed_ms) << "}";
+    }
+    out << "],\"per_y_split\":[";
+    for (std::size_t i = 0; i < calibration.per_y_split.size(); ++i) {
+      const YSplitCalibration& row = calibration.per_y_split[i];
+      if (i > 0) out << ",";
+      out << "{\"best_y\":" << row.best_y << ",\"intervals\":" << row.intervals
+          << ",\"mape\":" << num(row.mape) << "}";
+    }
+    out << "],\"rate\":{\"pairs\":" << calibration.rate.pairs
+        << ",\"mape\":" << num(calibration.rate.mape)
+        << ",\"mean_predicted_rps\":" << num(calibration.rate.mean_predicted_rps)
+        << ",\"mean_observed_rps\":" << num(calibration.rate.mean_observed_rps)
+        << "}}";
+
+    out << ",\"node_usage\":[";
+    for (std::size_t i = 0; i < report.node_usage.size(); ++i) {
+      const NodeUsage& row = report.node_usage[i];
+      if (i > 0) out << ",";
+      out << "{\"node\":\"" << json_escape(row.label)
+          << "\",\"batches\":" << row.batches << ",\"busy_ms\":" << num(row.busy_ms)
+          << ",\"occupancy\":" << num(row.occupancy) << "}";
+    }
+    out << "],\"switch_timeline\":[";
+    for (std::size_t i = 0; i < report.switch_timeline.size(); ++i) {
+      const TimelineEntry& entry = report.switch_timeline[i];
+      if (i > 0) out << ",";
+      out << "{\"rep\":" << entry.rep << ",\"t_ms\":" << num(entry.t_ms)
+          << ",\"event\":\"" << json_escape(entry.event) << "\",\"node\":\""
+          << json_escape(entry.node) << "\"}";
+    }
+    out << "]}";
+  }
+  out << "]}\n";
+}
+
+bool write_report_json_file(const std::string& path,
+                            const std::vector<AnalysisReport>& runs,
+                            std::string* error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  write_report_json(out, runs);
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write failed for " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace paldia::obs

@@ -1,0 +1,149 @@
+// Offline/inline analysis of exported observability data: SLO-violation
+// attribution breakdown, analytical-model calibration, per-node occupancy,
+// and the hardware-switch timeline — one AnalysisReport per (scenario,
+// scheme) run, rendered as a human-readable text report and/or JSON.
+//
+// Two producers, one consumer:
+//   - extract_run_data(RunTrace)  — inline, at the end of a run (the
+//     bench drivers' --report-out flag);
+//   - parse_chrome_trace(json)    — offline, from an exported trace file
+//     (the `paldia-analyze` tool).
+// Both produce the same RunData and share analyze(), so the offline report
+// reproduces the inline numbers exactly. To make that parity *byte*-exact,
+// the inline extractor quantizes every value through the exporter's textual
+// formats (quantize_timestamp / quantize_number below) — the same
+// snprintf/strtod round trip a file read performs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/json.hpp"
+#include "src/common/units.hpp"
+#include "src/obs/attribution.hpp"
+#include "src/obs/calibration.hpp"
+#include "src/obs/sketch.hpp"
+#include "src/obs/tracer.hpp"
+#include "src/telemetry/slo_tracker.hpp"
+
+namespace paldia::obs {
+
+/// ms value -> the double a reader recovers from the trace file's "%.3f"
+/// microsecond timestamp field.
+double quantize_timestamp(TimeMs ms);
+/// value -> the double a reader recovers from a "%.10g" numeric field.
+double quantize_number(double value);
+
+/// Everything analyze() needs about one repetition, in exporter-quantized
+/// form (see header comment).
+struct RepData {
+  std::vector<LifecycleSample> requests;  // retried/blackout flags unset
+  std::unordered_set<std::int64_t> retried;
+  BlackoutWindows blackouts;
+  /// Monitor ticks that carried a candidate sweep (observation fields are
+  /// filled by analyze() from `batches`).
+  std::vector<CalibrationInterval> ticks;
+  struct BatchObs {
+    int node = -1;
+    TimeMs submit_ms = 0.0;
+    TimeMs end_ms = 0.0;    // submit + e2e, both exporter-quantized
+    TimeMs start_ms = 0.0;  // device execution start
+    DurationMs dur_ms = 0.0;
+  };
+  std::vector<BatchObs> batches;
+  std::map<int, std::uint64_t> unserved;  // model -> drain-cap leftovers
+  struct SwitchEvent {
+    TimeMs t_ms = 0.0;
+    std::string event;  // switch_begin / switch_active / node_failure / ...
+    std::string node;
+  };
+  std::vector<SwitchEvent> switches;
+};
+
+struct RunData {
+  std::string label;
+  int reps_declared = 0;  // slot count (file metadata / RunTrace size)
+  std::uint64_t dropped_events = 0;
+  std::uint64_t dropped_decisions = 0;
+  std::vector<RepData> reps;
+};
+
+/// Attribution cell for one model or node (or the run total).
+struct ReportBucket {
+  std::string label;
+  int index = -1;  // model/node index; -1 for the total
+  std::uint64_t completed = 0;
+  std::uint64_t violations = 0;
+  telemetry::ViolationCauseCounts causes{};
+  QuantileSketch latency;
+};
+
+struct NodeUsage {
+  int node = -1;
+  std::string label;
+  std::uint64_t batches = 0;
+  DurationMs busy_ms = 0.0;
+  /// Lane-busy time over summed rep spans; > 1 means lanes ran in parallel.
+  double occupancy = 0.0;
+};
+
+struct TimelineEntry {
+  int rep = 0;
+  TimeMs t_ms = 0.0;
+  std::string event;
+  std::string node;
+};
+
+struct AnalysisReport {
+  std::string label;
+  int reps = 0;
+  std::uint64_t dropped_events = 0;
+  std::uint64_t dropped_decisions = 0;
+
+  ReportBucket total;                    // completed includes unserved
+  std::uint64_t unserved = 0;
+  double compliance = 1.0;               // 1 - violations / completed
+  std::vector<ReportBucket> per_model;   // model index ascending, non-empty
+  std::vector<ReportBucket> per_node;    // node index ascending, non-empty
+
+  CalibrationSummary calibration;
+  std::vector<NodeUsage> node_usage;     // node index ascending, non-empty
+  std::vector<TimelineEntry> switch_timeline;  // rep order, then time order
+};
+
+/// Inline producer: quantized RunData straight from the tracer slots
+/// (iterated in repetition order — identical bytes for any thread count).
+RunData extract_run_data(const RunTrace& trace, const std::string& label);
+
+/// Offline producer: RunData from a parsed Chrome-trace JSON document
+/// (write_chrome_trace output). Returns false and sets `error` when the
+/// document is not a trace export.
+bool parse_chrome_trace(const common::JsonValue& root, const std::string& label,
+                        RunData* out, std::string* error);
+
+/// Shared consumer. `slo_by_model[m]` gates violations; `slo_ms` is the
+/// calibration guarantee threshold and `rate_horizon_ms` the EWMA forecast
+/// horizon (framework defaults: min model SLO, 7 s).
+AnalysisReport analyze(const RunData& data,
+                       const std::array<DurationMs, models::kModelCount>& slo_by_model,
+                       DurationMs slo_ms, DurationMs rate_horizon_ms);
+
+/// analyze() with the model zoo's SLOs and framework-default horizon.
+AnalysisReport analyze_with_zoo(const RunData& data);
+
+/// Human-readable multi-section report (tables + timeline).
+void render_report_text(std::ostream& out, const std::vector<AnalysisReport>& runs);
+
+/// Machine-readable report: {"runs":[...]} with a fixed key order, numbers
+/// formatted with "%.10g" — byte-identical for identical report structs.
+void write_report_json(std::ostream& out, const std::vector<AnalysisReport>& runs);
+bool write_report_json_file(const std::string& path,
+                            const std::vector<AnalysisReport>& runs,
+                            std::string* error);
+
+}  // namespace paldia::obs

@@ -1,0 +1,21 @@
+#include "src/obs/sketch.hpp"
+
+#include <array>
+
+namespace paldia::obs {
+
+SketchSummary QuantileSketch::summary() const {
+  SketchSummary s;
+  s.count = histogram_.count();
+  if (s.count == 0) return s;
+  static constexpr std::array<double, 3> kQs = {0.50, 0.95, 0.99};
+  const auto qs = histogram_.quantiles(kQs);
+  s.mean_ms = histogram_.mean();
+  s.p50_ms = qs[0];
+  s.p95_ms = qs[1];
+  s.p99_ms = qs[2];
+  s.max_ms = histogram_.max();
+  return s;
+}
+
+}  // namespace paldia::obs

@@ -110,6 +110,19 @@ void Tracer::instant(const char* name, TimeMs now, double value) {
   push(event);
 }
 
+void Tracer::request_requeued(std::int64_t request_id, models::ModelId model,
+                              TimeMs now, hw::NodeType node) {
+  if (!reserve(1)) return;
+  TraceEvent event;
+  event.type = TraceEvent::Type::kInstant;
+  event.name = "request_requeued";
+  event.id = request_id;
+  event.model = static_cast<std::int16_t>(model);
+  event.node = static_cast<std::int16_t>(node);
+  event.start_ms = event.end_ms = now;
+  push(event);
+}
+
 void Tracer::begin_span(const char* name, TimeMs now) {
   span_stack_.push_back(name);
   if (!reserve(1)) return;
@@ -190,6 +203,14 @@ std::uint64_t RunTrace::dropped_events() const {
   std::uint64_t total = 0;
   for (const auto& rep : reps) {
     if (rep) total += rep->dropped_events();
+  }
+  return total;
+}
+
+std::uint64_t RunTrace::dropped_decisions() const {
+  std::uint64_t total = 0;
+  for (const auto& rep : reps) {
+    if (rep) total += rep->dropped_decisions();
   }
   return total;
 }

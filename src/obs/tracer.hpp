@@ -102,6 +102,11 @@ struct DecisionRecord {
   int wait_ctr = 0;                // hysteresis state after the decision
   int downgrade_ctr = 0;
   int emergency_ctr = 0;
+  /// EWMA horizon forecast and trailing observed rate at the tick, summed
+  /// over workloads — the calibration layer pairs these with what actually
+  /// happened in the following interval.
+  double predicted_rps = 0.0;
+  double observed_rps = 0.0;
   std::vector<CandidateEval> candidates;  // catalog cost-ascending order
 };
 
@@ -134,6 +139,13 @@ class Tracer {
   void instant(const char* name, TimeMs now, hw::NodeType node, double value = 0.0);
   void instant(const char* name, TimeMs now, double value = 0.0);
 
+  /// A failed batch sent this request back to the gateway: emits a
+  /// "request_requeued" instant carrying the request id, so the offline
+  /// analyzer can rebuild the retried-request set the attribution engine
+  /// tracks online.
+  void request_requeued(std::int64_t request_id, models::ModelId model, TimeMs now,
+                        hw::NodeType node);
+
   // --- Explicit nested spans ----------------------------------------------
   /// Open/close a named span on the framework track. Properly nested
   /// (LIFO); an end that does not match the innermost open span is counted
@@ -145,7 +157,8 @@ class Tracer {
 
   // --- Counter/gauge registry ----------------------------------------------
   /// Accumulate a named counter (no event emitted; sample_counters() dumps
-  /// the totals). Names must outlive the tracer (string literals).
+  /// the totals). The registry keys by copied string, so dynamic names
+  /// (e.g. "unserved:<model>") are safe here, unlike gauge().
   void count(const char* name, double delta = 1.0);
   /// Emit one gauge sample event. model_tag tags the sample with a model
   /// (e.g. per-model queue depth); -1 = untagged.
@@ -195,6 +208,8 @@ struct RunTrace {
 
   /// Total dropped events across repetitions.
   std::uint64_t dropped_events() const;
+  /// Total dropped decision records across repetitions.
+  std::uint64_t dropped_decisions() const;
 };
 
 }  // namespace paldia::obs

@@ -2,12 +2,14 @@
 // bench/figure printers.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "src/common/units.hpp"
 #include "src/telemetry/latency_recorder.hpp"
+#include "src/telemetry/slo_tracker.hpp"
 
 namespace paldia::telemetry {
 
@@ -32,6 +34,21 @@ struct RunMetrics {
   Rps goodput_rps = 0.0;        // during the busiest window
   Rps offered_rps = 0.0;        // arrival rate during the same window
   std::uint64_t cold_starts = 0;
+
+  /// SLO violations (completions past the SLO + unserved), attributed to
+  /// root causes by the attribution engine. Doubles because aggregation
+  /// across repetitions takes plain (unfiltered) means, which keeps the
+  /// invariant sum(violations_by_cause) == slo_violations exactly.
+  double slo_violations = 0.0;
+  std::array<double, kViolationCauseCount> violations_by_cause{};
+
+  /// Calibration of the analytical models (0 when no tracer captured the
+  /// candidate sweeps): T_max prediction error / SLO-guarantee coverage and
+  /// the EWMA demand-forecast error, over calib_intervals monitor ticks.
+  double tmax_mape = 0.0;
+  double tmax_coverage = 0.0;
+  double rate_mape = 0.0;
+  double calib_intervals = 0.0;
 
   std::vector<std::pair<double, double>> latency_cdf;  // optional export
 

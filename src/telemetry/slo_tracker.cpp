@@ -4,6 +4,20 @@
 
 namespace paldia::telemetry {
 
+std::string_view violation_cause_name(ViolationCause cause) {
+  switch (cause) {
+    case ViolationCause::kColdStart: return "cold_start";
+    case ViolationCause::kGatewayQueue: return "gateway_queue";
+    case ViolationCause::kBatching: return "batching";
+    case ViolationCause::kMpsInterference: return "mps_interference";
+    case ViolationCause::kHardwareSwitch: return "hardware_switch";
+    case ViolationCause::kFailureRetry: return "failure_retry";
+    case ViolationCause::kExecution: return "execution";
+    case ViolationCause::kUnserved: return "unserved";
+  }
+  return "unknown";
+}
+
 std::size_t SloTracker::bucket_of(TimeMs t) const {
   return static_cast<std::size_t>(std::max(0.0, t) / bucket_ms_);
 }
@@ -12,6 +26,7 @@ void SloTracker::record_arrival(TimeMs arrival_ms) {
   const std::size_t bucket = bucket_of(arrival_ms);
   if (bucket >= arrivals_per_bucket_.size()) arrivals_per_bucket_.resize(bucket + 1, 0);
   ++arrivals_per_bucket_[bucket];
+  ++arrivals_;
 }
 
 void SloTracker::record_completion(TimeMs arrival_ms, TimeMs completion_ms) {
@@ -22,6 +37,16 @@ void SloTracker::record_completion(TimeMs arrival_ms, TimeMs completion_ms) {
     if (bucket >= goodput_per_bucket_.size()) goodput_per_bucket_.resize(bucket + 1, 0);
     ++goodput_per_bucket_[bucket];
   }
+}
+
+void SloTracker::record_violation_cause(ViolationCause cause) {
+  ++causes_[static_cast<std::size_t>(cause)];
+}
+
+std::uint64_t SloTracker::classified_violations() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : causes_) total += n;
+  return total;
 }
 
 double SloTracker::compliance() const {

@@ -1,14 +1,41 @@
 // SLO compliance counting plus per-second goodput series (Fig. 7a: goodput
 // = requests served within the SLO per second, compared to the incoming
-// rate during the busiest traffic).
+// rate during the busiest traffic), and the violation root-cause taxonomy
+// shared by the attribution engine (obs/attribution) and the metrics rows.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "src/common/units.hpp"
 
 namespace paldia::telemetry {
+
+/// Root causes an SLO-violating request can be attributed to. Every
+/// violating request gets exactly one cause (see obs/attribution.hpp for
+/// the classification cascade), so per-cause counts sum to the violation
+/// total.
+enum class ViolationCause : int {
+  kColdStart = 0,       // container boot charged to the request dominated
+  kGatewayQueue,        // gateway wait + batch formation dominated
+  kBatching,            // lane/container wait after dispatch dominated
+  kMpsInterference,     // Eq. 1 FBR contention stretch dominated
+  kHardwareSwitch,      // waited through a switch/outage blackout window
+  kFailureRetry,        // the request's batch failed and was re-queued
+  kExecution,           // isolated execution alone blew the budget
+  kUnserved,            // never completed before the drain cap
+};
+
+inline constexpr int kViolationCauseCount = 8;
+
+/// Stable machine name ("cold_start", "gateway_queue", ...).
+std::string_view violation_cause_name(ViolationCause cause);
+
+/// Per-cause violation counters (sums to the violation total when every
+/// violation is classified).
+using ViolationCauseCounts = std::array<std::uint64_t, kViolationCauseCount>;
 
 class SloTracker {
  public:
@@ -18,10 +45,23 @@ class SloTracker {
   void record_arrival(TimeMs arrival_ms);
   void record_completion(TimeMs arrival_ms, TimeMs completion_ms);
 
+  /// Attribute one SLO violation to a root cause (the attribution engine
+  /// classifies; the framework records). Independent of record_completion —
+  /// callers keep the invariant that each violating request is recorded
+  /// exactly once.
+  void record_violation_cause(ViolationCause cause);
+
   DurationMs slo_ms() const { return slo_ms_; }
   std::uint64_t total() const { return completed_; }
   std::uint64_t compliant() const { return compliant_; }
+  std::uint64_t violations() const { return completed_ - compliant_; }
+  std::uint64_t arrivals() const { return arrivals_; }
   double compliance() const;
+
+  const ViolationCauseCounts& violation_causes() const { return causes_; }
+  /// Sum of the per-cause counters (== violations() once every violation
+  /// was classified).
+  std::uint64_t classified_violations() const;
 
   /// Average goodput (SLO-compliant completions per second, attributed to
   /// the request's arrival second) over [start, end).
@@ -37,6 +77,8 @@ class SloTracker {
   DurationMs bucket_ms_;
   std::uint64_t completed_ = 0;
   std::uint64_t compliant_ = 0;
+  std::uint64_t arrivals_ = 0;
+  ViolationCauseCounts causes_{};
   std::vector<std::uint32_t> arrivals_per_bucket_;
   std::vector<std::uint32_t> goodput_per_bucket_;
 };

@@ -14,7 +14,7 @@ class JobDistributorTest : public ::testing::Test {
         distributor_(
             batcher_, ids_,
             [this](const cluster::Request& request,
-                   const cluster::ExecutionReport& report) {
+                   const cluster::ExecutionReport& report, hw::NodeType) {
               completions_.emplace_back(request, report);
             },
             [this](models::ModelId, std::vector<cluster::Request> requests) {

@@ -1,0 +1,132 @@
+// Unit tests for prediction-vs-observation calibration: interval lookup,
+// batch folding, and the MAPE/coverage/rate-pairing summary math.
+#include "src/obs/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace paldia::obs {
+namespace {
+
+CalibrationInterval tick(TimeMs t_ms, int node, DurationMs predicted_tmax_ms,
+                         bool feasible = true, int best_y = 0) {
+  CalibrationInterval interval;
+  interval.t_ms = t_ms;
+  interval.node = node;
+  interval.predicted_tmax_ms = predicted_tmax_ms;
+  interval.predicted_feasible = feasible;
+  interval.best_y = best_y;
+  return interval;
+}
+
+TEST(IntervalContaining, FindsTheTickWindow) {
+  std::vector<CalibrationInterval> intervals = {tick(1000.0, 0, 100.0),
+                                                tick(2000.0, 0, 100.0),
+                                                tick(3000.0, 0, 100.0)};
+  EXPECT_EQ(interval_containing(intervals, 500.0), -1);  // before the first
+  EXPECT_EQ(interval_containing(intervals, 1000.0), 0);  // left-closed
+  EXPECT_EQ(interval_containing(intervals, 1999.9), 0);
+  EXPECT_EQ(interval_containing(intervals, 2000.0), 1);
+  EXPECT_EQ(interval_containing(intervals, 9999.0), 2);  // last is open-ended
+  EXPECT_EQ(interval_containing({}, 1000.0), -1);
+}
+
+TEST(CalibrationTracker, ObserveBatchFoldsMaxIntoMatchingInterval) {
+  CalibrationTracker tracker;
+  tracker.on_decision(1000.0, /*node=*/2, /*predicted_tmax_ms=*/120.0,
+                      /*best_y=*/3, /*feasible=*/true, /*predicted_rps=*/0.0,
+                      /*observed_rps=*/0.0);
+  tracker.on_decision(2000.0, /*node=*/1, 90.0, 2, true, 0.0, 0.0);
+
+  tracker.observe_batch(/*node=*/2, /*submit_ms=*/1100.0, /*end_ms=*/1180.0);
+  tracker.observe_batch(2, 1200.0, 1350.0);  // larger e2e wins
+  tracker.observe_batch(1, 1300.0, 1310.0);  // wrong node for interval 0
+  tracker.observe_batch(2, 500.0, 600.0);    // before the first tick
+  tracker.observe_batch(1, 2500.0, 2560.0);
+
+  const auto& intervals = tracker.intervals();
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_TRUE(intervals[0].observed);
+  EXPECT_DOUBLE_EQ(intervals[0].observed_max_e2e_ms, 150.0);
+  EXPECT_TRUE(intervals[1].observed);
+  EXPECT_DOUBLE_EQ(intervals[1].observed_max_e2e_ms, 60.0);
+}
+
+TEST(SummarizeCalibration, MapeAndCoverage) {
+  std::vector<CalibrationInterval> intervals;
+  // Observed 150 vs predicted 100: 50% error, over the 200 ms SLO? No.
+  auto a = tick(1000.0, 0, 100.0, /*feasible=*/true, /*best_y=*/2);
+  a.observed = true;
+  a.observed_max_e2e_ms = 150.0;
+  // Observed 250 vs predicted 200: 25% error, feasible but NOT covered.
+  auto b = tick(2000.0, 1, 200.0, true, 4);
+  b.observed = true;
+  b.observed_max_e2e_ms = 250.0;
+  // Unobserved tick: counts toward intervals_total only.
+  const auto c = tick(3000.0, 0, 100.0);
+  intervals = {a, b, c};
+
+  const CalibrationSummary summary =
+      summarize_calibration({intervals}, /*slo_ms=*/200.0,
+                            /*rate_horizon_ms=*/7000.0);
+  EXPECT_EQ(summary.intervals_total, 3);
+  EXPECT_EQ(summary.intervals_observed, 2);
+  EXPECT_NEAR(summary.tmax_mape, (0.5 + 0.25) / 2.0, 1e-12);
+  EXPECT_NEAR(summary.tmax_coverage, 0.5, 1e-12);  // 1 of 2 feasible covered
+
+  ASSERT_EQ(summary.per_node.size(), 2u);
+  EXPECT_EQ(summary.per_node[0].node, 0);
+  EXPECT_NEAR(summary.per_node[0].mape, 0.5, 1e-12);
+  EXPECT_NEAR(summary.per_node[0].coverage, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(summary.per_node[0].mean_predicted_ms, 100.0);
+  EXPECT_DOUBLE_EQ(summary.per_node[0].mean_observed_ms, 150.0);
+  EXPECT_EQ(summary.per_node[1].node, 1);
+  EXPECT_NEAR(summary.per_node[1].coverage, 0.0, 1e-12);
+
+  ASSERT_EQ(summary.per_y_split.size(), 2u);
+  EXPECT_EQ(summary.per_y_split[0].best_y, 2);
+  EXPECT_EQ(summary.per_y_split[1].best_y, 4);
+  EXPECT_NEAR(summary.per_y_split[1].mape, 0.25, 1e-12);
+}
+
+TEST(SummarizeCalibration, RatePairingUsesHorizonWithinRep) {
+  std::vector<CalibrationInterval> intervals;
+  for (int i = 0; i < 5; ++i) {
+    auto t = tick(i * 1000.0, 0, 0.0);
+    t.predicted_rps = 100.0;
+    t.observed_rps = 100.0 + i * 10.0;  // 100, 110, ..., 140
+    intervals.push_back(t);
+  }
+  // Horizon 2 s: tick i pairs with tick i+2; the last two have no answer.
+  const CalibrationSummary summary =
+      summarize_calibration({intervals}, 200.0, /*rate_horizon_ms=*/2000.0);
+  EXPECT_EQ(summary.rate.pairs, 3);
+  // Errors: |120-100|/100, |130-100|/100, |140-100|/100.
+  EXPECT_NEAR(summary.rate.mape, (0.2 + 0.3 + 0.4) / 3.0, 1e-12);
+  EXPECT_NEAR(summary.rate.mean_predicted_rps, 100.0, 1e-12);
+  EXPECT_NEAR(summary.rate.mean_observed_rps, 130.0, 1e-12);
+
+  // Two repetitions never pair across the boundary: same ticks split into
+  // two runs yield no pair (each run is shorter than the horizon).
+  const std::vector<CalibrationInterval> first(intervals.begin(),
+                                               intervals.begin() + 2);
+  const std::vector<CalibrationInterval> second(intervals.begin() + 2,
+                                                intervals.end());
+  const CalibrationSummary split =
+      summarize_calibration({first, second}, 200.0, 3000.0);
+  EXPECT_EQ(split.rate.pairs, 0);
+}
+
+TEST(SummarizeCalibration, EmptyRunsYieldDefaults) {
+  const CalibrationSummary summary = summarize_calibration({}, 200.0, 7000.0);
+  EXPECT_EQ(summary.intervals_total, 0);
+  EXPECT_EQ(summary.intervals_observed, 0);
+  EXPECT_DOUBLE_EQ(summary.tmax_mape, 0.0);
+  EXPECT_DOUBLE_EQ(summary.tmax_coverage, 1.0);
+  EXPECT_TRUE(summary.per_node.empty());
+  EXPECT_EQ(summary.rate.pairs, 0);
+}
+
+}  // namespace
+}  // namespace paldia::obs

@@ -84,6 +84,60 @@ TEST(SloTracker, GoodputAttributedToArrivalSecond) {
   EXPECT_NEAR(tracker.goodput_rps(1000.0, 2000.0), 0.0, 1e-9);
 }
 
+TEST(SloTracker, RatesOverEmptyOrInvertedWindowAreZero) {
+  SloTracker tracker(200.0);
+  EXPECT_EQ(tracker.goodput_rps(0.0, 5000.0), 0.0);  // nothing recorded
+  EXPECT_EQ(tracker.arrival_rps(0.0, 5000.0), 0.0);
+
+  tracker.record_arrival(100.0);
+  tracker.record_completion(100.0, 150.0);
+  EXPECT_EQ(tracker.goodput_rps(1000.0, 1000.0), 0.0);  // zero-width
+  EXPECT_EQ(tracker.arrival_rps(2000.0, 1000.0), 0.0);  // inverted
+}
+
+TEST(SloTracker, RatesBeyondTheLastBucketAreZero) {
+  SloTracker tracker(200.0);
+  tracker.record_arrival(500.0);
+  tracker.record_completion(500.0, 600.0);
+  // A window entirely past the last populated bucket must not read out of
+  // range, and the rate denominator uses the requested span.
+  EXPECT_EQ(tracker.arrival_rps(10'000.0, 20'000.0), 0.0);
+  EXPECT_EQ(tracker.goodput_rps(10'000.0, 20'000.0), 0.0);
+  // A window that starts inside and extends past the data still averages
+  // over the full span asked for.
+  EXPECT_NEAR(tracker.arrival_rps(0.0, 10'000.0), 0.1, 1e-9);
+}
+
+TEST(SloTracker, CompletionsStraddlingBucketBoundaries) {
+  SloTracker tracker(200.0);
+  // Arrivals in three consecutive seconds; the [start, end) window is
+  // half-open, so a query ending exactly at a boundary excludes that bucket.
+  tracker.record_arrival(999.9);
+  tracker.record_arrival(1000.0);
+  tracker.record_arrival(1999.9);
+  for (const double t : {999.9, 1000.0, 1999.9}) {
+    tracker.record_completion(t, t + 100.0);
+  }
+  EXPECT_NEAR(tracker.arrival_rps(0.0, 1000.0), 1.0, 1e-9);
+  EXPECT_NEAR(tracker.arrival_rps(1000.0, 2000.0), 2.0, 1e-9);
+  EXPECT_NEAR(tracker.arrival_rps(0.0, 2000.0), 1.5, 1e-9);
+  EXPECT_NEAR(tracker.goodput_rps(1000.0, 2000.0), 2.0, 1e-9);
+  // Negative start clamps to bucket zero.
+  EXPECT_NEAR(tracker.arrival_rps(-1000.0, 1000.0), 0.5, 1e-9);
+}
+
+TEST(SloTracker, ViolationCausesSumMatchesClassifiedCount) {
+  SloTracker tracker(200.0);
+  tracker.record_completion(0.0, 500.0);
+  tracker.record_completion(0.0, 600.0);
+  tracker.record_violation_cause(ViolationCause::kColdStart);
+  tracker.record_violation_cause(ViolationCause::kMpsInterference);
+  EXPECT_EQ(tracker.violations(), 2u);
+  EXPECT_EQ(tracker.classified_violations(), 2u);
+  EXPECT_EQ(tracker.violation_causes()[static_cast<int>(ViolationCause::kColdStart)],
+            1u);
+}
+
 TEST(CostTracker, ReflectsClusterHoldings) {
   sim::Simulator simulator;
   cluster::Cluster cluster(simulator, Rng(1));
