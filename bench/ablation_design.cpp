@@ -51,7 +51,8 @@ int main(int argc, char** argv) {
       local.framework.autoscaler.keep_alive_ms = keep_alive;
       local.framework.autoscaler.min_containers = keep_alive == 0.0 ? 0 : 1;
       exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
-                         &bench::shared_pool(options));
+                         &bench::shared_pool(options),
+                         bench::factory_options(options));
       const auto metrics =
           observer.run(runner, local, exp::SchemeId::kPaldia).combined;
       table.add_row({Table::num(keep_alive / 1000.0, 0) + " s",
@@ -75,7 +76,7 @@ int main(int argc, char** argv) {
     exhaustion.framework.initial_node = hw::NodeType::kP3_2xlarge;
     Table table({"beta", "SLO compliance", "P99"});
     for (const double beta : {0.0, 0.1, 0.2, 0.35}) {
-      exp::SchemeFactoryOptions factory_options;
+      exp::SchemeFactoryOptions factory_options = bench::factory_options(options);
       factory_options.tmax_beta = beta;
       const auto metrics = run_paldia(exhaustion, factory_options,
                                       &bench::shared_pool(options), observer);
@@ -91,7 +92,7 @@ int main(int argc, char** argv) {
     std::cout << "--- 3. choose_best_HW performance band ---\n";
     Table table({"Band (ms)", "SLO compliance", "Cost"});
     for (const double band : {0.0, 50.0, 200.0}) {
-      exp::SchemeFactoryOptions factory_options;
+      exp::SchemeFactoryOptions factory_options = bench::factory_options(options);
       exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(), nullptr,
                          factory_options);
       // The band lives in the policy config; rebuild via a local runner
@@ -104,6 +105,7 @@ int main(int argc, char** argv) {
       models::ProfileTable profile(hw::Catalog::instance());
       core::PaldiaPolicyConfig config;
       config.selection.performance_band_ms = band;
+      config.tmax_cache = options.tmax_cache;
       auto policy = std::make_unique<core::PaldiaPolicy>(
           models::Zoo::instance(), hw::Catalog::instance(), profile, nullptr, config);
       core::FrameworkConfig framework_config = local.framework;

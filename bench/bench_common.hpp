@@ -35,6 +35,11 @@ struct BenchOptions {
   /// all runs of the sweep, written as JSON at exit. The same analysis
   /// `paldia-analyze` performs offline on --trace-out files.
   std::string report_out;
+  /// --no-tmax-cache: run the Eq. 1 sweep memoization in bypass mode —
+  /// identical lookups and hit/miss counters, but every sweep recomputes.
+  /// Exports must come out byte-identical to the cached run; this flag is
+  /// the reference side of that check.
+  bool tmax_cache = true;
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -55,9 +60,11 @@ inline BenchOptions parse_options(int argc, char** argv) {
       options.report_out = arg.substr(13);
     } else if (arg == "--full") {
       options.full = true;
+    } else if (arg == "--no-tmax-cache") {
+      options.tmax_cache = false;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: %s [--reps=N] [--threads=N] [--full]\n"
+          "usage: %s [--reps=N] [--threads=N] [--full] [--no-tmax-cache]\n"
           "          [--trace-out=FILE.json]   Chrome trace-event JSON per\n"
           "                                    (scenario, scheme) run (Perfetto)\n"
           "          [--metrics-out=FILE]      RunMetrics rows, streaming\n"
@@ -65,7 +72,9 @@ inline BenchOptions parse_options(int argc, char** argv) {
           "          [--decisions-out=FILE]    scheduler decision log, one row\n"
           "                                    per monitor tick per repetition\n"
           "          [--report-out=FILE.json]  violation-attribution +\n"
-          "                                    calibration report over the sweep\n",
+          "                                    calibration report over the sweep\n"
+          "          [--no-tmax-cache]         recompute every Eq. 1 sweep\n"
+          "                                    (memoization bypass reference)\n",
           argv[0]);
       std::exit(0);
     }
@@ -79,6 +88,14 @@ inline BenchOptions parse_options(int argc, char** argv) {
 inline ThreadPool& shared_pool(const BenchOptions& options) {
   static ThreadPool pool(static_cast<std::size_t>(options.threads));
   return pool;
+}
+
+/// SchemeFactoryOptions carrying the CLI's policy-level switches. Drivers
+/// with extra knobs (tmax_beta, offline split) start from this and override.
+inline exp::SchemeFactoryOptions factory_options(const BenchOptions& options) {
+  exp::SchemeFactoryOptions factory;
+  factory.tmax_cache = options.tmax_cache;
+  return factory;
 }
 
 inline void print_header(const std::string& title, const std::string& paper_claim) {

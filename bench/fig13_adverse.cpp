@@ -24,7 +24,8 @@ int main(int argc, char** argv) {
       "drops (P) schemes.");
 
   exp::Runner runner(models::Zoo::instance(), hw::Catalog::instance(),
-                     &bench::shared_pool(options));
+                     &bench::shared_pool(options),
+                     bench::factory_options(options));
   bench::RunObserver observer(options, "fig13");
 
   {

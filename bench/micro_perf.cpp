@@ -4,6 +4,9 @@
 // (< 3 ms)" — see BM_YOptimizerSweep.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "src/cluster/gpu_device.hpp"
 #include "src/common/histogram.hpp"
 #include "src/core/hardware_selection.hpp"
@@ -12,6 +15,7 @@
 #include "src/obs/attribution.hpp"
 #include "src/obs/sketch.hpp"
 #include "src/obs/tracer.hpp"
+#include "src/perfmodel/tmax_cache.hpp"
 #include "src/perfmodel/y_optimizer.hpp"
 #include "src/predictor/ewma.hpp"
 #include "src/sim/simulator.hpp"
@@ -69,6 +73,77 @@ void BM_EventQueueChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10'000);
 }
 BENCHMARK(BM_EventQueueChurn);
+
+void BM_EventQueueScheduleCancelPop(benchmark::State& state) {
+  // The device-sim hot pattern (GpuDevice::reschedule_completion): schedule
+  // a completion, cancel it when the concurrency set changes, pop what
+  // survives — interleaved so the heap stays warm like a real run.
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    std::vector<sim::EventHandle> ring(64);
+    std::size_t slot = 0;
+    double popped_until = 0.0;
+    for (int i = 0; i < 10'000; ++i) {
+      ring[slot].cancel();
+      const double t =
+          popped_until + static_cast<double>((i * 37) % 1000) + 1.0;
+      ring[slot] = queue.schedule(t, [] {});
+      slot = (slot + 1) % ring.size();
+      if (i % 16 == 15) {
+        for (int p = 0; p < 8 && !queue.empty(); ++p) {
+          auto fired = queue.pop();
+          popped_until = fired.time;
+          fired.fn();
+        }
+      }
+    }
+    while (!queue.empty()) queue.pop().fn();
+    benchmark::DoNotOptimize(popped_until);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+  state.SetLabel("schedule+cancel+pop churn");
+}
+BENCHMARK(BM_EventQueueScheduleCancelPop);
+
+void BM_SimulatorPeriodicTick(benchmark::State& state) {
+  // Per-firing cost of schedule_every: the monitor/dispatch/sampler loops
+  // all ride this primitive, thousands of firings per simulated run.
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::uint64_t ticks = 0;
+    auto handle = simulator.schedule_every(0.0, 1.0, [&] { ++ticks; });
+    simulator.run_until(10'000.0);
+    handle.cancel();
+    simulator.run_to_completion();
+    benchmark::DoNotOptimize(ticks);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'001);
+}
+BENCHMARK(BM_SimulatorPeriodicTick);
+
+void BM_TmaxCacheHit(benchmark::State& state) {
+  // Steady-state cost of a memoized Eq. 1 sweep: one mutex + hash lookup
+  // instead of the full y-sweep. Compare with BM_YOptimizerSweep — the gap
+  // is what the cache saves on every revisited operating point.
+  perfmodel::YOptimizer optimizer(perfmodel::TmaxModel(0.2));
+  perfmodel::TmaxCache cache;
+  const int n = 1024;
+  const perfmodel::WorkloadPoint point{n, 64, 90.0, 0.65, 200.0};
+  perfmodel::TmaxCache::Key key;
+  key.model = 1;
+  key.node = 2;
+  key.n_requests = n;
+  key.slo_q = perfmodel::TmaxCache::quantize_slo(point.slo_ms);
+  key.max_probes = perfmodel::kDefaultSweepProbes;
+  cache.best_split(optimizer, key, point, perfmodel::kDefaultSweepProbes);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.best_split(optimizer, key, point, perfmodel::kDefaultSweepProbes));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("memoized sweep lookup");
+}
+BENCHMARK(BM_TmaxCacheHit);
 
 void BM_GpuDeviceProcessorSharing(benchmark::State& state) {
   const auto& gpu = *hw::Catalog::instance().spec(hw::NodeType::kG3s_xlarge).gpu;
@@ -243,3 +318,29 @@ void BM_TracerRecordLifecycle(benchmark::State& state) {
 BENCHMARK(BM_TracerRecordLifecycle);
 
 }  // namespace
+
+// Custom main instead of benchmark_main: adds --json-out=FILE, which routes
+// the standard google-benchmark JSON report to FILE (the perf-baseline
+// tooling reads it; see tools/perf_baseline.py and BENCH_perf.json).
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 2);
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json-out=", 0) == 0) {
+      args.push_back("--benchmark_out=" + arg.substr(11));
+      args.push_back("--benchmark_out_format=json");
+    } else {
+      args.push_back(arg);
+    }
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (auto& arg : args) argv2.push_back(arg.data());
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,12 +6,15 @@ namespace paldia::baselines {
 
 OraclePolicy::OraclePolicy(const models::Zoo& zoo, const hw::Catalog& catalog,
                            const models::ProfileTable& profile, ThreadPool* pool,
-                           double tmax_beta)
+                           double tmax_beta, bool tmax_cache)
     : SchedulerPolicy(catalog),
       zoo_(&zoo),
       profile_(&profile),
       optimizer_(perfmodel::TmaxModel(tmax_beta), pool),
-      selection_(zoo, catalog, profile, optimizer_, pool) {}
+      tmax_cache_(/*bypass=*/!tmax_cache),
+      selection_(zoo, catalog, profile, optimizer_, pool) {
+  selection_.set_tmax_cache(&tmax_cache_);
+}
 
 void OraclePolicy::reveal_trace(models::ModelId model, const trace::Trace& trace) {
   traces_[model] = &trace;
@@ -65,7 +68,14 @@ core::SplitPlan OraclePolicy::plan_dispatch(const core::DemandSnapshot& demand,
   const auto entry = profile_->lookup(model, node, bs);
   perfmodel::WorkloadPoint point{n, bs, entry.solo_ms, entry.fbr,
                                  model.slo_ms * 0.85, entry.compute};
-  const auto decision = optimizer_.best_split(point);
+  perfmodel::TmaxCache::Key key;
+  key.model = static_cast<std::int16_t>(demand.model);
+  key.node = static_cast<std::int16_t>(node);
+  key.n_requests = n;
+  key.slo_q = perfmodel::TmaxCache::quantize_slo(point.slo_ms);
+  key.max_probes = perfmodel::kDefaultSweepProbes;
+  const auto decision = tmax_cache_.best_split(optimizer_, key, point,
+                                               perfmodel::kDefaultSweepProbes);
   plan.batch_size = bs;
   plan.temporal_requests = std::clamp(decision.y, 0, n);
   plan.spatial_requests = n - plan.temporal_requests;

@@ -17,7 +17,7 @@ class OraclePolicy final : public core::SchedulerPolicy {
  public:
   OraclePolicy(const models::Zoo& zoo, const hw::Catalog& catalog,
                const models::ProfileTable& profile, ThreadPool* pool = nullptr,
-               double tmax_beta = 0.2);
+               double tmax_beta = 0.2, bool tmax_cache = true);
 
   /// Register the true trace of a workload (clairvoyance source).
   void reveal_trace(models::ModelId model, const trace::Trace& trace);
@@ -30,6 +30,10 @@ class OraclePolicy final : public core::SchedulerPolicy {
   core::SplitPlan plan_dispatch(const core::DemandSnapshot& demand,
                                 hw::NodeType node, TimeMs now) override;
 
+  perfmodel::TmaxCacheStats tmax_cache_stats() const override {
+    return tmax_cache_.stats();
+  }
+
  private:
   core::DemandSnapshot clairvoyant(const core::DemandSnapshot& demand,
                                    TimeMs now) const;
@@ -37,6 +41,7 @@ class OraclePolicy final : public core::SchedulerPolicy {
   const models::Zoo* zoo_;
   const models::ProfileTable* profile_;
   perfmodel::YOptimizer optimizer_;
+  perfmodel::TmaxCache tmax_cache_;
   core::HardwareSelection selection_;
   std::map<models::ModelId, const trace::Trace*> traces_;
 };

@@ -1,0 +1,121 @@
+// Small-buffer-optimized, move-only callable wrapper.
+//
+// The event queue stores one callback per scheduled event; with
+// std::function almost every capture list of more than two pointers pays a
+// heap allocation on the simulation hot path. InlineFunction keeps captures
+// up to kInlineFunctionBytes (48 B, enough for every closure the framework
+// schedules) inside the object and falls back to the heap only beyond that.
+// Move-only is deliberate: events are scheduled once and fired once, and it
+// lets the queue store non-copyable captures.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace paldia {
+
+inline constexpr std::size_t kInlineFunctionBytes = 48;
+
+template <typename Signature, std::size_t InlineBytes = kInlineFunctionBytes>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+ public:
+  InlineFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      vtable_ = &inline_vtable<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(fn)));
+      vtable_ = &heap_vtable<Fn>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+  R operator()(Args... args) {
+    return vtable_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void* self, Args&&... args);
+    /// Move-construct the callable at dst from the one at src, then destroy
+    /// the source. dst is raw storage.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* self) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline =
+      sizeof(Fn) <= InlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<Fn>;
+
+  template <typename Fn>
+  static constexpr VTable inline_vtable = {
+      [](void* self, Args&&... args) -> R {
+        return (*static_cast<Fn*>(self))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* self) noexcept { static_cast<Fn*>(self)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr VTable heap_vtable = {
+      [](void* self, Args&&... args) -> R {
+        return (**static_cast<Fn**>(self))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn*(*static_cast<Fn**>(src));
+        *static_cast<Fn**>(src) = nullptr;
+      },
+      [](void* self) noexcept { delete *static_cast<Fn**>(self); },
+  };
+
+  void move_from(InlineFunction& other) noexcept {
+    if (other.vtable_ == nullptr) return;
+    other.vtable_->relocate(storage_, other.storage_);
+    vtable_ = other.vtable_;
+    other.vtable_ = nullptr;
+  }
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[InlineBytes];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace paldia

@@ -17,6 +17,19 @@ HardwareSelection::HardwareSelection(const models::Zoo& zoo, const hw::Catalog& 
       pool_(pool),
       config_(config) {}
 
+perfmodel::SharingDecision HardwareSelection::sweep(
+    models::ModelId model, hw::NodeType node,
+    const perfmodel::WorkloadPoint& point) const {
+  if (cache_ == nullptr) return optimizer_->best_split(point);
+  perfmodel::TmaxCache::Key key;
+  key.model = static_cast<std::int16_t>(model);
+  key.node = static_cast<std::int16_t>(node);
+  key.n_requests = point.n_requests;
+  key.slo_q = perfmodel::TmaxCache::quantize_slo(point.slo_ms);
+  key.max_probes = perfmodel::kDefaultSweepProbes;
+  return cache_->best_split(*optimizer_, key, point, perfmodel::kDefaultSweepProbes);
+}
+
 int HardwareSelection::coexisting_requests(const DemandSnapshot& demand,
                                            DurationMs slo_ms) const {
   // Trend-boosted prediction: the burst bound is the early-warning signal
@@ -80,7 +93,7 @@ HardwareChoice HardwareSelection::evaluate(
     if (n <= 0) continue;
     perfmodel::SharingDecision decision;
     for (int iteration = 0; iteration < 3; ++iteration) {
-      decision = optimizer_->best_split(point_for(n));
+      decision = sweep(snapshot.model, node, point_for(n));
       const DurationMs horizon = std::min(decision.t_max_ms, model.slo_ms);
       const int next = snapshot.backlog +
                        static_cast<int>(std::ceil(lambda * horizon / kMsPerSecond));
@@ -95,7 +108,7 @@ HardwareChoice HardwareSelection::evaluate(
     // (the tail explodes just like a saturated CPU queue).
     const int n_sat = std::max(
         n, static_cast<int>(std::ceil(lambda * model.slo_ms / kMsPerSecond)));
-    const auto saturated = optimizer_->best_split(point_for(n_sat));
+    const auto saturated = sweep(snapshot.model, node, point_for(n_sat));
     const Rps capacity =
         saturated.t_max_ms > 0.0
             ? n_sat / (saturated.t_max_ms / kMsPerSecond)

@@ -17,6 +17,7 @@
 #include "src/models/profile.hpp"
 #include "src/models/zoo.hpp"
 #include "src/perfmodel/cpu_latency_model.hpp"
+#include "src/perfmodel/tmax_cache.hpp"
 #include "src/perfmodel/y_optimizer.hpp"
 
 namespace paldia::core {
@@ -73,11 +74,22 @@ class HardwareSelection {
 
   const HardwareSelectionConfig& config() const { return config_; }
 
+  /// Memoize the per-(model, node, N) y-sweeps through `cache` (owned by
+  /// the policy; null disables memoization entirely). Because the sweep is
+  /// deterministic over the immutable profile table, the cache only changes
+  /// wall-clock time — choose()/evaluate() results are bit-identical.
+  void set_tmax_cache(perfmodel::TmaxCache* cache) { cache_ = cache; }
+
  private:
+  /// best_split through the cache when one is attached.
+  perfmodel::SharingDecision sweep(models::ModelId model, hw::NodeType node,
+                                   const perfmodel::WorkloadPoint& point) const;
+
   const models::Zoo* zoo_;
   const hw::Catalog* catalog_;
   const models::ProfileTable* profile_;
   const perfmodel::YOptimizer* optimizer_;
+  perfmodel::TmaxCache* cache_ = nullptr;
   ThreadPool* pool_;
   HardwareSelectionConfig config_;
 };

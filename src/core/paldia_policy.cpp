@@ -15,8 +15,25 @@ PaldiaPolicy::PaldiaPolicy(const models::Zoo& zoo, const hw::Catalog& catalog,
       zoo_(&zoo),
       profile_(&profile),
       optimizer_(perfmodel::TmaxModel(config.tmax_beta), pool),
+      tmax_cache_(/*bypass=*/!config.tmax_cache),
       selection_(zoo, catalog, profile, optimizer_, pool, config.selection),
-      config_(config) {}
+      config_(config) {
+  selection_.set_tmax_cache(&tmax_cache_);
+}
+
+void PaldiaPolicy::sync_cache_counters() {
+  if (tracer() == nullptr) return;
+  const perfmodel::TmaxCacheStats stats = tmax_cache_.stats();
+  // Deltas (not totals) because Tracer::count accumulates; a zero delta
+  // still registers the counter, keeping the sampled stream's key set
+  // identical whether or not any sweep ran this interval.
+  tracer()->count("tmax_cache_hit",
+                  static_cast<double>(stats.hits - synced_hits_));
+  tracer()->count("tmax_cache_miss",
+                  static_cast<double>(stats.misses - synced_misses_));
+  synced_hits_ = stats.hits;
+  synced_misses_ = stats.misses;
+}
 
 hw::NodeType PaldiaPolicy::select_hardware(const std::vector<DemandSnapshot>& demand,
                                            hw::NodeType current, TimeMs now) {
@@ -28,6 +45,9 @@ hw::NodeType PaldiaPolicy::select_hardware(const std::vector<DemandSnapshot>& de
   const HardwareChoice choice =
       selection_.choose(demand, rec != nullptr ? &sweep : nullptr);
   const hw::NodeType decided = apply_hysteresis(choice, current, demand, now);
+  // The monitor tick samples counters right after this call; flushing here
+  // folds the interval's dispatch-round sweeps into the same sample.
+  sync_cache_counters();
   if (rec != nullptr) {
     rec->raw_choice = choice.node;
     rec->raw_feasible = choice.feasible;
@@ -155,7 +175,14 @@ SplitPlan PaldiaPolicy::plan_dispatch(const DemandSnapshot& demand, hw::NodeType
   perfmodel::WorkloadPoint point{n, bs, entry.solo_ms, entry.fbr,
                                  model.slo_ms * config_.selection.slo_headroom,
                                  entry.compute};
-  const auto decision = optimizer_.best_split(point, config_.sweep_max_probes);
+  perfmodel::TmaxCache::Key key;
+  key.model = static_cast<std::int16_t>(demand.model);
+  key.node = static_cast<std::int16_t>(node);
+  key.n_requests = n;
+  key.slo_q = perfmodel::TmaxCache::quantize_slo(point.slo_ms);
+  key.max_probes = config_.sweep_max_probes;
+  const auto decision =
+      tmax_cache_.best_split(optimizer_, key, point, config_.sweep_max_probes);
   plan.batch_size = bs;
   plan.temporal_requests = std::clamp(decision.y, 0, n);
   plan.spatial_requests = n - plan.temporal_requests;

@@ -3,6 +3,7 @@
 // the Job Distributor enacts the best y split computed by the model).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "src/core/hardware_selection.hpp"
@@ -21,7 +22,11 @@ struct PaldiaPolicyConfig {
   /// keep-alive (Section IV-C).
   int downgrade_wait_limit = 24;
   double tmax_beta = 0.2;    // scheduler-side contention coefficient
-  int sweep_max_probes = 256;
+  int sweep_max_probes = perfmodel::kDefaultSweepProbes;
+  /// Memoize the Eq. 1 y-sweeps (exact — TmaxModel is deterministic).
+  /// false = bypass mode: identical lookups and counters, always recompute
+  /// (the --no-tmax-cache byte-identity reference).
+  bool tmax_cache = true;
 };
 
 class PaldiaPolicy final : public SchedulerPolicy {
@@ -41,6 +46,11 @@ class PaldiaPolicy final : public SchedulerPolicy {
   const HardwareSelection& selection() const { return selection_; }
   int wait_counter() const { return wait_ctr_; }
 
+  perfmodel::TmaxCacheStats tmax_cache_stats() const override {
+    return tmax_cache_.stats();
+  }
+  const perfmodel::TmaxCache& tmax_cache() const { return tmax_cache_; }
+
  private:
   /// Algorithm 1's tail: wait/downgrade/emergency counters deciding when
   /// the raw choice actually triggers a reconfiguration.
@@ -48,11 +58,19 @@ class PaldiaPolicy final : public SchedulerPolicy {
                                 const std::vector<DemandSnapshot>& demand,
                                 TimeMs now);
 
+  /// Flush cache hit/miss deltas into the tracer's counter registry (the
+  /// samples ride the monitor-tick counter dump). Identical in cached and
+  /// bypass mode, so enabling the cache never perturbs exported bytes.
+  void sync_cache_counters();
+
   const models::Zoo* zoo_;
   const models::ProfileTable* profile_;
   perfmodel::YOptimizer optimizer_;
+  perfmodel::TmaxCache tmax_cache_;
   HardwareSelection selection_;
   PaldiaPolicyConfig config_;
+  std::uint64_t synced_hits_ = 0;
+  std::uint64_t synced_misses_ = 0;
   int wait_ctr_ = 0;
   hw::NodeType last_choice_{};
   bool has_last_choice_ = false;

@@ -16,6 +16,7 @@
 #include "src/hw/catalog.hpp"
 #include "src/models/profile.hpp"
 #include "src/models/zoo.hpp"
+#include "src/perfmodel/tmax_cache.hpp"
 #include "src/perfmodel/y_optimizer.hpp"
 
 namespace paldia::obs {
@@ -77,6 +78,10 @@ class SchedulerPolicy {
   /// Observability hook (may be null — tracing disabled). Policies that
   /// record decision sweeps check tracer() inside select_hardware().
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Hit/miss totals of the policy's Eq. 1 sweep memoization (all-zero for
+  /// policies without a TmaxCache). Surfaced into RunMetrics by the runner.
+  virtual perfmodel::TmaxCacheStats tmax_cache_stats() const { return {}; }
 
  protected:
   explicit SchedulerPolicy(const hw::Catalog& catalog) : catalog_(&catalog) {}

@@ -167,6 +167,14 @@ RunResult Runner::run_once(const Scenario& scenario, SchemeId scheme,
   combined.rate_mape = calibration_summary.rate.mape;
   combined.calib_intervals = static_cast<double>(calibration_summary.intervals_total);
 
+  // Sweep-memoization totals are policy-wide (the cache is shared across
+  // workloads), mirrored into every row like the other shared columns.
+  const perfmodel::TmaxCacheStats cache_stats =
+      framework.policy().tmax_cache_stats();
+  combined.tmax_cache_hits = static_cast<double>(cache_stats.hits);
+  combined.tmax_cache_misses = static_cast<double>(cache_stats.misses);
+  combined.tmax_cache_hit_rate = cache_stats.hit_rate();
+
   for (auto& per_workload : result.per_workload) {
     per_workload.cost = combined.cost;
     per_workload.average_power = combined.average_power;
@@ -177,6 +185,9 @@ RunResult Runner::run_once(const Scenario& scenario, SchemeId scheme,
     per_workload.tmax_coverage = combined.tmax_coverage;
     per_workload.rate_mape = combined.rate_mape;
     per_workload.calib_intervals = combined.calib_intervals;
+    per_workload.tmax_cache_hits = combined.tmax_cache_hits;
+    per_workload.tmax_cache_misses = combined.tmax_cache_misses;
+    per_workload.tmax_cache_hit_rate = combined.tmax_cache_hit_rate;
   }
   result.combined = std::move(combined);
   return result;

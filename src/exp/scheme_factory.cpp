@@ -47,6 +47,7 @@ std::unique_ptr<core::SchedulerPolicy> SchemeFactory::make(SchemeId id) const {
     case SchemeId::kPaldia: {
       core::PaldiaPolicyConfig config;
       config.tmax_beta = options_.tmax_beta;
+      config.tmax_cache = options_.tmax_cache;
       return std::make_unique<core::PaldiaPolicy>(*zoo_, *catalog_, *profile_, pool_,
                                                   config);
     }
@@ -64,7 +65,8 @@ std::unique_ptr<core::SchedulerPolicy> SchemeFactory::make(SchemeId id) const {
                                               Variant::kPerformance);
     case SchemeId::kOracle:
       return std::make_unique<baselines::OraclePolicy>(*zoo_, *catalog_, *profile_,
-                                                       pool_, options_.tmax_beta);
+                                                       pool_, options_.tmax_beta,
+                                                       options_.tmax_cache);
     case SchemeId::kOfflineHybrid:
       return std::make_unique<baselines::OfflineHybridPolicy>(
           *zoo_, *catalog_, *profile_, cheap_gpu, options_.offline_spatial_fraction);

@@ -35,6 +35,9 @@ struct SchemeFactoryOptions {
   double offline_spatial_fraction = 0.5;
   /// Scheduler-side contention coefficient for Paldia/Oracle.
   double tmax_beta = 0.2;
+  /// Memoize Eq. 1 sweeps in Paldia/Oracle. false = bypass mode (identical
+  /// lookups/counters, always recompute) — the --no-tmax-cache reference.
+  bool tmax_cache = true;
 };
 
 class SchemeFactory {

@@ -69,6 +69,12 @@ telemetry::RunMetrics aggregate_metrics(const std::vector<telemetry::RunMetrics>
   out.tmax_coverage = plain_mean(runs, [](const M& m) { return m.tmax_coverage; });
   out.rate_mape = plain_mean(runs, [](const M& m) { return m.rate_mape; });
   out.calib_intervals = plain_mean(runs, [](const M& m) { return m.calib_intervals; });
+  out.tmax_cache_hits =
+      plain_mean(runs, [](const M& m) { return m.tmax_cache_hits; });
+  out.tmax_cache_misses =
+      plain_mean(runs, [](const M& m) { return m.tmax_cache_misses; });
+  out.tmax_cache_hit_rate =
+      plain_mean(runs, [](const M& m) { return m.tmax_cache_hit_rate; });
   return out;
 }
 

@@ -111,6 +111,7 @@ const char* const kMetricsColumns[] = {
     "viol_mps_interference", "viol_hardware_switch", "viol_failure_retry",
     "viol_execution", "viol_unserved",
     "tmax_mape", "tmax_coverage", "rate_mape", "calib_intervals",
+    "tmax_cache_hits", "tmax_cache_misses", "tmax_cache_hit_rate",
 };
 }  // namespace
 
@@ -159,7 +160,9 @@ void MetricsWriter::write(const telemetry::RunMetrics& metrics,
     for (const double count : metrics.violations_by_cause) *out_ << "," << num(count);
     *out_ << "," << num(metrics.tmax_mape) << "," << num(metrics.tmax_coverage)
           << "," << num(metrics.rate_mape) << "," << num(metrics.calib_intervals)
-          << "\n";
+          << "," << num(metrics.tmax_cache_hits) << ","
+          << num(metrics.tmax_cache_misses) << ","
+          << num(metrics.tmax_cache_hit_rate) << "\n";
   } else {
     *out_ << "{\"figure\":\"" << json_escape(figure) << "\",\"scheme\":\""
           << json_escape(metrics.scheme) << "\",\"workload\":\""
@@ -194,7 +197,10 @@ void MetricsWriter::write(const telemetry::RunMetrics& metrics,
     *out_ << "},\"calibration\":{\"tmax_mape\":" << num(metrics.tmax_mape)
           << ",\"tmax_coverage\":" << num(metrics.tmax_coverage)
           << ",\"rate_mape\":" << num(metrics.rate_mape)
-          << ",\"intervals\":" << num(metrics.calib_intervals) << "}}\n";
+          << ",\"intervals\":" << num(metrics.calib_intervals)
+          << "},\"tmax_cache\":{\"hits\":" << num(metrics.tmax_cache_hits)
+          << ",\"misses\":" << num(metrics.tmax_cache_misses)
+          << ",\"hit_rate\":" << num(metrics.tmax_cache_hit_rate) << "}}\n";
   }
   out_->flush();
 }

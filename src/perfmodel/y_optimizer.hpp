@@ -15,6 +15,10 @@ struct SharingDecision {
   bool feasible = false;      // t_max <= SLO
 };
 
+/// Default probe budget of the sweep. Named so cache keys built at the
+/// call sites (TmaxCache) agree with the default-argument call paths.
+inline constexpr int kDefaultSweepProbes = 256;
+
 class YOptimizer {
  public:
   /// pool may be null: the sweep then runs on the calling thread (results
@@ -26,7 +30,8 @@ class YOptimizer {
   /// range (strided down to <= max_probes points), plus y = N (pure time
   /// sharing) and y = 0 (pure spatial — covers the unsaturated case where
   /// the optimal range is empty). Deterministic regardless of the pool.
-  SharingDecision best_split(const WorkloadPoint& point, int max_probes = 256) const;
+  SharingDecision best_split(const WorkloadPoint& point,
+                             int max_probes = kDefaultSweepProbes) const;
 
   const TmaxModel& model() const { return model_; }
 

@@ -7,37 +7,78 @@
 namespace paldia::sim {
 
 void EventHandle::cancel() {
-  if (flag_) *flag_ = true;
-}
-
-bool EventHandle::cancelled() const { return flag_ && *flag_; }
-
-EventHandle EventQueue::schedule(TimeMs t, EventFn fn) {
-  auto flag = std::make_shared<bool>(false);
-  heap_.push_back(Entry{t, next_sequence_++, std::move(fn), flag});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  return EventHandle(flag);
-}
-
-EventQueue::Entry EventQueue::take_top() const {
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry entry = std::move(heap_.back());
-  heap_.pop_back();
-  return entry;
-}
-
-void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && *heap_.front().cancelled) {
-    take_top();
+  if (queue_ != nullptr && queue_->cancel_entry(index_, generation_)) {
+    cancelled_ = true;
   }
 }
 
-bool EventQueue::empty() const {
-  drop_cancelled();
-  return heap_.empty();
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    slots_[index].next_free = kNoSlot;
+    return index;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
-TimeMs EventQueue::next_time() const {
+void EventQueue::release_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.fn = EventFn{};
+  ++slot.generation;  // invalidates every outstanding handle to this slot
+  slot.state = SlotState::kFree;
+  slot.next_free = free_head_;
+  free_head_ = index;
+}
+
+EventHandle EventQueue::schedule(TimeMs t, EventFn fn) {
+  const std::uint32_t index = acquire_slot();
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  slot.state = SlotState::kPending;
+  heap_.push_back(HeapItem{t, next_sequence_++, index, slot.generation});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
+  return EventHandle(this, index, slot.generation);
+}
+
+bool EventQueue::cancel_entry(std::uint32_t index, std::uint32_t generation) {
+  if (index >= slots_.size()) return false;
+  Slot& slot = slots_[index];
+  if (slot.generation != generation || slot.state != SlotState::kPending) {
+    return false;  // stale handle (slot recycled) or already cancelled
+  }
+  slot.state = SlotState::kCancelled;
+  slot.fn = EventFn{};  // release captures now; the heap tombstone is inert
+  --live_;
+  return true;
+}
+
+EventQueue::HeapItem EventQueue::take_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const HeapItem item = heap_.back();
+  heap_.pop_back();
+  return item;
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty()) {
+    const HeapItem& top = heap_.front();
+    const Slot& slot = slots_[top.index];
+    if (slot.generation == top.generation && slot.state == SlotState::kPending) {
+      return;  // live event on top
+    }
+    const HeapItem dead = take_top();
+    // A generation mismatch means the slot was already recycled (the item is
+    // a pure tombstone); a match means this collects the cancelled entry.
+    if (slots_[dead.index].generation == dead.generation) {
+      release_slot(dead.index);
+    }
+  }
+}
+
+TimeMs EventQueue::next_time() {
   drop_cancelled();
   return heap_.empty() ? kTimeNever : heap_.front().time;
 }
@@ -45,8 +86,25 @@ TimeMs EventQueue::next_time() const {
 EventQueue::Fired EventQueue::pop() {
   drop_cancelled();
   assert(!heap_.empty());
-  Entry top = take_top();
-  return Fired{top.time, std::move(top.fn)};
+  const HeapItem top = take_top();
+  Slot& slot = slots_[top.index];
+  Fired fired{top.time, std::move(slot.fn)};
+  release_slot(top.index);
+  --live_;
+  return fired;
+}
+
+void EventQueue::clear() {
+  for (const HeapItem& item : heap_) {
+    Slot& slot = slots_[item.index];
+    if (slot.generation == item.generation && slot.state != SlotState::kFree) {
+      if (slot.state == SlotState::kPending) --live_;
+      release_slot(item.index);
+    }
+  }
+  heap_.clear();
+  assert(live_ == 0);
+  live_ = 0;
 }
 
 }  // namespace paldia::sim

@@ -13,30 +13,76 @@ EventHandle Simulator::schedule_at(TimeMs t, EventFn fn) {
   return queue_.schedule(std::max(t, now_), std::move(fn));
 }
 
-void Simulator::PeriodicHandle::cancel() { *stopped_ = true; }
+void Simulator::PeriodicHandle::cancel() {
+  if (simulator_ != nullptr) simulator_->cancel_periodic(index_, generation_);
+}
 
-Simulator::PeriodicHandle Simulator::schedule_every(TimeMs start, DurationMs period,
-                                                    EventFn fn) {
-  PeriodicHandle handle;
-  auto stopped = handle.stopped_;
-  // Self-rescheduling closure; stops when the shared flag is set. The
-  // closure holds itself through a weak_ptr to avoid a shared_ptr cycle;
-  // the copy stored in the event queue keeps it alive between firings.
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, stopped, period, fn = std::move(fn),
-           weak = std::weak_ptr<std::function<void()>>(tick)]() {
-    if (*stopped) return;
-    fn();
-    if (!*stopped) {
-      if (auto self = weak.lock()) {
-        schedule_in(period, [self] { (*self)(); });
-      }
-    }
-  };
-  // The queued wrapper owns a shared_ptr, keeping the closure alive while a
-  // firing is pending; the closure itself only holds a weak_ptr (no cycle).
-  schedule_at(start, [tick] { (*tick)(); });
-  return handle;
+std::uint32_t Simulator::acquire_periodic_slot() {
+  if (periodic_free_head_ != kNoPeriodic) {
+    const std::uint32_t index = periodic_free_head_;
+    periodic_free_head_ = periodic_[index].next_free;
+    periodic_[index].next_free = kNoPeriodic;
+    return index;
+  }
+  periodic_.emplace_back();
+  return static_cast<std::uint32_t>(periodic_.size() - 1);
+}
+
+void Simulator::release_periodic_slot(std::uint32_t index) {
+  PeriodicTask& task = periodic_[index];
+  task.fn = RepeatFn{};
+  task.active = false;
+  ++task.generation;  // invalidates every outstanding handle to this slot
+  task.next_free = periodic_free_head_;
+  periodic_free_head_ = index;
+}
+
+bool Simulator::cancel_periodic(std::uint32_t index, std::uint32_t generation) {
+  if (index >= periodic_.size()) return false;
+  PeriodicTask& task = periodic_[index];
+  if (task.generation != generation || !task.active) return false;
+  // The already-armed queue entry (if any) stays queued and fires as a
+  // generation-mismatched no-op — same lazy semantics as event cancel.
+  release_periodic_slot(index);
+  return true;
+}
+
+Simulator::PeriodicHandle Simulator::schedule_repeating(TimeMs start,
+                                                        DurationMs period,
+                                                        RepeatFn fn) {
+  const std::uint32_t index = acquire_periodic_slot();
+  PeriodicTask& task = periodic_[index];
+  task.fn = std::move(fn);
+  task.period = period;
+  task.active = true;
+  const std::uint32_t generation = task.generation;
+  schedule_at(start,
+              [this, index, generation] { fire_periodic(index, generation); });
+  return PeriodicHandle(this, index, generation);
+}
+
+void Simulator::fire_periodic(std::uint32_t index, std::uint32_t generation) {
+  if (index >= periodic_.size()) return;
+  if (periodic_[index].generation != generation || !periodic_[index].active) {
+    return;  // series cancelled after this firing was armed
+  }
+  // Move the callback out for the call: it may itself schedule repeating
+  // events (reallocating the slab) or cancel its own series, either of which
+  // would invalidate a reference into the slab mid-invocation.
+  RepeatFn fn = std::move(periodic_[index].fn);
+  const DurationMs period = periodic_[index].period;
+  const bool keep = fn();
+  if (index >= periodic_.size()) return;
+  PeriodicTask& task = periodic_[index];
+  if (task.generation != generation || !task.active) return;
+  if (keep) {
+    task.fn = std::move(fn);
+    schedule_in(period, [this, index, generation] {
+      fire_periodic(index, generation);
+    });
+  } else {
+    release_periodic_slot(index);
+  }
 }
 
 TimeMs Simulator::run_until(TimeMs until) {
@@ -61,7 +107,18 @@ TimeMs Simulator::run_to_completion() {
 }
 
 void Simulator::reset() {
-  queue_ = EventQueue{};
+  queue_.clear();
+  // Retire every periodic slot without restarting generations, so handles
+  // from before the reset cannot cancel series scheduled after it.
+  periodic_free_head_ = kNoPeriodic;
+  for (std::uint32_t i = 0; i < periodic_.size(); ++i) {
+    PeriodicTask& task = periodic_[i];
+    task.fn = RepeatFn{};
+    task.active = false;
+    ++task.generation;
+    task.next_free = periodic_free_head_;
+    periodic_free_head_ = i;
+  }
   now_ = 0.0;
   events_processed_ = 0;
 }

@@ -5,8 +5,11 @@
 // The loop is single-threaded, so no component needs internal locking.
 #pragma once
 
-#include <functional>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
+#include "src/common/inline_function.hpp"
 #include "src/common/units.hpp"
 #include "src/sim/event_queue.hpp"
 
@@ -23,18 +26,48 @@ class Simulator {
   /// Schedule fn at absolute time t (clamped to now).
   EventHandle schedule_at(TimeMs t, EventFn fn);
 
-  /// Schedule fn every `period` ms starting at `start`. fn receives no
-  /// arguments; read now() for the tick time. Returns a handle cancelling
-  /// the *next* occurrence (and thereby the whole series).
+  /// Callback of a repeating event; returns whether to keep firing.
+  using RepeatFn = InlineFunction<bool()>;
+
+  /// Handle cancelling a repeating series scheduled with schedule_repeating
+  /// or schedule_every. Copyable; cancelling twice — or after the series
+  /// already stopped and its slot was recycled — is a harmless no-op
+  /// (generation-checked, like EventHandle).
   class PeriodicHandle {
    public:
+    PeriodicHandle() = default;
     void cancel();
 
    private:
     friend class Simulator;
-    std::shared_ptr<bool> stopped_ = std::make_shared<bool>(false);
+    PeriodicHandle(Simulator* simulator, std::uint32_t index,
+                   std::uint32_t generation)
+        : simulator_(simulator), index_(index), generation_(generation) {}
+
+    Simulator* simulator_ = nullptr;
+    std::uint32_t index_ = 0;
+    std::uint32_t generation_ = 0;
   };
-  PeriodicHandle schedule_every(TimeMs start, DurationMs period, EventFn fn);
+
+  /// First-class repeating event: fn fires at `start` and then every
+  /// `period` ms for as long as it returns true (read now() for the tick
+  /// time). The series owns one pooled slot and re-arms a thin queue entry
+  /// after each firing — no per-firing allocation, unlike the previous
+  /// shared_ptr<std::function> self-rescheduling chain.
+  PeriodicHandle schedule_repeating(TimeMs start, DurationMs period,
+                                    RepeatFn fn);
+
+  /// Schedule fn every `period` ms starting at `start`, until the returned
+  /// handle is cancelled. fn receives no arguments; read now() for the tick
+  /// time. Sugar over schedule_repeating with an always-true result.
+  template <typename F>
+  PeriodicHandle schedule_every(TimeMs start, DurationMs period, F&& fn) {
+    return schedule_repeating(start, period,
+                              [f = std::forward<F>(fn)]() mutable {
+                                f();
+                                return true;
+                              });
+  }
 
   /// Run until the queue is empty or simulated time would pass `until`.
   /// Events exactly at `until` still run. Returns the final now().
@@ -43,13 +76,34 @@ class Simulator {
   /// Run until the queue is fully drained.
   TimeMs run_to_completion();
 
-  /// Drop every pending event and reset the clock (for reuse in tests).
+  /// Drop every pending event and repeating series and reset the clock (for
+  /// reuse in tests). Outstanding handles are invalidated, never dangling
+  /// into recycled slots: generations are bumped, not restarted.
   void reset();
 
   std::size_t events_processed() const { return events_processed_; }
 
  private:
+  static constexpr std::uint32_t kNoPeriodic = 0xffffffffu;
+
+  /// Pooled state of one repeating series; the queue only ever holds a thin
+  /// {this, index, generation} re-arming event pointing at it.
+  struct PeriodicTask {
+    RepeatFn fn;
+    DurationMs period = 0.0;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNoPeriodic;
+    bool active = false;
+  };
+
+  void fire_periodic(std::uint32_t index, std::uint32_t generation);
+  bool cancel_periodic(std::uint32_t index, std::uint32_t generation);
+  std::uint32_t acquire_periodic_slot();
+  void release_periodic_slot(std::uint32_t index);
+
   EventQueue queue_;
+  std::vector<PeriodicTask> periodic_;
+  std::uint32_t periodic_free_head_ = kNoPeriodic;
   TimeMs now_ = 0.0;
   std::size_t events_processed_ = 0;
 };

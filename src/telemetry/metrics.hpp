@@ -50,6 +50,15 @@ struct RunMetrics {
   double rate_mape = 0.0;
   double calib_intervals = 0.0;
 
+  /// Eq. 1 sweep memoization totals from the policy's TmaxCache (all-zero
+  /// for policies without one). Doubles for the same plain-mean aggregation
+  /// reason as the violation counts; the hit rate is aggregated directly
+  /// rather than re-derived so the mean-of-rates stays well-defined when a
+  /// repetition performed no sweeps.
+  double tmax_cache_hits = 0.0;
+  double tmax_cache_misses = 0.0;
+  double tmax_cache_hit_rate = 0.0;
+
   std::vector<std::pair<double, double>> latency_cdf;  // optional export
 
   /// One-line human-readable summary.

@@ -104,6 +104,52 @@ TEST(Runner, ParallelKeepCdfStillPopulatesFirstRep) {
   EXPECT_FALSE(result.per_workload[0].latency_cdf.empty());
 }
 
+TEST(Runner, CachedVsUncachedBitIdentical) {
+  // The TmaxCache is exact memoization of deterministic math, so every
+  // metric — not just the headline numbers — must be bit-identical with the
+  // cache bypassed, while the cache-mode run actually hits. Runs under the
+  // pool to exercise the mutex-guarded map from concurrent sweeps.
+  ThreadPool pool(8);
+  SchemeFactoryOptions cached_options;
+  SchemeFactoryOptions bypass_options;
+  bypass_options.tmax_cache = false;
+  Runner cached(models::Zoo::instance(), hw::Catalog::instance(), &pool,
+                cached_options);
+  Runner bypass(models::Zoo::instance(), hw::Catalog::instance(), &pool,
+                bypass_options);
+  auto scenario = short_scenario(models::ModelId::kResNet50, 60.0, seconds(30), 2);
+  for (SchemeId scheme : {SchemeId::kPaldia, SchemeId::kOracle}) {
+    const auto a = cached.run(scenario, scheme);
+    const auto b = bypass.run(scenario, scheme);
+    EXPECT_EQ(a.combined.requests, b.combined.requests) << scheme_name(scheme);
+    EXPECT_EQ(a.combined.slo_compliance, b.combined.slo_compliance);
+    EXPECT_EQ(a.combined.mean_latency_ms, b.combined.mean_latency_ms);
+    EXPECT_EQ(a.combined.p50_latency_ms, b.combined.p50_latency_ms);
+    EXPECT_EQ(a.combined.p95_latency_ms, b.combined.p95_latency_ms);
+    EXPECT_EQ(a.combined.p99_latency_ms, b.combined.p99_latency_ms);
+    EXPECT_EQ(a.combined.cost, b.combined.cost);
+    EXPECT_EQ(a.combined.average_power, b.combined.average_power);
+    EXPECT_EQ(a.combined.cold_starts, b.combined.cold_starts);
+    EXPECT_EQ(a.combined.slo_violations, b.combined.slo_violations);
+    // The counters are identical too (bypass counts without reusing), and
+    // a real workload revisits operating points, so hits must be nonzero.
+    EXPECT_EQ(a.combined.tmax_cache_hits, b.combined.tmax_cache_hits);
+    EXPECT_EQ(a.combined.tmax_cache_misses, b.combined.tmax_cache_misses);
+    EXPECT_EQ(a.combined.tmax_cache_hit_rate, b.combined.tmax_cache_hit_rate);
+    EXPECT_GT(a.combined.tmax_cache_hits, 0.0) << scheme_name(scheme);
+    EXPECT_GT(a.combined.tmax_cache_misses, 0.0) << scheme_name(scheme);
+  }
+}
+
+TEST(Runner, CacheStatsZeroForPoliciesWithoutCache) {
+  Runner runner(models::Zoo::instance(), hw::Catalog::instance());
+  const auto scenario = short_scenario(models::ModelId::kResNet50, 30.0, seconds(20));
+  const auto result = runner.run_once(scenario, SchemeId::kMoleculeCost, 5);
+  EXPECT_EQ(result.combined.tmax_cache_hits, 0.0);
+  EXPECT_EQ(result.combined.tmax_cache_misses, 0.0);
+  EXPECT_EQ(result.combined.tmax_cache_hit_rate, 0.0);
+}
+
 TEST(SchemeFactory, BuildsEveryScheme) {
   models::ProfileTable profile(hw::Catalog::instance());
   SchemeFactory factory(models::Zoo::instance(), hw::Catalog::instance(), profile);

@@ -1,0 +1,157 @@
+#include "src/perfmodel/tmax_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/perfmodel/y_optimizer.hpp"
+
+namespace paldia::perfmodel {
+namespace {
+
+WorkloadPoint saturated_point(int n) {
+  WorkloadPoint point;
+  point.n_requests = n;
+  point.batch_size = 8;
+  point.solo_ms = 40.0;
+  point.fbr = 0.12;
+  point.slo_ms = 200.0;
+  point.compute = 0.1;
+  return point;
+}
+
+TmaxCache::Key key_for(const WorkloadPoint& point,
+                       int max_probes = kDefaultSweepProbes) {
+  TmaxCache::Key key;
+  key.model = 1;
+  key.node = 2;
+  key.n_requests = point.n_requests;
+  key.slo_q = TmaxCache::quantize_slo(point.slo_ms);
+  key.max_probes = max_probes;
+  return key;
+}
+
+TEST(TmaxCache, FirstLookupMissesSecondHits) {
+  YOptimizer optimizer{TmaxModel(0.2)};
+  TmaxCache cache;
+  const auto point = saturated_point(32);
+  const auto key = key_for(point);
+
+  const auto first = cache.best_split(optimizer, key, point, kDefaultSweepProbes);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  const auto second = cache.best_split(optimizer, key, point, kDefaultSweepProbes);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+
+  EXPECT_EQ(second.y, first.y);
+  EXPECT_EQ(second.t_max_ms, first.t_max_ms);  // bit-identical, not near
+  EXPECT_EQ(second.feasible, first.feasible);
+}
+
+TEST(TmaxCache, CachedDecisionMatchesDirectSweep) {
+  YOptimizer optimizer{TmaxModel(0.2)};
+  TmaxCache cache;
+  for (const int n : {1, 4, 16, 32, 64, 100}) {
+    const auto point = saturated_point(n);
+    const auto direct = optimizer.best_split(point);
+    // Twice: the miss path and the hit path must both reproduce it.
+    for (int round = 0; round < 2; ++round) {
+      const auto cached =
+          cache.best_split(optimizer, key_for(point), point, kDefaultSweepProbes);
+      EXPECT_EQ(cached.y, direct.y) << "n=" << n;
+      EXPECT_EQ(cached.t_max_ms, direct.t_max_ms) << "n=" << n;
+      EXPECT_EQ(cached.feasible, direct.feasible) << "n=" << n;
+    }
+  }
+}
+
+TEST(TmaxCache, DistinctKeysDoNotCollide) {
+  YOptimizer optimizer{TmaxModel(0.2)};
+  TmaxCache cache;
+  const auto point = saturated_point(32);
+  auto key = key_for(point);
+  cache.best_split(optimizer, key, point, kDefaultSweepProbes);
+
+  // Varying any key field is a fresh entry, not a hit.
+  auto other_node = key;
+  other_node.node = 3;
+  cache.best_split(optimizer, other_node, point, kDefaultSweepProbes);
+  auto other_n = key;
+  other_n.n_requests = 33;
+  auto bigger = point;
+  bigger.n_requests = 33;
+  cache.best_split(optimizer, other_n, bigger, kDefaultSweepProbes);
+
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(TmaxCache, BypassCountsAndPopulatesButRecomputes) {
+  // Bypass mode must look exactly like cached mode from the outside:
+  // identical decisions, identical hit/miss totals, identical map growth.
+  YOptimizer optimizer{TmaxModel(0.2)};
+  TmaxCache cached{/*bypass=*/false};
+  TmaxCache bypass{/*bypass=*/true};
+  EXPECT_FALSE(cached.bypass());
+  EXPECT_TRUE(bypass.bypass());
+
+  for (const int n : {8, 8, 24, 8, 24, 40}) {
+    const auto point = saturated_point(n);
+    const auto from_cache =
+        cached.best_split(optimizer, key_for(point), point, kDefaultSweepProbes);
+    const auto from_bypass =
+        bypass.best_split(optimizer, key_for(point), point, kDefaultSweepProbes);
+    EXPECT_EQ(from_cache.y, from_bypass.y) << "n=" << n;
+    EXPECT_EQ(from_cache.t_max_ms, from_bypass.t_max_ms) << "n=" << n;
+    EXPECT_EQ(from_cache.feasible, from_bypass.feasible) << "n=" << n;
+  }
+  EXPECT_EQ(cached.stats().hits, bypass.stats().hits);
+  EXPECT_EQ(cached.stats().misses, bypass.stats().misses);
+  EXPECT_EQ(cached.size(), bypass.size());
+  EXPECT_EQ(cached.stats().hits, 3u);  // the three repeats
+  EXPECT_EQ(cached.stats().misses, 3u);
+}
+
+TEST(TmaxCache, FeasibilityRecomputedFromUnquantizedSlo) {
+  // Two SLOs that quantize to the same grid cell but straddle the computed
+  // t_max must get different feasibility verdicts from the same cache
+  // entry: (y, t_max) is shared, the verdict is not stored.
+  YOptimizer optimizer{TmaxModel(0.2)};
+  TmaxCache cache;
+  auto point = saturated_point(32);
+  const auto direct = optimizer.best_split(point);
+  ASSERT_GT(direct.t_max_ms, 0.0);
+
+  // Pin the SLO to t_max ± half a grid step: same slo_q, opposite verdicts.
+  const double grid = 1.0 / 1024.0;
+  const double base =
+      static_cast<double>(TmaxCache::quantize_slo(direct.t_max_ms)) * grid;
+  auto tight = point;
+  tight.slo_ms = base - 0.25 * grid;
+  auto loose = point;
+  loose.slo_ms = base + 0.25 * grid;
+  const auto key = key_for(tight);
+  ASSERT_EQ(key.slo_q, key_for(loose).slo_q);
+
+  const auto first = cache.best_split(optimizer, key, tight, kDefaultSweepProbes);
+  const auto second = cache.best_split(optimizer, key, loose, kDefaultSweepProbes);
+  EXPECT_EQ(cache.stats().hits, 1u);  // same key: second lookup hits
+  EXPECT_EQ(first.t_max_ms, second.t_max_ms);
+  EXPECT_EQ(first.feasible, first.t_max_ms <= tight.slo_ms);
+  EXPECT_EQ(second.feasible, second.t_max_ms <= loose.slo_ms);
+}
+
+TEST(TmaxCache, QuantizeSloGrid) {
+  EXPECT_EQ(TmaxCache::quantize_slo(0.0), 0);
+  EXPECT_EQ(TmaxCache::quantize_slo(1.0), 1024);
+  EXPECT_EQ(TmaxCache::quantize_slo(200.0), 200 * 1024);
+  // Round-to-nearest on the grid, not truncation.
+  EXPECT_EQ(TmaxCache::quantize_slo(1.0 / 2048.0 + 1e-9), 1);
+}
+
+}  // namespace
+}  // namespace paldia::perfmodel

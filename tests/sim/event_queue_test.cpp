@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 namespace paldia::sim {
@@ -157,6 +159,137 @@ TEST(EventQueue, InterleavedScheduleCancelPopStress) {
   EXPECT_TRUE(std::is_sorted(fired_times.begin(), fired_times.end()));
   EXPECT_GT(cancelled, 0u);
   EXPECT_EQ(fired_times.size() + cancelled, handles.size());
+}
+
+TEST(EventQueue, StaleHandleAfterRecycleIsNoOp) {
+  // A handle kept past its event's firing must stay inert even once the
+  // slot is reused: the generation bump on release makes the stale cancel
+  // miss, so it cannot kill the slot's new occupant.
+  EventQueue queue;
+  bool first_fired = false;
+  EventHandle stale = queue.schedule(1.0, [&] { first_fired = true; });
+  queue.pop().fn();
+  EXPECT_TRUE(first_fired);
+  EXPECT_TRUE(queue.empty());
+
+  // The pool reuses the freed slot for the next event.
+  bool second_fired = false;
+  queue.schedule(2.0, [&] { second_fired = true; });
+  stale.cancel();  // stale generation: must not touch the recycled slot
+  EXPECT_FALSE(stale.cancelled());
+  EXPECT_FALSE(queue.empty());
+  queue.pop().fn();
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(EventQueue, StaleHandleAfterCancelAndRecycleIsNoOp) {
+  // Same, but the slot was freed by a cancel rather than a pop, and two
+  // copies of the handle race: the second copy's cancel lands after the
+  // slot's recycle and must be a no-op.
+  EventQueue queue;
+  EventHandle original = queue.schedule(1.0, [] {});
+  EventHandle copy = original;
+  original.cancel();
+  EXPECT_TRUE(original.cancelled());
+  EXPECT_TRUE(queue.empty());
+
+  bool fired = false;
+  queue.schedule(2.0, [&] { fired = true; });
+  copy.cancel();  // same slot index, old generation
+  EXPECT_FALSE(copy.cancelled());
+  queue.pop().fn();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, ClearInvalidatesOutstandingHandles) {
+  EventQueue queue;
+  EventHandle handle = queue.schedule(1.0, [] {});
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+
+  bool fired = false;
+  queue.schedule(1.0, [&] { fired = true; });
+  handle.cancel();  // pre-clear generation: no-op
+  EXPECT_FALSE(handle.cancelled());
+  queue.pop().fn();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, RandomizedChurnMatchesReferenceModel) {
+  // Drive the pooled queue and a brute-force reference model (a plain list
+  // ordered by (time, sequence)) through the same randomized script of
+  // schedules, cancels and pops; the two must agree on every fired event.
+  // The script covers cancel-of-buried, cancel-of-top, stale cancels of
+  // already-fired events and heavy slot recycling.
+  struct RefEvent {
+    double time;
+    std::uint64_t sequence;
+    int id;
+    bool cancelled = false;
+    bool fired = false;
+  };
+  EventQueue queue;
+  std::vector<RefEvent> reference;
+  std::vector<EventHandle> handles;
+  std::vector<int> queue_fired;
+  std::uint64_t next_sequence = 0;
+
+  std::uint64_t state = 0x2545F4914F6CDD1Dull;  // deterministic xorshift
+  auto next_random = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  auto reference_pop = [&]() -> int {
+    int best = -1;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      const auto& event = reference[i];
+      if (event.cancelled || event.fired) continue;
+      if (best < 0 || event.time < reference[best].time ||
+          (event.time == reference[best].time &&
+           event.sequence < reference[best].sequence)) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best >= 0) reference[best].fired = true;
+    return best < 0 ? -1 : reference[best].id;
+  };
+
+  double clock = 0.0;
+  for (int step = 0; step < 5000; ++step) {
+    const auto roll = next_random() % 10;
+    if (roll < 5) {  // schedule
+      const double t = clock + static_cast<double>(next_random() % 64);
+      const int id = static_cast<int>(reference.size());
+      reference.push_back(RefEvent{t, next_sequence++, id});
+      handles.push_back(queue.schedule(t, [&queue_fired, id] {
+        queue_fired.push_back(id);
+      }));
+    } else if (roll < 8 && !reference.empty()) {  // cancel a random handle
+      const std::size_t i = next_random() % reference.size();
+      handles[i].cancel();  // no-op when already fired/cancelled
+      if (!reference[i].fired) reference[i].cancelled = true;
+    } else if (!queue.empty()) {  // pop
+      auto event = queue.pop();
+      EXPECT_GE(event.time, clock);
+      clock = event.time;
+      event.fn();
+      const int expected = reference_pop();
+      ASSERT_FALSE(queue_fired.empty());
+      EXPECT_EQ(queue_fired.back(), expected);
+    }
+    EXPECT_EQ(queue.empty(),
+              std::none_of(reference.begin(), reference.end(), [](const RefEvent& e) {
+                return !e.cancelled && !e.fired;
+              }));
+  }
+  while (!queue.empty()) {
+    auto event = queue.pop();
+    event.fn();
+    EXPECT_EQ(queue_fired.back(), reference_pop());
+  }
+  EXPECT_EQ(reference_pop(), -1);  // reference drained too
 }
 
 TEST(EventQueue, ManyEventsStressOrdering) {

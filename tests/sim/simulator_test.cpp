@@ -106,6 +106,84 @@ TEST(Simulator, ResetClearsEverything) {
   EXPECT_EQ(simulator.events_processed(), 0u);
 }
 
+TEST(Simulator, RepeatingStopsWhenCallbackReturnsFalse) {
+  Simulator simulator;
+  std::vector<TimeMs> firings;
+  simulator.schedule_repeating(10.0, 10.0, [&] {
+    firings.push_back(simulator.now());
+    return firings.size() < 3;  // stop after the third firing
+  });
+  simulator.run_to_completion();
+  EXPECT_EQ(firings, (std::vector<TimeMs>{10.0, 20.0, 30.0}));
+}
+
+TEST(Simulator, StalePeriodicHandleAfterRecycleIsNoOp) {
+  // A series that stopped on its own releases its pooled slot; the next
+  // series reuses it. A cancel through the old handle must not stop the new
+  // occupant (generation check).
+  Simulator simulator;
+  int first = 0;
+  auto stale = simulator.schedule_repeating(0.0, 10.0, [&] {
+    ++first;
+    return false;  // one firing, then the slot is recycled
+  });
+  simulator.run_to_completion();
+  EXPECT_EQ(first, 1);
+
+  int second = 0;
+  simulator.schedule_every(10.0, 10.0, [&] { ++second; });
+  stale.cancel();  // old generation: must not touch the recycled slot
+  simulator.run_until(45.0);
+  EXPECT_EQ(second, 4);  // t = 10, 20, 30, 40 — still alive
+}
+
+TEST(Simulator, PeriodicCancelTwiceIsHarmless) {
+  Simulator simulator;
+  int fired = 0;
+  auto handle = simulator.schedule_every(0.0, 10.0, [&] { ++fired; });
+  simulator.run_until(15.0);
+  handle.cancel();
+  handle.cancel();
+  auto copy = handle;
+  copy.cancel();
+  simulator.run_until(100.0);
+  EXPECT_EQ(fired, 2);  // t = 0, 10
+}
+
+TEST(Simulator, ResetInvalidatesPeriodicHandles) {
+  Simulator simulator;
+  int old_series = 0;
+  auto handle = simulator.schedule_every(0.0, 10.0, [&] { ++old_series; });
+  simulator.reset();
+
+  int new_series = 0;
+  simulator.schedule_every(0.0, 10.0, [&] { ++new_series; });
+  handle.cancel();  // pre-reset generation: no-op on the recycled slot
+  simulator.run_until(25.0);
+  EXPECT_EQ(old_series, 0);
+  EXPECT_EQ(new_series, 3);  // t = 0, 10, 20
+}
+
+TEST(Simulator, ManyConcurrentPeriodicSeries) {
+  // More series than the initial pool: slots grow, series interleave, and
+  // each fires on its own phase. Cancels mid-run release slots for reuse.
+  Simulator simulator;
+  constexpr int kSeries = 64;
+  std::vector<int> counts(kSeries, 0);
+  std::vector<Simulator::PeriodicHandle> handles;
+  handles.reserve(kSeries);
+  for (int i = 0; i < kSeries; ++i) {
+    handles.push_back(
+        simulator.schedule_every(0.5 * static_cast<TimeMs>(i), 100.0,
+                                 [&counts, i] { ++counts[i]; }));
+  }
+  simulator.run_until(350.0);
+  for (int i = 0; i < kSeries; ++i) EXPECT_EQ(counts[i], 4) << i;
+  for (int i = 0; i < kSeries; i += 2) handles[i].cancel();
+  simulator.run_until(550.0);
+  for (int i = 0; i < kSeries; ++i) EXPECT_EQ(counts[i], i % 2 == 0 ? 4 : 6) << i;
+}
+
 TEST(Simulator, SameTimeEventsRunInSubmissionOrder) {
   Simulator simulator;
   std::vector<int> order;

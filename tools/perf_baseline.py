@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Track micro_perf results against a recorded baseline.
+
+Workflow (see EXPERIMENTS.md, "Performance"):
+
+  1. Record a baseline (typically on the pre-change tree):
+       build/bench/micro_perf --json-out=baseline.json
+  2. Run the same benchmarks on the current tree:
+       build/bench/micro_perf --json-out=current.json
+  3. Compare and write the tracked report:
+       tools/perf_baseline.py --baseline baseline.json --current current.json \
+           --out BENCH_perf.json [--require-speedup BM_Name:2.0]
+
+The report keys each benchmark by name and stores items_per_second (the
+throughput counter every queue/simulator benchmark sets) plus wall time,
+with the baseline/current ratio. --require-speedup makes the script exit
+nonzero unless current/baseline throughput meets the floor — CI uses a
+plain existence/plausibility smoke instead, since shared runners make
+timing assertions flaky.
+
+With only --current (no --baseline), the report records the current run
+alone; ratios are null. This keeps the CI smoke path independent of any
+checked-in timing numbers.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """google-benchmark JSON -> {name: {time_ns, items_per_second}}."""
+    with open(path, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    out = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate" and bench.get(
+                "aggregate_name") != "mean":
+            continue
+        name = bench.get("run_name", bench.get("name"))
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        out[name] = {
+            "real_time_ns": bench.get("real_time", 0.0) * scale,
+            "items_per_second": bench.get("items_per_second"),
+        }
+    return out
+
+
+def build_report(baseline, current):
+    report = {"benchmarks": {}}
+    for name, entry in sorted(current.items()):
+        row = {
+            "current": entry,
+            "baseline": baseline.get(name) if baseline else None,
+            "speedup": None,
+        }
+        base = row["baseline"]
+        if base:
+            cur_ips, base_ips = entry["items_per_second"], base["items_per_second"]
+            if cur_ips and base_ips:
+                row["speedup"] = cur_ips / base_ips
+            elif base["real_time_ns"] > 0 and entry["real_time_ns"] > 0:
+                row["speedup"] = base["real_time_ns"] / entry["real_time_ns"]
+        report["benchmarks"][name] = row
+    return report
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", required=True,
+                        help="google-benchmark JSON of the current tree")
+    parser.add_argument("--baseline",
+                        help="google-benchmark JSON of the reference tree")
+    parser.add_argument("--out", required=True,
+                        help="tracked report path (BENCH_perf.json)")
+    parser.add_argument("--require-speedup", action="append", default=[],
+                        metavar="BM_Name:RATIO",
+                        help="fail unless current/baseline throughput of the "
+                             "named benchmark is at least RATIO")
+    parser.add_argument("--require-bench", action="append", default=[],
+                        metavar="BM_Name",
+                        help="fail unless the named benchmark appears in the "
+                             "current run with a positive throughput")
+    args = parser.parse_args()
+
+    current = load_benchmarks(args.current)
+    baseline = load_benchmarks(args.baseline) if args.baseline else {}
+    report = build_report(baseline, current)
+
+    failures = []
+    for requirement in args.require_bench:
+        entry = current.get(requirement)
+        if not entry or not (entry.get("items_per_second") or 0) > 0:
+            failures.append(f"{requirement}: missing or zero throughput")
+    for requirement in args.require_speedup:
+        name, _, floor = requirement.rpartition(":")
+        floor = float(floor)
+        speedup = report["benchmarks"].get(name, {}).get("speedup")
+        if speedup is None:
+            failures.append(f"{name}: no baseline/current pair to compare")
+        elif speedup < floor:
+            failures.append(f"{name}: speedup {speedup:.2f}x < required "
+                            f"{floor:.2f}x")
+
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    for name, row in sorted(report["benchmarks"].items()):
+        ips = row["current"]["items_per_second"]
+        line = f"{name}: "
+        line += f"{ips:,.0f} items/s" if ips else \
+            f"{row['current']['real_time_ns']:.0f} ns"
+        if row["speedup"] is not None:
+            line += f"  ({row['speedup']:.2f}x vs baseline)"
+        print(line)
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
