@@ -40,6 +40,11 @@ struct BenchOptions {
   /// Exports must come out byte-identical to the cached run; this flag is
   /// the reference side of that check.
   bool tmax_cache = true;
+  /// --no-request-pool: run the request-path arena in bypass mode — same
+  /// block API and bookkeeping, but every buffer is dropped on release and
+  /// re-allocated on acquire (plain-vector behaviour). Exports must come
+  /// out byte-identical to the pooled run.
+  bool request_pool = true;
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -62,9 +67,12 @@ inline BenchOptions parse_options(int argc, char** argv) {
       options.full = true;
     } else if (arg == "--no-tmax-cache") {
       options.tmax_cache = false;
+    } else if (arg == "--no-request-pool") {
+      options.request_pool = false;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--reps=N] [--threads=N] [--full] [--no-tmax-cache]\n"
+          "          [--no-request-pool]\n"
           "          [--trace-out=FILE.json]   Chrome trace-event JSON per\n"
           "                                    (scenario, scheme) run (Perfetto)\n"
           "          [--metrics-out=FILE]      RunMetrics rows, streaming\n"
@@ -74,7 +82,9 @@ inline BenchOptions parse_options(int argc, char** argv) {
           "          [--report-out=FILE.json]  violation-attribution +\n"
           "                                    calibration report over the sweep\n"
           "          [--no-tmax-cache]         recompute every Eq. 1 sweep\n"
-          "                                    (memoization bypass reference)\n",
+          "                                    (memoization bypass reference)\n"
+          "          [--no-request-pool]       drop request buffers instead of\n"
+          "                                    pooling (arena bypass reference)\n",
           argv[0]);
       std::exit(0);
     }
@@ -95,6 +105,7 @@ inline ThreadPool& shared_pool(const BenchOptions& options) {
 inline exp::SchemeFactoryOptions factory_options(const BenchOptions& options) {
   exp::SchemeFactoryOptions factory;
   factory.tmax_cache = options.tmax_cache;
+  factory.request_pool = options.request_pool;
   return factory;
 }
 

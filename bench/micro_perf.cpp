@@ -9,6 +9,8 @@
 
 #include "src/cluster/gpu_device.hpp"
 #include "src/common/histogram.hpp"
+#include "src/core/batcher.hpp"
+#include "src/core/gateway.hpp"
 #include "src/core/hardware_selection.hpp"
 #include "src/models/profile.hpp"
 #include "src/models/zoo.hpp"
@@ -293,6 +295,86 @@ void BM_AttributionObserve(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_AttributionObserve);
+
+void BM_RequestPoolChurn(benchmark::State& state) {
+  // The request-path storage churn of one dispatch round: a taken buffer of
+  // 64 requests carved into 4 batches of 16, everything freed when the
+  // batches complete. This is the pattern Gateway::take + Batcher::chunk +
+  // the per-batch completion closures execute millions of times per run.
+  cluster::Request proto;
+  proto.id = RequestId{1};
+  proto.model = models::ModelId::kResNet50;
+  proto.arrival_ms = 1.0;
+  cluster::RequestArena arena;
+  for (auto _ : state) {
+    for (int round = 0; round < 64; ++round) {
+      cluster::RequestBlock taken = arena.acquire();
+      for (int i = 0; i < 64; ++i) taken.push_back(proto);
+      for (int begin = 0; begin < 64; begin += 16) {
+        cluster::RequestBlock batch = arena.acquire();
+        batch.append(taken.data() + begin, 16);
+        benchmark::DoNotOptimize(batch.data());
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 64);
+  state.SetLabel("take+chunk buffer churn");
+}
+BENCHMARK(BM_RequestPoolChurn);
+
+void BM_GatewayTakeChunk(benchmark::State& state) {
+  // End-to-end storage cost of the dispatch tick's front half: inject an
+  // epoch, pop the arrived prefix, chunk it into batches.
+  core::Gateway gateway(Rng(11));
+  const auto model = models::ModelId::kResNet50;
+  gateway.add_workload(model);
+  core::Batcher batcher;
+  cluster::IdAllocator ids;
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 100.0;
+    gateway.inject(model, 256, t, 100.0);
+    auto taken = gateway.take(model, 256, t + 100.0);
+    const auto batches = batcher.chunk(std::move(taken), 32, t + 100.0, ids);
+    benchmark::DoNotOptimize(batches.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+  state.SetLabel("inject+take+chunk round");
+}
+BENCHMARK(BM_GatewayTakeChunk);
+
+void BM_TracerBulkAppend(benchmark::State& state) {
+  // Per-batch lifecycle recording: one completed 32-request batch fanning
+  // out into 4 events per request.
+  obs::TracerConfig config;
+  config.event_capacity = 1 << 22;
+  auto tracer = std::make_unique<obs::Tracer>(config);
+  constexpr int kBatch = 32;
+  std::vector<cluster::Request> requests(kBatch);
+  std::int64_t id = 0;
+  double t = 0.0;
+  for (auto _ : state) {
+    if (tracer->events().size() + 4 * kBatch > config.event_capacity) {
+      state.PauseTiming();
+      tracer = std::make_unique<obs::Tracer>(config);
+      state.ResumeTiming();
+    }
+    t += 1.0;
+    for (int i = 0; i < kBatch; ++i) {
+      requests[static_cast<std::size_t>(i)].id = RequestId{id++};
+      requests[static_cast<std::size_t>(i)].model = models::ModelId::kResNet50;
+      requests[static_cast<std::size_t>(i)].arrival_ms = t;
+    }
+    tracer->record_batch_lifecycles(requests.data(), kBatch,
+                                    models::ModelId::kResNet50,
+                                    hw::NodeType::kG3s_xlarge,
+                                    cluster::ShareMode::kSpatial, kBatch, 24, 8,
+                                    t + 3.0, t + 5.0, t + 95.0, 88.0, 2.0, 0.0);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  state.SetLabel("batched lifecycle append");
+}
+BENCHMARK(BM_TracerBulkAppend);
 
 void BM_TracerRecordLifecycle(benchmark::State& state) {
   // Enabled-path cost of the heaviest record: 4 events per request.

@@ -6,7 +6,6 @@
 #pragma once
 
 #include <deque>
-#include <functional>
 #include <memory>
 
 #include "src/cluster/request.hpp"
@@ -19,7 +18,7 @@ namespace paldia::cluster {
 struct CpuJob {
   BatchId batch;
   DurationMs solo_ms = 0.0;
-  std::function<void(const ExecutionReport&)> on_complete;
+  DeviceCompletionFn on_complete;
 };
 
 class CpuExecutor {

@@ -27,7 +27,6 @@
 #pragma once
 
 #include <deque>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -48,7 +47,7 @@ struct GpuJob {
   /// makes unbounded MPS co-location *lose* throughput (Fig. 13a) instead
   /// of merely stretching latencies. 0 preserves bandwidth-only behaviour.
   double compute = 0.0;
-  std::function<void(const ExecutionReport&)> on_complete;
+  DeviceCompletionFn on_complete;
 
   /// Set by the device at submission; carried so lane-queue waits are
   /// reported as queue time. Callers leave it alone.

@@ -185,7 +185,7 @@ void Node::start_exec(PendingExec pending, Container* container) {
 
   auto finalize = [this, node_submit_ms, cold_wait, container_id, spatial,
                    on_complete = std::move(pending.request.on_complete)](
-                      const ExecutionReport& device_report) {
+                      const ExecutionReport& device_report) mutable {
     ExecutionReport report = device_report;
     report.submit_ms = node_submit_ms;  // queue time includes container wait
     report.cold_start_ms = cold_wait;
@@ -199,6 +199,9 @@ void Node::start_exec(PendingExec pending, Container* container) {
     }
     if (on_complete) on_complete(report);
   };
+  // this + 3 scalars + container id + the wrapped BatchCompletionFn must fit
+  // DeviceCompletionFn's inline budget — no per-batch allocation.
+  static_assert(sizeof(finalize) <= 160);
 
   if (spec_->is_gpu()) {
     GpuJob job;

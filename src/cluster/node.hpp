@@ -9,7 +9,6 @@
 #pragma once
 
 #include <deque>
-#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -39,7 +38,7 @@ struct ExecRequest {
   models::ModelId model{};
   int batch_size = 0;
   ShareMode mode = ShareMode::kSpatial;
-  std::function<void(const ExecutionReport&)> on_complete;
+  BatchCompletionFn on_complete;
 };
 
 class Node {

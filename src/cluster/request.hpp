@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/arena.hpp"
+#include "src/common/inline_function.hpp"
 #include "src/common/units.hpp"
 #include "src/models/model_spec.hpp"
 
@@ -16,6 +18,14 @@ struct Request {
   TimeMs arrival_ms = 0.0;
 };
 
+/// Pooled request storage: a move-only vector-like view over a recycled
+/// slab, and the per-repetition arena that owns the slabs. Requests are
+/// carried in blocks through the whole take -> chunk -> dispatch -> report
+/// path so the steady state allocates nothing. (The ring-buffer queue built
+/// on top lives in request_pool.hpp.)
+using RequestBlock = common::ArenaBlock<Request>;
+using RequestArena = common::Arena<Request>;
+
 /// How a batch is placed on a GPU.
 enum class ShareMode {
   kSpatial,   // concurrent execution under MPS
@@ -24,11 +34,12 @@ enum class ShareMode {
 };
 
 /// A batch of requests for one model, formed by the Batcher and scheduled
-/// by the Job Distributor.
+/// by the Job Distributor. Move-only: `requests` is a pooled block whose
+/// buffer returns to the arena when the batch dies.
 struct Batch {
   BatchId id;
   models::ModelId model{};
-  std::vector<Request> requests;
+  RequestBlock requests;
   TimeMs formed_ms = 0.0;  // when the batcher sealed the batch
 
   int size() const { return static_cast<int>(requests.size()); }
@@ -57,6 +68,16 @@ struct ExecutionReport {
   /// Interference component: execution stretch beyond isolated time.
   DurationMs interference_ms() const { return (end_ms - start_ms) - solo_ms; }
 };
+
+/// Batch-completion callbacks along the execute path. Inline capacities are
+/// sized for the actual closures (static_asserted at the capture sites) so
+/// no dispatch ever heap-allocates a callback:
+///  - BatchCompletionFn: JobDistributor's on_complete handed to Node
+///    (captures this + a moved Batch + a few scalars).
+///  - DeviceCompletionFn: Node's finalize handed to GpuJob/CpuJob — it
+///    wraps a BatchCompletionFn, so it needs the larger budget.
+using BatchCompletionFn = InlineFunction<void(const ExecutionReport&), 96>;
+using DeviceCompletionFn = InlineFunction<void(const ExecutionReport&), 160>;
 
 /// Monotonic id generators (one per run; not thread-safe by design — the
 /// simulation loop is single-threaded).

@@ -1,0 +1,66 @@
+// Ring-buffer request queue over pooled storage.
+//
+// Gateway's per-model queues used to be std::deque<Request>: every take()
+// popped elements one by one and every inject() grew the deque's chunked
+// node list. RequestRing is a power-of-two ring over one contiguous
+// std::vector<Request> that supports the three queue operations the
+// gateway actually performs:
+//
+//   - push_back        (inject: arrivals are generated already sorted)
+//   - pop_front_into   (take: move a prefix into a pooled RequestBlock in
+//                       at most two bulk appends)
+//   - append_and_sort  (requeue after failure: linearize, append, re-sort
+//                       by arrival — the exact sequence the deque-based
+//                       gateway sorted, so exports stay byte-identical)
+//
+// The RequestBlock / RequestArena aliases themselves live in request.hpp
+// (next to Request) so that cluster headers don't need this file just to
+// name a block; this header is the queue built on top of them.
+#pragma once
+
+#include <cstddef>
+
+#include "src/cluster/request.hpp"
+
+namespace paldia::cluster {
+
+class RequestRing {
+ public:
+  RequestRing() = default;
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  const Request& front() const { return buffer_[head_]; }
+
+  /// Element at logical position i (0 = front).
+  const Request& at(std::size_t i) const { return buffer_[(head_ + i) & mask()]; }
+
+  void push_back(const Request& request);
+
+  /// Number of leading requests with arrival_ms <= now. The ring is kept
+  /// sorted by arrival, so this is a binary search over logical indices.
+  std::size_t arrived_before(TimeMs now) const;
+
+  /// Move the first n requests into `out` (at most two bulk appends — the
+  /// ring wraps at one point) and advance the head.
+  void pop_front_into(std::size_t n, RequestBlock& out);
+
+  /// Requeue path: append n requests, then re-sort the whole queue by
+  /// arrival time. Matches the old deque gateway byte for byte: the same
+  /// element sequence is handed to the same std::sort.
+  void append_and_sort(const Request* data, std::size_t n);
+
+ private:
+  std::size_t mask() const { return buffer_.size() - 1; }
+  void grow(std::size_t min_capacity);
+  /// Rotate storage so the live elements occupy [0, count_). Leaves the
+  /// ring semantically unchanged (head_ becomes 0).
+  void linearize();
+
+  std::vector<Request> buffer_;  // capacity is always a power of two (or 0)
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace paldia::cluster

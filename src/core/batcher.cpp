@@ -13,30 +13,41 @@ bool Batcher::should_dispatch(int pending, int max_batch,
   return oldest_age_ms >= config_.max_wait_ms;
 }
 
-std::vector<cluster::Batch> Batcher::chunk(std::vector<cluster::Request> requests,
-                                           int batch_size, TimeMs now,
-                                           cluster::IdAllocator& ids) const {
-  std::vector<cluster::Batch> batches;
-  if (requests.empty()) return batches;
+void Batcher::chunk_into(const cluster::Request* requests, std::size_t count,
+                         int batch_size, TimeMs now, cluster::IdAllocator& ids,
+                         cluster::RequestArena& arena,
+                         std::vector<cluster::Batch>* out) const {
+  if (count == 0) return;
   batch_size = std::max(1, batch_size);
-  const auto total = requests.size();
-  batches.reserve((total + batch_size - 1) / batch_size);
+  std::size_t formed = 0;
   std::size_t begin = 0;
-  while (begin < total) {
-    const std::size_t end = std::min(total, begin + static_cast<std::size_t>(batch_size));
+  while (begin < count) {
+    const std::size_t end = std::min(count, begin + static_cast<std::size_t>(batch_size));
     cluster::Batch batch;
     batch.id = ids.next_batch();
     batch.model = requests[begin].model;
     batch.formed_ms = now;
-    batch.requests.assign(requests.begin() + static_cast<std::ptrdiff_t>(begin),
-                          requests.begin() + static_cast<std::ptrdiff_t>(end));
-    batches.push_back(std::move(batch));
+    batch.requests = arena.acquire();
+    batch.requests.append(requests + begin, end - begin);
+    out->push_back(std::move(batch));
+    ++formed;
     begin = end;
   }
   if (tracer_ != nullptr) {
-    tracer_->count("batches_formed", static_cast<double>(batches.size()));
-    tracer_->count("batched_requests", static_cast<double>(total));
+    tracer_->count("batches_formed", static_cast<double>(formed));
+    tracer_->count("batched_requests", static_cast<double>(count));
   }
+}
+
+std::vector<cluster::Batch> Batcher::chunk(cluster::RequestBlock requests,
+                                           int batch_size, TimeMs now,
+                                           cluster::IdAllocator& ids) const {
+  std::vector<cluster::Batch> batches;
+  if (requests.empty()) return batches;
+  cluster::RequestArena* arena = requests.arena();
+  batches.reserve((requests.size() + static_cast<std::size_t>(std::max(1, batch_size)) - 1) /
+                  static_cast<std::size_t>(std::max(1, batch_size)));
+  chunk_into(requests.data(), requests.size(), batch_size, now, ids, *arena, &batches);
   return batches;
 }
 

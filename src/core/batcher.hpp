@@ -31,8 +31,18 @@ class Batcher {
   bool should_dispatch(int pending, int max_batch, DurationMs oldest_age_ms) const;
 
   /// Chunk requests into batches of at most batch_size (the last one may be
-  /// smaller — flexible batching).
-  std::vector<cluster::Batch> chunk(std::vector<cluster::Request> requests,
+  /// smaller — flexible batching). Each batch carves its requests into a
+  /// pooled block from `arena` with one bulk append; the appended batches
+  /// land on `out`. No-op (and no tracer counts) when count == 0.
+  void chunk_into(const cluster::Request* requests, std::size_t count,
+                  int batch_size, TimeMs now, cluster::IdAllocator& ids,
+                  cluster::RequestArena& arena,
+                  std::vector<cluster::Batch>* out) const;
+
+  /// Convenience wrapper over chunk_into: batches draw their blocks from
+  /// the same arena that backs `requests` (the block is released on
+  /// return, recycling its slab).
+  std::vector<cluster::Batch> chunk(cluster::RequestBlock requests,
                                     int batch_size, TimeMs now,
                                     cluster::IdAllocator& ids) const;
 

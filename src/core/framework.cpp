@@ -24,7 +24,8 @@ Framework::Framework(sim::Simulator& simulator, cluster::Cluster& cluster,
       tracer_(config.tracer),
       attribution_(config.attribution),
       calibration_(config.calibration),
-      gateway_(rng.fork("gateway")),
+      request_arena_(config.request_pool),
+      gateway_(rng.fork("gateway"), &request_arena_),
       batcher_(config.batcher),
       autoscaler_(config.autoscaler) {
   gateway_.set_tracer(tracer_);
@@ -35,7 +36,7 @@ Framework::Framework(sim::Simulator& simulator, cluster::Cluster& cluster,
       batcher_, ids_,
       [this](const cluster::Request& request, const cluster::ExecutionReport& report,
              hw::NodeType node) { complete_request(request, report, node); },
-      [this](models::ModelId model, std::vector<cluster::Request> requests) {
+      [this](models::ModelId model, cluster::RequestBlock requests) {
         gateway_.requeue(model, std::move(requests));
       });
   distributor_->set_tracer(tracer_);
@@ -409,6 +410,10 @@ bool Framework::drained(TimeMs now) const {
 TimeMs Framework::run() {
   assert(!workloads_.empty());
 
+  // Fresh slab state per repetition: any block leaked from a previous run
+  // (none are expected) is invalidated rather than corrupting the free list.
+  request_arena_.reset();
+
   // Initial hardware: warm node + containers at t = 0.
   active_node_ = config_.initial_node.value_or(hw::NodeType::kC6i_2xlarge);
   cluster_->acquire_immediately(active_node_);
@@ -499,7 +504,7 @@ TimeMs Framework::run() {
     }
     unserved_ += static_cast<std::uint64_t>(leftover);
     // Drop them so repeated run() calls (not supported anyway) don't leak.
-    auto rest = const_cast<Gateway&>(gateway_).take(workload.model, leftover, end);
+    auto rest = gateway_.take(workload.model, leftover, end);
     (void)rest;
   }
 

@@ -63,6 +63,11 @@ struct FrameworkConfig {
   /// when a tracer is present (the candidate sweep lives in its decision
   /// records).
   obs::CalibrationTracker* calibration = nullptr;
+  /// Pool the request path's buffers in the per-repetition RequestArena
+  /// (default). False = --no-request-pool bypass: same block API, but every
+  /// buffer is dropped on release and re-allocated on acquire, giving a
+  /// plain-vector reference run whose exports must stay byte-identical.
+  bool request_pool = true;
 };
 
 class Framework {
@@ -137,6 +142,7 @@ class Framework {
   obs::AttributionEngine* attribution_ = nullptr;
   obs::CalibrationTracker* calibration_ = nullptr;
 
+  cluster::RequestArena request_arena_;  // must outlive gateway_/distributor_
   Gateway gateway_;
   Batcher batcher_;
   Autoscaler autoscaler_;

@@ -7,22 +7,33 @@
 
 namespace paldia::core {
 
+Gateway::Gateway(Rng rng, cluster::RequestArena* arena)
+    : rng_(rng), per_model_(static_cast<std::size_t>(models::kModelCount)) {
+  if (arena == nullptr) {
+    owned_arena_ = std::make_unique<cluster::RequestArena>();
+    arena_ = owned_arena_.get();
+  } else {
+    arena_ = arena;
+  }
+}
+
 void Gateway::add_workload(models::ModelId model) {
-  if (per_model_.contains(model)) return;
+  auto& per_model = per_model_[static_cast<std::size_t>(model)];
+  if (per_model.registered) return;
+  per_model.registered = true;
   workloads_.push_back(model);
-  per_model_[model];  // default-construct in place
 }
 
 Gateway::PerModel& Gateway::state(models::ModelId model) {
-  auto it = per_model_.find(model);
-  assert(it != per_model_.end());
-  return it->second;
+  auto& per_model = per_model_[static_cast<std::size_t>(model)];
+  assert(per_model.registered);
+  return per_model;
 }
 
 const Gateway::PerModel& Gateway::state(models::ModelId model) const {
-  auto it = per_model_.find(model);
-  assert(it != per_model_.end());
-  return it->second;
+  const auto& per_model = per_model_[static_cast<std::size_t>(model)];
+  assert(per_model.registered);
+  return per_model;
 }
 
 void Gateway::inject(models::ModelId model, int count, TimeMs epoch_start,
@@ -31,7 +42,8 @@ void Gateway::inject(models::ModelId model, int count, TimeMs epoch_start,
   if (tracer_ != nullptr) tracer_->count("arrivals", count);
   auto& per_model = state(model);
   // Uniform offsets, sorted so the queue stays ordered by arrival.
-  std::vector<double> offsets(static_cast<std::size_t>(count));
+  auto& offsets = offsets_scratch_;
+  offsets.resize(static_cast<std::size_t>(count));
   for (auto& offset : offsets) offset = rng_.uniform(0.0, epoch_ms);
   std::sort(offsets.begin(), offsets.end());
   for (double offset : offsets) {
@@ -44,40 +56,30 @@ void Gateway::inject(models::ModelId model, int count, TimeMs epoch_start,
   }
 }
 
-void Gateway::requeue(models::ModelId model, std::vector<cluster::Request> requests) {
+void Gateway::requeue(models::ModelId model, cluster::RequestBlock requests) {
   if (requests.empty()) return;
   if (tracer_ != nullptr) {
     tracer_->count("requeues", static_cast<double>(requests.size()));
   }
-  auto& per_model = state(model);
-  for (auto& request : requests) per_model.queue.push_back(std::move(request));
-  // Keep oldest-first ordering after mixing re-queued with fresh arrivals.
-  std::sort(per_model.queue.begin(), per_model.queue.end(),
-            [](const cluster::Request& a, const cluster::Request& b) {
-              return a.arrival_ms < b.arrival_ms;
-            });
+  // Keep oldest-first ordering after mixing re-queued with fresh arrivals:
+  // the ring sorts the same element sequence the deque-based gateway did.
+  state(model).queue.append_and_sort(requests.data(), requests.size());
 }
 
-std::vector<cluster::Request> Gateway::take(models::ModelId model, int max_count,
-                                            TimeMs now) {
+cluster::RequestBlock Gateway::take(models::ModelId model, int max_count,
+                                    TimeMs now) {
   auto& per_model = state(model);
-  std::vector<cluster::Request> taken;
-  while (!per_model.queue.empty() && static_cast<int>(taken.size()) < max_count &&
-         per_model.queue.front().arrival_ms <= now) {
-    taken.push_back(per_model.queue.front());
-    per_model.queue.pop_front();
-  }
+  cluster::RequestBlock taken = arena_->acquire();
+  const std::size_t arrived = per_model.queue.arrived_before(now);
+  const std::size_t n =
+      std::min(arrived, static_cast<std::size_t>(std::max(max_count, 0)));
+  per_model.queue.pop_front_into(n, taken);
   return taken;
 }
 
 int Gateway::pending(models::ModelId model, TimeMs now) const {
-  const auto& queue = state(model).queue;
   // Queue is sorted by arrival; count the prefix that has arrived.
-  auto it = std::upper_bound(queue.begin(), queue.end(), now,
-                             [](TimeMs t, const cluster::Request& request) {
-                               return t < request.arrival_ms;
-                             });
-  return static_cast<int>(it - queue.begin());
+  return static_cast<int>(state(model).queue.arrived_before(now));
 }
 
 int Gateway::pending_total(models::ModelId model) const {

@@ -2,14 +2,18 @@
 // FIFO per model; trace epochs are injected as counts and spread uniformly
 // inside the epoch. Tracks trailing arrival rates and feeds the demand
 // predictors.
+//
+// Storage is allocation-free in the steady state: per-model queues are
+// RequestRings over recycled buffers, take() hands back a pooled
+// RequestBlock from the RequestArena, and per_model_ is a dense vector
+// indexed by ModelId (the id space is small and known).
 #pragma once
 
-#include <deque>
-#include <map>
 #include <memory>
 #include <vector>
 
 #include "src/cluster/request.hpp"
+#include "src/cluster/request_pool.hpp"
 #include "src/common/rng.hpp"
 #include "src/predictor/ewma.hpp"
 #include "src/predictor/window.hpp"
@@ -22,7 +26,9 @@ namespace paldia::core {
 
 class Gateway {
  public:
-  explicit Gateway(Rng rng) : rng_(rng) {}
+  /// `arena` supplies take()'s pooled blocks; when null (tests, benchmarks)
+  /// the gateway owns a private always-pooling arena.
+  explicit Gateway(Rng rng, cluster::RequestArena* arena = nullptr);
 
   /// Observability hook (null = tracing disabled; single-branch cost).
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
@@ -36,11 +42,11 @@ class Gateway {
               DurationMs epoch_ms);
 
   /// Re-queue requests (node failure path); arrival times are preserved.
-  void requeue(models::ModelId model, std::vector<cluster::Request> requests);
+  void requeue(models::ModelId model, cluster::RequestBlock requests);
 
   /// Pop up to max_count requests whose arrival time is <= now, oldest
-  /// first.
-  std::vector<cluster::Request> take(models::ModelId model, int max_count, TimeMs now);
+  /// first, into a pooled block.
+  cluster::RequestBlock take(models::ModelId model, int max_count, TimeMs now);
 
   int pending(models::ModelId model, TimeMs now) const;
   int pending_total(models::ModelId model) const;  // including future arrivals
@@ -57,9 +63,10 @@ class Gateway {
 
  private:
   struct PerModel {
-    std::deque<cluster::Request> queue;  // sorted by arrival
+    cluster::RequestRing queue;  // sorted by arrival
     predictor::ArrivalWindow window{1000.0};
     predictor::EwmaPredictor predictor;
+    bool registered = false;  // add_workload() seen for this ModelId
   };
 
   PerModel& state(models::ModelId model);
@@ -69,7 +76,10 @@ class Gateway {
   obs::Tracer* tracer_ = nullptr;
   cluster::IdAllocator ids_;
   std::vector<models::ModelId> workloads_;
-  std::map<models::ModelId, PerModel> per_model_;
+  std::vector<PerModel> per_model_;  // dense, indexed by ModelId
+  std::vector<double> offsets_scratch_;
+  std::unique_ptr<cluster::RequestArena> owned_arena_;
+  cluster::RequestArena* arena_;
 };
 
 }  // namespace paldia::core

@@ -10,30 +10,37 @@
 namespace paldia::core {
 
 int JobDistributor::dispatch(cluster::Node& node, const SplitPlan& plan,
-                             std::vector<cluster::Request> requests, TimeMs now) {
+                             cluster::RequestBlock requests, TimeMs now) {
   if (requests.empty()) return 0;
   const int total = static_cast<int>(requests.size());
   const int spatial =
       plan.use_cpu ? 0 : std::clamp(plan.spatial_requests, 0, total);
   const int temporal = total - spatial;
+  cluster::RequestArena& arena = *requests.arena();
 
-  std::vector<cluster::Request> spatial_part(
-      requests.begin(), requests.begin() + spatial);
-  std::vector<cluster::Request> temporal_part(requests.begin() + spatial,
-                                              requests.end());
-
+  // Carve the two portions straight out of the block — no intermediate
+  // copies. Each portion is fully chunked (batch ids assigned in order)
+  // before its batches are submitted, matching the original two-pass shape.
   int batches = 0;
-  for (auto& batch : batcher_->chunk(std::move(spatial_part), plan.batch_size, now, *ids_)) {
+  batch_scratch_.clear();
+  batcher_->chunk_into(requests.data(), static_cast<std::size_t>(spatial),
+                       plan.batch_size, now, *ids_, arena, &batch_scratch_);
+  for (auto& batch : batch_scratch_) {
     submit_batch(node, std::move(batch), cluster::ShareMode::kSpatial, spatial,
                  temporal);
     ++batches;
   }
   const auto rest_mode =
       plan.use_cpu ? cluster::ShareMode::kCpu : cluster::ShareMode::kTemporal;
-  for (auto& batch : batcher_->chunk(std::move(temporal_part), plan.batch_size, now, *ids_)) {
+  batch_scratch_.clear();
+  batcher_->chunk_into(requests.data() + spatial,
+                       static_cast<std::size_t>(temporal), plan.batch_size, now,
+                       *ids_, arena, &batch_scratch_);
+  for (auto& batch : batch_scratch_) {
     submit_batch(node, std::move(batch), rest_mode, spatial, temporal);
     ++batches;
   }
+  batch_scratch_.clear();
   return batches;
 }
 
@@ -49,8 +56,8 @@ void JobDistributor::submit_batch(cluster::Node& node, cluster::Batch batch,
   // The node reference outlives the run but the callback may fire after a
   // reconfiguration; tag events with the node *type* captured now.
   const hw::NodeType node_type = node.type();
-  exec.on_complete = [this, batch = std::move(batch), mode, spatial, temporal,
-                      node_type](const cluster::ExecutionReport& report) {
+  auto on_complete = [this, batch = std::move(batch), mode, spatial, temporal,
+                      node_type](const cluster::ExecutionReport& report) mutable {
     --in_flight_;
     if (report.failed) {
       if (tracer_ != nullptr) {
@@ -67,7 +74,7 @@ void JobDistributor::submit_batch(cluster::Node& node, cluster::Batch batch,
           attribution_->on_requeued(request.id.value);
         }
       }
-      if (on_requeue_) on_requeue_(batch.model, batch.requests);
+      if (on_requeue_) on_requeue_(batch.model, std::move(batch.requests));
       return;
     }
     if (calibration_ != nullptr) {
@@ -80,19 +87,20 @@ void JobDistributor::submit_batch(cluster::Node& node, cluster::Batch batch,
                             report.start_ms, report.end_ms, report.solo_ms,
                             report.cold_start_ms);
       const DurationMs interference = std::max(0.0, report.interference_ms());
-      for (const auto& request : batch.requests) {
-        tracer_->record_request_lifecycle(
-            request.id.value, batch.model, node_type, mode,
-            batch.size(), spatial, temporal, request.arrival_ms, report.submit_ms,
-            report.start_ms, report.end_ms, report.solo_ms, interference,
-            report.cold_start_ms);
-      }
+      tracer_->record_batch_lifecycles(
+          batch.requests.data(), batch.size(), batch.model, node_type, mode,
+          batch.size(), spatial, temporal, report.submit_ms, report.start_ms,
+          report.end_ms, report.solo_ms, interference, report.cold_start_ms);
       if (report.cold_start_ms > 0.0) tracer_->count("cold_start_batches");
     }
     for (const auto& request : batch.requests) {
       on_request_complete_(request, report, node_type);
     }
   };
+  // The capture block (this + a 48-byte Batch + four scalars) must stay
+  // inside BatchCompletionFn's inline budget — no per-dispatch allocation.
+  static_assert(sizeof(on_complete) <= 96);
+  exec.on_complete = std::move(on_complete);
   node.execute(std::move(exec));
 }
 

@@ -4,10 +4,10 @@
 // CPU mode — and fans batch completions out to per-request outcomes.
 #pragma once
 
-#include <functional>
 #include <vector>
 
 #include "src/cluster/node.hpp"
+#include "src/common/inline_function.hpp"
 #include "src/core/batcher.hpp"
 #include "src/core/scheduler_policy.hpp"
 
@@ -23,12 +23,11 @@ class JobDistributor {
  public:
   /// Per-request completion. The node type is the one the batch actually
   /// executed on (captured at submit; the active node may have moved by the
-  /// time the callback fires).
-  using RequestCompleteFn =
-      std::function<void(const cluster::Request&, const cluster::ExecutionReport&,
-                         hw::NodeType)>;
-  using RequeueFn =
-      std::function<void(models::ModelId, std::vector<cluster::Request>)>;
+  /// time the callback fires). InlineFunction (not std::function) so wiring
+  /// the framework's callbacks never heap-allocates.
+  using RequestCompleteFn = InlineFunction<void(
+      const cluster::Request&, const cluster::ExecutionReport&, hw::NodeType)>;
+  using RequeueFn = InlineFunction<void(models::ModelId, cluster::RequestBlock)>;
 
   JobDistributor(const Batcher& batcher, cluster::IdAllocator& ids,
                  RequestCompleteFn on_request_complete, RequeueFn on_requeue)
@@ -40,8 +39,10 @@ class JobDistributor {
   /// Execute the plan. `requests` are oldest-first; the spatial portion
   /// takes the oldest ones (they have the least SLO slack and spatial
   /// execution starts immediately). Returns the number of batches created.
+  /// The block's buffer recycles into the arena on return; batches carve
+  /// their own pooled blocks out of it.
   int dispatch(cluster::Node& node, const SplitPlan& plan,
-               std::vector<cluster::Request> requests, TimeMs now);
+               cluster::RequestBlock requests, TimeMs now);
 
   /// Batches submitted but not yet completed (successfully or not).
   int in_flight() const { return in_flight_; }
@@ -76,6 +77,7 @@ class JobDistributor {
   obs::AttributionEngine* attribution_ = nullptr;
   obs::CalibrationTracker* calibration_ = nullptr;
   int in_flight_ = 0;
+  std::vector<cluster::Batch> batch_scratch_;  // reused across dispatches
 };
 
 }  // namespace paldia::core

@@ -38,6 +38,7 @@ RunResult Runner::run_once(const Scenario& scenario, SchemeId scheme,
     config.initial_node = factory_.initial_node(scheme);
   }
   config.tracer = tracer;
+  config.request_pool = factory_.options().request_pool;
 
   // Violation attribution runs on every repetition (it feeds the per-cause
   // RunMetrics); calibration needs the tracer's decision sweeps, but the

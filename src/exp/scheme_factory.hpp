@@ -38,6 +38,10 @@ struct SchemeFactoryOptions {
   /// Memoize Eq. 1 sweeps in Paldia/Oracle. false = bypass mode (identical
   /// lookups/counters, always recompute) — the --no-tmax-cache reference.
   bool tmax_cache = true;
+  /// Pool request-path buffers in the per-repetition arena. false = the
+  /// --no-request-pool reference: same block API, every buffer dropped on
+  /// release — exports must stay byte-identical either way.
+  bool request_pool = true;
 };
 
 class SchemeFactory {
@@ -51,6 +55,8 @@ class SchemeFactory {
   /// Starting node for the scheme (P variants start on the V100; the rest
   /// on the cheapest CPU node, converging via their selection policy).
   hw::NodeType initial_node(SchemeId id) const;
+
+  const SchemeFactoryOptions& options() const { return options_; }
 
  private:
   const models::Zoo* zoo_;

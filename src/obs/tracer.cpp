@@ -14,17 +14,18 @@ bool Tracer::reserve(std::size_t n) {
 
 void Tracer::push(const TraceEvent& event) { events_.push_back(event); }
 
-void Tracer::record_request_lifecycle(std::int64_t request_id, models::ModelId model,
-                                      hw::NodeType node, cluster::ShareMode mode,
-                                      int batch_size, int spatial, int temporal,
-                                      TimeMs arrival_ms, TimeMs submit_ms,
-                                      TimeMs start_ms, TimeMs end_ms,
-                                      DurationMs solo_ms, DurationMs interference_ms,
-                                      DurationMs cold_ms) {
-  // Parent + 3 phases are stored atomically so every retained request has a
-  // complete, contiguous decomposition (phases sum to end - arrival).
-  if (!reserve(4)) return;
+namespace {
 
+/// Compose the 4-event decomposition of one completed request (parent
+/// kRequest span + queue / dispatch / execute kPhase children) into out[0..3].
+/// Shared by the per-request and bulk lifecycle paths so they stay
+/// event-for-event identical.
+void compose_lifecycle(TraceEvent* out, std::int64_t request_id,
+                       models::ModelId model, hw::NodeType node,
+                       cluster::ShareMode mode, int batch_size, int spatial,
+                       int temporal, TimeMs arrival_ms, TimeMs submit_ms,
+                       TimeMs start_ms, TimeMs end_ms, DurationMs solo_ms,
+                       DurationMs interference_ms, DurationMs cold_ms) {
   TraceEvent event;
   event.mode = mode;
   event.model = static_cast<std::int16_t>(model);
@@ -41,7 +42,7 @@ void Tracer::record_request_lifecycle(std::int64_t request_id, models::ModelId m
   event.solo_ms = solo_ms;
   event.interference_ms = interference_ms;
   event.cold_ms = cold_ms;
-  push(event);
+  out[0] = event;
 
   event.type = TraceEvent::Type::kPhase;
   event.solo_ms = 0.0;
@@ -51,13 +52,13 @@ void Tracer::record_request_lifecycle(std::int64_t request_id, models::ModelId m
   event.name = "queue";  // gateway wait + batch formation
   event.start_ms = arrival_ms;
   event.end_ms = submit_ms;
-  push(event);
+  out[1] = event;
 
   event.name = "dispatch";  // lane / container / cold-start waits on the node
   event.start_ms = submit_ms;
   event.end_ms = start_ms;
   event.cold_ms = cold_ms;
-  push(event);
+  out[2] = event;
 
   event.name = "execute";  // device execution (solo + interference stretch)
   event.start_ms = start_ms;
@@ -65,7 +66,60 @@ void Tracer::record_request_lifecycle(std::int64_t request_id, models::ModelId m
   event.solo_ms = solo_ms;
   event.interference_ms = interference_ms;
   event.cold_ms = 0.0;
-  push(event);
+  out[3] = event;
+}
+
+}  // namespace
+
+void Tracer::record_request_lifecycle(std::int64_t request_id, models::ModelId model,
+                                      hw::NodeType node, cluster::ShareMode mode,
+                                      int batch_size, int spatial, int temporal,
+                                      TimeMs arrival_ms, TimeMs submit_ms,
+                                      TimeMs start_ms, TimeMs end_ms,
+                                      DurationMs solo_ms, DurationMs interference_ms,
+                                      DurationMs cold_ms) {
+  // Parent + 3 phases are stored atomically so every retained request has a
+  // complete, contiguous decomposition (phases sum to end - arrival).
+  TraceEvent events[4];
+  compose_lifecycle(events, request_id, model, node, mode, batch_size, spatial,
+                    temporal, arrival_ms, submit_ms, start_ms, end_ms, solo_ms,
+                    interference_ms, cold_ms);
+  append_batch(std::span<const TraceEvent>(events, 4), 4);
+}
+
+void Tracer::record_batch_lifecycles(const cluster::Request* requests, int count,
+                                     models::ModelId model, hw::NodeType node,
+                                     cluster::ShareMode mode, int batch_size,
+                                     int spatial, int temporal, TimeMs submit_ms,
+                                     TimeMs start_ms, TimeMs end_ms,
+                                     DurationMs solo_ms, DurationMs interference_ms,
+                                     DurationMs cold_ms) {
+  if (count <= 0) return;
+  scratch_.resize(static_cast<std::size_t>(count) * 4);
+  for (int i = 0; i < count; ++i) {
+    compose_lifecycle(scratch_.data() + static_cast<std::size_t>(i) * 4,
+                      requests[i].id.value, model, node, mode, batch_size, spatial,
+                      temporal, requests[i].arrival_ms, submit_ms, start_ms, end_ms,
+                      solo_ms, interference_ms, cold_ms);
+  }
+  append_batch(scratch_, 4);
+}
+
+std::size_t Tracer::append_batch(std::span<const TraceEvent> events,
+                                 std::size_t group_size) {
+  if (events.empty()) return 0;
+  if (group_size == 0) group_size = 1;
+  const std::size_t room = events_.size() >= config_.event_capacity
+                               ? 0
+                               : config_.event_capacity - events_.size();
+  // Accept only a leading whole number of groups: byte-for-byte the same
+  // retained prefix as per-group reserve() calls hitting the cap in order.
+  const std::size_t accepted = std::min(events.size(), room) / group_size * group_size;
+  dropped_events_ += events.size() - accepted;
+  if (accepted == 0) return 0;
+  events_.insert(events_.end(), events.begin(),
+                 events.begin() + static_cast<std::ptrdiff_t>(accepted));
+  return accepted;
 }
 
 void Tracer::record_batch(std::int64_t batch_id, models::ModelId model,

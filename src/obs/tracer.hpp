@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -129,6 +130,25 @@ class Tracer {
                                 TimeMs end_ms, DurationMs solo_ms,
                                 DurationMs interference_ms, DurationMs cold_ms);
 
+  /// Bulk lifecycle path: one call per *batch* completion instead of one
+  /// per request. Composes all 4*count lifecycle events into a scratch
+  /// buffer and lands them with a single capacity check + bulk insert
+  /// (groups of 4 stay atomic: a request's span quartet is either stored
+  /// whole or dropped whole, exactly like the per-request path).
+  void record_batch_lifecycles(const cluster::Request* requests, int count,
+                               models::ModelId model, hw::NodeType node,
+                               cluster::ShareMode mode, int batch_size, int spatial,
+                               int temporal, TimeMs submit_ms, TimeMs start_ms,
+                               TimeMs end_ms, DurationMs solo_ms,
+                               DurationMs interference_ms, DurationMs cold_ms);
+
+  /// Append pre-composed events in one capacity check + one insert. When
+  /// group_size > 1, only a leading whole number of groups is accepted
+  /// (atomicity unit); whatever does not fit is counted dropped. Returns
+  /// the number of events stored.
+  std::size_t append_batch(std::span<const TraceEvent> events,
+                           std::size_t group_size = 0);
+
   /// Record one batch execution on a device lane.
   void record_batch(std::int64_t batch_id, models::ModelId model, hw::NodeType node,
                     cluster::ShareMode mode, int batch_size, TimeMs submit_ms,
@@ -190,6 +210,7 @@ class Tracer {
 
   TracerConfig config_;
   std::vector<TraceEvent> events_;
+  std::vector<TraceEvent> scratch_;  // bulk-lifecycle staging, reused
   std::vector<DecisionRecord> decisions_;
   DecisionRecord* open_decision_ = nullptr;
   std::vector<const char*> span_stack_;

@@ -1,0 +1,230 @@
+#include "src/cluster/request_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace paldia::cluster {
+namespace {
+
+Request make_request(std::int64_t id, TimeMs arrival) {
+  Request request;
+  request.id = RequestId{id};
+  request.model = models::ModelId::kResNet50;
+  request.arrival_ms = arrival;
+  return request;
+}
+
+TEST(RequestRing, StartsEmpty) {
+  RequestRing ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.arrived_before(1e9), 0u);
+}
+
+TEST(RequestRing, PushBackPreservesOrder) {
+  RequestRing ring;
+  for (int i = 0; i < 100; ++i) ring.push_back(make_request(i, i * 1.0));
+  ASSERT_EQ(ring.size(), 100u);
+  EXPECT_EQ(ring.front().id.value, 0);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(ring.at(i).id.value, static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(RequestRing, ArrivedBeforeBinarySearchEdges) {
+  RequestRing ring;
+  for (int i = 0; i < 10; ++i) ring.push_back(make_request(i, 10.0 * i));
+  EXPECT_EQ(ring.arrived_before(-1.0), 0u);   // before the first arrival
+  EXPECT_EQ(ring.arrived_before(0.0), 1u);    // boundary is inclusive
+  EXPECT_EQ(ring.arrived_before(45.0), 5u);   // between arrivals
+  EXPECT_EQ(ring.arrived_before(90.0), 10u);  // exactly the last arrival
+  EXPECT_EQ(ring.arrived_before(1e9), 10u);   // far future
+}
+
+TEST(RequestRing, ArrivedBeforeHandlesDuplicateArrivals) {
+  RequestRing ring;
+  for (int i = 0; i < 6; ++i) ring.push_back(make_request(i, 5.0));
+  EXPECT_EQ(ring.arrived_before(4.9), 0u);
+  EXPECT_EQ(ring.arrived_before(5.0), 6u);  // all duplicates are <= now
+}
+
+TEST(RequestRing, PopFrontIntoMovesPrefix) {
+  RequestRing ring;
+  RequestArena arena;
+  for (int i = 0; i < 20; ++i) ring.push_back(make_request(i, i * 1.0));
+  RequestBlock out = arena.acquire();
+  ring.pop_front_into(7, out);
+  ASSERT_EQ(out.size(), 7u);
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(out[i].id.value, static_cast<std::int64_t>(i));
+  }
+  EXPECT_EQ(ring.size(), 13u);
+  EXPECT_EQ(ring.front().id.value, 7);
+}
+
+TEST(RequestRing, PopFrontIntoZeroOnEmptyRingIsNoop) {
+  RequestRing ring;
+  RequestArena arena;
+  RequestBlock out = arena.acquire();
+  ring.pop_front_into(0, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RequestRing, PopFrontIntoSplitsAcrossWrap) {
+  RequestRing ring;
+  RequestArena arena;
+  // Fill to the initial capacity (16), drain most, then refill so the live
+  // window straddles the physical end of the buffer.
+  for (int i = 0; i < 16; ++i) ring.push_back(make_request(i, i * 1.0));
+  {
+    RequestBlock scratch = arena.acquire();
+    ring.pop_front_into(12, scratch);
+  }
+  for (int i = 16; i < 26; ++i) ring.push_back(make_request(i, i * 1.0));
+  ASSERT_EQ(ring.size(), 14u);  // head at 12, wraps past index 15
+  RequestBlock out = arena.acquire();
+  ring.pop_front_into(14, out);  // both segments of the wrap
+  ASSERT_EQ(out.size(), 14u);
+  for (std::size_t i = 0; i < 14; ++i) {
+    EXPECT_EQ(out[i].id.value, static_cast<std::int64_t>(12 + i));
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RequestRing, GrowPreservesLogicalOrderAcrossWrap) {
+  RequestRing ring;
+  RequestArena arena;
+  for (int i = 0; i < 16; ++i) ring.push_back(make_request(i, i * 1.0));
+  {
+    RequestBlock scratch = arena.acquire();
+    ring.pop_front_into(10, scratch);
+  }
+  // Head is now mid-buffer; pushing past capacity forces grow() while the
+  // live elements wrap.
+  for (int i = 16; i < 40; ++i) ring.push_back(make_request(i, i * 1.0));
+  ASSERT_EQ(ring.size(), 30u);
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(ring.at(i).id.value, static_cast<std::int64_t>(10 + i));
+  }
+}
+
+TEST(RequestRing, AppendAndSortMergesRequeuedBatch) {
+  RequestRing ring;
+  // Fresh arrivals at t = 100..104.
+  for (int i = 0; i < 5; ++i) ring.push_back(make_request(100 + i, 100.0 + i));
+  // A failed batch from t = 0..2 comes back.
+  std::vector<Request> failed;
+  for (int i = 0; i < 3; ++i) failed.push_back(make_request(i, 1.0 * i));
+  ring.append_and_sort(failed.data(), failed.size());
+  ASSERT_EQ(ring.size(), 8u);
+  // Re-queued (older) requests sort to the front; order is globally sorted.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(ring.at(i).id.value, static_cast<std::int64_t>(i));
+  }
+  for (std::size_t i = 1; i < ring.size(); ++i) {
+    EXPECT_LE(ring.at(i - 1).arrival_ms, ring.at(i).arrival_ms);
+  }
+}
+
+TEST(RequestRing, AppendAndSortZeroIsNoop) {
+  RequestRing ring;
+  ring.push_back(make_request(1, 1.0));
+  ring.append_and_sort(nullptr, 0);
+  ASSERT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.front().id.value, 1);
+}
+
+TEST(RequestRing, AppendAndSortWorksWhenWrapped) {
+  RequestRing ring;
+  RequestArena arena;
+  for (int i = 0; i < 16; ++i) ring.push_back(make_request(i, 100.0 + i));
+  {
+    RequestBlock scratch = arena.acquire();
+    ring.pop_front_into(12, scratch);  // head mid-buffer
+  }
+  for (int i = 16; i < 24; ++i) ring.push_back(make_request(i, 100.0 + i));
+  const Request back = make_request(99, 0.5);  // older than everything live
+  ring.append_and_sort(&back, 1);
+  ASSERT_EQ(ring.size(), 13u);
+  EXPECT_EQ(ring.front().id.value, 99);
+  for (std::size_t i = 1; i < ring.size(); ++i) {
+    EXPECT_LE(ring.at(i - 1).arrival_ms, ring.at(i).arrival_ms);
+  }
+}
+
+// Randomized churn against a std::deque + std::sort reference model — the
+// exact data structure and requeue recipe the gateway used before pooling.
+TEST(RequestRing, RandomizedChurnMatchesDequeReference) {
+  RequestRing ring;
+  RequestArena arena;
+  std::deque<Request> reference;
+  Rng rng(0x51D3);
+  std::int64_t next_id = 0;
+  double clock = 0.0;
+  for (int step = 0; step < 5000; ++step) {
+    const int op = static_cast<int>(rng.uniform(0.0, 3.0));
+    if (op == 0) {  // inject a sorted run of fresh arrivals
+      const int n = static_cast<int>(rng.uniform(1.0, 9.0));
+      for (int i = 0; i < n; ++i) {
+        clock += rng.uniform(0.0, 2.0);
+        const Request request = make_request(next_id++, clock);
+        ring.push_back(request);
+        reference.push_back(request);
+      }
+    } else if (op == 1 && !reference.empty()) {  // take an arrived prefix
+      const double now =
+          reference.front().arrival_ms + rng.uniform(0.0, 10.0);
+      std::size_t expected = 0;
+      while (expected < reference.size() &&
+             reference[expected].arrival_ms <= now) {
+        ++expected;
+      }
+      ASSERT_EQ(ring.arrived_before(now), expected);
+      const auto n = static_cast<std::size_t>(
+          rng.uniform(0.0, static_cast<double>(expected + 1)));
+      RequestBlock out = arena.acquire();
+      ring.pop_front_into(n, out);
+      ASSERT_EQ(out.size(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out[i].id.value, reference.front().id.value);
+        reference.pop_front();
+      }
+    } else if (op == 2 && !reference.empty()) {  // requeue a failed batch
+      const int n = 1 + static_cast<int>(rng.uniform(
+                            0.0, static_cast<double>(
+                                     std::min<std::size_t>(reference.size(), 8))));
+      std::vector<Request> failed;
+      for (int i = 0; i < n; ++i) {
+        failed.push_back(reference.front());
+        reference.pop_front();
+      }
+      {
+        RequestBlock scratch = arena.acquire();
+        ring.pop_front_into(static_cast<std::size_t>(n), scratch);
+      }
+      ring.append_and_sort(failed.data(), failed.size());
+      reference.insert(reference.end(), failed.begin(), failed.end());
+      std::sort(reference.begin(), reference.end(),
+                [](const Request& a, const Request& b) {
+                  return a.arrival_ms < b.arrival_ms;
+                });
+    }
+    ASSERT_EQ(ring.size(), reference.size());
+    if (!reference.empty()) {
+      ASSERT_EQ(ring.front().id.value, reference.front().id.value);
+      const auto spot = static_cast<std::size_t>(rng.uniform(
+          0.0, static_cast<double>(reference.size())));
+      ASSERT_EQ(ring.at(spot).id.value, reference[spot].id.value);
+      ASSERT_EQ(ring.at(spot).arrival_ms, reference[spot].arrival_ms);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace paldia::cluster

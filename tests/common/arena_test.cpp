@@ -1,0 +1,227 @@
+#include "src/common/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace paldia::common {
+namespace {
+
+using IntArena = Arena<int>;
+using IntBlock = ArenaBlock<int>;
+
+TEST(Arena, AcquireGivesEmptyVectorLikeBlock) {
+  IntArena arena;
+  IntBlock block = arena.acquire();
+  EXPECT_TRUE(block.empty());
+  EXPECT_EQ(block.size(), 0u);
+  block.push_back(7);
+  block.push_back(9);
+  ASSERT_EQ(block.size(), 2u);
+  EXPECT_EQ(block[0], 7);
+  EXPECT_EQ(block.front(), 7);
+  EXPECT_EQ(block.back(), 9);
+  int sum = 0;
+  for (int v : block) sum += v;
+  EXPECT_EQ(sum, 16);
+}
+
+TEST(Arena, AppendBulkCopies) {
+  IntArena arena;
+  IntBlock block = arena.acquire();
+  const int data[] = {1, 2, 3, 4, 5};
+  block.append(data, 5);
+  block.append(data, 0);  // no-op
+  ASSERT_EQ(block.size(), 5u);
+  EXPECT_TRUE(std::equal(block.begin(), block.end(), data));
+}
+
+TEST(Arena, ReleaseRecyclesSlabWithCapacityRetained) {
+  IntArena arena;
+  {
+    IntBlock block = arena.acquire();
+    for (int i = 0; i < 1000; ++i) block.push_back(i);
+  }  // destructor releases
+  EXPECT_EQ(arena.stats().releases, 1u);
+  IntBlock again = arena.acquire();
+  EXPECT_TRUE(again.empty());  // cleared...
+  EXPECT_EQ(arena.stats().reuses, 1u);    // ...but served from the free list
+  EXPECT_EQ(arena.stats().slots, 1u);     // no second slab was created
+}
+
+TEST(Arena, BypassModeDropsStorageButKeepsSemantics) {
+  IntArena arena(/*pooling=*/false);
+  EXPECT_FALSE(arena.pooling());
+  {
+    IntBlock block = arena.acquire();
+    block.push_back(1);
+  }
+  IntBlock again = arena.acquire();
+  EXPECT_TRUE(again.empty());
+  EXPECT_EQ(arena.stats().reuses, 1u);  // slot bookkeeping identical to pooled
+}
+
+TEST(Arena, DoubleReleaseIsCountedNoop) {
+  IntArena arena;
+  IntBlock block = arena.acquire();
+  block.release();
+  EXPECT_EQ(arena.stats().releases, 1u);
+  block.release();  // explicit second release: no-op, not double-free
+  EXPECT_EQ(arena.stats().releases, 1u);
+  EXPECT_EQ(arena.stats().stale_releases, 0u);  // handle already nulled
+}
+
+TEST(Arena, MovedFromBlockDoesNotReleaseTwice) {
+  IntArena arena;
+  IntBlock a = arena.acquire();
+  a.push_back(3);
+  IntBlock b = std::move(a);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move): spec'd empty
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0], 3);
+  a.release();  // stale handle: must not free b's slab
+  EXPECT_EQ(arena.stats().releases, 0u);
+  b.release();
+  EXPECT_EQ(arena.stats().releases, 1u);
+}
+
+TEST(Arena, MoveAssignReleasesPreviousBlock) {
+  IntArena arena;
+  IntBlock a = arena.acquire();
+  IntBlock b = arena.acquire();
+  b = std::move(a);  // b's original slab returns to the free list
+  EXPECT_EQ(arena.stats().releases, 1u);
+  b.release();
+  EXPECT_EQ(arena.stats().releases, 2u);
+}
+
+TEST(Arena, ResetInvalidatesOutstandingHandles) {
+  IntArena arena;
+  IntBlock stale = arena.acquire();
+  arena.reset();
+  // The slab was reclaimed by reset(); this release must be a counted
+  // no-op, not a second push onto the free list.
+  stale.release();
+  EXPECT_EQ(arena.stats().stale_releases, 1u);
+  EXPECT_EQ(arena.stats().releases, 0u);
+  // The free list after reset holds exactly one slot; two acquisitions must
+  // yield two distinct slabs (a corrupted list would hand out one twice).
+  IntBlock x = arena.acquire();
+  IntBlock y = arena.acquire();
+  x.push_back(1);
+  y.push_back(2);
+  EXPECT_NE(x.data(), y.data());
+  EXPECT_EQ(arena.stats().slots, 2u);
+}
+
+TEST(Arena, GenerationsMakeAbaReleaseSafe) {
+  IntArena arena;
+  IntBlock first = arena.acquire();
+  arena.reset();
+  IntBlock second = arena.acquire();  // same slot, bumped generation
+  second.push_back(42);
+  first.release();  // stale generation: must not free second's slab
+  EXPECT_EQ(arena.stats().stale_releases, 1u);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0], 42);
+}
+
+TEST(Arena, DefaultConstructedBlockIsInertEverywhere) {
+  IntBlock block;
+  EXPECT_TRUE(block.empty());
+  EXPECT_EQ(block.data(), nullptr);
+  EXPECT_EQ(block.arena(), nullptr);
+  block.clear();    // all safe on a null buffer
+  block.release();
+  IntBlock other = std::move(block);
+  EXPECT_TRUE(other.empty());
+}
+
+// Randomized churn: the arena driven against a brute-force reference model
+// (plain std::vector per live block) through acquire / push / append /
+// release / move / reset, mirroring the EventQueue churn test.
+TEST(Arena, RandomizedChurnMatchesReferenceModel) {
+  IntArena arena;
+  Rng rng(0xA7E7A);
+  struct Live {
+    IntBlock block;
+    std::vector<int> reference;
+  };
+  std::vector<Live> live;
+  std::uint64_t expected_stale = 0;
+  int next_value = 0;
+  for (int step = 0; step < 5000; ++step) {
+    const int op = static_cast<int>(rng.uniform(0.0, 6.0));
+    switch (op) {
+      case 0: {  // acquire a new block
+        if (live.size() >= 64) break;
+        live.push_back(Live{arena.acquire(), {}});
+        break;
+      }
+      case 1: {  // push into a random live block
+        if (live.empty()) break;
+        auto& target = live[static_cast<std::size_t>(
+            rng.uniform(0.0, static_cast<double>(live.size())))];
+        target.block.push_back(next_value);
+        target.reference.push_back(next_value);
+        ++next_value;
+        break;
+      }
+      case 2: {  // bulk append
+        if (live.empty()) break;
+        auto& target = live[static_cast<std::size_t>(
+            rng.uniform(0.0, static_cast<double>(live.size())))];
+        int data[7];
+        const int n = 1 + static_cast<int>(rng.uniform(0.0, 7.0));
+        for (int i = 0; i < n; ++i) data[i] = next_value++;
+        target.block.append(data, static_cast<std::size_t>(n));
+        target.reference.insert(target.reference.end(), data, data + n);
+        break;
+      }
+      case 3: {  // release a random block
+        if (live.empty()) break;
+        const auto index = static_cast<std::size_t>(
+            rng.uniform(0.0, static_cast<double>(live.size())));
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(index));
+        break;
+      }
+      case 4: {  // move a block within the model (handle churn)
+        if (live.empty()) break;
+        auto& target = live[static_cast<std::size_t>(
+            rng.uniform(0.0, static_cast<double>(live.size())))];
+        IntBlock moved = std::move(target.block);
+        target.block = std::move(moved);
+        break;
+      }
+      default: {  // occasional reset: every live handle goes stale
+        if (rng.uniform(0.0, 1.0) > 0.02) break;
+        expected_stale += live.size();  // their destructors release stalely
+        arena.reset();
+        live.clear();  // destructors now see bumped generations
+        break;
+      }
+    }
+    // Verify every live block against its reference model.
+    for (const auto& entry : live) {
+      ASSERT_EQ(entry.block.size(), entry.reference.size());
+      ASSERT_TRUE(std::equal(entry.block.begin(), entry.block.end(),
+                             entry.reference.begin()));
+    }
+  }
+  live.clear();  // remaining blocks release normally, not stalely
+  EXPECT_EQ(arena.stats().stale_releases, expected_stale);
+  // Every acquisition is accounted for: released normally or invalidated
+  // by a reset (whose handle destructor then counts as stale).
+  EXPECT_EQ(arena.stats().acquires,
+            arena.stats().releases + arena.stats().stale_releases);
+  // Slab count stays bounded by peak concurrency, not total acquisitions.
+  EXPECT_LE(arena.stats().slots, 64u);
+}
+
+}  // namespace
+}  // namespace paldia::common

@@ -5,8 +5,9 @@
 namespace paldia::core {
 namespace {
 
-std::vector<cluster::Request> make_requests(int n) {
-  std::vector<cluster::Request> requests;
+cluster::RequestBlock make_requests(int n) {
+  static cluster::RequestArena arena;
+  cluster::RequestBlock requests = arena.acquire();
   for (int i = 0; i < n; ++i) {
     cluster::Request request;
     request.id = RequestId{i};

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 namespace paldia::core {
 namespace {
 
@@ -62,7 +64,7 @@ TEST(Gateway, RequeuePreservesArrivalAndReorders) {
   gateway.inject(kModel, 5, 0.0, 1.0);
   auto taken = gateway.take(kModel, 5, 10.0);
   gateway.inject(kModel, 5, 100.0, 1.0);
-  gateway.requeue(kModel, taken);  // failed batch comes back
+  gateway.requeue(kModel, std::move(taken));  // failed batch comes back
   const auto again = gateway.take(kModel, 10, 200.0);
   ASSERT_EQ(again.size(), 10u);
   // The re-queued (older) requests must come out first.
@@ -70,6 +72,32 @@ TEST(Gateway, RequeuePreservesArrivalAndReorders) {
   for (std::size_t i = 1; i < again.size(); ++i) {
     EXPECT_LE(again[i - 1].arrival_ms, again[i].arrival_ms);
   }
+}
+
+TEST(Gateway, SortedByArrivalInvariantSurvivesRepeatedRequeueAfterFailure) {
+  // Failure-injector shape: batches are taken, fail mid-flight, and come
+  // back through requeue() while fresh arrivals keep landing. The queue's
+  // sorted-by-arrival invariant (which take()/pending() binary-search on)
+  // must hold through arbitrarily many such cycles, with no request lost.
+  Gateway gateway(Rng(42));
+  gateway.add_workload(kModel);
+  std::set<std::int64_t> expected_ids;
+  gateway.inject(kModel, 16, 0.0, 50.0);
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    const TimeMs now = 100.0 * (cycle + 1);
+    auto doomed = gateway.take(kModel, 7, now);
+    gateway.inject(kModel, 4, now, 50.0);  // fresh arrivals mid-failure
+    gateway.requeue(kModel, std::move(doomed));
+  }
+  const int total = 16 + 8 * 4;
+  EXPECT_EQ(gateway.pending_total(kModel), total);
+  auto drained = gateway.take(kModel, total, 10'000.0);
+  ASSERT_EQ(drained.size(), static_cast<std::size_t>(total));
+  for (std::size_t i = 0; i < drained.size(); ++i) {
+    if (i > 0) EXPECT_LE(drained[i - 1].arrival_ms, drained[i].arrival_ms) << i;
+    expected_ids.insert(drained[i].id.value);
+  }
+  EXPECT_EQ(expected_ids.size(), static_cast<std::size_t>(total));  // none lost
 }
 
 TEST(Gateway, ObservedRateTracksInjections) {

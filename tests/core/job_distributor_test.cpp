@@ -17,14 +17,14 @@ class JobDistributorTest : public ::testing::Test {
                    const cluster::ExecutionReport& report, hw::NodeType) {
               completions_.emplace_back(request, report);
             },
-            [this](models::ModelId, std::vector<cluster::Request> requests) {
-              for (auto& request : requests) requeued_.push_back(request);
+            [this](models::ModelId, cluster::RequestBlock requests) {
+              for (const auto& request : requests) requeued_.push_back(request);
             }) {
     for (int i = 0; i < 8; ++i) node_.spawn_container(kModel, true);
   }
 
-  std::vector<cluster::Request> make_requests(int n) {
-    std::vector<cluster::Request> requests;
+  cluster::RequestBlock make_requests(int n) {
+    cluster::RequestBlock requests = arena_.acquire();
     for (int i = 0; i < n; ++i) {
       cluster::Request request;
       request.id = ids_.next_request();
@@ -36,6 +36,7 @@ class JobDistributorTest : public ::testing::Test {
   }
 
   sim::Simulator simulator_;
+  cluster::RequestArena arena_;
   cluster::Node node_;
   Batcher batcher_;
   cluster::IdAllocator ids_;
@@ -76,7 +77,7 @@ TEST_F(JobDistributorTest, SpatialPortionTakesOldestRequests) {
   plan.temporal_requests = 2;
   plan.batch_size = 2;
   auto requests = make_requests(4);
-  distributor_.dispatch(node_, plan, requests, 0.0);
+  distributor_.dispatch(node_, plan, std::move(requests), 0.0);
   simulator_.run_to_completion();
   ASSERT_EQ(completions_.size(), 4u);
   // The two oldest ids (0, 1) execute spatially: they start immediately,

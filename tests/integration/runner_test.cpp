@@ -141,6 +141,39 @@ TEST(Runner, CachedVsUncachedBitIdentical) {
   }
 }
 
+TEST(Runner, PooledVsBypassBitIdentical) {
+  // The request arena only changes where request buffers live, never what
+  // they contain, so every metric must be bit-identical with pooling
+  // bypassed. Failures are enabled so the requeue path (the one place
+  // blocks travel backwards through the pipeline) is exercised too.
+  ThreadPool pool(8);
+  SchemeFactoryOptions pooled_options;
+  SchemeFactoryOptions bypass_options;
+  bypass_options.request_pool = false;
+  Runner pooled(models::Zoo::instance(), hw::Catalog::instance(), &pool,
+                pooled_options);
+  Runner bypass(models::Zoo::instance(), hw::Catalog::instance(), &pool,
+                bypass_options);
+  auto scenario = short_scenario(models::ModelId::kResNet50, 60.0, seconds(30), 2);
+  scenario.failures = cluster::FailureInjectorConfig{
+      .period_ms = seconds(12), .downtime_ms = seconds(4),
+      .first_failure_ms = seconds(6)};
+  for (SchemeId scheme : {SchemeId::kPaldia, SchemeId::kOracle}) {
+    const auto a = pooled.run(scenario, scheme);
+    const auto b = bypass.run(scenario, scheme);
+    EXPECT_EQ(a.combined.requests, b.combined.requests) << scheme_name(scheme);
+    EXPECT_EQ(a.combined.slo_compliance, b.combined.slo_compliance);
+    EXPECT_EQ(a.combined.mean_latency_ms, b.combined.mean_latency_ms);
+    EXPECT_EQ(a.combined.p50_latency_ms, b.combined.p50_latency_ms);
+    EXPECT_EQ(a.combined.p95_latency_ms, b.combined.p95_latency_ms);
+    EXPECT_EQ(a.combined.p99_latency_ms, b.combined.p99_latency_ms);
+    EXPECT_EQ(a.combined.cost, b.combined.cost);
+    EXPECT_EQ(a.combined.average_power, b.combined.average_power);
+    EXPECT_EQ(a.combined.cold_starts, b.combined.cold_starts);
+    EXPECT_EQ(a.combined.slo_violations, b.combined.slo_violations);
+  }
+}
+
 TEST(Runner, CacheStatsZeroForPoliciesWithoutCache) {
   Runner runner(models::Zoo::instance(), hw::Catalog::instance());
   const auto scenario = short_scenario(models::ModelId::kResNet50, 30.0, seconds(20));
