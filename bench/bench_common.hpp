@@ -45,6 +45,12 @@ struct BenchOptions {
   /// re-allocated on acquire (plain-vector behaviour). Exports must come
   /// out byte-identical to the pooled run.
   bool request_pool = true;
+  /// --shards=N: event shards per simulation run. 1 (default) = the serial
+  /// drain; higher values split node-group events over per-shard queues
+  /// drained in conservative-lookahead epochs. Exports must come out
+  /// byte-identical to --shards=1 — the serial drain is the reference side
+  /// of that check.
+  int shards = 1;
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -69,10 +75,12 @@ inline BenchOptions parse_options(int argc, char** argv) {
       options.tmax_cache = false;
     } else if (arg == "--no-request-pool") {
       options.request_pool = false;
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      options.shards = std::max(1, std::atoi(arg.c_str() + 9));
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--reps=N] [--threads=N] [--full] [--no-tmax-cache]\n"
-          "          [--no-request-pool]\n"
+          "          [--no-request-pool] [--shards=N]\n"
           "          [--trace-out=FILE.json]   Chrome trace-event JSON per\n"
           "                                    (scenario, scheme) run (Perfetto)\n"
           "          [--metrics-out=FILE]      RunMetrics rows, streaming\n"
@@ -84,7 +92,9 @@ inline BenchOptions parse_options(int argc, char** argv) {
           "          [--no-tmax-cache]         recompute every Eq. 1 sweep\n"
           "                                    (memoization bypass reference)\n"
           "          [--no-request-pool]       drop request buffers instead of\n"
-          "                                    pooling (arena bypass reference)\n",
+          "                                    pooling (arena bypass reference)\n"
+          "          [--shards=N]              event shards per simulation run\n"
+          "                                    (sharded drain; 1 = serial)\n",
           argv[0]);
       std::exit(0);
     }
@@ -106,6 +116,7 @@ inline exp::SchemeFactoryOptions factory_options(const BenchOptions& options) {
   exp::SchemeFactoryOptions factory;
   factory.tmax_cache = options.tmax_cache;
   factory.request_pool = options.request_pool;
+  factory.shards = options.shards;
   return factory;
 }
 

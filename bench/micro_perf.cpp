@@ -4,6 +4,7 @@
 // (< 3 ms)" — see BM_YOptimizerSweep.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -122,6 +123,63 @@ void BM_SimulatorPeriodicTick(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10'001);
 }
 BENCHMARK(BM_SimulatorPeriodicTick);
+
+void sharded_drain(benchmark::State& state, int shards) {
+  // Steady-state event drain with a large resident timer population — the
+  // shape of a full cluster run, where every node keeps completion and
+  // container timers armed at all times. With one shard the drain is a
+  // pop-per-event loop over one ~6 MB heap plus a ~21 MB slot slab whose
+  // sift paths and callback moves fall out of L2; sharded, each worker
+  // shard's heap and slab stay cache-resident and the epoch drain extracts
+  // whole lookahead windows with one linear partition pass. Same single
+  // core, same event order, same fired count.
+  sim::ShardOptions options;
+  options.shards = shards;
+  options.lookahead_ms = 200.0;
+  sim::Simulator simulator(options);
+  std::uint64_t fired = 0;
+  constexpr int kTimers = 1 << 18;
+  // Self-rescheduling one-shot timers: the capture fits in the inline
+  // callback storage, so all per-event state lives in the shard's own slab
+  // and heap — the drain itself is what gets measured.
+  struct Timer {
+    sim::Simulator* simulator;
+    std::uint64_t* fired;
+    double period;
+    int shard;
+    void operator()() const {
+      ++*fired;
+      simulator->schedule_in(period, *this, shard);
+    }
+  };
+  for (int i = 0; i < kTimers; ++i) {
+    const double period = 10.0 + static_cast<double>((i * 97) % 200);
+    const double start = static_cast<double>((i * 131) % 100);
+    const int shard = simulator.shard_of(i);
+    simulator.schedule_at(start, Timer{&simulator, &fired, period, shard},
+                          shard);
+  }
+  double horizon = 0.0;
+  for (auto _ : state) {
+    horizon += 100.0;
+    simulator.run_until(horizon);
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(static_cast<std::int64_t>(fired));
+  state.SetLabel(shards == 1 ? "serial reference" : "sharded epoch drain");
+}
+
+void BM_ShardedDrain(benchmark::State& state) { sharded_drain(state, 8); }
+BENCHMARK(BM_ShardedDrain);
+
+void BM_ShardedDrainSerial(benchmark::State& state) {
+  // The --shards=1 reference for BM_ShardedDrain. A run of this benchmark
+  // (renamed to BM_ShardedDrain) is recorded in
+  // bench/sharded_drain_baseline_pre.json so perf_baseline.py can enforce
+  // the sharded drain's speedup floor without rebuilding the old tree.
+  sharded_drain(state, 1);
+}
+BENCHMARK(BM_ShardedDrainSerial);
 
 void BM_TmaxCacheHit(benchmark::State& state) {
   // Steady-state cost of a memoized Eq. 1 sweep: one mutex + hash lookup

@@ -1,5 +1,7 @@
 #include "src/cluster/failure_injector.hpp"
 
+#include <algorithm>
+
 namespace paldia::cluster {
 
 FailureInjector::FailureInjector(sim::Simulator& simulator, FailureInjectorConfig config,
@@ -16,11 +18,38 @@ void FailureInjector::arm(TimeMs end_ms) {
 
 void FailureInjector::schedule_next(TimeMs at) {
   if (at >= end_ms_) return;
-  simulator_->schedule_at(at, [this, at] {
+  simulator_->schedule_at(at, [this, at] { on_failure_point(at); });
+}
+
+void FailureInjector::on_failure_point(TimeMs at) {
+  // Any outage is forced to resolve inside the armed horizon: a recovery
+  // scheduled past end_ms_ would never fire (the run drains before it),
+  // leaving the node down in end-of-run metrics.
+  const TimeMs recover_at = std::min(at + config_.downtime_ms, end_ms_);
+  if (down_) {
+    // downtime >= period: this failure point lands inside the previous
+    // outage. Coalesce into one longer window — extend the pending
+    // recovery instead of stacking a fail/recover pair that would fire out
+    // of order and revive the node mid-outage.
+    if (recover_at > recover_at_ms_) {
+      recovery_event_.cancel();
+      schedule_recovery(recover_at);
+    }
+  } else {
+    down_ = true;
     ++failures_;
     on_fail_();
-    simulator_->schedule_in(config_.downtime_ms, [this] { on_recover_(); });
-    schedule_next(at + config_.period_ms);
+    schedule_recovery(recover_at);
+  }
+  schedule_next(at + config_.period_ms);
+}
+
+void FailureInjector::schedule_recovery(TimeMs at) {
+  recover_at_ms_ = at;
+  recovery_event_ = simulator_->schedule_at(at, [this] {
+    down_ = false;
+    ++recoveries_;
+    on_recover_();
   });
 }
 

@@ -2,6 +2,14 @@
 // is made unavailable at a fixed period and stays down for a fixed hold
 // time. The injector asks the framework which node is active via a callback
 // and notifies it on failure/recovery so the scheme can fail over.
+//
+// Failure windows are tracked explicitly so adversarial configurations stay
+// well-formed: when downtime_ms >= period_ms the next failure point lands
+// inside the previous outage — the injector coalesces it into one longer
+// window (extending the pending recovery) instead of emitting an
+// out-of-order fail/recover pair that would revive a node mid-outage. A
+// recovery that would land past the armed horizon is clamped to end_ms_, so
+// the node never finishes the run down with no recovery on the books.
 #pragma once
 
 #include <functional>
@@ -29,10 +37,17 @@ class FailureInjector {
   /// Arm the injector until `end_ms`.
   void arm(TimeMs end_ms);
 
+  /// Distinct outage windows started (coalesced overlaps count once).
   int failures_injected() const { return failures_; }
+  /// Recoveries delivered; equals failures_injected() once the run ends.
+  int recoveries_delivered() const { return recoveries_; }
+  /// True while inside an outage window.
+  bool down() const { return down_; }
 
  private:
   void schedule_next(TimeMs at);
+  void on_failure_point(TimeMs at);
+  void schedule_recovery(TimeMs at);
 
   sim::Simulator* simulator_;
   FailureInjectorConfig config_;
@@ -40,6 +55,10 @@ class FailureInjector {
   RecoverFn on_recover_;
   TimeMs end_ms_ = 0.0;
   int failures_ = 0;
+  int recoveries_ = 0;
+  bool down_ = false;
+  TimeMs recover_at_ms_ = 0.0;
+  sim::EventHandle recovery_event_;
 };
 
 }  // namespace paldia::cluster

@@ -3,9 +3,11 @@
 namespace paldia::cluster {
 
 void Provisioner::procure(hw::NodeType type,
-                          std::function<void(hw::NodeType)> on_ready) {
-  simulator_->schedule_in(config_.procurement_delay_ms,
-                          [type, on_ready = std::move(on_ready)] { on_ready(type); });
+                          std::function<void(hw::NodeType)> on_ready,
+                          int shard) {
+  simulator_->schedule_in(
+      config_.procurement_delay_ms,
+      [type, on_ready = std::move(on_ready)] { on_ready(type); }, shard);
 }
 
 }  // namespace paldia::cluster

@@ -40,8 +40,12 @@ void RequestRing::append_and_sort(const Request* data, std::size_t n) {
   if (count_ + n > buffer_.size()) grow(count_ + n);
   std::copy(data, data + n, buffer_.begin() + static_cast<std::ptrdiff_t>(count_));
   count_ += n;
-  std::sort(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(count_),
-            [](const Request& a, const Request& b) { return a.arrival_ms < b.arrival_ms; });
+  // Stable: requests sharing an arrival timestamp must keep their requeue
+  // order, or pooled and bypass runs diverge on ties (the bit-identity
+  // contract both the request-pool and sharding CI checks enforce).
+  std::stable_sort(
+      buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(count_),
+      [](const Request& a, const Request& b) { return a.arrival_ms < b.arrival_ms; });
 }
 
 void RequestRing::grow(std::size_t min_capacity) {

@@ -28,6 +28,15 @@ Framework::Framework(sim::Simulator& simulator, cluster::Cluster& cluster,
       gateway_(rng.fork("gateway"), &request_arena_),
       batcher_(config.batcher),
       autoscaler_(config.autoscaler) {
+  if (simulator.shard_count() > 1) {
+    // Conservative lookahead for the sharded drain: the fastest cadence at
+    // which control-plane events reach node shards. Correctness never
+    // depends on this value (intra-window schedules are merged exactly); it
+    // only sizes how much queue work each barrier epoch batches.
+    simulator.set_lookahead(std::max(
+        1.0, std::min({config.dispatch_interval_ms, config.monitor_interval_ms,
+                       config.autoscaler.predictive_interval_ms})));
+  }
   gateway_.set_tracer(tracer_);
   batcher_.set_tracer(tracer_);
   autoscaler_.set_tracer(tracer_);

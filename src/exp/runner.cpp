@@ -22,7 +22,13 @@ Runner::Runner(const models::Zoo& zoo, const hw::Catalog& catalog, ThreadPool* p
 RunResult Runner::run_once(const Scenario& scenario, SchemeId scheme,
                            std::uint64_t seed, bool keep_cdf,
                            obs::Tracer* tracer) const {
-  sim::Simulator simulator;
+  sim::ShardOptions shard_options;
+  shard_options.shards = factory_.options().shards;
+  // The task-group executor is nestable, so per-shard extraction may run
+  // inside a rep-level parallel_for worker. Exports are identical with or
+  // without the pool — the sharded drain is deterministic by design.
+  shard_options.pool = pool_;
+  sim::Simulator simulator(shard_options);
   Rng rng(seed);
   cluster::Cluster cluster(simulator, rng.fork("cluster"), *zoo_, *catalog_);
 

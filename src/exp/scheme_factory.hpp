@@ -42,6 +42,10 @@ struct SchemeFactoryOptions {
   /// --no-request-pool reference: same block API, every buffer dropped on
   /// release — exports must stay byte-identical either way.
   bool request_pool = true;
+  /// Event shards per simulation (--shards). 1 = serial drain; higher
+  /// values shard node-group events under the conservative-lookahead epochs
+  /// (see src/sim/simulator.hpp) — exports must stay byte-identical.
+  int shards = 1;
 };
 
 class SchemeFactory {

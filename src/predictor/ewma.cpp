@@ -12,8 +12,14 @@ void EwmaPredictor::observe(TimeMs now, Rps rate) {
     last_observe_ms_ = now;
     return;
   }
+  // Sharded delivery can replay or reorder monitor samples; a stale tick
+  // (now <= last observation) must not move the level and would make the
+  // trend denominator non-positive, so it is dropped outright.
+  if (now <= last_observe_ms_) return;
   const double previous_level = level_;
   level_ = alpha_ * rate + (1.0 - alpha_) * level_;
+  // Clamp dt to one tick: near-duplicate timestamps otherwise explode the
+  // instantaneous trend.
   const DurationMs dt = std::max(1.0, now - last_observe_ms_);
   const double instantaneous_trend = (level_ - previous_level) / dt;
   trend_per_ms_ =

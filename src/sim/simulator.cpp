@@ -1,16 +1,61 @@
 #include "src/sim/simulator.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <utility>
 
 namespace paldia::sim {
 
-EventHandle Simulator::schedule_in(DurationMs delay, EventFn fn) {
-  return schedule_at(now_ + std::max(0.0, delay), std::move(fn));
+namespace {
+
+/// Strict total order on entries: sequences are globally unique, so this
+/// never declares a tie.
+bool entry_earlier(const EventQueue::Entry& a, const EventQueue::Entry& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.sequence < b.sequence;
 }
 
-EventHandle Simulator::schedule_at(TimeMs t, EventFn fn) {
-  return queue_.schedule(std::max(t, now_), std::move(fn));
+}  // namespace
+
+Simulator::Simulator(const ShardOptions& options)
+    : shards_(static_cast<std::size_t>(std::max(1, options.shards))),
+      lookahead_ms_(std::max(0.0, options.lookahead_ms)),
+      pool_(options.pool) {}
+
+void Simulator::set_lookahead(DurationMs lookahead_ms) {
+  lookahead_ms_ = std::max(0.0, lookahead_ms);
+}
+
+EventHandle Simulator::schedule_in(DurationMs delay, EventFn fn, int shard) {
+  return schedule_at(now_ + std::max(0.0, delay), std::move(fn), shard);
+}
+
+EventHandle Simulator::schedule_at(TimeMs t, EventFn fn, int shard) {
+  const TimeMs at = std::max(t, now_);
+  if (shard_count() == 1) {
+    return shards_[0].queue.schedule(at, std::move(fn));
+  }
+  const auto target =
+      static_cast<std::uint32_t>(std::clamp(shard, 0, shard_count() - 1));
+  EventQueue& queue = shards_[target].queue;
+  const EventQueue::Entry entry =
+      queue.stage(at, next_sequence_++, std::move(fn));
+  if (!in_epoch_) {
+    queue.commit(entry);
+  } else if (at <= window_end_) {
+    // Intra-window schedule: merge it into the executing epoch at its exact
+    // (time, sequence) position so zero-delay chains and device completions
+    // shorter than the lookahead fire in serial order.
+    inserts_.push_back(Staged{entry, target});
+    std::push_heap(inserts_.begin(), inserts_.end(),
+                   [](const Staged& a, const Staged& b) {
+                     return entry_earlier(b.entry, a.entry);
+                   });
+  } else {
+    // Cross-shard mailbox message: committed at the epoch barrier.
+    mailbox_.push_back(Staged{entry, target});
+  }
+  return queue.handle_for(entry);
 }
 
 void Simulator::PeriodicHandle::cancel() {
@@ -49,15 +94,18 @@ bool Simulator::cancel_periodic(std::uint32_t index, std::uint32_t generation) {
 
 Simulator::PeriodicHandle Simulator::schedule_repeating(TimeMs start,
                                                         DurationMs period,
-                                                        RepeatFn fn) {
+                                                        RepeatFn fn,
+                                                        int shard) {
   const std::uint32_t index = acquire_periodic_slot();
   PeriodicTask& task = periodic_[index];
   task.fn = std::move(fn);
   task.period = period;
+  task.shard = static_cast<std::uint32_t>(std::clamp(shard, 0, shard_count() - 1));
   task.active = true;
   const std::uint32_t generation = task.generation;
   schedule_at(start,
-              [this, index, generation] { fire_periodic(index, generation); });
+              [this, index, generation] { fire_periodic(index, generation); },
+              shard);
   return PeriodicHandle(this, index, generation);
 }
 
@@ -71,43 +119,173 @@ void Simulator::fire_periodic(std::uint32_t index, std::uint32_t generation) {
   // would invalidate a reference into the slab mid-invocation.
   RepeatFn fn = std::move(periodic_[index].fn);
   const DurationMs period = periodic_[index].period;
+  const int shard = static_cast<int>(periodic_[index].shard);
   const bool keep = fn();
   if (index >= periodic_.size()) return;
   PeriodicTask& task = periodic_[index];
   if (task.generation != generation || !task.active) return;
   if (keep) {
     task.fn = std::move(fn);
-    schedule_in(period, [this, index, generation] {
-      fire_periodic(index, generation);
-    });
+    schedule_in(period,
+                [this, index, generation] { fire_periodic(index, generation); },
+                shard);
   } else {
     release_periodic_slot(index);
   }
 }
 
-TimeMs Simulator::run_until(TimeMs until) {
-  while (!queue_.empty() && queue_.next_time() <= until) {
-    auto fired = queue_.pop();
+TimeMs Simulator::earliest_event_time() {
+  TimeMs earliest = kTimeNever;
+  for (Shard& shard : shards_) {
+    earliest = std::min(earliest, shard.queue.next_time());
+  }
+  return earliest;
+}
+
+void Simulator::drain_epoch(TimeMs window) {
+  const std::size_t n = shards_.size();
+  const auto extract = [this, window](std::size_t s) {
+    Shard& shard = shards_[s];
+    shard.run.clear();
+    shard.cursor = 0;
+    shard.queue.extract_until(window, shard.run);
+  };
+  if (pool_ != nullptr && n > 1) {
+    pool_->parallel_for(n, extract);
+  } else {
+    for (std::size_t s = 0; s < n; ++s) extract(s);
+  }
+
+  in_epoch_ = true;
+  window_end_ = window;
+  // Merged execution: always the globally-earliest (time, sequence) entry,
+  // whether it came from a shard's extracted run or was scheduled inside
+  // this window. Intra-window inserts always carry larger sequence numbers
+  // than every extracted entry, so ties at equal times resolve exactly as
+  // the serial pop loop would. The scan runs over the compact heads_ array
+  // (one {time, sequence, shard} per non-exhausted run); exhausted runs are
+  // swap-removed, which is order-safe because the minimum is keyed, not
+  // positional.
+  heads_.clear();
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!shards_[s].run.empty()) {
+      const EventQueue::Entry& head = shards_[s].run.front();
+      heads_.push_back(
+          RunHead{head.time, head.sequence, static_cast<std::uint32_t>(s)});
+    }
+  }
+  while (true) {
+    std::size_t best_at = heads_.size();
+    for (std::size_t i = 0; i < heads_.size(); ++i) {
+      if (best_at == heads_.size() ||
+          heads_[i].time < heads_[best_at].time ||
+          (heads_[i].time == heads_[best_at].time &&
+           heads_[i].sequence < heads_[best_at].sequence)) {
+        best_at = i;
+      }
+    }
+    const bool have_run = best_at != heads_.size();
+    const bool use_insert =
+        !inserts_.empty() &&
+        (!have_run ||
+         inserts_.front().entry.time < heads_[best_at].time ||
+         (inserts_.front().entry.time == heads_[best_at].time &&
+          inserts_.front().entry.sequence < heads_[best_at].sequence));
+    if (use_insert) {
+      std::pop_heap(inserts_.begin(), inserts_.end(),
+                    [](const Staged& a, const Staged& b) {
+                      return entry_earlier(b.entry, a.entry);
+                    });
+      const Staged staged = inserts_.back();
+      inserts_.pop_back();
+      EventQueue& queue = shards_[staged.shard].queue;
+      if (queue.ready(staged.entry)) {
+        now_ = staged.entry.time;
+        ++events_processed_;
+        queue.fire(staged.entry);
+      }
+    } else if (have_run) {
+      Shard& shard = shards_[heads_[best_at].shard];
+      const EventQueue::Entry entry = shard.run[shard.cursor++];
+      if (shard.cursor < shard.run.size()) {
+        const EventQueue::Entry& next = shard.run[shard.cursor];
+        heads_[best_at].time = next.time;
+        heads_[best_at].sequence = next.sequence;
+      } else {
+        heads_[best_at] = heads_.back();
+        heads_.pop_back();
+      }
+      if (shard.queue.ready(entry)) {
+        now_ = entry.time;
+        ++events_processed_;
+        shard.queue.fire(entry);
+      }
+    } else {
+      break;
+    }
+  }
+  in_epoch_ = false;
+
+  // Barrier: deliver cross-shard messages. Commit order is immaterial — the
+  // (time, sequence) stamps assigned at stage() time define the total order,
+  // and heap extraction is insertion-order independent because sequences are
+  // globally unique — so the mailbox is logically (time, shard, sequence)
+  // ordered without paying for a sort here.
+  for (const Staged& staged : mailbox_) {
+    shards_[staged.shard].queue.commit(staged.entry);
+  }
+  mailbox_.clear();
+}
+
+TimeMs Simulator::run_serial(TimeMs until) {
+  EventQueue& queue = shards_[0].queue;
+  while (!queue.empty() && queue.next_time() <= until) {
+    auto fired = queue.pop();
     now_ = fired.time;
     ++events_processed_;
     fired.fn();
+  }
+  return now_;
+}
+
+TimeMs Simulator::run_sharded(TimeMs until) {
+  while (true) {
+    const TimeMs t0 = earliest_event_time();
+    if (t0 == kTimeNever || t0 > until) break;
+    drain_epoch(std::min(t0 + lookahead_ms_, until));
+  }
+  return now_;
+}
+
+TimeMs Simulator::run_until(TimeMs until) {
+  if (shard_count() == 1) {
+    run_serial(until);
+  } else {
+    run_sharded(until);
   }
   now_ = std::max(now_, until);
   return now_;
 }
 
 TimeMs Simulator::run_to_completion() {
-  while (!queue_.empty()) {
-    auto fired = queue_.pop();
-    now_ = fired.time;
-    ++events_processed_;
-    fired.fn();
+  if (shard_count() == 1) {
+    return run_serial(kTimeNever);
+  }
+  while (true) {
+    const TimeMs t0 = earliest_event_time();
+    if (t0 == kTimeNever) break;
+    drain_epoch(t0 + lookahead_ms_);
   }
   return now_;
 }
 
 void Simulator::reset() {
-  queue_.clear();
+  assert(!in_epoch_ && inserts_.empty() && mailbox_.empty());
+  for (Shard& shard : shards_) {
+    shard.queue.clear();
+    shard.run.clear();
+    shard.cursor = 0;
+  }
   // Retire every periodic slot without restarting generations, so handles
   // from before the reset cannot cancel series scheduled after it.
   periodic_free_head_ = kNoPeriodic;
@@ -121,6 +299,7 @@ void Simulator::reset() {
   }
   now_ = 0.0;
   events_processed_ = 0;
+  next_sequence_ = 0;
 }
 
 }  // namespace paldia::sim

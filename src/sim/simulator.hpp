@@ -2,7 +2,39 @@
 //
 // All framework components (gateway, batcher, autoscaler, devices, trackers)
 // are wired to one Simulator and communicate through scheduled callbacks.
-// The loop is single-threaded, so no component needs internal locking.
+// Callbacks always execute single-threaded in global (time, sequence) order,
+// so no component needs internal locking.
+//
+// Sharded mode (ShardOptions.shards > 1) partitions the event population
+// into per-shard pooled queues — shard 0 is the control plane (gateway,
+// dispatch/monitor ticks, trackers, failure injector), the remaining shards
+// hold per-node-group device timers — and drains them in conservative
+// lookahead epochs:
+//
+//   1. Pick the next epoch window [t0, t0 + lookahead], t0 = earliest event
+//      across shards.
+//   2. Extract every event inside the window from each shard queue
+//      independently (batched; in parallel on the task-group executor when
+//      a pool is attached). Extraction only touches that shard's heap and
+//      slab, so the parallel phase shares nothing.
+//   3. Execute the extracted runs as one k-way merge by (time, sequence).
+//      Sequence numbers are stamped by a single global counter at
+//      schedule() time, exactly like the serial per-queue counter, so the
+//      merged order equals the serial drain order event for event — which
+//      is what keeps every export byte-identical to --shards=1.
+//   4. Callbacks scheduled *inside* the window join the merge immediately
+//      (an insert heap, so zero-delay chains keep their serial order);
+//      callbacks scheduled *past* the window are cross-shard mailbox
+//      messages, committed at the barrier. Their (time, sequence) stamps —
+//      assigned when scheduled — already define the total order, so commit
+//      order is immaterial and the mailbox is logically
+//      (time, shard, sequence) ordered without a sort.
+//
+// The lookahead never affects correctness — intra-window schedules are
+// merged exactly, not deferred — it only sizes how much queue maintenance
+// each barrier epoch can batch. Larger windows amortize extraction; the
+// Framework sets it to the fastest control-plane cadence that crosses into
+// node shards (the dispatch interval).
 #pragma once
 
 #include <cstdint>
@@ -10,21 +42,56 @@
 #include <vector>
 
 #include "src/common/inline_function.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/common/units.hpp"
 #include "src/sim/event_queue.hpp"
 
 namespace paldia::sim {
 
+struct ShardOptions {
+  /// Number of event shards. 1 = the classic serial drain (default);
+  /// values above 1 enable the epoch/mailbox machinery.
+  int shards = 1;
+  /// Conservative lookahead window in simulated ms. Purely a batching knob
+  /// (see file comment); must be > 0. Framework overrides it with the
+  /// minimum cross-shard cadence.
+  DurationMs lookahead_ms = 20.0;
+  /// Optional executor for the per-shard extraction phase. Null keeps the
+  /// epochs fully single-threaded (useful under TSan and on small fleets,
+  /// and the required setting for byte-identity checks on 1-core boxes —
+  /// though results are identical either way).
+  ThreadPool* pool = nullptr;
+};
+
 class Simulator {
  public:
+  Simulator() : Simulator(ShardOptions{}) {}
+  explicit Simulator(const ShardOptions& options);
+
   TimeMs now() const { return now_; }
 
-  /// Schedule fn `delay` ms from now. Negative delays clamp to now (a
-  /// zero-delay event runs after currently-pending same-time events).
-  EventHandle schedule_in(DurationMs delay, EventFn fn);
+  int shard_count() const { return static_cast<int>(shards_.size()); }
 
-  /// Schedule fn at absolute time t (clamped to now).
-  EventHandle schedule_at(TimeMs t, EventFn fn);
+  /// Shard for the entity_index-th node-like entity: entities round-robin
+  /// over the worker shards 1..shards-1; shard 0 is reserved for the
+  /// control plane. With one shard everything maps to 0.
+  int shard_of(int entity_index) const {
+    const int workers = shard_count() - 1;
+    if (workers <= 0) return 0;
+    return 1 + entity_index % workers;
+  }
+
+  /// Override the conservative lookahead window (> 0). Called by the
+  /// Framework once the control-plane cadences are known.
+  void set_lookahead(DurationMs lookahead_ms);
+  DurationMs lookahead_ms() const { return lookahead_ms_; }
+
+  /// Schedule fn `delay` ms from now on `shard`. Negative delays clamp to
+  /// now (a zero-delay event runs after currently-pending same-time events).
+  EventHandle schedule_in(DurationMs delay, EventFn fn, int shard = 0);
+
+  /// Schedule fn at absolute time t (clamped to now) on `shard`.
+  EventHandle schedule_at(TimeMs t, EventFn fn, int shard = 0);
 
   /// Callback of a repeating event; returns whether to keep firing.
   using RepeatFn = InlineFunction<bool()>;
@@ -53,27 +120,30 @@ class Simulator {
   /// `period` ms for as long as it returns true (read now() for the tick
   /// time). The series owns one pooled slot and re-arms a thin queue entry
   /// after each firing — no per-firing allocation, unlike the previous
-  /// shared_ptr<std::function> self-rescheduling chain.
+  /// shared_ptr<std::function> self-rescheduling chain. Every firing lands
+  /// on `shard`.
   PeriodicHandle schedule_repeating(TimeMs start, DurationMs period,
-                                    RepeatFn fn);
+                                    RepeatFn fn, int shard = 0);
 
   /// Schedule fn every `period` ms starting at `start`, until the returned
   /// handle is cancelled. fn receives no arguments; read now() for the tick
   /// time. Sugar over schedule_repeating with an always-true result.
   template <typename F>
-  PeriodicHandle schedule_every(TimeMs start, DurationMs period, F&& fn) {
+  PeriodicHandle schedule_every(TimeMs start, DurationMs period, F&& fn,
+                                int shard = 0) {
     return schedule_repeating(start, period,
                               [f = std::forward<F>(fn)]() mutable {
                                 f();
                                 return true;
-                              });
+                              },
+                              shard);
   }
 
-  /// Run until the queue is empty or simulated time would pass `until`.
+  /// Run until the queues are empty or simulated time would pass `until`.
   /// Events exactly at `until` still run. Returns the final now().
   TimeMs run_until(TimeMs until);
 
-  /// Run until the queue is fully drained.
+  /// Run until every queue is fully drained.
   TimeMs run_to_completion();
 
   /// Drop every pending event and repeating series and reset the clock (for
@@ -81,6 +151,8 @@ class Simulator {
   /// into recycled slots: generations are bumped, not restarted.
   void reset();
 
+  /// Number of callbacks actually fired (cancelled events never count) —
+  /// identical across shard counts for the same workload.
   std::size_t events_processed() const { return events_processed_; }
 
  private:
@@ -93,7 +165,33 @@ class Simulator {
     DurationMs period = 0.0;
     std::uint32_t generation = 0;
     std::uint32_t next_free = kNoPeriodic;
+    std::uint32_t shard = 0;
     bool active = false;
+  };
+
+  /// One event shard: a pooled queue plus its current epoch run.
+  struct Shard {
+    EventQueue queue;
+    std::vector<EventQueue::Entry> run;
+    std::size_t cursor = 0;
+  };
+
+  /// A staged entry bound for `shard`'s queue: either an intra-window
+  /// insert (merged into the executing epoch immediately) or a cross-shard
+  /// mailbox message (committed at the barrier).
+  struct Staged {
+    EventQueue::Entry entry;
+    std::uint32_t shard;
+  };
+
+  /// Compact cursor of one shard's sorted epoch run, scanned by the merge
+  /// loop. Keeping the head keys contiguous here (instead of chasing
+  /// Shard::run[cursor] through each ~100-byte Shard) makes the per-event
+  /// min-scan a walk over a few L1 cache lines.
+  struct RunHead {
+    TimeMs time;
+    std::uint64_t sequence;
+    std::uint32_t shard;
   };
 
   void fire_periodic(std::uint32_t index, std::uint32_t generation);
@@ -101,11 +199,34 @@ class Simulator {
   std::uint32_t acquire_periodic_slot();
   void release_periodic_slot(std::uint32_t index);
 
-  EventQueue queue_;
+  /// Earliest live event time across all shards (kTimeNever when drained).
+  TimeMs earliest_event_time();
+
+  /// Run one epoch: extract every event in (-inf, window] per shard, then
+  /// execute the merged runs in global (time, sequence) order, then flush
+  /// the mailbox back into the shard queues.
+  void drain_epoch(TimeMs window);
+
+  TimeMs run_serial(TimeMs until);
+  TimeMs run_sharded(TimeMs until);
+
+  std::vector<Shard> shards_;
   std::vector<PeriodicTask> periodic_;
   std::uint32_t periodic_free_head_ = kNoPeriodic;
   TimeMs now_ = 0.0;
   std::size_t events_processed_ = 0;
+
+  // Sharded-mode state. next_sequence_ is the global stamp that makes the
+  // cross-shard merge a total order; unused (the queue keeps its own
+  // counter) when shards == 1.
+  DurationMs lookahead_ms_ = 20.0;
+  ThreadPool* pool_ = nullptr;
+  std::uint64_t next_sequence_ = 0;
+  bool in_epoch_ = false;
+  TimeMs window_end_ = 0.0;
+  std::vector<Staged> inserts_;  // min-heap by (time, sequence)
+  std::vector<Staged> mailbox_;
+  std::vector<RunHead> heads_;  // merge-scan scratch, reused across epochs
 };
 
 }  // namespace paldia::sim

@@ -158,8 +158,50 @@ TEST(RequestRing, AppendAndSortWorksWhenWrapped) {
   }
 }
 
-// Randomized churn against a std::deque + std::sort reference model — the
-// exact data structure and requeue recipe the gateway used before pooling.
+TEST(RequestRing, AppendAndSortStableOnDuplicateArrivals) {
+  // Requests sharing an arrival timestamp must keep their relative order:
+  // residents (in ring order) before the requeued batch, and each group in
+  // its own original order. A plain std::sort is free to permute such ties,
+  // which silently broke the pooled-vs-bypass bit-identity contract.
+  RequestRing ring;
+  ring.push_back(make_request(0, 5.0));
+  ring.push_back(make_request(1, 5.0));
+  ring.push_back(make_request(2, 9.0));
+  const Request requeued[] = {make_request(3, 5.0), make_request(4, 5.0),
+                              make_request(5, 2.0)};
+  ring.append_and_sort(requeued, 3);
+  ASSERT_EQ(ring.size(), 6u);
+  const std::int64_t expected[] = {5, 0, 1, 3, 4, 2};
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(ring.at(i).id.value, expected[i]) << i;
+  }
+}
+
+TEST(RequestRing, AppendAndSortStableAcrossRepeatedRequeues) {
+  // Requeue the same equal-arrival batch twice; each merge must be a
+  // no-op permutation-wise.
+  RequestRing ring;
+  RequestArena arena;
+  for (int i = 0; i < 4; ++i) ring.push_back(make_request(i, 7.0));
+  for (int round = 0; round < 2; ++round) {
+    std::vector<Request> batch;
+    RequestBlock out = arena.acquire();
+    ring.pop_front_into(2, out);
+    for (std::size_t i = 0; i < out.size(); ++i) batch.push_back(out[i]);
+    ring.append_and_sort(batch.data(), batch.size());
+    ASSERT_EQ(ring.size(), 4u);
+  }
+  // 0,1 popped and requeued behind 2,3; then 2,3 popped and requeued
+  // behind 0,1 — back to the original order.
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ring.at(static_cast<std::size_t>(i)).id.value, i);
+  }
+}
+
+// Randomized churn against a std::deque + std::stable_sort reference model —
+// the exact data structure and requeue recipe the gateway used before
+// pooling. Batches of duplicate arrival timestamps are injected on purpose:
+// ties must resolve by requeue order on both sides.
 TEST(RequestRing, RandomizedChurnMatchesDequeReference) {
   RequestRing ring;
   RequestArena arena;
@@ -171,8 +213,12 @@ TEST(RequestRing, RandomizedChurnMatchesDequeReference) {
     const int op = static_cast<int>(rng.uniform(0.0, 3.0));
     if (op == 0) {  // inject a sorted run of fresh arrivals
       const int n = static_cast<int>(rng.uniform(1.0, 9.0));
+      // Roughly a third of batches arrive at one shared timestamp —
+      // the duplicate-arrival shape that exposes unstable sorting.
+      const bool duplicates = static_cast<int>(rng.uniform(0.0, 3.0)) == 0;
+      if (duplicates) clock += rng.uniform(0.0, 2.0);
       for (int i = 0; i < n; ++i) {
-        clock += rng.uniform(0.0, 2.0);
+        if (!duplicates) clock += rng.uniform(0.0, 2.0);
         const Request request = make_request(next_id++, clock);
         ring.push_back(request);
         reference.push_back(request);
@@ -210,10 +256,10 @@ TEST(RequestRing, RandomizedChurnMatchesDequeReference) {
       }
       ring.append_and_sort(failed.data(), failed.size());
       reference.insert(reference.end(), failed.begin(), failed.end());
-      std::sort(reference.begin(), reference.end(),
-                [](const Request& a, const Request& b) {
-                  return a.arrival_ms < b.arrival_ms;
-                });
+      std::stable_sort(reference.begin(), reference.end(),
+                       [](const Request& a, const Request& b) {
+                         return a.arrival_ms < b.arrival_ms;
+                       });
     }
     ASSERT_EQ(ring.size(), reference.size());
     if (!reference.empty()) {

@@ -1,0 +1,129 @@
+// End-to-end determinism contract of the sharded drain: a full Runner
+// workload — failure injector on, so fail-over, requeue and procurement all
+// cross shards — must produce byte-identical exports (Chrome trace, metrics
+// rows, decision log, analysis report) for --shards=1, 2 and 4, with and
+// without the executor draining extraction in parallel.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/exp/runner.hpp"
+#include "src/obs/chrome_trace.hpp"
+#include "src/obs/export.hpp"
+#include "src/obs/report.hpp"
+#include "src/trace/generators.hpp"
+
+namespace paldia::exp {
+namespace {
+
+Scenario failure_scenario() {
+  Scenario scenario;
+  scenario.name = "sharded";
+  trace::PoissonOptions options;
+  options.mean_rps = 60.0;
+  options.duration_ms = seconds(30);
+  scenario.workloads.push_back(WorkloadSpec{
+      models::ModelId::kResNet50, trace::make_poisson_trace(options)});
+  scenario.repetitions = 2;
+  scenario.failures = cluster::FailureInjectorConfig{
+      .period_ms = seconds(12), .downtime_ms = seconds(4),
+      .first_failure_ms = seconds(6)};
+  return scenario;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Every export surface of one (scheme, shards) sweep, as raw bytes.
+struct Exports {
+  std::string chrome_trace;
+  std::string metrics;
+  std::string decisions;
+  std::string report;
+};
+
+Exports run_exports(int shards, ThreadPool* pool, SchemeId scheme,
+                    const std::string& tag) {
+  SchemeFactoryOptions options;
+  options.shards = shards;
+  Runner runner(models::Zoo::instance(), hw::Catalog::instance(), pool,
+                options);
+  const Scenario scenario = failure_scenario();
+
+  obs::RunTrace trace;
+  const RunResult result = runner.run(scenario, scheme, trace);
+
+  Exports exports;
+  std::ostringstream chrome;
+  obs::write_chrome_trace(chrome, trace, scenario.name);
+  exports.chrome_trace = chrome.str();
+
+  const std::string dir = ::testing::TempDir();
+  const std::string metrics_path = dir + "sharded_metrics_" + tag + ".jsonl";
+  const std::string decisions_path = dir + "sharded_decisions_" + tag + ".jsonl";
+  {
+    obs::MetricsWriter metrics(metrics_path);
+    EXPECT_TRUE(metrics.ok()) << metrics.error();
+    metrics.write(result.combined, "sharded-test");
+    obs::DecisionLogWriter decisions(decisions_path);
+    EXPECT_TRUE(decisions.ok()) << decisions.error();
+    decisions.write(trace, scheme_name(scheme), scenario.name);
+  }
+  exports.metrics = slurp(metrics_path);
+  exports.decisions = slurp(decisions_path);
+  std::remove(metrics_path.c_str());
+  std::remove(decisions_path.c_str());
+
+  std::ostringstream report;
+  obs::write_report_json(
+      report, {obs::analyze_with_zoo(
+                  obs::extract_run_data(trace, scenario.name))});
+  exports.report = report.str();
+  return exports;
+}
+
+TEST(Runner, ShardedVsSerialBitIdentical) {
+  ThreadPool pool(8);
+  for (const SchemeId scheme : {SchemeId::kPaldia, SchemeId::kOracle}) {
+    const Exports serial = run_exports(1, &pool, scheme, "s1");
+    ASSERT_FALSE(serial.chrome_trace.empty());
+    ASSERT_FALSE(serial.metrics.empty());
+    ASSERT_FALSE(serial.decisions.empty());
+    for (const int shards : {2, 4}) {
+      const Exports sharded =
+          run_exports(shards, &pool, scheme, "s" + std::to_string(shards));
+      EXPECT_EQ(serial.chrome_trace, sharded.chrome_trace)
+          << scheme_name(scheme) << " shards=" << shards;
+      EXPECT_EQ(serial.metrics, sharded.metrics)
+          << scheme_name(scheme) << " shards=" << shards;
+      EXPECT_EQ(serial.decisions, sharded.decisions)
+          << scheme_name(scheme) << " shards=" << shards;
+      EXPECT_EQ(serial.report, sharded.report)
+          << scheme_name(scheme) << " shards=" << shards;
+    }
+  }
+}
+
+TEST(Runner, ShardedBitIdenticalWithoutExecutor) {
+  // The executor only parallelizes extraction; draining inline must not
+  // change a byte either.
+  ThreadPool pool(4);
+  const Exports pooled = run_exports(4, &pool, SchemeId::kPaldia, "pool");
+  const Exports inline_drain =
+      run_exports(4, nullptr, SchemeId::kPaldia, "inline");
+  EXPECT_EQ(pooled.chrome_trace, inline_drain.chrome_trace);
+  EXPECT_EQ(pooled.metrics, inline_drain.metrics);
+  EXPECT_EQ(pooled.decisions, inline_drain.decisions);
+  EXPECT_EQ(pooled.report, inline_drain.report);
+}
+
+}  // namespace
+}  // namespace paldia::exp

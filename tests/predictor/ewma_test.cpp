@@ -54,6 +54,49 @@ TEST(Ewma, ZeroTrendAlphaIsClassicEwma) {
   EXPECT_NEAR(predictor.predict(1000.0, 100'000.0), 50.0, 1e-9);
 }
 
+TEST(Ewma, IgnoresDuplicateAndOutOfOrderObservations) {
+  // Sharded delivery can replay a monitor sample (same now) or hand one in
+  // late (now < last). Both are stale: the predictor state must not move.
+  EwmaPredictor predictor(0.5, 0.35);
+  predictor.observe(0.0, 100.0);
+  predictor.observe(1000.0, 110.0);
+  const double level = predictor.level();
+  const double trend = predictor.trend_per_ms();
+  predictor.observe(1000.0, 500.0);  // duplicate timestamp
+  EXPECT_EQ(predictor.level(), level);
+  EXPECT_EQ(predictor.trend_per_ms(), trend);
+  predictor.observe(400.0, 999.0);  // out of order
+  EXPECT_EQ(predictor.level(), level);
+  EXPECT_EQ(predictor.trend_per_ms(), trend);
+  // A genuinely newer observation still updates.
+  predictor.observe(2000.0, 120.0);
+  EXPECT_NE(predictor.level(), level);
+}
+
+TEST(Ewma, ClampsTrendTickForNearDuplicateTimestamps) {
+  // dt is clamped to one tick, so two samples 0.25 ms apart produce the
+  // same (finite, sane) trend as samples a full tick apart — the divide
+  // can neither blow up nor flip sign.
+  EwmaPredictor a(0.5, 0.35);
+  a.observe(0.0, 100.0);
+  a.observe(0.25, 200.0);
+  EwmaPredictor b(0.5, 0.35);
+  b.observe(0.0, 100.0);
+  b.observe(1.0, 200.0);
+  EXPECT_EQ(a.level(), b.level());
+  EXPECT_EQ(a.trend_per_ms(), b.trend_per_ms());
+  EXPECT_GT(a.trend_per_ms(), 0.0);
+  EXPECT_LT(a.trend_per_ms(), 100.0);
+}
+
+TEST(Ewma, StaleObservationBeforePrimingStillPrimes) {
+  // The -1 sentinel means the very first observation always primes, even
+  // at t = 0.
+  EwmaPredictor predictor;
+  predictor.observe(0.0, 40.0);
+  EXPECT_DOUBLE_EQ(predictor.level(), 40.0);
+}
+
 TEST(LastValue, ReturnsLastObservation) {
   LastValuePredictor predictor;
   predictor.observe(0.0, 5.0);

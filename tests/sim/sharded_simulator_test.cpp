@@ -1,0 +1,348 @@
+// The sharded drain's contract: for any schedule/cancel/periodic workload,
+// any shard count, any lookahead, and with or without the executor, every
+// callback fires at the same simulated time in the same order as the serial
+// single-queue drain. The suites here drive identical workload scripts
+// through different Simulator configurations and compare complete firing
+// logs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace paldia::sim {
+namespace {
+
+using FiringLog = std::vector<std::pair<TimeMs, int>>;
+
+/// Deterministic random workload: every fired event logs (now, tag) and may
+/// schedule children across shards, start periodic series, cancel saved
+/// handles, or chain zero-delay follow-ups. The script consumes its Rng in
+/// firing order, so any ordering divergence between two configurations
+/// cascades into visibly different logs.
+class ChurnDriver {
+ public:
+  ChurnDriver(Simulator& simulator, FiringLog& log, std::uint64_t seed)
+      : simulator_(&simulator), log_(&log), rng_(seed) {}
+
+  void seed_initial(int count) {
+    for (int i = 0; i < count; ++i) {
+      schedule_child(rng_.uniform(0.0, 40.0));
+    }
+    // A few periodic series spread over the shards, some self-stopping.
+    for (int i = 0; i < 6; ++i) {
+      const int shard = i % 5;
+      const DurationMs period = 3.0 + static_cast<double>(i);
+      const int tag = next_tag_++;
+      const int stop_after = (i % 2 == 0) ? 9 : 1000;
+      periodic_handles_.push_back(simulator_->schedule_repeating(
+          1.0 + i, period,
+          [this, tag, fired = 0, stop_after]() mutable {
+            log_->emplace_back(simulator_->now(), tag);
+            return ++fired < stop_after;
+          },
+          shard));
+    }
+  }
+
+  int spawned() const { return spawned_; }
+
+ private:
+  void schedule_child(DurationMs delay) {
+    if (spawned_ >= kMaxSpawned) return;
+    ++spawned_;
+    const int tag = next_tag_++;
+    const int shard = static_cast<int>(rng_.uniform(0.0, 5.0));
+    const EventHandle handle = simulator_->schedule_in(
+        std::max(0.0, delay), [this, tag] { fire(tag); }, shard);
+    if (static_cast<int>(rng_.uniform(0.0, 4.0)) == 0) {
+      saved_handles_.push_back(handle);
+    }
+  }
+
+  void fire(int tag) {
+    log_->emplace_back(simulator_->now(), tag);
+    const int children = static_cast<int>(rng_.uniform(0.0, 3.0));
+    for (int i = 0; i < children; ++i) {
+      // Mix zero-delay chains, sub-lookahead, and cross-epoch delays.
+      const int kind = static_cast<int>(rng_.uniform(0.0, 3.0));
+      const DurationMs delay = kind == 0   ? 0.0
+                               : kind == 1 ? rng_.uniform(0.0, 5.0)
+                                           : rng_.uniform(5.0, 120.0);
+      schedule_child(delay);
+    }
+    if (!saved_handles_.empty() &&
+        static_cast<int>(rng_.uniform(0.0, 3.0)) == 0) {
+      const auto pick = static_cast<std::size_t>(
+          rng_.uniform(0.0, static_cast<double>(saved_handles_.size())));
+      saved_handles_[pick].cancel();
+      saved_handles_.erase(saved_handles_.begin() +
+                           static_cast<std::ptrdiff_t>(pick));
+    }
+    if (!periodic_handles_.empty() &&
+        static_cast<int>(rng_.uniform(0.0, 40.0)) == 0) {
+      periodic_handles_.back().cancel();
+      periodic_handles_.pop_back();
+    }
+  }
+
+  static constexpr int kMaxSpawned = 4000;
+
+  Simulator* simulator_;
+  FiringLog* log_;
+  Rng rng_;
+  std::vector<EventHandle> saved_handles_;
+  std::vector<Simulator::PeriodicHandle> periodic_handles_;
+  int next_tag_ = 0;
+  int spawned_ = 0;
+};
+
+/// Run the churn script on a simulator built from `options`, stepping
+/// through several run_until boundaries before draining completely.
+FiringLog run_churn(const ShardOptions& options, std::uint64_t seed,
+                    std::size_t* events_processed = nullptr) {
+  Simulator simulator(options);
+  FiringLog log;
+  ChurnDriver driver(simulator, log, seed);
+  driver.seed_initial(64);
+  simulator.run_until(50.0);
+  simulator.run_until(50.0);  // idempotent boundary
+  simulator.run_until(333.3);
+  simulator.run_to_completion();
+  if (events_processed != nullptr) *events_processed = simulator.events_processed();
+  return log;
+}
+
+TEST(ShardedSimulator, MatchesSerialUnderRandomChurn) {
+  for (const std::uint64_t seed : {1ull, 7ull, 1234ull}) {
+    std::size_t serial_events = 0;
+    const FiringLog serial = run_churn(ShardOptions{}, seed, &serial_events);
+    ASSERT_FALSE(serial.empty());
+    for (const int shards : {2, 4, 7}) {
+      ShardOptions options;
+      options.shards = shards;
+      std::size_t sharded_events = 0;
+      const FiringLog sharded = run_churn(options, seed, &sharded_events);
+      ASSERT_EQ(serial, sharded) << "shards=" << shards << " seed=" << seed;
+      EXPECT_EQ(serial_events, sharded_events);
+    }
+  }
+}
+
+TEST(ShardedSimulator, OrderIndependentOfLookahead) {
+  const FiringLog serial = run_churn(ShardOptions{}, 99);
+  for (const DurationMs lookahead : {0.0, 0.5, 7.0, 1e6}) {
+    ShardOptions options;
+    options.shards = 4;
+    options.lookahead_ms = lookahead;
+    EXPECT_EQ(serial, run_churn(options, 99)) << "lookahead=" << lookahead;
+  }
+}
+
+TEST(ShardedSimulator, MatchesSerialWithExecutorExtraction) {
+  ThreadPool pool(4);
+  const FiringLog serial = run_churn(ShardOptions{}, 2026);
+  ShardOptions options;
+  options.shards = 4;
+  options.pool = &pool;
+  EXPECT_EQ(serial, run_churn(options, 2026));
+}
+
+TEST(ShardedSimulator, ZeroDelayChainsKeepSubmissionOrder) {
+  ShardOptions options;
+  options.shards = 3;
+  Simulator simulator(options);
+  std::vector<int> order;
+  simulator.schedule_at(
+      10.0,
+      [&] {
+        // Zero-delay follow-ups land on other shards but must still run in
+        // submission order, interleaved before anything later.
+        simulator.schedule_in(0.0, [&] { order.push_back(1); }, 1);
+        simulator.schedule_in(0.0, [&] { order.push_back(2); }, 2);
+        simulator.schedule_in(
+            0.0,
+            [&] {
+              order.push_back(3);
+              simulator.schedule_in(0.0, [&] { order.push_back(4); }, 2);
+            },
+            1);
+      },
+      1);
+  simulator.schedule_at(10.5, [&] { order.push_back(5); }, 2);
+  simulator.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(simulator.events_processed(), 6u);
+}
+
+TEST(ShardedSimulator, CrossShardScheduleBeyondWindowFires) {
+  ShardOptions options;
+  options.shards = 4;
+  options.lookahead_ms = 5.0;
+  Simulator simulator(options);
+  std::vector<std::pair<TimeMs, int>> log;
+  // Shard 1 -> shard 3, far past the epoch window: must travel through the
+  // mailbox and fire at the exact requested time.
+  simulator.schedule_at(
+      2.0,
+      [&] {
+        log.emplace_back(simulator.now(), 0);
+        simulator.schedule_in(100.0, [&] { log.emplace_back(simulator.now(), 1); },
+                              3);
+      },
+      1);
+  simulator.run_to_completion();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_DOUBLE_EQ(log[0].first, 2.0);
+  EXPECT_DOUBLE_EQ(log[1].first, 102.0);
+}
+
+TEST(ShardedSimulator, CancelAcrossShardsWithinOneEpoch) {
+  ShardOptions options;
+  options.shards = 4;
+  options.lookahead_ms = 50.0;  // both events extract in the same epoch
+  Simulator simulator(options);
+  bool victim_fired = false;
+  EventHandle victim = simulator.schedule_at(
+      6.0, [&] { victim_fired = true; }, 2);
+  simulator.schedule_at(5.0, [&] { victim.cancel(); }, 1);
+  simulator.run_to_completion();
+  EXPECT_FALSE(victim_fired);
+  EXPECT_TRUE(victim.cancelled());
+  EXPECT_EQ(simulator.events_processed(), 1u);
+}
+
+TEST(ShardedSimulator, CancelIntraWindowInsertBeforeItRuns) {
+  ShardOptions options;
+  options.shards = 2;
+  options.lookahead_ms = 50.0;
+  Simulator simulator(options);
+  bool fired = false;
+  EventHandle staged;
+  simulator.schedule_at(
+      1.0,
+      [&] {
+        // Scheduled inside the executing window (an insert-heap entry)...
+        staged = simulator.schedule_in(2.0, [&] { fired = true; }, 1);
+      },
+      0);
+  // ...and cancelled by a later event in the same window, before it fires.
+  simulator.schedule_at(2.0, [&] { staged.cancel(); }, 1);
+  simulator.run_to_completion();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(simulator.events_processed(), 2u);
+}
+
+TEST(ShardedSimulator, RunUntilBoundarySemanticsMatchSerial) {
+  for (const int shards : {1, 4}) {
+    ShardOptions options;
+    options.shards = shards;
+    options.lookahead_ms = 3.0;
+    Simulator simulator(options);
+    std::vector<int> fired;
+    simulator.schedule_at(10.0, [&] { fired.push_back(0); }, 1);
+    simulator.schedule_at(20.0, [&] { fired.push_back(1); }, 2);
+    simulator.schedule_at(20.0, [&] { fired.push_back(2); }, 0);
+    simulator.schedule_at(20.0001, [&] { fired.push_back(3); }, 1);
+    EXPECT_DOUBLE_EQ(simulator.run_until(20.0), 20.0);
+    // Events exactly at the boundary run; the next one does not.
+    EXPECT_EQ(fired, (std::vector<int>{0, 1, 2})) << "shards=" << shards;
+    EXPECT_DOUBLE_EQ(simulator.now(), 20.0);
+    simulator.run_to_completion();
+    EXPECT_EQ(fired.size(), 4u);
+    EXPECT_DOUBLE_EQ(simulator.now(), 20.0001);
+  }
+}
+
+TEST(ShardedSimulator, PeriodicSeriesOnWorkerShard) {
+  ShardOptions options;
+  options.shards = 3;
+  options.lookahead_ms = 4.0;
+  Simulator simulator(options);
+  int ticks = 0;
+  auto handle = simulator.schedule_every(
+      5.0, 10.0, [&] { ++ticks; }, 2);
+  simulator.run_until(100.0);
+  EXPECT_EQ(ticks, 10);  // t = 5, 15, ..., 95
+  handle.cancel();
+  simulator.run_until(200.0);
+  EXPECT_EQ(ticks, 10);
+}
+
+TEST(ShardedSimulator, ShardOfRoundRobinsOverWorkerShards) {
+  ShardOptions options;
+  options.shards = 4;
+  const Simulator simulator(options);
+  EXPECT_EQ(simulator.shard_count(), 4);
+  EXPECT_EQ(simulator.shard_of(0), 1);
+  EXPECT_EQ(simulator.shard_of(1), 2);
+  EXPECT_EQ(simulator.shard_of(2), 3);
+  EXPECT_EQ(simulator.shard_of(3), 1);
+
+  const Simulator serial;
+  EXPECT_EQ(serial.shard_count(), 1);
+  EXPECT_EQ(serial.shard_of(0), 0);
+  EXPECT_EQ(serial.shard_of(5), 0);
+}
+
+TEST(ShardedSimulator, OutOfRangeShardClampsAndStillFires) {
+  ShardOptions options;
+  options.shards = 3;
+  Simulator simulator(options);
+  int fired = 0;
+  simulator.schedule_at(1.0, [&] { ++fired; }, 99);
+  simulator.schedule_at(1.0, [&] { ++fired; }, -7);
+  simulator.run_to_completion();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(ShardedSimulator, ResetClearsEveryShardAndInvalidatesHandles) {
+  ShardOptions options;
+  options.shards = 4;
+  Simulator simulator(options);
+  int fired = 0;
+  simulator.schedule_at(5.0, [&] { ++fired; }, 1);
+  EventHandle stale = simulator.schedule_at(6.0, [&] { ++fired; }, 3);
+  auto stale_periodic = simulator.schedule_every(1.0, 1.0, [&] { ++fired; }, 2);
+  simulator.reset();
+  EXPECT_DOUBLE_EQ(simulator.now(), 0.0);
+  simulator.run_to_completion();
+  EXPECT_EQ(fired, 0);
+  // Handles from before the reset are inert, not dangling.
+  stale.cancel();
+  stale_periodic.cancel();
+  int after = 0;
+  simulator.schedule_at(2.0, [&] { ++after; }, 3);
+  simulator.run_to_completion();
+  EXPECT_EQ(after, 1);
+  EXPECT_DOUBLE_EQ(simulator.now(), 2.0);
+}
+
+TEST(ShardedSimulator, RunToCompletionFinalTimeMatchesSerial) {
+  for (const std::uint64_t seed : {3ull, 21ull}) {
+    Simulator serial;
+    FiringLog serial_log;
+    ChurnDriver serial_driver(serial, serial_log, seed);
+    serial_driver.seed_initial(32);
+    const TimeMs serial_end = serial.run_to_completion();
+
+    ShardOptions options;
+    options.shards = 5;
+    options.lookahead_ms = 2.5;
+    Simulator sharded(options);
+    FiringLog sharded_log;
+    ChurnDriver sharded_driver(sharded, sharded_log, seed);
+    sharded_driver.seed_initial(32);
+    const TimeMs sharded_end = sharded.run_to_completion();
+
+    EXPECT_DOUBLE_EQ(serial_end, sharded_end);
+    EXPECT_EQ(serial_log, sharded_log);
+  }
+}
+
+}  // namespace
+}  // namespace paldia::sim
