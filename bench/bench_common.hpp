@@ -51,6 +51,22 @@ struct BenchOptions {
   /// byte-identical to --shards=1 — the serial drain is the reference side
   /// of that check.
   int shards = 1;
+  /// --sample-rate=N: keep every SLO-violating request lifecycle in the
+  /// trace plus a deterministic 1-in-N of compliant ones (1 = keep all).
+  /// The decision hashes the request id against a fixed seed — never wall
+  /// clock or thread ids — so sampled exports stay byte-identical across
+  /// --threads and --shards, and report counts stay exact via the tracer's
+  /// sampled_out counters.
+  std::uint32_t sample_rate = 1;
+  /// --rollup-out=FILE: windowed per-(model, node, cause) rollup stream
+  /// (.csv -> CSV, else JSONL), fed by every completion regardless of
+  /// --sample-rate. `paldia-analyze --rollup` rebuilds compliance and
+  /// attribution from this stream alone.
+  std::string rollup_out;
+  /// --profile: time the simulator's own hot paths (epoch extract/merge,
+  /// selection sweep, dispatch/monitor ticks, export flush) and emit a
+  /// per-phase report section plus a chrome-trace self-profile lane.
+  bool profile = false;
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -77,6 +93,13 @@ inline BenchOptions parse_options(int argc, char** argv) {
       options.request_pool = false;
     } else if (arg.rfind("--shards=", 0) == 0) {
       options.shards = std::max(1, std::atoi(arg.c_str() + 9));
+    } else if (arg.rfind("--sample-rate=", 0) == 0) {
+      options.sample_rate =
+          static_cast<std::uint32_t>(std::max(1, std::atoi(arg.c_str() + 14)));
+    } else if (arg.rfind("--rollup-out=", 0) == 0) {
+      options.rollup_out = arg.substr(13);
+    } else if (arg == "--profile") {
+      options.profile = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--reps=N] [--threads=N] [--full] [--no-tmax-cache]\n"
@@ -94,7 +117,14 @@ inline BenchOptions parse_options(int argc, char** argv) {
           "          [--no-request-pool]       drop request buffers instead of\n"
           "                                    pooling (arena bypass reference)\n"
           "          [--shards=N]              event shards per simulation run\n"
-          "                                    (sharded drain; 1 = serial)\n",
+          "                                    (sharded drain; 1 = serial)\n"
+          "          [--sample-rate=N]         keep all SLO violators + 1-in-N\n"
+          "                                    compliant lifecycles in the trace\n"
+          "                                    (deterministic; counts stay exact)\n"
+          "          [--rollup-out=FILE]       windowed rollup stream, one row\n"
+          "                                    per (rep, window, model, node)\n"
+          "          [--profile]               simulator self-profile: per-phase\n"
+          "                                    report section + trace lane\n",
           argv[0]);
       std::exit(0);
     }
@@ -117,6 +147,7 @@ inline exp::SchemeFactoryOptions factory_options(const BenchOptions& options) {
   factory.tmax_cache = options.tmax_cache;
   factory.request_pool = options.request_pool;
   factory.shards = options.shards;
+  factory.sample_rate = options.sample_rate;
   return factory;
 }
 
@@ -135,7 +166,8 @@ class RunObserver {
   RunObserver(const BenchOptions& options, std::string figure)
       : figure_(std::move(figure)),
         trace_out_(options.trace_out),
-        report_out_(options.report_out) {
+        report_out_(options.report_out),
+        profile_(options.profile) {
     if (!options.metrics_out.empty()) {
       metrics_ = std::make_unique<obs::MetricsWriter>(options.metrics_out);
       if (!metrics_->ok()) {
@@ -150,6 +182,13 @@ class RunObserver {
                      decisions_->error().c_str());
       }
     }
+    if (!options.rollup_out.empty()) {
+      rollups_ = std::make_unique<obs::RollupWriter>(options.rollup_out);
+      if (!rollups_->ok()) {
+        std::fprintf(stderr, "warning: --rollup-out: %s\n",
+                     rollups_->error().c_str());
+      }
+    }
   }
 
   ~RunObserver() {
@@ -160,9 +199,26 @@ class RunObserver {
     }
   }
 
-  /// Per-run tracing needed (Chrome trace, decision log, or report)?
+  /// Any per-run observation stream enabled (Chrome trace, decision log,
+  /// report, rollups, or self-profile)?
   bool tracing() const {
+    return capture_events() || rollups_ != nullptr || profile_;
+  }
+
+  /// Do the enabled streams need full lifecycle event capture? False for
+  /// rollup/profile-only runs — the tracer slots stay unallocated, so
+  /// memory stays bounded by the rollup cells alone.
+  bool capture_events() const {
     return !trace_out_.empty() || !report_out_.empty() || decisions_ != nullptr;
+  }
+
+  /// A RunTrace configured for the enabled streams; pass to Runner::run.
+  obs::RunTrace make_trace() const {
+    obs::RunTrace trace;
+    trace.capture_events = capture_events();
+    trace.collect_rollups = rollups_ != nullptr;
+    trace.profile = profile_;
+    return trace;
   }
 
   /// Run one (scenario, scheme): capture + export the trace when requested,
@@ -171,7 +227,7 @@ class RunObserver {
                      exp::SchemeId scheme, bool keep_cdf = false) {
     exp::RunResult result;
     if (tracing()) {
-      obs::RunTrace trace;
+      obs::RunTrace trace = make_trace();
       result = runner.run(scenario, scheme, trace, keep_cdf);
       export_trace(trace, scenario.name, exp::scheme_name(scheme));
     } else {
@@ -187,7 +243,7 @@ class RunObserver {
   }
 
   /// Export a captured trace: Chrome JSON to a path derived from the base
-  /// (one file per scenario x scheme) plus the decision-log rows.
+  /// (one file per scenario x scheme) plus the decision-log and rollup rows.
   void export_trace(const obs::RunTrace& trace, const std::string& scenario,
                     const std::string& scheme) {
     // Drivers that sweep the same scheme over several scenarios with one
@@ -198,20 +254,32 @@ class RunObserver {
     const int seen = ++trace_runs_[scenario + "\n" + scheme];
     if (seen > 1) tag += "-run" + std::to_string(seen);
     const std::string label = tag + " / " + scheme;
-    if (!trace_out_.empty()) {
-      const std::string path = obs::derive_trace_path(trace_out_, tag, scheme);
-      std::string error;
-      if (!obs::write_chrome_trace_file(path, trace, label, &error)) {
-        std::fprintf(stderr, "warning: --trace-out: %s\n", error.c_str());
+    {
+      // Flush time lands in the rep-0 profiler (exports run on this thread,
+      // after the reps finished) so the report's export_flush row covers the
+      // trace, decision-log, and rollup writes.
+      obs::ScopedPhase flush(
+          trace.profiles.empty() ? nullptr : trace.profiles[0].get(),
+          obs::ProfilePhase::kExportFlush);
+      if (!trace_out_.empty()) {
+        const std::string path = obs::derive_trace_path(trace_out_, tag, scheme);
+        std::string error;
+        if (!obs::write_chrome_trace_file(path, trace, label, &error)) {
+          std::fprintf(stderr, "warning: --trace-out: %s\n", error.c_str());
+        }
       }
+      if (decisions_ != nullptr) decisions_->write(trace, scheme, scenario);
+      if (rollups_ != nullptr) rollups_->write(trace, label);
     }
-    if (decisions_ != nullptr) decisions_->write(trace, scheme, scenario);
     if (!report_out_.empty()) {
       // Same analysis paldia-analyze performs on the exported trace file;
       // extract_run_data quantizes through the exporter formats, so the two
-      // reports come out byte-identical.
-      reports_.push_back(
-          obs::analyze_with_zoo(obs::extract_run_data(trace, label)));
+      // reports come out byte-identical. The self-profile section rides
+      // along only when --profile recorded something.
+      obs::AnalysisReport report =
+          obs::analyze_with_zoo(obs::extract_run_data(trace, label));
+      report.profile = obs::summarize_profile(trace);
+      reports_.push_back(std::move(report));
     }
     obs::warn_if_truncated(trace, figure_ + " " + label);
   }
@@ -220,10 +288,12 @@ class RunObserver {
   std::string figure_;
   std::string trace_out_;
   std::string report_out_;
+  bool profile_ = false;
   std::map<std::string, int> trace_runs_;
   std::vector<obs::AnalysisReport> reports_;
   std::unique_ptr<obs::MetricsWriter> metrics_;
   std::unique_ptr<obs::DecisionLogWriter> decisions_;
+  std::unique_ptr<obs::RollupWriter> rollups_;
 };
 
 /// Runs the scenario for the given schemes and returns combined metrics in
@@ -256,7 +326,11 @@ inline std::vector<telemetry::RunMetrics> run_schemes(
     bool keep_cdf = false, ThreadPool* pool = nullptr) {
   std::vector<telemetry::RunMetrics> rows(schemes.size());
   if (observer.tracing()) {
-    std::vector<obs::RunTrace> traces(schemes.size());
+    std::vector<obs::RunTrace> traces;
+    traces.reserve(schemes.size());
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      traces.push_back(observer.make_trace());
+    }
     auto run_one = [&](std::size_t i) {
       rows[i] = runner.run(scenario, schemes[i], traces[i], keep_cdf).combined;
     };

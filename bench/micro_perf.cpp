@@ -16,6 +16,8 @@
 #include "src/models/profile.hpp"
 #include "src/models/zoo.hpp"
 #include "src/obs/attribution.hpp"
+#include "src/obs/rollup.hpp"
+#include "src/obs/sampler.hpp"
 #include "src/obs/sketch.hpp"
 #include "src/obs/tracer.hpp"
 #include "src/perfmodel/tmax_cache.hpp"
@@ -353,6 +355,41 @@ void BM_AttributionObserve(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_AttributionObserve);
+
+void BM_SamplerDecision(benchmark::State& state) {
+  // Per-lifecycle cost of the trace-sampling decision at --sample-rate=N:
+  // one splitmix64 finalizer over the request id plus a modulo. This runs
+  // once per completed request when sampling is on, so it must stay in the
+  // few-nanosecond range for "sampling makes tracing cheaper" to hold.
+  const obs::TraceSampler sampler(static_cast<std::uint32_t>(state.range(0)));
+  std::int64_t id = 0;
+  std::uint64_t kept = 0;
+  for (auto _ : state) {
+    kept += sampler.keep(id++, /*violated=*/false) ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(kept);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SamplerDecision)->Arg(8)->Arg(64);
+
+void BM_RollupObserve(benchmark::State& state) {
+  // Enabled-path cost per completion of the windowed rollup: one cell
+  // lookup (one-entry cache in front of a std::map) plus a counter bump and
+  // a sketch insert. Completions cluster within a (window, model, node)
+  // cell, so the cache hit path dominates — this pins that cost.
+  obs::RollupAggregator rollup;
+  const int model = static_cast<int>(models::ModelId::kResNet50);
+  const int node = static_cast<int>(hw::NodeType::kG3s_xlarge);
+  const std::optional<telemetry::ViolationCause> compliant;
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.37;
+    rollup.observe_completion(t, model, node, 95.0 + (t * 0.001), compliant);
+  }
+  benchmark::DoNotOptimize(rollup.completions());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RollupObserve);
 
 void BM_RequestPoolChurn(benchmark::State& state) {
   // The request-path storage churn of one dispatch round: a taken buffer of

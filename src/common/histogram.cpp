@@ -136,6 +136,14 @@ double Histogram::fraction_at_or_below(double threshold_ms) const {
   return static_cast<double>(below) / static_cast<double>(total_count_);
 }
 
+std::vector<std::pair<double, std::uint64_t>> Histogram::nonzero_buckets() const {
+  std::vector<std::pair<double, std::uint64_t>> pairs;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] != 0) pairs.emplace_back(bucket_value(i), buckets_[i]);
+  }
+  return pairs;
+}
+
 std::vector<std::pair<double, double>> Histogram::cdf() const {
   std::vector<std::pair<double, double>> points;
   if (total_count_ == 0) return points;

@@ -45,6 +45,12 @@ class Histogram {
   /// non-empty bucket.
   std::vector<std::pair<double, double>> cdf() const;
 
+  /// Sparse serialization: (representative value, count) per non-empty
+  /// bucket. Each representative maps back into its own bucket, so feeding
+  /// the pairs through add() reconstructs the bucket counts exactly (mean /
+  /// min / max become representative-based approximations).
+  std::vector<std::pair<double, std::uint64_t>> nonzero_buckets() const;
+
   static constexpr double kLinearLimitMs = 512.0;
   static constexpr double kLinearBucketMs = 0.25;
   static constexpr double kMaxTrackableMs = 300'000.0;

@@ -8,6 +8,8 @@
 #include "src/common/log.hpp"
 #include "src/obs/attribution.hpp"
 #include "src/obs/calibration.hpp"
+#include "src/obs/profiler.hpp"
+#include "src/obs/rollup.hpp"
 #include "src/obs/tracer.hpp"
 
 namespace paldia::core {
@@ -24,6 +26,8 @@ Framework::Framework(sim::Simulator& simulator, cluster::Cluster& cluster,
       tracer_(config.tracer),
       attribution_(config.attribution),
       calibration_(config.calibration),
+      rollup_(config.rollup),
+      profiler_(config.profiler),
       request_arena_(config.request_pool),
       gateway_(rng.fork("gateway"), &request_arena_),
       batcher_(config.batcher),
@@ -37,10 +41,21 @@ Framework::Framework(sim::Simulator& simulator, cluster::Cluster& cluster,
         1.0, std::min({config.dispatch_interval_ms, config.monitor_interval_ms,
                        config.autoscaler.predictive_interval_ms})));
   }
+  simulator.set_profiler(profiler_);
   gateway_.set_tracer(tracer_);
   batcher_.set_tracer(tracer_);
   autoscaler_.set_tracer(tracer_);
   policy_->set_tracer(tracer_);
+  if (tracer_ != nullptr) {
+    // SLOs drive the sampler's violator-retention; without them every
+    // request classifies compliant and sampling degrades to plain 1-in-N.
+    std::array<DurationMs, models::kModelCount> slos{};
+    for (int m = 0; m < models::kModelCount; ++m) {
+      slos[static_cast<std::size_t>(m)] =
+          zoo.spec(static_cast<models::ModelId>(m)).slo_ms;
+    }
+    tracer_->set_model_slos(slos);
+  }
   distributor_ = std::make_unique<JobDistributor>(
       batcher_, ids_,
       [this](const cluster::Request& request, const cluster::ExecutionReport& report,
@@ -136,6 +151,7 @@ void Framework::schedule_injections(const Workload& workload) {
 }
 
 void Framework::dispatch_tick() {
+  obs::ScopedPhase prof(profiler_, obs::ProfilePhase::kDispatchTick);
   const TimeMs now = simulator_->now();
   if (!cluster_->node(active_node_).is_up()) return;  // failover in flight
   for (auto& workload : workloads_) {
@@ -166,6 +182,7 @@ void Framework::dispatch_tick() {
 }
 
 void Framework::monitor_tick() {
+  obs::ScopedPhase prof(profiler_, obs::ProfilePhase::kMonitorTick);
   const TimeMs now = simulator_->now();
   if (tracer_ != nullptr) tracer_->begin_span("monitor_tick", now);
   std::vector<DemandSnapshot> demand;
@@ -191,7 +208,11 @@ void Framework::monitor_tick() {
       }
     }
   }
-  const hw::NodeType chosen = policy_->select_hardware(demand, active_node_, now);
+  hw::NodeType chosen;
+  {
+    obs::ScopedPhase sweep(profiler_, obs::ProfilePhase::kSelectionSweep);
+    chosen = policy_->select_hardware(demand, active_node_, now);
+  }
   bool switch_begun = false;
   if (switch_in_progress_) {
     // A transition is underway; only interrupt it to escalate — a surge
@@ -246,6 +267,17 @@ void Framework::monitor_tick() {
     tracer_->gauge("cold_starts_total", now, static_cast<double>(cold_starts));
     tracer_->sample_counters(now);
     tracer_->end_span("monitor_tick", now);
+  }
+  if (rollup_ != nullptr) {
+    // Same gauge sweep, folded into the windowed cells instead of the event
+    // stream — independent of the tracer so rollup-only runs still see it.
+    for (const auto& workload : workloads_) {
+      rollup_->observe_queue_depth(
+          now, static_cast<int>(workload.model), static_cast<int>(active_node_),
+          static_cast<double>(gateway_.pending(workload.model, now)));
+    }
+    rollup_->observe_in_flight(now, static_cast<int>(active_node_),
+                               static_cast<double>(distributor_->in_flight()));
   }
 }
 
@@ -360,7 +392,8 @@ void Framework::complete_request(const cluster::Request& request,
                         outcome.cold_start_ms);
   workload.latency->record(outcome);
   workload.slo->record_completion(request.arrival_ms, report.end_ms);
-  if (attribution_ != nullptr) {
+  std::optional<telemetry::ViolationCause> cause;
+  if (attribution_ != nullptr || rollup_ != nullptr) {
     obs::LifecycleSample sample;
     sample.request_id = request.id.value;
     sample.model = static_cast<int>(request.model);
@@ -372,8 +405,19 @@ void Framework::complete_request(const cluster::Request& request,
     sample.solo_ms = report.solo_ms;
     sample.interference_ms = std::max(0.0, report.interference_ms());
     sample.cold_ms = report.cold_start_ms;
-    const auto cause = attribution_->observe_request(sample);
-    if (cause) workload.slo->record_violation_cause(*cause);
+    if (attribution_ != nullptr) {
+      cause = attribution_->observe_request(sample);
+      if (cause) workload.slo->record_violation_cause(*cause);
+    } else if (outcome.latency_ms > zoo_->spec(request.model).slo_ms) {
+      // Rollup without attribution: classify from the sample alone (the
+      // retried/blackout flags the engine would supply default to false).
+      cause = obs::classify_violation(sample);
+    }
+  }
+  if (rollup_ != nullptr) {
+    rollup_->observe_completion(report.end_ms, static_cast<int>(request.model),
+                                static_cast<int>(node), outcome.latency_ms,
+                                cause);
   }
 }
 
@@ -502,6 +546,10 @@ TimeMs Framework::run() {
     if (attribution_ != nullptr && leftover > 0) {
       attribution_->record_unserved(static_cast<int>(workload.model),
                                     static_cast<std::uint64_t>(leftover));
+    }
+    if (rollup_ != nullptr && leftover > 0) {
+      rollup_->observe_unserved(end, static_cast<int>(workload.model),
+                                static_cast<std::uint64_t>(leftover));
     }
     if (tracer_ != nullptr && leftover > 0) {
       // Per-model counter reaches the event stream via the final

@@ -31,6 +31,8 @@
 namespace paldia::obs {
 class AttributionEngine;
 class CalibrationTracker;
+class Profiler;
+class RollupAggregator;
 class Tracer;
 }  // namespace paldia::obs
 
@@ -68,6 +70,15 @@ struct FrameworkConfig {
   /// buffer is dropped on release and re-allocated on acquire, giving a
   /// plain-vector reference run whose exports must stay byte-identical.
   bool request_pool = true;
+  /// Windowed rollup aggregation (null = disabled, single-branch cost).
+  /// Fed every completion — independent of trace sampling — plus monitor-
+  /// tick gauges and unserved counts, so fleet runs export compliance and
+  /// attribution in fixed memory without a full trace.
+  obs::RollupAggregator* rollup = nullptr;
+  /// Simulator self-profiling (null = disabled). The framework wires it
+  /// into the simulator's drain phases and times its own dispatch/monitor
+  /// ticks and the Algorithm 1 sweep.
+  obs::Profiler* profiler = nullptr;
 };
 
 class Framework {
@@ -141,6 +152,8 @@ class Framework {
   obs::Tracer* tracer_ = nullptr;
   obs::AttributionEngine* attribution_ = nullptr;
   obs::CalibrationTracker* calibration_ = nullptr;
+  obs::RollupAggregator* rollup_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
 
   cluster::RequestArena request_arena_;  // must outlive gateway_/distributor_
   Gateway gateway_;

@@ -21,7 +21,8 @@ Runner::Runner(const models::Zoo& zoo, const hw::Catalog& catalog, ThreadPool* p
 
 RunResult Runner::run_once(const Scenario& scenario, SchemeId scheme,
                            std::uint64_t seed, bool keep_cdf,
-                           obs::Tracer* tracer) const {
+                           obs::Tracer* tracer, obs::RollupAggregator* rollup,
+                           obs::Profiler* profiler) const {
   sim::ShardOptions shard_options;
   shard_options.shards = factory_.options().shards;
   // The task-group executor is nestable, so per-shard extraction may run
@@ -45,6 +46,8 @@ RunResult Runner::run_once(const Scenario& scenario, SchemeId scheme,
   }
   config.tracer = tracer;
   config.request_pool = factory_.options().request_pool;
+  config.rollup = rollup;
+  config.profiler = profiler;
 
   // Violation attribution runs on every repetition (it feeds the per-cause
   // RunMetrics); calibration needs the tracer's decision sweeps, but the
@@ -224,20 +227,41 @@ RunResult Runner::run(const Scenario& scenario, SchemeId scheme, obs::RunTrace& 
                       bool keep_cdf) const {
   const auto reps = static_cast<std::size_t>(scenario.repetitions);
   std::vector<RunResult> repetitions(reps);
-  // Tracer slots are allocated up front, one per repetition, so concurrent
-  // repetitions never share a tracer and exporters can walk the slots in
-  // repetition order regardless of which thread filled them.
+  // Observation slots are allocated up front, one per repetition, so
+  // concurrent repetitions never share state and exporters can walk the
+  // slots in repetition order regardless of which thread filled them.
+  trace.config.sample_rate = factory_.options().sample_rate;
   trace.reps.clear();
-  trace.reps.reserve(reps);
-  for (std::size_t rep = 0; rep < reps; ++rep) {
-    trace.reps.push_back(std::make_unique<obs::Tracer>(trace.config));
+  trace.rollups.clear();
+  trace.profiles.clear();
+  if (trace.capture_events) {
+    trace.reps.reserve(reps);
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      trace.reps.push_back(std::make_unique<obs::Tracer>(trace.config));
+    }
+  }
+  if (trace.collect_rollups) {
+    trace.rollups.reserve(reps);
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      trace.rollups.push_back(
+          std::make_unique<obs::RollupAggregator>(trace.rollup_config));
+    }
+  }
+  if (trace.profile) {
+    trace.profiles.reserve(reps);
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      trace.profiles.push_back(std::make_unique<obs::Profiler>());
+    }
   }
   auto run_rep = [&](std::size_t rep) {
     const std::uint64_t seed =
         scenario.base_seed + 0x9e3779b9ull * static_cast<std::uint64_t>(rep + 1) +
         static_cast<std::uint64_t>(scheme) * 0x51ull;
-    repetitions[rep] = run_once(scenario, scheme, seed, keep_cdf && rep == 0,
-                                trace.reps[rep].get());
+    repetitions[rep] =
+        run_once(scenario, scheme, seed, keep_cdf && rep == 0,
+                 trace.capture_events ? trace.reps[rep].get() : nullptr,
+                 trace.collect_rollups ? trace.rollups[rep].get() : nullptr,
+                 trace.profile ? trace.profiles[rep].get() : nullptr);
   };
   if (pool_ != nullptr && repetitions.size() > 1) {
     pool_->parallel_for(repetitions.size(), run_rep);

@@ -21,10 +21,14 @@ class Runner {
          SchemeFactoryOptions options = {});
 
   /// One repetition with an explicit seed. `tracer` (optional) receives the
-  /// repetition's lifecycle spans / decision log / counter samples.
+  /// repetition's lifecycle spans / decision log / counter samples; `rollup`
+  /// (optional) folds every completion into windowed cells; `profiler`
+  /// (optional) collects the simulator's self-profile.
   RunResult run_once(const Scenario& scenario, SchemeId scheme,
                      std::uint64_t seed, bool keep_cdf = false,
-                     obs::Tracer* tracer = nullptr) const;
+                     obs::Tracer* tracer = nullptr,
+                     obs::RollupAggregator* rollup = nullptr,
+                     obs::Profiler* profiler = nullptr) const;
 
   /// All repetitions, aggregated per the paper's rule (mean with >2.5 sigma
   /// outliers dropped). keep_cdf retains the latency CDF of the first rep.
@@ -34,10 +38,14 @@ class Runner {
   RunResult run(const Scenario& scenario, SchemeId scheme,
                 bool keep_cdf = false) const;
 
-  /// run() that also captures per-repetition traces. `trace` gets one
-  /// tracer slot per repetition, allocated up front and filled in place —
-  /// exporters walk the slots in repetition order, so serialized trace
-  /// output is byte-identical however many pool threads ran the reps.
+  /// run() that also captures per-repetition observations. `trace` gets one
+  /// slot per repetition for each enabled stream (tracers unless
+  /// capture_events is false, rollup aggregators when collect_rollups,
+  /// profilers when profile), allocated up front and filled in place —
+  /// exporters walk the slots in repetition order, so serialized output is
+  /// byte-identical however many pool threads ran the reps. The tracer
+  /// configs take their sample_rate from SchemeFactoryOptions (the
+  /// --sample-rate flag is the single knob).
   RunResult run(const Scenario& scenario, SchemeId scheme, obs::RunTrace& trace,
                 bool keep_cdf = false) const;
 

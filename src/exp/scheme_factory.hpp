@@ -46,6 +46,11 @@ struct SchemeFactoryOptions {
   /// values shard node-group events under the conservative-lookahead epochs
   /// (see src/sim/simulator.hpp) — exports must stay byte-identical.
   int shards = 1;
+  /// Lifecycle trace sampling (--sample-rate): keep every SLO-violating
+  /// request plus a deterministic 1-in-N of compliant ones (1 = keep all).
+  /// Report counts stay exact via sampled_out counters; the sampled exports
+  /// stay byte-identical across --threads and --shards.
+  std::uint32_t sample_rate = 1;
 };
 
 class SchemeFactory {

@@ -296,6 +296,33 @@ void emit_rep(EventStream& stream, const Tracer& tracer, int rep,
   }
 }
 
+// Self-profile lane (--profile): one "X" slice per instrumented phase on
+// the framework process, tid 2, laid out back-to-back so relative phase
+// costs read directly off the lane. These are host wall-clock aggregates —
+// nondeterministic, and deliberately emitted without "batch_id" so the
+// report extractor's batch parser skips them.
+void emit_profile_lane(EventStream& stream, const Profiler& profiler, int rep) {
+  const int pid = rep * kPidsPerRep;
+  emit_metadata(stream, pid, 2, "thread_name", "self-profile");
+  double cursor_ms = 0.0;
+  for (int i = 0; i < kProfilePhaseCount; ++i) {
+    const PhaseStats& stats = profiler.phases()[static_cast<std::size_t>(i)];
+    if (stats.calls == 0) continue;
+    const double total_ms = static_cast<double>(stats.total_ns) / 1e6;
+    std::string body = common_fields("X", pid, /*tid=*/2, cursor_ms);
+    body += ",\"dur\":" + us(total_ms);
+    body += ",\"name\":\"";
+    body += profile_phase_name(static_cast<ProfilePhase>(i));
+    body += "\",\"args\":{\"calls\":" + std::to_string(stats.calls) +
+            ",\"mean_us\":" +
+            num(static_cast<double>(stats.total_ns) /
+                (1e3 * static_cast<double>(stats.calls))) +
+            ",\"max_us\":" + num(static_cast<double>(stats.max_ns) / 1e3) + "}";
+    stream.emit(body);
+    cursor_ms += total_ms;
+  }
+}
+
 }  // namespace
 
 void write_chrome_trace(std::ostream& out, const RunTrace& trace,
@@ -305,6 +332,11 @@ void write_chrome_trace(std::ostream& out, const RunTrace& trace,
   for (std::size_t rep = 0; rep < trace.reps.size(); ++rep) {
     if (trace.reps[rep] == nullptr) continue;
     emit_rep(stream, *trace.reps[rep], static_cast<int>(rep), label);
+  }
+  for (std::size_t rep = 0; rep < trace.profiles.size(); ++rep) {
+    const Profiler* profiler = trace.profiles[rep].get();
+    if (profiler == nullptr || profiler->empty()) continue;
+    emit_profile_lane(stream, *profiler, static_cast<int>(rep));
   }
   // Truncation is surfaced in machine-readable form: an analyzer must be
   // able to tell a complete trace from one whose ring buffers overflowed.

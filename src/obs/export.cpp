@@ -7,6 +7,7 @@
 
 #include "src/common/log.hpp"
 #include "src/hw/node_spec.hpp"
+#include "src/models/model_spec.hpp"
 #include "src/telemetry/slo_tracker.hpp"
 
 namespace paldia::obs {
@@ -43,7 +44,9 @@ std::string json_escape(std::string_view text) {
 }
 
 std::string csv_escape(const std::string& cell) {
-  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  // \r must quote too: a bare CR inside a cell splits the row for any
+  // reader that treats CRLF (or lone CR) as a record separator.
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
   std::string out = "\"";
   for (const char c : cell) {
     if (c == '"') out += "\"\"";
@@ -298,6 +301,124 @@ void DecisionLogWriter::write_record(const DecisionRecord& record, int rep,
     }
     *out_ << "]}\n";
   }
+}
+
+// --- RollupWriter -----------------------------------------------------------
+
+RollupWriter::RollupWriter(std::ostream& out, ExportFormat format)
+    : out_(&out), format_(format) {}
+
+RollupWriter::RollupWriter(const std::string& path)
+    : file_(std::make_unique<std::ofstream>(path, std::ios::binary | std::ios::trunc)),
+      format_(format_for_path(path)) {
+  if (!*file_) {
+    error_ = "cannot open " + path;
+    file_.reset();
+    return;
+  }
+  out_ = file_.get();
+}
+
+bool RollupWriter::ok() const { return out_ != nullptr && error_.empty(); }
+
+void RollupWriter::write(const RunTrace& trace, const std::string& run) {
+  if (!ok()) return;
+  for (std::size_t rep = 0; rep < trace.rollups.size(); ++rep) {
+    const RollupAggregator* rollup = trace.rollups[rep].get();
+    if (rollup == nullptr) continue;
+    for (const auto& [key, cell] : rollup->cells()) {
+      write_cell(key, cell, rollup->config(), static_cast<int>(rep), run);
+    }
+  }
+  out_->flush();
+}
+
+void RollupWriter::write_cell(const RollupKey& key, const RollupCell& cell,
+                              const RollupConfig& config, int rep,
+                              const std::string& run) {
+  const std::string model =
+      key.model >= 0 && key.model < models::kModelCount
+          ? std::string(models::model_id_name(models::ModelId(key.model)))
+          : std::string();
+  const std::string node =
+      key.node >= 0 && key.node < hw::kNodeTypeCount
+          ? std::string(hw::node_type_name(hw::NodeType(key.node)))
+          : std::string();
+  const TimeMs window_start = key.window * config.window_ms;
+  const SketchSummary latency = cell.latency.summary();
+  const auto hist = cell.latency.histogram().nonzero_buckets();
+  const double queue_mean =
+      cell.queue_depth_samples > 0
+          ? cell.queue_depth_sum / static_cast<double>(cell.queue_depth_samples)
+          : 0.0;
+  const double in_flight_mean =
+      cell.in_flight_samples > 0
+          ? cell.in_flight_sum / static_cast<double>(cell.in_flight_samples)
+          : 0.0;
+
+  if (format_ == ExportFormat::kCsv) {
+    if (!header_written_) {
+      header_written_ = true;
+      *out_ << "run,rep,window,window_start_ms,window_end_ms,model,node,"
+               "completed,violations,unserved,viol_cold_start,"
+               "viol_gateway_queue,viol_batching,viol_mps_interference,"
+               "viol_hardware_switch,viol_failure_retry,viol_execution,"
+               "viol_unserved,latency_count,latency_mean_ms,latency_p50_ms,"
+               "latency_p95_ms,latency_p99_ms,latency_max_ms,hist,"
+               "queue_depth_mean,queue_depth_samples,in_flight_mean,"
+               "in_flight_samples\n";
+    }
+    // Histogram as "value:count" pairs joined with ';' — one cell, still
+    // splittable without a CSV-in-CSV parser (decision-log idiom).
+    std::string pairs;
+    for (const auto& [value, count] : hist) {
+      if (!pairs.empty()) pairs += ";";
+      pairs += num(value) + ":" + std::to_string(count);
+    }
+    *out_ << csv_escape(run) << "," << rep << "," << key.window << ","
+          << num(window_start) << "," << num(window_start + config.window_ms)
+          << "," << csv_escape(model) << "," << csv_escape(node) << ","
+          << cell.completed << "," << cell.violations << "," << cell.unserved;
+    for (const std::uint64_t count : cell.causes) *out_ << "," << count;
+    *out_ << "," << latency.count << "," << num(latency.mean_ms) << ","
+          << num(latency.p50_ms) << "," << num(latency.p95_ms) << ","
+          << num(latency.p99_ms) << "," << num(latency.max_ms) << ","
+          << csv_escape(pairs) << "," << num(queue_mean) << ","
+          << cell.queue_depth_samples << "," << num(in_flight_mean) << ","
+          << cell.in_flight_samples << "\n";
+  } else {
+    *out_ << "{\"run\":\"" << json_escape(run) << "\",\"rep\":" << rep
+          << ",\"window\":" << key.window
+          << ",\"window_start_ms\":" << num(window_start)
+          << ",\"window_end_ms\":" << num(window_start + config.window_ms)
+          << ",\"model\":\"" << json_escape(model) << "\",\"node\":\""
+          << json_escape(node) << "\",\"completed\":" << cell.completed
+          << ",\"violations\":" << cell.violations
+          << ",\"unserved\":" << cell.unserved << ",\"causes\":{";
+    for (int cause = 0; cause < telemetry::kViolationCauseCount; ++cause) {
+      if (cause > 0) *out_ << ",";
+      *out_ << "\"" << telemetry::violation_cause_name(
+                           static_cast<telemetry::ViolationCause>(cause))
+            << "\":" << cell.causes[static_cast<std::size_t>(cause)];
+    }
+    *out_ << "},\"latency\":{\"count\":" << latency.count
+          << ",\"mean_ms\":" << num(latency.mean_ms)
+          << ",\"p50_ms\":" << num(latency.p50_ms)
+          << ",\"p95_ms\":" << num(latency.p95_ms)
+          << ",\"p99_ms\":" << num(latency.p99_ms)
+          << ",\"max_ms\":" << num(latency.max_ms) << "},\"hist\":[";
+    bool first = true;
+    for (const auto& [value, count] : hist) {
+      if (!first) *out_ << ",";
+      first = false;
+      *out_ << "[" << num(value) << "," << count << "]";
+    }
+    *out_ << "],\"queue_depth_mean\":" << num(queue_mean)
+          << ",\"queue_depth_samples\":" << cell.queue_depth_samples
+          << ",\"in_flight_mean\":" << num(in_flight_mean)
+          << ",\"in_flight_samples\":" << cell.in_flight_samples << "}\n";
+  }
+  out_->flush();
 }
 
 }  // namespace paldia::obs

@@ -71,6 +71,34 @@ class DecisionLogWriter {
   std::string error_;
 };
 
+/// Streaming rollup writer (--rollup-out): one row per (repetition, window,
+/// model, node) cell, walked in repetition order then sorted key order —
+/// byte-identical however many pool threads or event shards ran the reps.
+/// JSONL rows are what `paldia-analyze --rollup` consumes; the sparse
+/// "hist" bucket pairs round-trip each cell's latency sketch exactly.
+class RollupWriter {
+ public:
+  RollupWriter(std::ostream& out, ExportFormat format);
+  explicit RollupWriter(const std::string& path);
+
+  bool ok() const;
+  const std::string& error() const { return error_; }
+
+  /// Append all rollup cells of a completed run. `run` is the report label
+  /// ("scenario / scheme") that rollup-only analysis groups rows by.
+  void write(const RunTrace& trace, const std::string& run);
+
+ private:
+  void write_cell(const RollupKey& key, const RollupCell& cell,
+                  const RollupConfig& config, int rep, const std::string& run);
+
+  std::unique_ptr<std::ofstream> file_;
+  std::ostream* out_ = nullptr;
+  ExportFormat format_ = ExportFormat::kJsonl;
+  bool header_written_ = false;
+  std::string error_;
+};
+
 /// "out.json" + ("azure", "Paldia") -> "out.azure_Paldia.json": one trace
 /// file per (scenario, scheme) run when a driver sweeps several.
 std::string derive_trace_path(const std::string& base, const std::string& scenario,

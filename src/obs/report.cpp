@@ -21,6 +21,7 @@ using telemetry::ViolationCause;
 
 constexpr int kPidsPerRep = 1 + hw::kNodeTypeCount;  // chrome_trace layout
 constexpr std::string_view kUnservedPrefix = "unserved:";
+constexpr std::string_view kSampledOutPrefix = "sampled_out:";
 
 std::string num(double value) {
   if (!std::isfinite(value)) return "0";
@@ -156,10 +157,20 @@ class RepBuilder {
   /// Counter sample; only the last value per counter survives (counters are
   /// cumulative, so the final sample is the run total).
   void on_counter(std::string_view name, double value) {
-    if (name.substr(0, kUnservedPrefix.size()) != kUnservedPrefix) return;
-    const int model = model_index(name.substr(kUnservedPrefix.size()));
-    if (model < 0) return;
-    unserved_last_[model] = value;
+    if (name.substr(0, kUnservedPrefix.size()) == kUnservedPrefix) {
+      const int model = model_index(name.substr(kUnservedPrefix.size()));
+      if (model >= 0) unserved_last_[model] = value;
+      return;
+    }
+    if (name.substr(0, kSampledOutPrefix.size()) == kSampledOutPrefix) {
+      const std::string_view rest = name.substr(kSampledOutPrefix.size());
+      const std::size_t sep = rest.find(':');
+      if (sep == std::string_view::npos) return;
+      const int model = model_index(rest.substr(0, sep));
+      const int node = node_index(rest.substr(sep + 1));
+      if (model < 0 || node < 0) return;
+      sampled_out_last_[{model, node}] = value;
+    }
   }
 
   void finish() {
@@ -167,12 +178,17 @@ class RepBuilder {
       const auto count = static_cast<std::uint64_t>(std::llround(value));
       if (count > 0) out_.unserved[model] = count;
     }
+    for (const auto& [key, value] : sampled_out_last_) {
+      const auto count = static_cast<std::uint64_t>(std::llround(value));
+      if (count > 0) out_.sampled_out[key] = count;
+    }
   }
 
  private:
   RepData& out_;
   std::unordered_map<std::int64_t, LifecycleSample> pending_;
   std::map<int, double> unserved_last_;
+  std::map<std::pair<int, int>, double> sampled_out_last_;
 };
 
 }  // namespace
@@ -326,7 +342,10 @@ bool parse_chrome_trace(const common::JsonValue& root, const std::string& label,
       builder_for(rep).on_phase_end(
           static_cast<std::int64_t>(event.number_or("id", -1)), name, t_ms);
     } else if (ph == "X") {
-      if (args == nullptr) continue;
+      // The self-profile lane (--profile) also emits "X" slices; only batch
+      // slices carry batch_id, and profile timings must never reach the
+      // deterministic report path.
+      if (args == nullptr || args->find("batch_id") == nullptr) continue;
       builder_for(rep).on_batch(pid % kPidsPerRep - 1, t_ms,
                                 event.number_or("dur", 0.0) / 1000.0,
                                 args->number_or("submit_ms", 0.0),
@@ -442,6 +461,21 @@ AnalysisReport analyze(
       }
     }
 
+    // Sampled-out lifecycles were SLO-compliant by construction (the sampler
+    // keeps every violator), so they restore completed counts only — never
+    // violations. Latency sketches stay sample-only.
+    for (const auto& [key, count] : rd.sampled_out) {
+      const auto& [model, node] = key;
+      report.total.completed += count;
+      report.sampled_out += count;
+      if (model >= 0 && model < models::kModelCount) {
+        per_model[model].completed += count;
+      }
+      if (node >= 0 && node < hw::kNodeTypeCount) {
+        per_node[node].completed += count;
+      }
+    }
+
     // Calibration: fold batch observations into their decision interval
     // (same arithmetic as CalibrationTracker::observe_batch).
     std::vector<CalibrationInterval> ticks = rd.ticks;
@@ -522,6 +556,151 @@ AnalysisReport analyze_with_zoo(const RunData& data) {
   return analyze(data, slo_by_model, min_slo, defaults.rate_horizon_ms);
 }
 
+// --- Self-profile summary ---------------------------------------------------
+
+std::vector<PhaseProfile> summarize_profile(const RunTrace& trace) {
+  Profiler merged;
+  for (const auto& profiler : trace.profiles) {
+    if (profiler != nullptr) merged.merge(*profiler);
+  }
+  std::vector<PhaseProfile> rows;
+  if (merged.empty()) return rows;
+  for (int i = 0; i < kProfilePhaseCount; ++i) {
+    const PhaseStats& stats = merged.phases()[static_cast<std::size_t>(i)];
+    if (stats.calls == 0) continue;
+    PhaseProfile row;
+    row.phase = std::string(profile_phase_name(static_cast<ProfilePhase>(i)));
+    row.calls = stats.calls;
+    row.total_ms = static_cast<double>(stats.total_ns) / 1e6;
+    row.mean_us = static_cast<double>(stats.total_ns) /
+                  (1e3 * static_cast<double>(stats.calls));
+    row.max_us = static_cast<double>(stats.max_ns) / 1e3;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+// --- Rollup-only consumer ---------------------------------------------------
+
+bool analyze_rollup_stream(const std::string& text,
+                           std::vector<AnalysisReport>* out,
+                           std::string* error) {
+  out->clear();
+  const common::JsonLinesResult parsed = common::parse_json_lines(text);
+  if (!parsed.ok) {
+    if (error != nullptr) *error = parsed.error;
+    return false;
+  }
+
+  // Per-run accumulation in first-appearance order; dense per-model /
+  // per-node arrays compact into the report at the end, like analyze().
+  struct RunAcc {
+    AnalysisReport report;
+    std::array<ReportBucket, models::kModelCount> per_model{};
+    std::array<ReportBucket, hw::kNodeTypeCount> per_node{};
+    int max_rep = -1;
+  };
+  std::vector<RunAcc> runs;
+  std::unordered_map<std::string, std::size_t> run_index;
+
+  for (const common::JsonValue& row : parsed.rows) {
+    if (!row.is_object()) {
+      if (error != nullptr) *error = "rollup row is not an object";
+      return false;
+    }
+    const std::string label = row.string_or("run", "");
+    auto [it, inserted] = run_index.emplace(label, runs.size());
+    if (inserted) {
+      runs.emplace_back();
+      runs.back().report.label = label;
+      runs.back().report.total.label = "total";
+    }
+    RunAcc& acc = runs[it->second];
+    acc.max_rep = std::max(acc.max_rep,
+                           static_cast<int>(row.number_or("rep", 0.0)));
+
+    const int model = model_index(row.string_or("model", ""));
+    const int node = node_index(row.string_or("node", ""));
+    const auto completed =
+        static_cast<std::uint64_t>(row.number_or("completed", 0.0));
+    const auto violations =
+        static_cast<std::uint64_t>(row.number_or("violations", 0.0));
+    const auto unserved =
+        static_cast<std::uint64_t>(row.number_or("unserved", 0.0));
+
+    // A completion row carries completed/violations; an unserved row (node
+    // = -1) carries unserved, which counts as completed + violated with
+    // cause kUnserved — both already folded into the row's causes object.
+    acc.report.total.completed += completed + unserved;
+    acc.report.total.violations += violations + unserved;
+    acc.report.unserved += unserved;
+    if (model >= 0) {
+      acc.per_model[model].completed += completed + unserved;
+      acc.per_model[model].violations += violations + unserved;
+    }
+    if (node >= 0) {
+      acc.per_node[node].completed += completed;
+      acc.per_node[node].violations += violations;
+    }
+
+    if (const common::JsonValue* causes = row.find("causes");
+        causes != nullptr && causes->is_object()) {
+      for (int i = 0; i < telemetry::kViolationCauseCount; ++i) {
+        const auto count = static_cast<std::uint64_t>(causes->number_or(
+            telemetry::violation_cause_name(static_cast<ViolationCause>(i)),
+            0.0));
+        if (count == 0) continue;
+        const auto index = static_cast<std::size_t>(i);
+        acc.report.total.causes[index] += count;
+        if (model >= 0) acc.per_model[model].causes[index] += count;
+        if (node >= 0) acc.per_node[node].causes[index] += count;
+      }
+    }
+
+    // The sparse histogram round-trips the cell's QuantileSketch exactly:
+    // bucket representatives map back into the bucket that produced them.
+    if (const common::JsonValue* hist = row.find("hist");
+        hist != nullptr && hist->is_array()) {
+      for (const common::JsonValue& pair : hist->as_array()) {
+        if (!pair.is_array() || pair.as_array().size() != 2) continue;
+        const double value = pair.as_array()[0].as_number();
+        const auto count =
+            static_cast<std::uint64_t>(pair.as_array()[1].as_number());
+        if (count == 0) continue;
+        acc.report.total.latency.add(value, count);
+        if (model >= 0) acc.per_model[model].latency.add(value, count);
+        if (node >= 0) acc.per_node[node].latency.add(value, count);
+      }
+    }
+  }
+
+  for (RunAcc& acc : runs) {
+    AnalysisReport& report = acc.report;
+    report.reps = acc.max_rep + 1;
+    report.total.index = -1;
+    report.compliance =
+        report.total.completed > 0
+            ? 1.0 - static_cast<double>(report.total.violations) /
+                        static_cast<double>(report.total.completed)
+            : 1.0;
+    for (int i = 0; i < models::kModelCount; ++i) {
+      if (acc.per_model[i].completed == 0) continue;
+      acc.per_model[i].index = i;
+      acc.per_model[i].label =
+          std::string(models::model_id_name(models::ModelId(i)));
+      report.per_model.push_back(std::move(acc.per_model[i]));
+    }
+    for (int i = 0; i < hw::kNodeTypeCount; ++i) {
+      if (acc.per_node[i].completed == 0) continue;
+      acc.per_node[i].index = i;
+      acc.per_node[i].label = std::string(hw::node_type_name(hw::NodeType(i)));
+      report.per_node.push_back(std::move(acc.per_node[i]));
+    }
+    out->push_back(std::move(report));
+  }
+  return true;
+}
+
 // --- Text rendering ---------------------------------------------------------
 
 namespace {
@@ -547,7 +726,11 @@ void render_report_text(std::ostream& out,
         << (report.reps == 1 ? "" : "s") << ") ===\n";
     out << "requests " << report.total.completed << " | violations "
         << report.total.violations << " (" << Table::percent(report.compliance)
-        << " compliant) | unserved " << report.unserved << "\n";
+        << " compliant) | unserved " << report.unserved;
+    if (report.sampled_out > 0) {
+      out << " | sampled out " << report.sampled_out << " (counts exact)";
+    }
+    out << "\n";
     if (report.dropped_events > 0 || report.dropped_decisions > 0) {
       out << "WARNING: trace truncated (" << report.dropped_events
           << " events, " << report.dropped_decisions
@@ -637,6 +820,17 @@ void render_report_text(std::ostream& out,
       table.print(out);
     }
 
+    if (!report.profile.empty()) {
+      out << "\nSelf-profile (host wall clock, nondeterministic):\n";
+      Table table({"phase", "calls", "total ms", "mean us", "max us"});
+      for (const PhaseProfile& row : report.profile) {
+        table.add_row({row.phase, std::to_string(row.calls),
+                       Table::num(row.total_ms), Table::num(row.mean_us),
+                       Table::num(row.max_us)});
+      }
+      table.print(out);
+    }
+
     if (!report.switch_timeline.empty()) {
       out << "\nSwitch timeline (" << report.switch_timeline.size()
           << " events):\n";
@@ -706,6 +900,7 @@ void write_report_json(std::ostream& out, const std::vector<AnalysisReport>& run
     out << ",\"attribution\":{\"requests\":" << report.total.completed
         << ",\"violations\":" << report.total.violations
         << ",\"unserved\":" << report.unserved
+        << ",\"sampled_out\":" << report.sampled_out
         << ",\"compliance\":" << num(report.compliance) << ",\"causes\":";
     write_causes(out, report.total.causes);
     out << ",\"latency\":";
@@ -770,7 +965,23 @@ void write_report_json(std::ostream& out, const std::vector<AnalysisReport>& run
           << ",\"event\":\"" << json_escape(entry.event) << "\",\"node\":\""
           << json_escape(entry.node) << "\"}";
     }
-    out << "]}";
+    out << "]";
+    // Wall-clock timings are nondeterministic; the key only appears when a
+    // profiler ran, so non-profile reports keep byte identity.
+    if (!report.profile.empty()) {
+      out << ",\"profile\":[";
+      for (std::size_t i = 0; i < report.profile.size(); ++i) {
+        const PhaseProfile& row = report.profile[i];
+        if (i > 0) out << ",";
+        out << "{\"phase\":\"" << json_escape(row.phase)
+            << "\",\"calls\":" << row.calls
+            << ",\"total_ms\":" << num(row.total_ms)
+            << ",\"mean_us\":" << num(row.mean_us)
+            << ",\"max_us\":" << num(row.max_us) << "}";
+      }
+      out << "]";
+    }
+    out << "}";
   }
   out << "]}\n";
 }

@@ -21,6 +21,7 @@
 #include <map>
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/common/json.hpp"
@@ -57,6 +58,10 @@ struct RepData {
   };
   std::vector<BatchObs> batches;
   std::map<int, std::uint64_t> unserved;  // model -> drain-cap leftovers
+  /// (model, node) -> lifecycles the sampler dropped from the trace. The
+  /// tracer exports these as cumulative "sampled_out:<model>:<node>"
+  /// counters so attribution totals stay exact under --sample-rate > 1.
+  std::map<std::pair<int, int>, std::uint64_t> sampled_out;
   struct SwitchEvent {
     TimeMs t_ms = 0.0;
     std::string event;  // switch_begin / switch_active / node_failure / ...
@@ -99,6 +104,18 @@ struct TimelineEntry {
   std::string node;
 };
 
+/// One row of the simulator self-profile (--profile): wall-clock totals for
+/// a hot-path phase, merged across repetitions. Wall-clock values are
+/// nondeterministic by nature, so this section never participates in the
+/// byte-identity contract — it is emitted only when non-empty.
+struct PhaseProfile {
+  std::string phase;
+  std::uint64_t calls = 0;
+  double total_ms = 0.0;
+  double mean_us = 0.0;
+  double max_us = 0.0;
+};
+
 struct AnalysisReport {
   std::string label;
   int reps = 0;
@@ -107,6 +124,9 @@ struct AnalysisReport {
 
   ReportBucket total;                    // completed includes unserved
   std::uint64_t unserved = 0;
+  /// Lifecycles dropped by trace sampling; already added back into the
+  /// completed counts above (latency sketches cover kept samples only).
+  std::uint64_t sampled_out = 0;
   double compliance = 1.0;               // 1 - violations / completed
   std::vector<ReportBucket> per_model;   // model index ascending, non-empty
   std::vector<ReportBucket> per_node;    // node index ascending, non-empty
@@ -114,6 +134,7 @@ struct AnalysisReport {
   CalibrationSummary calibration;
   std::vector<NodeUsage> node_usage;     // node index ascending, non-empty
   std::vector<TimelineEntry> switch_timeline;  // rep order, then time order
+  std::vector<PhaseProfile> profile;     // --profile only; else empty
 };
 
 /// Inline producer: quantized RunData straight from the tracer slots
@@ -135,6 +156,22 @@ AnalysisReport analyze(const RunData& data,
 
 /// analyze() with the model zoo's SLOs and framework-default horizon.
 AnalysisReport analyze_with_zoo(const RunData& data);
+
+/// Merge the RunTrace's per-repetition Profilers into report rows, in
+/// ProfilePhase order, skipping phases that never ran. Empty when --profile
+/// was off (no profiler slots) or nothing was recorded.
+std::vector<PhaseProfile> summarize_profile(const RunTrace& trace);
+
+/// Rollup-only consumer: rebuild per-run AnalysisReports from a rollup
+/// JSONL stream (RollupWriter output) without any full trace. Rows group by
+/// their "run" label in first-appearance order. Only the attribution
+/// sections are recoverable — compliance, violation/cause counts, and
+/// latency sketches (rebuilt exactly from each row's sparse histogram);
+/// calibration / node usage / switch timeline need the full trace and stay
+/// empty. Returns false and sets `error` on malformed input.
+bool analyze_rollup_stream(const std::string& text,
+                           std::vector<AnalysisReport>* out,
+                           std::string* error);
 
 /// Human-readable multi-section report (tables + timeline).
 void render_report_text(std::ostream& out, const std::vector<AnalysisReport>& runs);

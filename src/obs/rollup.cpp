@@ -1,0 +1,60 @@
+#include "src/obs/rollup.hpp"
+
+#include <cmath>
+
+namespace paldia::obs {
+
+RollupAggregator::RollupAggregator(RollupConfig config) : config_(config) {
+  if (!(config_.window_ms > 0.0)) config_.window_ms = 60'000.0;
+}
+
+std::int32_t RollupAggregator::window_of(TimeMs t_ms) const {
+  return static_cast<std::int32_t>(std::floor(t_ms / config_.window_ms));
+}
+
+RollupCell& RollupAggregator::cell(std::int32_t window, int model, int node) {
+  const RollupKey key{window, static_cast<std::int16_t>(model),
+                      static_cast<std::int16_t>(node)};
+  if (last_cell_ != nullptr && key == last_key_) return *last_cell_;
+  RollupCell& found = cells_[key];
+  last_key_ = key;
+  last_cell_ = &found;
+  return found;
+}
+
+void RollupAggregator::observe_completion(
+    TimeMs end_ms, int model, int node, DurationMs latency_ms,
+    const std::optional<telemetry::ViolationCause>& cause) {
+  ++completions_;
+  RollupCell& c = cell(window_of(end_ms), model, node);
+  ++c.completed;
+  c.latency.insert(latency_ms);
+  if (cause.has_value()) {
+    ++c.violations;
+    ++c.causes[static_cast<std::size_t>(*cause)];
+  }
+}
+
+void RollupAggregator::observe_unserved(TimeMs now, int model,
+                                        std::uint64_t count) {
+  if (count == 0) return;
+  RollupCell& c = cell(window_of(now), model, /*node=*/-1);
+  c.unserved += count;
+  c.causes[static_cast<std::size_t>(telemetry::ViolationCause::kUnserved)] +=
+      count;
+}
+
+void RollupAggregator::observe_queue_depth(TimeMs now, int model, int node,
+                                           double depth) {
+  RollupCell& c = cell(window_of(now), model, node);
+  c.queue_depth_sum += depth;
+  ++c.queue_depth_samples;
+}
+
+void RollupAggregator::observe_in_flight(TimeMs now, int node, double batches) {
+  RollupCell& c = cell(window_of(now), /*model=*/-1, node);
+  c.in_flight_sum += batches;
+  ++c.in_flight_samples;
+}
+
+}  // namespace paldia::obs

@@ -30,6 +30,9 @@ struct SketchSummary {
 class QuantileSketch {
  public:
   void insert(double value_ms) { histogram_.add(value_ms); }
+  /// Weighted insert — used to rebuild a sketch from a serialized
+  /// Histogram::nonzero_buckets() stream (rollup ingestion).
+  void add(double value_ms, std::uint64_t count) { histogram_.add(value_ms, count); }
   void merge(const QuantileSketch& other) { histogram_.merge(other.histogram_); }
   void clear() { histogram_.clear(); }
 

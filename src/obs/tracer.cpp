@@ -71,6 +71,24 @@ void compose_lifecycle(TraceEvent* out, std::int64_t request_id,
 
 }  // namespace
 
+bool Tracer::sample_keep(std::int64_t request_id, models::ModelId model,
+                         hw::NodeType node, TimeMs arrival_ms, TimeMs end_ms) {
+  if (sampler_.pass_through()) return true;
+  const auto m = static_cast<int>(model);
+  const DurationMs slo =
+      (m >= 0 && m < models::kModelCount) ? slo_ms_[static_cast<std::size_t>(m)]
+                                          : kTimeNever;
+  const bool violated = end_ms - arrival_ms > slo;
+  if (sampler_.keep(request_id, violated)) return true;
+  const auto n = static_cast<int>(node);
+  if (m >= 0 && m < models::kModelCount && n >= 0 && n < hw::kNodeTypeCount) {
+    ++sampled_out_[static_cast<std::size_t>(m) * hw::kNodeTypeCount +
+                   static_cast<std::size_t>(n)];
+  }
+  ++sampled_out_total_;
+  return false;
+}
+
 void Tracer::record_request_lifecycle(std::int64_t request_id, models::ModelId model,
                                       hw::NodeType node, cluster::ShareMode mode,
                                       int batch_size, int spatial, int temporal,
@@ -78,6 +96,7 @@ void Tracer::record_request_lifecycle(std::int64_t request_id, models::ModelId m
                                       TimeMs start_ms, TimeMs end_ms,
                                       DurationMs solo_ms, DurationMs interference_ms,
                                       DurationMs cold_ms) {
+  if (!sample_keep(request_id, model, node, arrival_ms, end_ms)) return;
   // Parent + 3 phases are stored atomically so every retained request has a
   // complete, contiguous decomposition (phases sum to end - arrival).
   TraceEvent events[4];
@@ -96,13 +115,20 @@ void Tracer::record_batch_lifecycles(const cluster::Request* requests, int count
                                      DurationMs cold_ms) {
   if (count <= 0) return;
   scratch_.resize(static_cast<std::size_t>(count) * 4);
+  std::size_t kept = 0;
   for (int i = 0; i < count; ++i) {
-    compose_lifecycle(scratch_.data() + static_cast<std::size_t>(i) * 4,
-                      requests[i].id.value, model, node, mode, batch_size, spatial,
-                      temporal, requests[i].arrival_ms, submit_ms, start_ms, end_ms,
+    if (!sample_keep(requests[i].id.value, model, node, requests[i].arrival_ms,
+                     end_ms)) {
+      continue;
+    }
+    compose_lifecycle(scratch_.data() + kept * 4, requests[i].id.value, model,
+                      node, mode, batch_size, spatial, temporal,
+                      requests[i].arrival_ms, submit_ms, start_ms, end_ms,
                       solo_ms, interference_ms, cold_ms);
+    ++kept;
   }
-  append_batch(scratch_, 4);
+  if (kept == 0) return;
+  append_batch(std::span<const TraceEvent>(scratch_.data(), kept * 4), 4);
 }
 
 std::size_t Tracer::append_batch(std::span<const TraceEvent> events,
@@ -214,7 +240,25 @@ void Tracer::gauge(const char* name, TimeMs now, double value, int model_tag) {
   push(event);
 }
 
+void Tracer::flush_sampled_out_counters() {
+  if (sampled_out_total_ == 0) return;
+  for (int m = 0; m < models::kModelCount; ++m) {
+    for (int n = 0; n < hw::kNodeTypeCount; ++n) {
+      const std::uint64_t dropped =
+          sampled_out_[static_cast<std::size_t>(m) * hw::kNodeTypeCount +
+                       static_cast<std::size_t>(n)];
+      if (dropped == 0) continue;
+      std::string key = "sampled_out:";
+      key += models::model_id_name(static_cast<models::ModelId>(m));
+      key += ':';
+      key += hw::node_type_name(static_cast<hw::NodeType>(n));
+      counters_[key] = static_cast<double>(dropped);  // cumulative, not +=
+    }
+  }
+}
+
 void Tracer::sample_counters(TimeMs now) {
+  flush_sampled_out_counters();
   for (const auto& [name, value] : counters_) {  // map order: deterministic
     if (!reserve(1)) return;
     TraceEvent event;
@@ -265,6 +309,14 @@ std::uint64_t RunTrace::dropped_decisions() const {
   std::uint64_t total = 0;
   for (const auto& rep : reps) {
     if (rep) total += rep->dropped_decisions();
+  }
+  return total;
+}
+
+std::uint64_t RunTrace::sampled_out() const {
+  std::uint64_t total = 0;
+  for (const auto& rep : reps) {
+    if (rep) total += rep->sampled_out_total();
   }
   return total;
 }

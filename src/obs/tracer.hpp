@@ -25,6 +25,7 @@
 // records have their own cap.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -36,6 +37,9 @@
 #include "src/common/units.hpp"
 #include "src/hw/node_spec.hpp"
 #include "src/models/model_spec.hpp"
+#include "src/obs/profiler.hpp"
+#include "src/obs/rollup.hpp"
+#include "src/obs/sampler.hpp"
 
 namespace paldia::obs {
 
@@ -44,6 +48,13 @@ struct TracerConfig {
   std::size_t event_capacity = 262'144;
   /// Decision-record capacity (one record per monitor tick; generous).
   std::size_t decision_capacity = 65'536;
+  /// Lifecycle sample rate: keep every SLO-violating request plus a
+  /// deterministic 1-in-sample_rate of compliant ones (1 = keep all).
+  /// Sampled-out completions are tallied per (model, node) and surfaced as
+  /// "sampled_out:<model>:<node>" counters so report counts stay exact.
+  std::uint32_t sample_rate = 1;
+  /// Seed for the sampler's request-id hash (see obs/sampler.hpp).
+  std::uint64_t sampler_seed = kDefaultSamplerSeed;
 };
 
 struct TraceEvent {
@@ -113,9 +124,19 @@ struct DecisionRecord {
 
 class Tracer {
  public:
-  explicit Tracer(TracerConfig config = {}) : config_(config) {}
+  explicit Tracer(TracerConfig config = {})
+      : config_(config), sampler_(config.sample_rate, config.sampler_seed) {
+    slo_ms_.fill(kTimeNever);
+  }
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
+
+  /// Per-model SLOs the sampler classifies against (violators are always
+  /// retained). Defaults to kTimeNever, i.e. nothing counts as violating —
+  /// plain 1-in-N sampling until the framework installs the zoo's SLOs.
+  void set_model_slos(const std::array<DurationMs, models::kModelCount>& slos) {
+    slo_ms_ = slos;
+  }
 
   // --- Request lifecycle ---------------------------------------------------
   /// Record one completed request: emits a parent kRequest span plus three
@@ -203,12 +224,26 @@ class Tracer {
   std::uint64_t dropped_events() const { return dropped_events_; }
   std::uint64_t dropped_decisions() const { return dropped_decisions_; }
   const TracerConfig& config() const { return config_; }
+  const TraceSampler& sampler() const { return sampler_; }
+  /// Compliant lifecycles the sampler dropped (not stored, not counted as
+  /// dropped_events — the per-(model, node) totals live in the counter
+  /// registry as "sampled_out:<model>:<node>" after sample_counters()).
+  std::uint64_t sampled_out_total() const { return sampled_out_total_; }
 
  private:
   bool reserve(std::size_t n);
   void push(const TraceEvent& event);
+  /// Sampling decision for one completed request; tallies the drop when it
+  /// says no. Pure in (request_id, SLO verdict) — see obs/sampler.hpp.
+  bool sample_keep(std::int64_t request_id, models::ModelId model,
+                   hw::NodeType node, TimeMs arrival_ms, TimeMs end_ms);
+  /// Fold the sampled-out tallies into the counter registry so the next
+  /// sample_counters() emits them in sorted-key order with everything else.
+  void flush_sampled_out_counters();
 
   TracerConfig config_;
+  TraceSampler sampler_;
+  std::array<DurationMs, models::kModelCount> slo_ms_{};
   std::vector<TraceEvent> events_;
   std::vector<TraceEvent> scratch_;  // bulk-lifecycle staging, reused
   std::vector<DecisionRecord> decisions_;
@@ -218,19 +253,37 @@ class Tracer {
   std::uint64_t dropped_events_ = 0;
   std::uint64_t dropped_decisions_ = 0;
   std::uint64_t unbalanced_ = 0;
+  std::array<std::uint64_t,
+             static_cast<std::size_t>(models::kModelCount) * hw::kNodeTypeCount>
+      sampled_out_{};
+  std::uint64_t sampled_out_total_ = 0;
 };
 
-/// Per-repetition tracer slots for one Runner::run call. Slots are created
-/// up front (rep order) and filled concurrently; exporters read them in
-/// slot order, so the serialized output is independent of thread count.
+/// Per-repetition observation slots for one Runner::run call. Slots are
+/// created up front (rep order) and filled concurrently; exporters read them
+/// in slot order, so the serialized output is independent of thread count.
 struct RunTrace {
+  /// Tracer slot configuration. Runner::run overwrites sample_rate from
+  /// SchemeFactoryOptions so the --sample-rate flag is the single knob.
   TracerConfig config;
+  /// When false, no tracer slots are allocated: a rollup- or profile-only
+  /// run observes every completion in fixed memory with no event buffers.
+  bool capture_events = true;
+  /// Allocate one RollupAggregator per repetition (--rollup-out).
+  bool collect_rollups = false;
+  /// Allocate one Profiler per repetition (--profile).
+  bool profile = false;
+  RollupConfig rollup_config;
   std::vector<std::unique_ptr<Tracer>> reps;
+  std::vector<std::unique_ptr<RollupAggregator>> rollups;
+  std::vector<std::unique_ptr<Profiler>> profiles;
 
   /// Total dropped events across repetitions.
   std::uint64_t dropped_events() const;
   /// Total dropped decision records across repetitions.
   std::uint64_t dropped_decisions() const;
+  /// Total sampler-dropped compliant lifecycles across repetitions.
+  std::uint64_t sampled_out() const;
 };
 
 }  // namespace paldia::obs

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/obs/profiler.hpp"
+
 namespace paldia::sim {
 
 namespace {
@@ -150,12 +152,18 @@ void Simulator::drain_epoch(TimeMs window) {
     shard.cursor = 0;
     shard.queue.extract_until(window, shard.run);
   };
-  if (pool_ != nullptr && n > 1) {
-    pool_->parallel_for(n, extract);
-  } else {
-    for (std::size_t s = 0; s < n; ++s) extract(s);
+  {
+    // Timed whole from the driver thread, parallel fan-out included, so the
+    // profiler never races with pool workers.
+    obs::ScopedPhase prof(profiler_, obs::ProfilePhase::kEpochExtract);
+    if (pool_ != nullptr && n > 1) {
+      pool_->parallel_for(n, extract);
+    } else {
+      for (std::size_t s = 0; s < n; ++s) extract(s);
+    }
   }
 
+  obs::ScopedPhase merge_prof(profiler_, obs::ProfilePhase::kEpochMerge);
   in_epoch_ = true;
   window_end_ = window;
   // Merged execution: always the globally-earliest (time, sequence) entry,
@@ -238,6 +246,7 @@ void Simulator::drain_epoch(TimeMs window) {
 }
 
 TimeMs Simulator::run_serial(TimeMs until) {
+  obs::ScopedPhase prof(profiler_, obs::ProfilePhase::kSerialDrain);
   EventQueue& queue = shards_[0].queue;
   while (!queue.empty() && queue.next_time() <= until) {
     auto fired = queue.pop();

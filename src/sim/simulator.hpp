@@ -46,6 +46,10 @@
 #include "src/common/units.hpp"
 #include "src/sim/event_queue.hpp"
 
+namespace paldia::obs {
+class Profiler;
+}  // namespace paldia::obs
+
 namespace paldia::sim {
 
 struct ShardOptions {
@@ -155,6 +159,11 @@ class Simulator {
   /// identical across shard counts for the same workload.
   std::size_t events_processed() const { return events_processed_; }
 
+  /// Attach a self-profiler (nullptr disables; see obs/profiler.hpp). Epoch
+  /// extraction is timed as a whole from the driver thread — including the
+  /// parallel fan-out — so the profiler is never touched off-thread.
+  void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
+
  private:
   static constexpr std::uint32_t kNoPeriodic = 0xffffffffu;
 
@@ -227,6 +236,7 @@ class Simulator {
   std::vector<Staged> inserts_;  // min-heap by (time, sequence)
   std::vector<Staged> mailbox_;
   std::vector<RunHead> heads_;  // merge-scan scratch, reused across epochs
+  obs::Profiler* profiler_ = nullptr;  // self-profiling hooks (optional)
 };
 
 }  // namespace paldia::sim

@@ -1,0 +1,105 @@
+// String-field escaping of the CSV/JSONL exporters: scheme/workload/trace
+// labels containing commas, quotes, CR or (JSONL) newlines must survive a
+// write -> parse round trip through the repo's own readers. Guards the
+// csv_escape \r fix — a bare CR in an unquoted cell splits the row for any
+// CRLF-aware reader and was previously emitted verbatim.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/common/csv.hpp"
+#include "src/common/json.hpp"
+#include "src/obs/export.hpp"
+#include "src/telemetry/metrics.hpp"
+
+namespace paldia::obs {
+namespace {
+
+telemetry::RunMetrics awkward_metrics() {
+  telemetry::RunMetrics metrics;
+  metrics.scheme = "Paldia, \"tuned\"";   // comma + embedded quotes
+  metrics.workload = "burst\rcr";         // bare carriage return
+  metrics.trace = "azure 2021";
+  metrics.requests = 1234;
+  metrics.slo_compliance = 0.991;
+  metrics.p99_latency_ms = 187.5;
+  return metrics;
+}
+
+TEST(ExportEscaping, CsvStringFieldsRoundTrip) {
+  std::ostringstream out;
+  MetricsWriter writer(out, ExportFormat::kCsv);
+  writer.write(awkward_metrics(), "fig,04");
+
+  const CsvTable table = parse_csv(out.str());
+  ASSERT_EQ(table.rows.size(), 1u);
+  const auto& row = table.rows[0];
+  ASSERT_EQ(row.size(), table.columns.size());
+  EXPECT_EQ(row[table.column_index("figure")], "fig,04");
+  EXPECT_EQ(row[table.column_index("scheme")], "Paldia, \"tuned\"");
+  EXPECT_EQ(row[table.column_index("workload")], "burst\rcr");
+  EXPECT_EQ(row[table.column_index("trace")], "azure 2021");
+  EXPECT_EQ(row[table.column_index("requests")], "1234");
+}
+
+TEST(ExportEscaping, CsvBareCrDoesNotSplitTheRow) {
+  // Regression for the csv_escape fix: with \r missing from the must-quote
+  // set, "burst\rcr" was written unquoted and the reader (which strips \r
+  // from unquoted cells) silently corrupted the field.
+  std::ostringstream out;
+  MetricsWriter writer(out, ExportFormat::kCsv);
+  writer.write(awkward_metrics(), "fig04");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"burst\rcr\""), std::string::npos)
+      << "CR-carrying cell must be quoted";
+}
+
+TEST(ExportEscaping, JsonlStringFieldsRoundTrip) {
+  telemetry::RunMetrics metrics = awkward_metrics();
+  metrics.workload = "line1\nline2\ttab\\slash";  // JSONL can carry \n
+
+  std::ostringstream out;
+  MetricsWriter writer(out, ExportFormat::kJsonl);
+  writer.write(metrics, "fig\"04\"");
+
+  const auto parsed = common::parse_json_lines(out.str());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  ASSERT_EQ(parsed.rows.size(), 1u);
+  const auto& row = parsed.rows[0];
+  EXPECT_EQ(row.string_or("figure", ""), "fig\"04\"");
+  EXPECT_EQ(row.string_or("scheme", ""), "Paldia, \"tuned\"");
+  EXPECT_EQ(row.string_or("workload", ""), "line1\nline2\ttab\\slash");
+  EXPECT_EQ(row.string_or("trace", ""), "azure 2021");
+  EXPECT_DOUBLE_EQ(row.number_or("requests", 0.0), 1234.0);
+}
+
+TEST(ExportEscaping, RollupRunLabelRoundTrips) {
+  // The rollup "run" label is driver-controlled text ("scenario / scheme");
+  // it must survive both formats like every other string field.
+  RunTrace trace;
+  trace.collect_rollups = true;
+  trace.rollups.push_back(std::make_unique<RollupAggregator>());
+  trace.rollups[0]->observe_completion(
+      100.0, static_cast<int>(models::ModelId::kResNet50),
+      static_cast<int>(hw::NodeType::kG3s_xlarge), 40.0, std::nullopt);
+  const std::string run = "fig,04 \"hot\" / Pal\rdia";
+
+  std::ostringstream jsonl;
+  RollupWriter jw(jsonl, ExportFormat::kJsonl);
+  jw.write(trace, run);
+  const auto parsed = common::parse_json_lines(jsonl.str());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  ASSERT_EQ(parsed.rows.size(), 1u);
+  EXPECT_EQ(parsed.rows[0].string_or("run", ""), run);
+
+  std::ostringstream csv;
+  RollupWriter cw(csv, ExportFormat::kCsv);
+  cw.write(trace, run);
+  const CsvTable table = parse_csv(csv.str());
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][table.column_index("run")], run);
+}
+
+}  // namespace
+}  // namespace paldia::obs

@@ -9,7 +9,12 @@
 // with the drivers' inline --report-out path, so the offline numbers are
 // byte-identical to the inline ones.
 //
+// Rollup-only mode ingests a --rollup-out JSONL stream instead of (or in
+// addition to) full traces: compliance and attribution are rebuilt from the
+// windowed cells alone, without any lifecycle trace on disk.
+//
 // Options:
+//   --rollup PATH       rebuild reports from a rollup JSONL stream
 //   --report-out PATH   also write the report as JSON
 //   --metrics PATH      echo a metrics JSONL/CSV export (cross-check section)
 //   --decisions PATH    count rows of a decision-log export
@@ -52,9 +57,11 @@ std::string label_for_path(const std::string& path) {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s trace.json [trace2.json ...] [--report-out out.json]\n"
+               "usage: %s [trace.json ...] [--rollup rollups.jsonl]\n"
+               "          [--report-out out.json]\n"
                "          [--metrics metrics.jsonl|.csv] [--decisions log.jsonl]\n"
-               "          [--json] [--quiet]\n",
+               "          [--json] [--quiet]\n"
+               "at least one trace file or --rollup stream is required\n",
                argv0);
   return 2;
 }
@@ -110,6 +117,7 @@ void print_decisions_echo(std::ostream& out, const std::string& path) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> trace_paths;
+  std::string rollup_path;
   std::string report_out;
   std::string metrics_path;
   std::string decisions_path;
@@ -138,7 +146,9 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--report-out") {
+    if (arg == "--rollup") {
+      rollup_path = next("--rollup");
+    } else if (arg == "--report-out") {
       report_out = next("--report-out");
     } else if (arg == "--metrics") {
       metrics_path = next("--metrics");
@@ -157,7 +167,7 @@ int main(int argc, char** argv) {
       trace_paths.push_back(arg);
     }
   }
-  if (trace_paths.empty()) return usage(argv[0]);
+  if (trace_paths.empty() && rollup_path.empty()) return usage(argv[0]);
 
   std::vector<paldia::obs::AnalysisReport> reports;
   for (const std::string& path : trace_paths) {
@@ -179,6 +189,23 @@ int main(int argc, char** argv) {
       return 1;
     }
     reports.push_back(paldia::obs::analyze_with_zoo(data));
+  }
+
+  if (!rollup_path.empty()) {
+    std::string text;
+    std::string error;
+    if (!read_file(rollup_path, &text, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::vector<paldia::obs::AnalysisReport> rollup_reports;
+    if (!paldia::obs::analyze_rollup_stream(text, &rollup_reports, &error)) {
+      std::fprintf(stderr, "%s: %s\n", rollup_path.c_str(), error.c_str());
+      return 1;
+    }
+    for (auto& report : rollup_reports) {
+      reports.push_back(std::move(report));
+    }
   }
 
   if (!quiet) {
