@@ -67,6 +67,18 @@ struct BenchOptions {
   /// selection sweep, dispatch/monitor ticks, export flush) and emit a
   /// per-phase report section plus a chrome-trace self-profile lane.
   bool profile = false;
+  /// --alerts-out=FILE: SLO health alert stream (.csv -> CSV, else JSONL) —
+  /// one row per resolved incident plus a per-rep ground-truth summary row.
+  /// Enables the HealthEngine; `paldia-analyze --alerts` rebuilds the
+  /// report's "health" section from this stream alone.
+  std::string alerts_out;
+  /// --slo-target=F: SLO objective behind the health engine's error budget
+  /// (budget = 1 - target; burn rate = violation fraction / budget).
+  double slo_target = 0.999;
+  /// --burn-windows=FAST,SLOW: burn-rate alert windows in ms. The SRE-style
+  /// multi-window rule fires only when both windows breach the threshold.
+  double burn_fast_ms = 60'000.0;
+  double burn_slow_ms = 600'000.0;
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -100,6 +112,19 @@ inline BenchOptions parse_options(int argc, char** argv) {
       options.rollup_out = arg.substr(13);
     } else if (arg == "--profile") {
       options.profile = true;
+    } else if (arg.rfind("--alerts-out=", 0) == 0) {
+      options.alerts_out = arg.substr(13);
+    } else if (arg.rfind("--slo-target=", 0) == 0) {
+      options.slo_target = std::atof(arg.c_str() + 13);
+    } else if (arg.rfind("--burn-windows=", 0) == 0) {
+      double fast = 0.0, slow = 0.0;
+      if (std::sscanf(arg.c_str() + 15, "%lf,%lf", &fast, &slow) == 2) {
+        options.burn_fast_ms = fast;
+        options.burn_slow_ms = slow;
+      } else {
+        std::fprintf(stderr, "warning: --burn-windows wants FAST,SLOW in ms; "
+                             "ignoring '%s'\n", arg.c_str() + 15);
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--reps=N] [--threads=N] [--full] [--no-tmax-cache]\n"
@@ -124,7 +149,13 @@ inline BenchOptions parse_options(int argc, char** argv) {
           "          [--rollup-out=FILE]       windowed rollup stream, one row\n"
           "                                    per (rep, window, model, node)\n"
           "          [--profile]               simulator self-profile: per-phase\n"
-          "                                    report section + trace lane\n",
+          "                                    report section + trace lane\n"
+          "          [--alerts-out=FILE]       SLO health alert stream: one row\n"
+          "                                    per incident + per-rep summary\n"
+          "          [--slo-target=F]          SLO objective for the health\n"
+          "                                    error budget (default 0.999)\n"
+          "          [--burn-windows=FAST,SLOW] burn-rate windows in ms\n"
+          "                                    (default 60000,600000)\n",
           argv[0]);
       std::exit(0);
     }
@@ -148,6 +179,9 @@ inline exp::SchemeFactoryOptions factory_options(const BenchOptions& options) {
   factory.request_pool = options.request_pool;
   factory.shards = options.shards;
   factory.sample_rate = options.sample_rate;
+  factory.slo_target = options.slo_target;
+  factory.burn_fast_ms = options.burn_fast_ms;
+  factory.burn_slow_ms = options.burn_slow_ms;
   return factory;
 }
 
@@ -189,6 +223,13 @@ class RunObserver {
                      rollups_->error().c_str());
       }
     }
+    if (!options.alerts_out.empty()) {
+      alerts_ = std::make_unique<obs::AlertWriter>(options.alerts_out);
+      if (!alerts_->ok()) {
+        std::fprintf(stderr, "warning: --alerts-out: %s\n",
+                     alerts_->error().c_str());
+      }
+    }
   }
 
   ~RunObserver() {
@@ -200,9 +241,10 @@ class RunObserver {
   }
 
   /// Any per-run observation stream enabled (Chrome trace, decision log,
-  /// report, rollups, or self-profile)?
+  /// report, rollups, health alerts, or self-profile)?
   bool tracing() const {
-    return capture_events() || rollups_ != nullptr || profile_;
+    return capture_events() || rollups_ != nullptr || alerts_ != nullptr ||
+           profile_;
   }
 
   /// Do the enabled streams need full lifecycle event capture? False for
@@ -218,6 +260,7 @@ class RunObserver {
     trace.capture_events = capture_events();
     trace.collect_rollups = rollups_ != nullptr;
     trace.profile = profile_;
+    trace.collect_health = alerts_ != nullptr;
     return trace;
   }
 
@@ -270,15 +313,18 @@ class RunObserver {
       }
       if (decisions_ != nullptr) decisions_->write(trace, scheme, scenario);
       if (rollups_ != nullptr) rollups_->write(trace, label);
+      if (alerts_ != nullptr) alerts_->write(trace, label);
     }
     if (!report_out_.empty()) {
       // Same analysis paldia-analyze performs on the exported trace file;
       // extract_run_data quantizes through the exporter formats, so the two
       // reports come out byte-identical. The self-profile section rides
-      // along only when --profile recorded something.
+      // along only when --profile recorded something; the health section
+      // only when --alerts-out ran a HealthEngine.
       obs::AnalysisReport report =
           obs::analyze_with_zoo(obs::extract_run_data(trace, label));
       report.profile = obs::summarize_profile(trace);
+      report.health = obs::summarize_health(trace);
       reports_.push_back(std::move(report));
     }
     obs::warn_if_truncated(trace, figure_ + " " + label);
@@ -294,6 +340,7 @@ class RunObserver {
   std::unique_ptr<obs::MetricsWriter> metrics_;
   std::unique_ptr<obs::DecisionLogWriter> decisions_;
   std::unique_ptr<obs::RollupWriter> rollups_;
+  std::unique_ptr<obs::AlertWriter> alerts_;
 };
 
 /// Runs the scenario for the given schemes and returns combined metrics in

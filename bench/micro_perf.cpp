@@ -16,6 +16,7 @@
 #include "src/models/profile.hpp"
 #include "src/models/zoo.hpp"
 #include "src/obs/attribution.hpp"
+#include "src/obs/health.hpp"
 #include "src/obs/rollup.hpp"
 #include "src/obs/sampler.hpp"
 #include "src/obs/sketch.hpp"
@@ -390,6 +391,69 @@ void BM_RollupObserve(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RollupObserve);
+
+void BM_HealthDisabledHook(benchmark::State& state) {
+  // The framework holds a HealthEngine* that is nullptr when the health
+  // engine is off — the disabled hot-path cost is one branch, same
+  // discipline as the null tracer/attribution hooks above.
+  obs::HealthEngine* engine = nullptr;
+  benchmark::DoNotOptimize(engine);
+  double sink = 0.0;
+  for (auto _ : state) {
+    if (engine != nullptr) engine->observe_in_flight(0.0, 0, 1.0);
+    sink += 1.0;
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("null-engine branch");
+}
+BENCHMARK(BM_HealthDisabledHook);
+
+void BM_HealthObserve(benchmark::State& state) {
+  // Enabled-path cost per completed request: counter bumps plus a sketch
+  // insert on the cluster-wide and the (model, node) key.
+  obs::HealthEngine engine;
+  const int model = static_cast<int>(models::ModelId::kResNet50);
+  const int node = static_cast<int>(hw::NodeType::kG3s_xlarge);
+  const std::optional<telemetry::ViolationCause> compliant;
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.37;
+    engine.observe_completion(t, model, node, 95.0 + (t * 0.001), compliant);
+  }
+  benchmark::DoNotOptimize(engine.completions());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HealthObserve);
+
+void BM_BurnRateEval(benchmark::State& state) {
+  // Monitor-tick cost of one full detector evaluation over a warmed engine:
+  // per key, two windowed burn lookups over the tick deque, the CUSUM and
+  // z-score updates, and three lifecycle steps. Runs once per monitor tick
+  // (default 500 ms of simulated time), so staying in the sub-microsecond
+  // range keeps the engine invisible next to the simulation itself.
+  obs::HealthEngine engine;
+  const int node = static_cast<int>(hw::NodeType::kG3s_xlarge);
+  const std::optional<telemetry::ViolationCause> compliant;
+  double t = 0.0;
+  auto tick = [&] {
+    t += 500.0;
+    for (int m = 0; m < 4; ++m) {
+      engine.observe_completion(t - 250.0, m, node, 95.0, compliant);
+      engine.observe_queue_depth(t, m, node, 5.0);
+    }
+    engine.observe_in_flight(t, node, 3.0);
+    engine.evaluate(t);
+  };
+  for (int warm = 0; warm < 64; ++warm) tick();  // baselines armed, deque full
+  for (auto _ : state) {
+    tick();
+  }
+  benchmark::DoNotOptimize(engine.evaluations());
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("5-key detector pass");
+}
+BENCHMARK(BM_BurnRateEval);
 
 void BM_RequestPoolChurn(benchmark::State& state) {
   // The request-path storage churn of one dispatch round: a taken buffer of

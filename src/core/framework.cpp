@@ -8,6 +8,7 @@
 #include "src/common/log.hpp"
 #include "src/obs/attribution.hpp"
 #include "src/obs/calibration.hpp"
+#include "src/obs/health.hpp"
 #include "src/obs/profiler.hpp"
 #include "src/obs/rollup.hpp"
 #include "src/obs/tracer.hpp"
@@ -28,6 +29,7 @@ Framework::Framework(sim::Simulator& simulator, cluster::Cluster& cluster,
       calibration_(config.calibration),
       rollup_(config.rollup),
       profiler_(config.profiler),
+      health_(config.health),
       request_arena_(config.request_pool),
       gateway_(rng.fork("gateway"), &request_arena_),
       batcher_(config.batcher),
@@ -279,6 +281,18 @@ void Framework::monitor_tick() {
     rollup_->observe_in_flight(now, static_cast<int>(active_node_),
                                static_cast<double>(distributor_->in_flight()));
   }
+  if (health_ != nullptr) {
+    // Detector input mirrors the rollup gauge sweep; the evaluation itself
+    // runs on the same simulated-time cadence for every thread/shard count.
+    for (const auto& workload : workloads_) {
+      health_->observe_queue_depth(
+          now, static_cast<int>(workload.model), static_cast<int>(active_node_),
+          static_cast<double>(gateway_.pending(workload.model, now)));
+    }
+    health_->observe_in_flight(now, static_cast<int>(active_node_),
+                               static_cast<double>(distributor_->in_flight()));
+    health_->evaluate(now);
+  }
 }
 
 void Framework::begin_switch(hw::NodeType target) {
@@ -393,7 +407,7 @@ void Framework::complete_request(const cluster::Request& request,
   workload.latency->record(outcome);
   workload.slo->record_completion(request.arrival_ms, report.end_ms);
   std::optional<telemetry::ViolationCause> cause;
-  if (attribution_ != nullptr || rollup_ != nullptr) {
+  if (attribution_ != nullptr || rollup_ != nullptr || health_ != nullptr) {
     obs::LifecycleSample sample;
     sample.request_id = request.id.value;
     sample.model = static_cast<int>(request.model);
@@ -416,6 +430,11 @@ void Framework::complete_request(const cluster::Request& request,
   }
   if (rollup_ != nullptr) {
     rollup_->observe_completion(report.end_ms, static_cast<int>(request.model),
+                                static_cast<int>(node), outcome.latency_ms,
+                                cause);
+  }
+  if (health_ != nullptr) {
+    health_->observe_completion(report.end_ms, static_cast<int>(request.model),
                                 static_cast<int>(node), outcome.latency_ms,
                                 cause);
   }
@@ -551,6 +570,10 @@ TimeMs Framework::run() {
       rollup_->observe_unserved(end, static_cast<int>(workload.model),
                                 static_cast<std::uint64_t>(leftover));
     }
+    if (health_ != nullptr && leftover > 0) {
+      health_->observe_unserved(end, static_cast<int>(workload.model),
+                                static_cast<std::uint64_t>(leftover));
+    }
     if (tracer_ != nullptr && leftover > 0) {
       // Per-model counter reaches the event stream via the final
       // sample_counters(end) below; the analyzer reads it back for the
@@ -570,6 +593,9 @@ TimeMs Framework::run() {
   // Final counter snapshot: totals accumulated after the last monitor tick
   // (the drain phase) still reach the event stream.
   if (tracer_ != nullptr) tracer_->sample_counters(end);
+  // One last detector pass over the drain tail, then close still-firing
+  // incidents so every alert carries a resolve timestamp.
+  if (health_ != nullptr) health_->finalize(end);
   return end;
 }
 

@@ -31,6 +31,7 @@
 namespace paldia::obs {
 class AttributionEngine;
 class CalibrationTracker;
+class HealthEngine;
 class Profiler;
 class RollupAggregator;
 class Tracer;
@@ -79,6 +80,11 @@ struct FrameworkConfig {
   /// into the simulator's drain phases and times its own dispatch/monitor
   /// ticks and the Algorithm 1 sweep.
   obs::Profiler* profiler = nullptr;
+  /// Online SLO health engine (null = disabled, single-branch cost). Fed
+  /// every completion (with the attribution verdict), monitor-tick gauges,
+  /// and drain-cap unserved counts; evaluated once per monitor tick and
+  /// finalized at the run end.
+  obs::HealthEngine* health = nullptr;
 };
 
 class Framework {
@@ -154,6 +160,7 @@ class Framework {
   obs::CalibrationTracker* calibration_ = nullptr;
   obs::RollupAggregator* rollup_ = nullptr;
   obs::Profiler* profiler_ = nullptr;
+  obs::HealthEngine* health_ = nullptr;
 
   cluster::RequestArena request_arena_;  // must outlive gateway_/distributor_
   Gateway gateway_;

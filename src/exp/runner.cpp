@@ -22,7 +22,8 @@ Runner::Runner(const models::Zoo& zoo, const hw::Catalog& catalog, ThreadPool* p
 RunResult Runner::run_once(const Scenario& scenario, SchemeId scheme,
                            std::uint64_t seed, bool keep_cdf,
                            obs::Tracer* tracer, obs::RollupAggregator* rollup,
-                           obs::Profiler* profiler) const {
+                           obs::Profiler* profiler,
+                           obs::HealthEngine* health) const {
   sim::ShardOptions shard_options;
   shard_options.shards = factory_.options().shards;
   // The task-group executor is nestable, so per-shard extraction may run
@@ -48,6 +49,7 @@ RunResult Runner::run_once(const Scenario& scenario, SchemeId scheme,
   config.request_pool = factory_.options().request_pool;
   config.rollup = rollup;
   config.profiler = profiler;
+  config.health = health;
 
   // Violation attribution runs on every repetition (it feeds the per-cause
   // RunMetrics); calibration needs the tracer's decision sweeps, but the
@@ -231,9 +233,16 @@ RunResult Runner::run(const Scenario& scenario, SchemeId scheme, obs::RunTrace& 
   // concurrent repetitions never share state and exporters can walk the
   // slots in repetition order regardless of which thread filled them.
   trace.config.sample_rate = factory_.options().sample_rate;
+  // The health detectors take their SLO budget and burn windows from the
+  // factory options (the --slo-target / --burn-windows flags are the single
+  // knobs); the remaining HealthConfig fields keep the trace's values.
+  trace.health_config.slo_target = factory_.options().slo_target;
+  trace.health_config.fast_window_ms = factory_.options().burn_fast_ms;
+  trace.health_config.slow_window_ms = factory_.options().burn_slow_ms;
   trace.reps.clear();
   trace.rollups.clear();
   trace.profiles.clear();
+  trace.healths.clear();
   if (trace.capture_events) {
     trace.reps.reserve(reps);
     for (std::size_t rep = 0; rep < reps; ++rep) {
@@ -253,6 +262,13 @@ RunResult Runner::run(const Scenario& scenario, SchemeId scheme, obs::RunTrace& 
       trace.profiles.push_back(std::make_unique<obs::Profiler>());
     }
   }
+  if (trace.collect_health) {
+    trace.healths.reserve(reps);
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      trace.healths.push_back(
+          std::make_unique<obs::HealthEngine>(trace.health_config));
+    }
+  }
   auto run_rep = [&](std::size_t rep) {
     const std::uint64_t seed =
         scenario.base_seed + 0x9e3779b9ull * static_cast<std::uint64_t>(rep + 1) +
@@ -261,7 +277,8 @@ RunResult Runner::run(const Scenario& scenario, SchemeId scheme, obs::RunTrace& 
         run_once(scenario, scheme, seed, keep_cdf && rep == 0,
                  trace.capture_events ? trace.reps[rep].get() : nullptr,
                  trace.collect_rollups ? trace.rollups[rep].get() : nullptr,
-                 trace.profile ? trace.profiles[rep].get() : nullptr);
+                 trace.profile ? trace.profiles[rep].get() : nullptr,
+                 trace.collect_health ? trace.healths[rep].get() : nullptr);
   };
   if (pool_ != nullptr && repetitions.size() > 1) {
     pool_->parallel_for(repetitions.size(), run_rep);

@@ -23,12 +23,14 @@ class Runner {
   /// One repetition with an explicit seed. `tracer` (optional) receives the
   /// repetition's lifecycle spans / decision log / counter samples; `rollup`
   /// (optional) folds every completion into windowed cells; `profiler`
-  /// (optional) collects the simulator's self-profile.
+  /// (optional) collects the simulator's self-profile; `health` (optional)
+  /// evaluates the SLO health detectors every monitor tick.
   RunResult run_once(const Scenario& scenario, SchemeId scheme,
                      std::uint64_t seed, bool keep_cdf = false,
                      obs::Tracer* tracer = nullptr,
                      obs::RollupAggregator* rollup = nullptr,
-                     obs::Profiler* profiler = nullptr) const;
+                     obs::Profiler* profiler = nullptr,
+                     obs::HealthEngine* health = nullptr) const;
 
   /// All repetitions, aggregated per the paper's rule (mean with >2.5 sigma
   /// outliers dropped). keep_cdf retains the latency CDF of the first rep.

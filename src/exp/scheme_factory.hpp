@@ -51,6 +51,13 @@ struct SchemeFactoryOptions {
   /// Report counts stay exact via sampled_out counters; the sampled exports
   /// stay byte-identical across --threads and --shards.
   std::uint32_t sample_rate = 1;
+  /// SLO objective for the health engine's error budget (--slo-target):
+  /// budget = 1 - slo_target; burn rate = violation fraction / budget.
+  double slo_target = 0.999;
+  /// Burn-rate alert windows (--burn-windows=fast,slow in ms): the SRE-style
+  /// multi-window rule fires only when both breach the threshold.
+  DurationMs burn_fast_ms = 60'000.0;
+  DurationMs burn_slow_ms = 600'000.0;
 };
 
 class SchemeFactory {

@@ -323,6 +323,34 @@ void emit_profile_lane(EventStream& stream, const Profiler& profiler, int rep) {
   }
 }
 
+// Health lane (--alerts-out): one "X" slice per resolved incident on the
+// framework process, tid 3, spanning open -> resolve. Fully deterministic
+// (simulated time), but deliberately emitted without "batch_id" so the
+// report extractor's batch parser skips the lane, like the profile lane.
+void emit_health_lane(EventStream& stream, const HealthEngine& engine, int rep) {
+  const int pid = rep * kPidsPerRep;
+  emit_metadata(stream, pid, 3, "thread_name", "health");
+  for (const AlertRecord& record : engine.alerts()) {
+    std::string body = common_fields("X", pid, /*tid=*/3, record.open_ms);
+    body += ",\"dur\":" + us(record.resolve_ms - record.open_ms);
+    body += ",\"name\":\"";
+    body += health_detector_name(record.detector);
+    body += "\",\"args\":{\"detector\":\"";
+    body += health_detector_name(record.detector);
+    body += "\",\"model\":\"" + json_escape(model_name(record.model)) +
+            "\",\"node\":\"" + json_escape(node_name(record.node)) +
+            "\",\"fire_ms\":" + num(record.fire_ms) +
+            ",\"resolved_at_end\":" + (record.resolved_at_end ? "true" : "false") +
+            ",\"peak_severity\":" + num(record.peak_severity) +
+            ",\"ticks_breached\":" + std::to_string(record.ticks_breached) +
+            ",\"blame\":\"" +
+            std::string(telemetry::violation_cause_name(record.blame)) +
+            "\",\"violations\":" + std::to_string(record.violations) +
+            ",\"completed\":" + std::to_string(record.completed) + "}";
+    stream.emit(body);
+  }
+}
+
 }  // namespace
 
 void write_chrome_trace(std::ostream& out, const RunTrace& trace,
@@ -337,6 +365,11 @@ void write_chrome_trace(std::ostream& out, const RunTrace& trace,
     const Profiler* profiler = trace.profiles[rep].get();
     if (profiler == nullptr || profiler->empty()) continue;
     emit_profile_lane(stream, *profiler, static_cast<int>(rep));
+  }
+  for (std::size_t rep = 0; rep < trace.healths.size(); ++rep) {
+    const HealthEngine* engine = trace.healths[rep].get();
+    if (engine == nullptr || engine->alerts().empty()) continue;
+    emit_health_lane(stream, *engine, static_cast<int>(rep));
   }
   // Truncation is surfaced in machine-readable form: an analyzer must be
   // able to tell a complete trace from one whose ring buffers overflowed.

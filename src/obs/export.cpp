@@ -421,4 +421,101 @@ void RollupWriter::write_cell(const RollupKey& key, const RollupCell& cell,
   out_->flush();
 }
 
+// --- AlertWriter ------------------------------------------------------------
+
+AlertWriter::AlertWriter(std::ostream& out, ExportFormat format)
+    : out_(&out), format_(format) {}
+
+AlertWriter::AlertWriter(const std::string& path)
+    : file_(std::make_unique<std::ofstream>(path, std::ios::binary | std::ios::trunc)),
+      format_(format_for_path(path)) {
+  if (!*file_) {
+    error_ = "cannot open " + path;
+    file_.reset();
+    return;
+  }
+  out_ = file_.get();
+}
+
+bool AlertWriter::ok() const { return out_ != nullptr && error_.empty(); }
+
+void AlertWriter::write(const RunTrace& trace, const std::string& run) {
+  if (!ok()) return;
+  for (std::size_t rep = 0; rep < trace.healths.size(); ++rep) {
+    const HealthEngine* engine = trace.healths[rep].get();
+    if (engine == nullptr) continue;
+    for (const AlertRecord& record : engine->alerts()) {
+      write_alert(record, static_cast<int>(rep), run);
+    }
+    write_summary(*engine, static_cast<int>(rep), run);
+  }
+  out_->flush();
+}
+
+void AlertWriter::write_header() {
+  if (header_written_) return;
+  header_written_ = true;
+  // One header for both row kinds; summary rows leave the alert-only
+  // columns empty and vice versa.
+  *out_ << "run,rep,row,detector,model,node,open_ms,fire_ms,resolve_ms,"
+           "resolved_at_end,peak_severity,ticks_breached,blame,violations,"
+           "completed,first_violation_ms,evaluations,alerts\n";
+}
+
+void AlertWriter::write_alert(const AlertRecord& record, int rep,
+                              const std::string& run) {
+  const std::string model =
+      record.model >= 0 && record.model < models::kModelCount
+          ? std::string(models::model_id_name(models::ModelId(record.model)))
+          : std::string();
+  const std::string node =
+      record.node >= 0 && record.node < hw::kNodeTypeCount
+          ? std::string(hw::node_type_name(hw::NodeType(record.node)))
+          : std::string();
+  const char* detector = health_detector_name(record.detector);
+  const std::string_view blame = telemetry::violation_cause_name(record.blame);
+  if (format_ == ExportFormat::kCsv) {
+    write_header();
+    *out_ << csv_escape(run) << "," << rep << ",alert," << detector << ","
+          << csv_escape(model) << "," << csv_escape(node) << ","
+          << num(record.open_ms) << "," << num(record.fire_ms) << ","
+          << num(record.resolve_ms) << "," << (record.resolved_at_end ? 1 : 0)
+          << "," << num(record.peak_severity) << "," << record.ticks_breached
+          << "," << blame << "," << record.violations << "," << record.completed
+          << ",,,\n";
+  } else {
+    *out_ << "{\"run\":\"" << json_escape(run) << "\",\"rep\":" << rep
+          << ",\"row\":\"alert\",\"detector\":\"" << detector
+          << "\",\"model\":\"" << json_escape(model) << "\",\"node\":\""
+          << json_escape(node) << "\",\"open_ms\":" << num(record.open_ms)
+          << ",\"fire_ms\":" << num(record.fire_ms)
+          << ",\"resolve_ms\":" << num(record.resolve_ms)
+          << ",\"resolved_at_end\":" << (record.resolved_at_end ? "true" : "false")
+          << ",\"peak_severity\":" << num(record.peak_severity)
+          << ",\"ticks_breached\":" << record.ticks_breached << ",\"blame\":\""
+          << blame << "\",\"violations\":" << record.violations
+          << ",\"completed\":" << record.completed << "}\n";
+  }
+  out_->flush();
+}
+
+void AlertWriter::write_summary(const HealthEngine& engine, int rep,
+                                const std::string& run) {
+  if (format_ == ExportFormat::kCsv) {
+    write_header();
+    *out_ << csv_escape(run) << "," << rep << ",summary,,,,,,,,,,,"
+          << engine.violations() << "," << engine.completions() << ","
+          << num(engine.first_violation_ms()) << "," << engine.evaluations()
+          << "," << engine.alerts().size() << "\n";
+  } else {
+    *out_ << "{\"run\":\"" << json_escape(run) << "\",\"rep\":" << rep
+          << ",\"row\":\"summary\",\"completed\":" << engine.completions()
+          << ",\"violations\":" << engine.violations()
+          << ",\"first_violation_ms\":" << num(engine.first_violation_ms())
+          << ",\"evaluations\":" << engine.evaluations()
+          << ",\"alerts\":" << engine.alerts().size() << "}\n";
+  }
+  out_->flush();
+}
+
 }  // namespace paldia::obs

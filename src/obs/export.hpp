@@ -99,6 +99,35 @@ class RollupWriter {
   std::string error_;
 };
 
+/// Streaming alert/incident writer (--alerts-out): per repetition, every
+/// resolved incident in resolution order, then one "summary" row carrying
+/// the rep's ground truth (completions, violations, first-violation time,
+/// evaluation count) — everything `paldia-analyze --alerts` needs to
+/// rebuild the report's "health" section offline, byte for byte.
+class AlertWriter {
+ public:
+  AlertWriter(std::ostream& out, ExportFormat format);
+  explicit AlertWriter(const std::string& path);
+
+  bool ok() const;
+  const std::string& error() const { return error_; }
+
+  /// Append all incidents of a completed run. `run` is the report label
+  /// ("scenario / scheme") that alert-stream analysis groups rows by.
+  void write(const RunTrace& trace, const std::string& run);
+
+ private:
+  void write_header();
+  void write_alert(const AlertRecord& record, int rep, const std::string& run);
+  void write_summary(const HealthEngine& engine, int rep, const std::string& run);
+
+  std::unique_ptr<std::ofstream> file_;
+  std::ostream* out_ = nullptr;
+  ExportFormat format_ = ExportFormat::kJsonl;
+  bool header_written_ = false;
+  std::string error_;
+};
+
 /// "out.json" + ("azure", "Paldia") -> "out.azure_Paldia.json": one trace
 /// file per (scenario, scheme) run when a driver sweeps several.
 std::string derive_trace_path(const std::string& base, const std::string& scenario,

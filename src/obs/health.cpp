@@ -1,0 +1,332 @@
+#include "src/obs/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace paldia::obs {
+namespace {
+
+/// Variance floor so a flat baseline (sigma = 0) yields a huge-but-finite
+/// z-score instead of an inf/NaN that would poison the CUSUM accumulator.
+constexpr double kVarianceFloor = 1e-12;
+
+/// One EWMA step for a (mean, variance) baseline pair. The first sample
+/// seeds the mean exactly; variance stays 0 until deviations arrive.
+void ewma_update(double alpha, double x, double& mean, double& var,
+                 int& samples) {
+  if (samples == 0) {
+    mean = x;
+    var = 0.0;
+  } else {
+    const double delta = x - mean;
+    mean += alpha * delta;
+    var = (1.0 - alpha) * (var + alpha * delta * delta);
+  }
+  ++samples;
+}
+
+}  // namespace
+
+const char* health_detector_name(HealthDetector detector) {
+  switch (detector) {
+    case HealthDetector::kBurnRate:
+      return "burn_rate";
+    case HealthDetector::kLatencyCusum:
+      return "latency_cusum";
+    case HealthDetector::kQueueZScore:
+      return "queue_zscore";
+  }
+  return "unknown";
+}
+
+HealthEngine::HealthEngine(HealthConfig config) : config_(config) {
+  if (!(config_.slo_target > 0.0) || !(config_.slo_target < 1.0)) {
+    throw std::invalid_argument("HealthConfig: slo_target must be in (0, 1)");
+  }
+  if (!(config_.fast_window_ms > 0.0) || !(config_.slow_window_ms > 0.0)) {
+    throw std::invalid_argument("HealthConfig: burn windows must be > 0");
+  }
+  if (!(config_.fast_window_ms < config_.slow_window_ms)) {
+    throw std::invalid_argument(
+        "HealthConfig: fast burn window must be shorter than the slow one");
+  }
+  if (!(config_.burn_threshold > 0.0)) {
+    throw std::invalid_argument("HealthConfig: burn_threshold must be > 0");
+  }
+  if (config_.pending_ticks < 1 || config_.resolve_ticks < 1) {
+    throw std::invalid_argument(
+        "HealthConfig: pending_ticks and resolve_ticks must be >= 1");
+  }
+  if (!(config_.cusum_k >= 0.0) || !(config_.cusum_h > 0.0)) {
+    throw std::invalid_argument(
+        "HealthConfig: cusum_k must be >= 0 and cusum_h > 0");
+  }
+  if (!(config_.ewma_alpha > 0.0) || !(config_.ewma_alpha <= 1.0)) {
+    throw std::invalid_argument("HealthConfig: ewma_alpha must be in (0, 1]");
+  }
+  if (!(config_.z_threshold > 0.0)) {
+    throw std::invalid_argument("HealthConfig: z_threshold must be > 0");
+  }
+  if (config_.warmup_ticks < 1) {
+    throw std::invalid_argument("HealthConfig: warmup_ticks must be >= 1");
+  }
+}
+
+HealthEngine::KeyState& HealthEngine::state(int model, int node) {
+  return keys_[Key{static_cast<std::int16_t>(model),
+                   static_cast<std::int16_t>(node)}];
+}
+
+void HealthEngine::touch(KeyState& cluster, KeyState& keyed, TimeMs now,
+                         DurationMs latency_ms,
+                         const std::optional<telemetry::ViolationCause>& cause) {
+  for (KeyState* s : {&cluster, &keyed}) {
+    ++s->requests;
+    s->tick_latency.insert(latency_ms);
+    if (cause.has_value()) {
+      ++s->violations;
+      ++s->causes[static_cast<std::size_t>(*cause)];
+    }
+  }
+  if (cause.has_value() && first_violation_ms_ < 0.0) {
+    first_violation_ms_ = now;
+  }
+}
+
+void HealthEngine::observe_completion(
+    TimeMs end_ms, int model, int node, DurationMs latency_ms,
+    const std::optional<telemetry::ViolationCause>& cause) {
+  ++completions_;
+  if (cause.has_value()) ++violations_;
+  touch(state(-1, -1), state(model, node), end_ms, latency_ms, cause);
+}
+
+void HealthEngine::observe_unserved(TimeMs now, int model, std::uint64_t count) {
+  (void)model;  // unserved requests never reached a node: cluster-wide only
+  if (count == 0) return;
+  violations_ += count;
+  KeyState& cluster = state(-1, -1);
+  cluster.requests += count;
+  cluster.violations += count;
+  cluster.causes[static_cast<std::size_t>(
+      telemetry::ViolationCause::kUnserved)] += count;
+  if (first_violation_ms_ < 0.0) first_violation_ms_ = now;
+}
+
+void HealthEngine::observe_queue_depth(TimeMs now, int model, int node,
+                                       double depth) {
+  (void)now;
+  KeyState& s = state(model, node);
+  s.gauge = depth;
+  s.gauge_fresh = true;
+}
+
+void HealthEngine::observe_in_flight(TimeMs now, int node, double batches) {
+  (void)now;
+  (void)node;  // the in-flight gauge is a cluster-wide signal
+  KeyState& cluster = state(-1, -1);
+  cluster.gauge = batches;
+  cluster.gauge_fresh = true;
+}
+
+void HealthEngine::evaluate(TimeMs now) {
+  ++evaluations_;
+  for (auto& [key, st] : keys_) {
+    evaluate_key(key, st, now);
+  }
+}
+
+void HealthEngine::evaluate_key(const Key& key, KeyState& st, TimeMs now) {
+  st.ticks.push_back(TickSample{now, st.requests, st.violations, st.causes});
+  // Prune to the slow window, keeping one sample at or before the boundary
+  // so window deltas stay exact.
+  const TimeMs horizon = now - config_.slow_window_ms;
+  while (st.ticks.size() >= 2 && st.ticks[1].t_ms <= horizon) {
+    st.ticks.pop_front();
+  }
+
+  // --- burn_rate -----------------------------------------------------------
+  const double budget = 1.0 - config_.slo_target;
+  const TickSample& cur = st.ticks.back();
+  auto burn_of = [&](DurationMs window_ms, bool& enough) {
+    const TimeMs start = now - window_ms;
+    // Latest sample with t <= start; zeros when the run is younger than the
+    // window (the window then covers the whole run).
+    auto it = std::upper_bound(
+        st.ticks.begin(), st.ticks.end(), start,
+        [](TimeMs t, const TickSample& s) { return t < s.t_ms; });
+    TickSample base;
+    if (it != st.ticks.begin()) base = *std::prev(it);
+    const std::uint64_t requests = cur.requests - base.requests;
+    const std::uint64_t violations = cur.violations - base.violations;
+    enough = requests >= config_.min_window_samples;
+    if (requests == 0) return 0.0;
+    return (static_cast<double>(violations) / static_cast<double>(requests)) /
+           budget;
+  };
+  bool fast_enough = false;
+  bool slow_enough = false;
+  const double fast_burn = burn_of(config_.fast_window_ms, fast_enough);
+  const double slow_burn = burn_of(config_.slow_window_ms, slow_enough);
+  const double burn = std::min(fast_burn, slow_burn);
+  const bool burn_breach = fast_enough && slow_enough &&
+                           fast_burn >= config_.burn_threshold &&
+                           slow_burn >= config_.burn_threshold;
+  step_lifecycle(key, st, HealthDetector::kBurnRate, now, true, burn_breach,
+                 burn);
+
+  // --- latency_cusum -------------------------------------------------------
+  const bool has_latency = !st.tick_latency.empty();
+  if (has_latency) {
+    const double x = st.tick_latency.summary().p99_ms;
+    if (st.latency_samples >= config_.warmup_ticks) {
+      const double sigma = std::sqrt(std::max(st.latency_var, kVarianceFloor));
+      const double z = (x - st.latency_mean) / sigma;
+      st.cusum = std::max(0.0, st.cusum + z - config_.cusum_k);
+    }
+    ewma_update(config_.ewma_alpha, x, st.latency_mean, st.latency_var,
+                st.latency_samples);
+    st.tick_latency.clear();
+  }
+  // Ticks without completions freeze the accumulator (no signal either way).
+  step_lifecycle(key, st, HealthDetector::kLatencyCusum, now, has_latency,
+                 st.cusum >= config_.cusum_h, st.cusum);
+
+  // --- queue_zscore --------------------------------------------------------
+  if (st.gauge_fresh) {
+    double z = 0.0;
+    bool armed = st.gauge_samples >= config_.warmup_ticks;
+    if (armed) {
+      const double sigma = std::sqrt(std::max(st.gauge_var, kVarianceFloor));
+      z = (st.gauge - st.gauge_mean) / sigma;
+    }
+    // Only growth alerts: a draining queue is recovery, not an incident.
+    step_lifecycle(key, st, HealthDetector::kQueueZScore, now, armed,
+                   z >= config_.z_threshold, z);
+    ewma_update(config_.ewma_alpha, st.gauge, st.gauge_mean, st.gauge_var,
+                st.gauge_samples);
+    st.gauge_fresh = false;
+  } else {
+    step_lifecycle(key, st, HealthDetector::kQueueZScore, now, false, false,
+                   0.0);
+  }
+}
+
+void HealthEngine::step_lifecycle(const Key& key, KeyState& st,
+                                  HealthDetector detector, TimeMs now,
+                                  bool has_signal, bool breach,
+                                  double severity) {
+  DetectorState& d = st.detectors[static_cast<std::size_t>(detector)];
+  if (!has_signal) return;  // frozen: neither a breach nor a clear
+  using Phase = DetectorState::Phase;
+  if (breach) {
+    d.clear_streak = 0;
+    ++d.ticks_breached;
+    if (d.phase == Phase::kIdle) {
+      d.phase = Phase::kPending;
+      d.breach_streak = 1;
+      d.open_ms = now;
+      d.peak_severity = severity;
+      d.ticks_breached = 1;
+      // The completions that produced this breach arrived in the interval
+      // ending at `now`, before this evaluation ran — snapshot one tick
+      // back so they land inside the incident's ground truth.
+      if (st.ticks.size() >= 2) {
+        const TickSample& before = st.ticks[st.ticks.size() - 2];
+        d.open_requests = before.requests;
+        d.open_violations = before.violations;
+        d.open_causes = before.causes;
+      } else {
+        d.open_requests = 0;
+        d.open_violations = 0;
+        d.open_causes = telemetry::ViolationCauseCounts{};
+      }
+    } else {
+      ++d.breach_streak;
+      d.peak_severity = std::max(d.peak_severity, severity);
+    }
+    if (d.phase == Phase::kPending &&
+        d.breach_streak >= config_.pending_ticks) {
+      d.phase = Phase::kFiring;
+      d.fire_ms = now;
+    }
+  } else {
+    d.breach_streak = 0;
+    if (d.phase == Phase::kPending) {
+      // Never fired: dropped silently, nothing exported.
+      d.phase = Phase::kIdle;
+      d.ticks_breached = 0;
+    } else if (d.phase == Phase::kFiring) {
+      ++d.clear_streak;
+      if (d.clear_streak >= config_.resolve_ticks) {
+        close_alert(key, st, detector, now, /*at_end=*/false);
+      }
+    }
+  }
+}
+
+void HealthEngine::close_alert(const Key& key, KeyState& st,
+                               HealthDetector detector, TimeMs resolve_ms,
+                               bool at_end) {
+  DetectorState& d = st.detectors[static_cast<std::size_t>(detector)];
+  AlertRecord record;
+  record.model = key.model;
+  record.node = key.node;
+  record.detector = detector;
+  record.open_ms = d.open_ms;
+  record.fire_ms = d.fire_ms;
+  record.resolve_ms = resolve_ms;
+  record.resolved_at_end = at_end;
+  record.peak_severity = d.peak_severity;
+  record.ticks_breached = d.ticks_breached;
+  record.blame = blame_hint(st, d);
+  record.violations = st.violations - d.open_violations;
+  record.completed = st.requests - d.open_requests;
+  alerts_.push_back(record);
+  d = DetectorState{};
+}
+
+telemetry::ViolationCause HealthEngine::blame_hint(
+    const KeyState& st, const DetectorState& d) const {
+  // Cause whose count moved the most while the alert was open; ties break
+  // toward the lower enum index (the taxonomy's fixed order).
+  std::size_t best = 0;
+  std::uint64_t best_delta = 0;
+  for (std::size_t i = 0; i < telemetry::kViolationCauseCount; ++i) {
+    const std::uint64_t delta = st.causes[i] - d.open_causes[i];
+    if (delta > best_delta) {
+      best = i;
+      best_delta = delta;
+    }
+  }
+  if (best_delta > 0) return static_cast<telemetry::ViolationCause>(best);
+  // Nothing moved (anomaly without attributed violations): fall back to the
+  // key's cumulative mix, then to plain execution.
+  best_delta = 0;
+  for (std::size_t i = 0; i < telemetry::kViolationCauseCount; ++i) {
+    if (st.causes[i] > best_delta) {
+      best = i;
+      best_delta = st.causes[i];
+    }
+  }
+  if (best_delta > 0) return static_cast<telemetry::ViolationCause>(best);
+  return telemetry::ViolationCause::kExecution;
+}
+
+void HealthEngine::finalize(TimeMs end_ms) {
+  evaluate(end_ms);
+  for (auto& [key, st] : keys_) {
+    for (int i = 0; i < kHealthDetectorCount; ++i) {
+      const auto detector = static_cast<HealthDetector>(i);
+      DetectorState& d = st.detectors[static_cast<std::size_t>(i)];
+      if (d.phase == DetectorState::Phase::kFiring) {
+        close_alert(key, st, detector, end_ms, /*at_end=*/true);
+      } else {
+        d = DetectorState{};  // pendings that never fired are dropped
+      }
+    }
+  }
+}
+
+}  // namespace paldia::obs

@@ -580,6 +580,160 @@ std::vector<PhaseProfile> summarize_profile(const RunTrace& trace) {
   return rows;
 }
 
+// --- Health section ---------------------------------------------------------
+
+namespace {
+
+/// Detection-quality derivations shared by the inline and offline health
+/// producers, so both compute MTTD / false-positive rate from identical
+/// inputs (quantized or parsed — the same doubles either way).
+void finish_health(HealthReport& health) {
+  health.first_fire_ms = -1.0;
+  health.false_positives = 0;
+  for (const HealthAlert& alert : health.alerts) {
+    if (health.first_fire_ms < 0.0 || alert.fire_ms < health.first_fire_ms) {
+      health.first_fire_ms = alert.fire_ms;
+    }
+    if (alert.violations == 0) ++health.false_positives;
+  }
+  health.false_positive_rate =
+      health.alerts.empty()
+          ? 0.0
+          : static_cast<double>(health.false_positives) /
+                static_cast<double>(health.alerts.size());
+  health.mttd_ms =
+      health.first_fire_ms >= 0.0 && health.first_violation_ms >= 0.0
+          ? health.first_fire_ms - health.first_violation_ms
+          : -1.0;
+}
+
+}  // namespace
+
+HealthReport summarize_health(const RunTrace& trace) {
+  HealthReport health;
+  for (std::size_t rep = 0; rep < trace.healths.size(); ++rep) {
+    const HealthEngine* engine = trace.healths[rep].get();
+    if (engine == nullptr) continue;
+    health.enabled = true;
+    health.completed += engine->completions();
+    health.violations += engine->violations();
+    health.evaluations += engine->evaluations();
+    const double first = quantize_number(engine->first_violation_ms());
+    if (first >= 0.0 &&
+        (health.first_violation_ms < 0.0 || first < health.first_violation_ms)) {
+      health.first_violation_ms = first;
+    }
+    for (const AlertRecord& record : engine->alerts()) {
+      HealthAlert alert;
+      alert.rep = static_cast<int>(rep);
+      alert.detector = health_detector_name(record.detector);
+      alert.model =
+          record.model >= 0 && record.model < models::kModelCount
+              ? std::string(models::model_id_name(models::ModelId(record.model)))
+              : std::string();
+      alert.node = record.node >= 0 && record.node < hw::kNodeTypeCount
+                       ? std::string(hw::node_type_name(hw::NodeType(record.node)))
+                       : std::string();
+      alert.open_ms = quantize_number(record.open_ms);
+      alert.fire_ms = quantize_number(record.fire_ms);
+      alert.resolve_ms = quantize_number(record.resolve_ms);
+      alert.resolved_at_end = record.resolved_at_end;
+      alert.peak_severity = quantize_number(record.peak_severity);
+      alert.ticks_breached = record.ticks_breached;
+      alert.blame = telemetry::violation_cause_name(record.blame);
+      alert.violations = record.violations;
+      alert.completed = record.completed;
+      health.alerts.push_back(std::move(alert));
+    }
+  }
+  finish_health(health);
+  return health;
+}
+
+bool analyze_alert_stream(const std::string& text,
+                          std::vector<AnalysisReport>* out,
+                          std::string* error) {
+  out->clear();
+  const common::JsonLinesResult parsed = common::parse_json_lines(text);
+  if (!parsed.ok) {
+    if (error != nullptr) *error = parsed.error;
+    return false;
+  }
+
+  struct RunAcc {
+    AnalysisReport report;
+    int max_rep = -1;
+  };
+  std::vector<RunAcc> runs;
+  std::unordered_map<std::string, std::size_t> run_index;
+
+  for (const common::JsonValue& row : parsed.rows) {
+    if (!row.is_object()) {
+      if (error != nullptr) *error = "alert row is not an object";
+      return false;
+    }
+    const std::string label = row.string_or("run", "");
+    auto [it, inserted] = run_index.emplace(label, runs.size());
+    if (inserted) {
+      runs.emplace_back();
+      runs.back().report.label = label;
+      runs.back().report.total.label = "total";
+      runs.back().report.health.enabled = true;
+    }
+    RunAcc& acc = runs[it->second];
+    HealthReport& health = acc.report.health;
+    const int rep = static_cast<int>(row.number_or("rep", 0.0));
+    acc.max_rep = std::max(acc.max_rep, rep);
+
+    const std::string kind = row.string_or("row", "");
+    if (kind == "alert") {
+      HealthAlert alert;
+      alert.rep = rep;
+      alert.detector = row.string_or("detector", "");
+      alert.model = row.string_or("model", "");
+      alert.node = row.string_or("node", "");
+      alert.open_ms = row.number_or("open_ms", 0.0);
+      alert.fire_ms = row.number_or("fire_ms", 0.0);
+      alert.resolve_ms = row.number_or("resolve_ms", 0.0);
+      alert.resolved_at_end = row.bool_or("resolved_at_end", false);
+      alert.peak_severity = row.number_or("peak_severity", 0.0);
+      alert.ticks_breached =
+          static_cast<std::uint64_t>(row.number_or("ticks_breached", 0.0));
+      alert.blame = row.string_or("blame", "");
+      alert.violations =
+          static_cast<std::uint64_t>(row.number_or("violations", 0.0));
+      alert.completed =
+          static_cast<std::uint64_t>(row.number_or("completed", 0.0));
+      health.alerts.push_back(std::move(alert));
+    } else if (kind == "summary") {
+      health.completed +=
+          static_cast<std::uint64_t>(row.number_or("completed", 0.0));
+      health.violations +=
+          static_cast<std::uint64_t>(row.number_or("violations", 0.0));
+      health.evaluations +=
+          static_cast<std::uint64_t>(row.number_or("evaluations", 0.0));
+      const double first = row.number_or("first_violation_ms", -1.0);
+      if (first >= 0.0 && (health.first_violation_ms < 0.0 ||
+                           first < health.first_violation_ms)) {
+        health.first_violation_ms = first;
+      }
+    } else {
+      if (error != nullptr) {
+        *error = "alert row kind '" + kind + "' is neither alert nor summary";
+      }
+      return false;
+    }
+  }
+
+  for (RunAcc& acc : runs) {
+    acc.report.reps = acc.max_rep + 1;
+    acc.report.total.index = -1;
+    finish_health(acc.report.health);
+    out->push_back(std::move(acc.report));
+  }
+  return true;
+}
+
 // --- Rollup-only consumer ---------------------------------------------------
 
 bool analyze_rollup_stream(const std::string& text,
@@ -820,6 +974,46 @@ void render_report_text(std::ostream& out,
       table.print(out);
     }
 
+    if (report.health.enabled) {
+      const HealthReport& health = report.health;
+      out << "\nSLO health: " << health.alerts.size() << " alerts ("
+          << health.false_positives << " false positives, "
+          << Table::percent(health.false_positive_rate) << ") | "
+          << health.evaluations << " evaluations | first violation ";
+      if (health.first_violation_ms >= 0.0) {
+        out << "t=" << Table::num(health.first_violation_ms / 1000.0, 3) << "s";
+      } else {
+        out << "none";
+      }
+      out << " | MTTD ";
+      if (health.mttd_ms >= 0.0) {
+        out << Table::num(health.mttd_ms) << " ms";
+      } else {
+        out << "-";
+      }
+      out << "\n";
+      if (!health.alerts.empty()) {
+        Table table({"rep", "detector", "model", "node", "open s", "fire s",
+                     "resolve s", "peak", "blame", "violations"});
+        bool any_at_end = false;
+        for (const HealthAlert& alert : health.alerts) {
+          any_at_end = any_at_end || alert.resolved_at_end;
+          table.add_row(
+              {std::to_string(alert.rep), alert.detector,
+               alert.model.empty() ? "-" : alert.model,
+               alert.node.empty() ? "-" : alert.node,
+               Table::num(alert.open_ms / 1000.0, 3),
+               Table::num(alert.fire_ms / 1000.0, 3),
+               Table::num(alert.resolve_ms / 1000.0, 3) +
+                   (alert.resolved_at_end ? "*" : ""),
+               Table::num(alert.peak_severity), alert.blame,
+               std::to_string(alert.violations)});
+        }
+        table.print(out);
+        if (any_at_end) out << "  * still firing at run end\n";
+      }
+    }
+
     if (!report.profile.empty()) {
       out << "\nSelf-profile (host wall clock, nondeterministic):\n";
       Table table({"phase", "calls", "total ms", "mean us", "max us"});
@@ -966,6 +1160,39 @@ void write_report_json(std::ostream& out, const std::vector<AnalysisReport>& run
           << json_escape(entry.node) << "\"}";
     }
     out << "]";
+    // Like the profile key: only present when a health engine ran, so
+    // non-health reports keep byte identity.
+    if (report.health.enabled) {
+      const HealthReport& health = report.health;
+      out << ",\"health\":{\"alerts\":" << health.alerts.size()
+          << ",\"false_positives\":" << health.false_positives
+          << ",\"false_positive_rate\":" << num(health.false_positive_rate)
+          << ",\"evaluations\":" << health.evaluations
+          << ",\"completed\":" << health.completed
+          << ",\"violations\":" << health.violations
+          << ",\"first_violation_ms\":" << num(health.first_violation_ms)
+          << ",\"first_fire_ms\":" << num(health.first_fire_ms)
+          << ",\"mttd_ms\":" << num(health.mttd_ms) << ",\"incidents\":[";
+      for (std::size_t i = 0; i < health.alerts.size(); ++i) {
+        const HealthAlert& alert = health.alerts[i];
+        if (i > 0) out << ",";
+        out << "{\"rep\":" << alert.rep << ",\"detector\":\""
+            << json_escape(alert.detector) << "\",\"model\":\""
+            << json_escape(alert.model) << "\",\"node\":\""
+            << json_escape(alert.node)
+            << "\",\"open_ms\":" << num(alert.open_ms)
+            << ",\"fire_ms\":" << num(alert.fire_ms)
+            << ",\"resolve_ms\":" << num(alert.resolve_ms)
+            << ",\"resolved_at_end\":"
+            << (alert.resolved_at_end ? "true" : "false")
+            << ",\"peak_severity\":" << num(alert.peak_severity)
+            << ",\"ticks_breached\":" << alert.ticks_breached
+            << ",\"blame\":\"" << json_escape(alert.blame)
+            << "\",\"violations\":" << alert.violations
+            << ",\"completed\":" << alert.completed << "}";
+      }
+      out << "]}";
+    }
     // Wall-clock timings are nondeterministic; the key only appears when a
     // profiler ran, so non-profile reports keep byte identity.
     if (!report.profile.empty()) {

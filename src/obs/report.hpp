@@ -116,6 +116,43 @@ struct PhaseProfile {
   double max_us = 0.0;
 };
 
+/// One incident row of the "health" section, in exporter-quantized textual
+/// form — built inline from a HealthEngine's AlertRecords or parsed back
+/// from an AlertWriter JSONL stream, so both producers are byte-identical.
+struct HealthAlert {
+  int rep = 0;
+  std::string detector;  // health_detector_name
+  std::string model;     // "" = cluster-wide
+  std::string node;
+  TimeMs open_ms = 0.0;
+  TimeMs fire_ms = 0.0;
+  TimeMs resolve_ms = 0.0;
+  bool resolved_at_end = false;
+  double peak_severity = 0.0;
+  std::uint64_t ticks_breached = 0;
+  std::string blame;  // violation_cause_name
+  std::uint64_t violations = 0;  // ground truth over [open, resolve]
+  std::uint64_t completed = 0;
+};
+
+/// "health" report section: the incident timeline plus detection quality
+/// against the engine's ground truth. Emitted only when a health engine ran
+/// (enabled), so non-health reports keep byte identity.
+struct HealthReport {
+  bool enabled = false;
+  std::vector<HealthAlert> alerts;  // rep order, then resolution order
+  std::uint64_t completed = 0;      // summed across repetitions
+  std::uint64_t violations = 0;
+  std::uint64_t evaluations = 0;
+  double first_violation_ms = -1.0;  // min across reps; -1 = compliant run
+  double first_fire_ms = -1.0;       // earliest alert fire; -1 = no alerts
+  /// Mean-time-to-detect proxy: first_fire_ms - first_violation_ms, or -1
+  /// when either side is undefined.
+  double mttd_ms = -1.0;
+  std::uint64_t false_positives = 0;  // alerts with zero in-window violations
+  double false_positive_rate = 0.0;   // false_positives / alerts (0 if none)
+};
+
 struct AnalysisReport {
   std::string label;
   int reps = 0;
@@ -135,6 +172,7 @@ struct AnalysisReport {
   std::vector<NodeUsage> node_usage;     // node index ascending, non-empty
   std::vector<TimelineEntry> switch_timeline;  // rep order, then time order
   std::vector<PhaseProfile> profile;     // --profile only; else empty
+  HealthReport health;                   // --alerts-out only; else disabled
 };
 
 /// Inline producer: quantized RunData straight from the tracer slots
@@ -161,6 +199,20 @@ AnalysisReport analyze_with_zoo(const RunData& data);
 /// ProfilePhase order, skipping phases that never ran. Empty when --profile
 /// was off (no profiler slots) or nothing was recorded.
 std::vector<PhaseProfile> summarize_profile(const RunTrace& trace);
+
+/// Inline producer for the "health" section: quantized incident rows and
+/// ground truth straight from the RunTrace's HealthEngine slots (repetition
+/// order). enabled stays false when no health engines ran.
+HealthReport summarize_health(const RunTrace& trace);
+
+/// Alert-stream consumer (`paldia-analyze --alerts`): rebuild per-run
+/// AnalysisReports from an AlertWriter JSONL stream (rows group by their
+/// "run" label in first-appearance order). Only the "health" section is
+/// recoverable; it matches the inline section byte for byte. Returns false
+/// and sets `error` on malformed input.
+bool analyze_alert_stream(const std::string& text,
+                          std::vector<AnalysisReport>* out,
+                          std::string* error);
 
 /// Rollup-only consumer: rebuild per-run AnalysisReports from a rollup
 /// JSONL stream (RollupWriter output) without any full trace. Rows group by

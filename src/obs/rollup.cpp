@@ -1,11 +1,17 @@
 #include "src/obs/rollup.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace paldia::obs {
 
 RollupAggregator::RollupAggregator(RollupConfig config) : config_(config) {
-  if (!(config_.window_ms > 0.0)) config_.window_ms = 60'000.0;
+  // Reject the bad window up front: a silent fixup here would make
+  // window_of() bucket against a width the caller never asked for.
+  if (!(config_.window_ms > 0.0)) {
+    throw std::invalid_argument(
+        "RollupConfig: window_ms must be positive");
+  }
 }
 
 std::int32_t RollupAggregator::window_of(TimeMs t_ms) const {

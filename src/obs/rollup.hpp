@@ -38,6 +38,7 @@ namespace paldia::obs {
 
 struct RollupConfig {
   /// Window width. Completions at t land in window floor(t / window_ms).
+  /// Must be positive; the aggregator's constructor throws otherwise.
   DurationMs window_ms = 60'000.0;
 };
 

@@ -37,6 +37,7 @@
 #include "src/common/units.hpp"
 #include "src/hw/node_spec.hpp"
 #include "src/models/model_spec.hpp"
+#include "src/obs/health.hpp"
 #include "src/obs/profiler.hpp"
 #include "src/obs/rollup.hpp"
 #include "src/obs/sampler.hpp"
@@ -273,10 +274,16 @@ struct RunTrace {
   bool collect_rollups = false;
   /// Allocate one Profiler per repetition (--profile).
   bool profile = false;
+  /// Allocate one HealthEngine per repetition (--alerts-out). Runner::run
+  /// overwrites health_config's slo_target / burn windows from
+  /// SchemeFactoryOptions so the CLI flags are the single knob.
+  bool collect_health = false;
   RollupConfig rollup_config;
+  HealthConfig health_config;
   std::vector<std::unique_ptr<Tracer>> reps;
   std::vector<std::unique_ptr<RollupAggregator>> rollups;
   std::vector<std::unique_ptr<Profiler>> profiles;
+  std::vector<std::unique_ptr<HealthEngine>> healths;
 
   /// Total dropped events across repetitions.
   std::uint64_t dropped_events() const;

@@ -1,0 +1,431 @@
+// Online SLO health engine (obs/health.hpp): config validation, the three
+// detectors (multi-window burn rate, latency CUSUM, queue z-score), the
+// alert lifecycle state machine with hysteresis, blame hints, and the
+// AlertWriter -> analyze_alert_stream round trip that powers
+// `paldia-analyze --alerts` — whose health section must match the inline
+// summarize_health() output exactly.
+#include "src/obs/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/common/json.hpp"
+#include "src/obs/export.hpp"
+#include "src/obs/report.hpp"
+#include "src/obs/tracer.hpp"
+
+namespace paldia::obs {
+namespace {
+
+constexpr int kModel = static_cast<int>(models::ModelId::kResNet50);
+constexpr int kNode = static_cast<int>(hw::NodeType::kG3s_xlarge);
+constexpr auto kExec = telemetry::ViolationCause::kExecution;
+
+/// Tight burn-rate config for unit-scale timelines; the anomaly detectors
+/// stay effectively disarmed (huge warmup) so tests isolate one detector.
+HealthConfig burn_config() {
+  HealthConfig config;
+  config.slo_target = 0.9;  // budget 0.1
+  config.fast_window_ms = 1000.0;
+  config.slow_window_ms = 5000.0;
+  config.burn_threshold = 2.0;  // breach at >= 20% violation fraction
+  config.min_window_samples = 5;
+  config.pending_ticks = 2;
+  config.resolve_ticks = 2;
+  config.warmup_ticks = 1000;  // CUSUM / z-score never arm
+  return config;
+}
+
+/// `count` completions spread through (t - 500, t], `violating` of them
+/// blamed on execution.
+void feed_interval(HealthEngine& engine, TimeMs t, int count, int violating,
+                   telemetry::ViolationCause cause = kExec) {
+  for (int i = 0; i < count; ++i) {
+    const bool bad = i < violating;
+    engine.observe_completion(t - 500.0 + 50.0 * (i + 1), kModel, kNode,
+                              bad ? 400.0 : 40.0,
+                              bad ? std::optional<telemetry::ViolationCause>(cause)
+                                  : std::nullopt);
+  }
+}
+
+TEST(HealthConfigValidation, RejectsOutOfRangeParameters) {
+  const HealthConfig good;
+  EXPECT_NO_THROW(HealthEngine{good});
+  auto bad = [&](auto mutate) {
+    HealthConfig config;
+    mutate(config);
+    EXPECT_THROW(HealthEngine{config}, std::invalid_argument);
+  };
+  bad([](HealthConfig& c) { c.slo_target = 0.0; });
+  bad([](HealthConfig& c) { c.slo_target = 1.0; });
+  bad([](HealthConfig& c) { c.fast_window_ms = 0.0; });
+  bad([](HealthConfig& c) { c.slow_window_ms = -1.0; });
+  bad([](HealthConfig& c) { c.fast_window_ms = c.slow_window_ms; });
+  bad([](HealthConfig& c) { c.burn_threshold = 0.0; });
+  bad([](HealthConfig& c) { c.pending_ticks = 0; });
+  bad([](HealthConfig& c) { c.resolve_ticks = 0; });
+  bad([](HealthConfig& c) { c.cusum_k = -0.1; });
+  bad([](HealthConfig& c) { c.cusum_h = 0.0; });
+  bad([](HealthConfig& c) { c.ewma_alpha = 0.0; });
+  bad([](HealthConfig& c) { c.ewma_alpha = 1.5; });
+  bad([](HealthConfig& c) { c.z_threshold = 0.0; });
+  bad([](HealthConfig& c) { c.warmup_ticks = 0; });
+}
+
+TEST(HealthEngine, CompliantRunRaisesNoAlerts) {
+  HealthEngine engine(burn_config());
+  for (int tick = 1; tick <= 20; ++tick) {
+    const TimeMs t = 500.0 * tick;
+    feed_interval(engine, t, 10, 0);
+    engine.evaluate(t);
+  }
+  engine.finalize(10'500.0);
+  EXPECT_TRUE(engine.alerts().empty());
+  EXPECT_EQ(engine.completions(), 200u);
+  EXPECT_EQ(engine.violations(), 0u);
+  EXPECT_DOUBLE_EQ(engine.first_violation_ms(), -1.0);
+  // finalize() runs one last evaluation on top of the 20 ticks.
+  EXPECT_EQ(engine.evaluations(), 21u);
+}
+
+TEST(HealthEngine, SustainedBurnWalksTheFullLifecycle) {
+  // Compliant for 3 s, 50% violations for 3 s, compliant again: the burn
+  // detector must raise exactly one pending -> firing -> resolved incident
+  // per key (cluster-wide and (model, node) see the same stream).
+  HealthEngine engine(burn_config());
+  for (int tick = 1; tick <= 20; ++tick) {
+    const TimeMs t = 500.0 * tick;
+    const bool burning = t > 3000.0 && t <= 6000.0;
+    feed_interval(engine, t, 10, burning ? 5 : 0);
+    engine.evaluate(t);
+  }
+  engine.finalize(10'500.0);
+
+  ASSERT_EQ(engine.alerts().size(), 2u);
+  const AlertRecord& cluster = engine.alerts()[0];
+  const AlertRecord& keyed = engine.alerts()[1];
+  EXPECT_EQ(cluster.model, -1);
+  EXPECT_EQ(cluster.node, -1);
+  EXPECT_EQ(keyed.model, kModel);
+  EXPECT_EQ(keyed.node, kNode);
+  for (const AlertRecord* alert : {&cluster, &keyed}) {
+    EXPECT_EQ(alert->detector, HealthDetector::kBurnRate);
+    // Slow-window fraction crosses 20% at t = 5000 (20 violations / 100
+    // requests); hysteresis fires one tick later; the fast window clears at
+    // t = 7000 and resolve_ticks = 2 closes the incident at t = 7500.
+    EXPECT_DOUBLE_EQ(alert->open_ms, 5000.0);
+    EXPECT_DOUBLE_EQ(alert->fire_ms, 5500.0);
+    EXPECT_DOUBLE_EQ(alert->resolve_ms, 7500.0);
+    EXPECT_FALSE(alert->resolved_at_end);
+    EXPECT_EQ(alert->blame, kExec);
+    EXPECT_GE(alert->peak_severity, 2.0);
+    EXPECT_GT(alert->ticks_breached, 0u);
+    // Ground truth starts one tick before open (the interval that triggered
+    // the breach): (4500, 7500] holds 15 of the burn's 30 violations.
+    EXPECT_EQ(alert->violations, 15u);
+    EXPECT_EQ(alert->completed, 60u);
+  }
+  EXPECT_DOUBLE_EQ(engine.first_violation_ms(), 3050.0);
+  EXPECT_EQ(engine.violations(), 30u);
+}
+
+TEST(HealthEngine, BlipIsDroppedWhilePending) {
+  // One breaching evaluation followed by a clear one never fires: the
+  // pending alert is discarded silently and nothing is exported.
+  HealthConfig config = burn_config();
+  config.min_window_samples = 1;
+  HealthEngine engine(config);
+  engine.observe_completion(100.0, kModel, kNode, 400.0, kExec);
+  engine.evaluate(500.0);  // 1/1 violations: burn 10 >= 2 -> pending
+  feed_interval(engine, 1000.0, 20, 0);
+  engine.evaluate(1000.0);  // 1/21 ~ 4.8% < 20% -> cleared
+  engine.finalize(1500.0);
+  EXPECT_TRUE(engine.alerts().empty());
+  EXPECT_EQ(engine.violations(), 1u);
+  EXPECT_DOUBLE_EQ(engine.first_violation_ms(), 100.0);
+}
+
+TEST(HealthEngine, BlameHintTracksTheDominantCauseDelta) {
+  // The burn window mixes causes; the hint must pick the one that moved the
+  // most while the alert was open (cold starts here, 3:2 over execution).
+  HealthConfig config = burn_config();
+  HealthEngine engine(config);
+  for (int tick = 1; tick <= 20; ++tick) {
+    const TimeMs t = 500.0 * tick;
+    const bool burning = t > 3000.0 && t <= 6000.0;
+    feed_interval(engine, t, 10, burning ? 3 : 0,
+                  telemetry::ViolationCause::kColdStart);
+    if (burning) {
+      engine.observe_completion(t - 100.0, kModel, kNode, 400.0, kExec);
+      engine.observe_completion(t - 50.0, kModel, kNode, 400.0, kExec);
+    }
+    engine.evaluate(t);
+  }
+  engine.finalize(10'500.0);
+  ASSERT_FALSE(engine.alerts().empty());
+  for (const AlertRecord& alert : engine.alerts()) {
+    EXPECT_EQ(alert.blame, telemetry::ViolationCause::kColdStart);
+  }
+}
+
+TEST(HealthEngine, UnservedRequestsBurnTheClusterBudget) {
+  // Drain-cap leftovers are cluster-wide violations that finalize()'s last
+  // evaluation still sees; incidents firing through the run end are closed
+  // with resolved_at_end = true.
+  HealthEngine engine(burn_config());
+  for (int tick = 1; tick <= 10; ++tick) {
+    const TimeMs t = 500.0 * tick;
+    feed_interval(engine, t, 10, tick > 4 ? 5 : 0);
+    engine.evaluate(t);
+  }
+  engine.observe_unserved(5200.0, kModel, 25);
+  engine.finalize(5500.0);
+  EXPECT_EQ(engine.violations(), 30u + 25u);
+  // The cluster key fired and was closed at the end; the (model, node) key
+  // breached too (its own 50% stream), also truncated at the end.
+  ASSERT_EQ(engine.alerts().size(), 2u);
+  EXPECT_TRUE(engine.alerts()[0].resolved_at_end);
+  EXPECT_DOUBLE_EQ(engine.alerts()[0].resolve_ms, 5500.0);
+}
+
+TEST(HealthEngine, LatencyCusumCatchesARegimeShift) {
+  HealthConfig config;
+  config.warmup_ticks = 3;
+  config.cusum_h = 2.0;
+  config.pending_ticks = 1;
+  config.resolve_ticks = 1;
+  config.burn_threshold = 1e9;  // burn detector effectively off
+  HealthEngine engine(config);
+  // Stable 10 ms p99 for 6 ticks, then a 100x latency shift (all compliant,
+  // so the burn detector and blame taxonomy see nothing).
+  for (int tick = 1; tick <= 6; ++tick) {
+    const TimeMs t = 500.0 * tick;
+    for (int i = 0; i < 5; ++i) {
+      engine.observe_completion(t - 100.0 - i, kModel, kNode, 10.0,
+                                std::nullopt);
+    }
+    engine.evaluate(t);
+  }
+  for (int tick = 7; tick <= 9; ++tick) {
+    const TimeMs t = 500.0 * tick;
+    for (int i = 0; i < 5; ++i) {
+      engine.observe_completion(t - 100.0 - i, kModel, kNode, 1000.0,
+                                std::nullopt);
+    }
+    engine.evaluate(t);
+  }
+  engine.finalize(5000.0);
+  ASSERT_FALSE(engine.alerts().empty());
+  const AlertRecord& alert = engine.alerts()[0];
+  EXPECT_EQ(alert.detector, HealthDetector::kLatencyCusum);
+  EXPECT_DOUBLE_EQ(alert.open_ms, 3500.0);  // first shifted tick
+  EXPECT_DOUBLE_EQ(alert.fire_ms, 3500.0);  // pending_ticks = 1
+  EXPECT_TRUE(alert.resolved_at_end);       // S+ stays high through the end
+  // No attributed violations anywhere: blame falls back to execution and
+  // the alert counts as a false positive in the report.
+  EXPECT_EQ(alert.blame, kExec);
+  EXPECT_EQ(alert.violations, 0u);
+}
+
+TEST(HealthEngine, QueueZScoreAlertsOnGrowthOnly) {
+  HealthConfig config;
+  config.warmup_ticks = 3;
+  config.z_threshold = 2.0;
+  config.pending_ticks = 1;
+  config.resolve_ticks = 1;
+  config.burn_threshold = 1e9;
+  HealthEngine engine(config);
+  // Flat queue for 4 ticks (arms after 3 baseline samples), a spike, then
+  // recovery: exactly one alert, resolved when the queue drains.
+  for (int tick = 1; tick <= 4; ++tick) {
+    engine.observe_queue_depth(500.0 * tick, kModel, kNode, 5.0);
+    engine.evaluate(500.0 * tick);
+  }
+  engine.observe_queue_depth(2500.0, kModel, kNode, 50.0);
+  engine.evaluate(2500.0);  // z >> threshold -> pending + firing
+  engine.observe_queue_depth(3000.0, kModel, kNode, 5.0);
+  engine.evaluate(3000.0);  // below the adapted mean -> clear -> resolved
+  engine.finalize(3500.0);
+  ASSERT_EQ(engine.alerts().size(), 1u);
+  const AlertRecord& alert = engine.alerts()[0];
+  EXPECT_EQ(alert.detector, HealthDetector::kQueueZScore);
+  EXPECT_DOUBLE_EQ(alert.open_ms, 2500.0);
+  EXPECT_DOUBLE_EQ(alert.resolve_ms, 3000.0);
+  EXPECT_FALSE(alert.resolved_at_end);
+  // A draining queue (negative z) must never open an alert of its own.
+  EXPECT_EQ(engine.alerts().size(), 1u);
+}
+
+// --- AlertWriter -> analyze_alert_stream round trip --------------------------
+
+RunTrace make_health_trace() {
+  RunTrace trace;
+  trace.capture_events = false;
+  trace.collect_health = true;
+  trace.health_config = burn_config();
+  trace.healths.push_back(std::make_unique<HealthEngine>(trace.health_config));
+  HealthEngine& engine = *trace.healths.back();
+  for (int tick = 1; tick <= 20; ++tick) {
+    const TimeMs t = 500.0 * tick;
+    const bool burning = t > 3000.0 && t <= 6000.0;
+    feed_interval(engine, t, 10, burning ? 5 : 0);
+    engine.evaluate(t);
+  }
+  engine.finalize(10'500.0);
+  return trace;
+}
+
+TEST(AlertRoundTrip, JsonlRowsMatchSchema) {
+  const RunTrace trace = make_health_trace();
+  std::ostringstream out;
+  AlertWriter writer(out, ExportFormat::kJsonl);
+  writer.write(trace, "scenario / Paldia");
+
+  const auto parsed = common::parse_json_lines(out.str());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  // 2 alert rows + 1 per-rep summary row.
+  ASSERT_EQ(parsed.rows.size(), 3u);
+  std::size_t alerts = 0;
+  std::size_t summaries = 0;
+  for (const auto& row : parsed.rows) {
+    EXPECT_EQ(row.string_or("run", ""), "scenario / Paldia");
+    EXPECT_EQ(row.number_or("rep", -1.0), 0.0);
+    const std::string kind = row.string_or("row", "");
+    if (kind == "alert") {
+      ++alerts;
+      EXPECT_EQ(row.string_or("detector", ""), "burn_rate");
+      EXPECT_EQ(row.string_or("blame", ""), "execution");
+      EXPECT_DOUBLE_EQ(row.number_or("open_ms", -1.0), 5000.0);
+      EXPECT_DOUBLE_EQ(row.number_or("fire_ms", -1.0), 5500.0);
+      EXPECT_DOUBLE_EQ(row.number_or("resolve_ms", -1.0), 7500.0);
+      EXPECT_EQ(row.number_or("violations", -1.0), 15.0);
+    } else {
+      ASSERT_EQ(kind, "summary");
+      ++summaries;
+      EXPECT_EQ(row.number_or("completed", -1.0), 200.0);
+      EXPECT_EQ(row.number_or("violations", -1.0), 30.0);
+      EXPECT_DOUBLE_EQ(row.number_or("first_violation_ms", -1.0), 3050.0);
+      EXPECT_EQ(row.number_or("alerts", -1.0), 2.0);
+    }
+  }
+  EXPECT_EQ(alerts, 2u);
+  EXPECT_EQ(summaries, 1u);
+}
+
+TEST(AlertRoundTrip, OfflineHealthSectionMatchesInlineExactly) {
+  const RunTrace trace = make_health_trace();
+  std::ostringstream out;
+  AlertWriter writer(out, ExportFormat::kJsonl);
+  writer.write(trace, "scenario / Paldia");
+
+  const HealthReport inline_health = summarize_health(trace);
+  std::vector<AnalysisReport> reports;
+  std::string error;
+  ASSERT_TRUE(analyze_alert_stream(out.str(), &reports, &error)) << error;
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].label, "scenario / Paldia");
+  EXPECT_EQ(reports[0].reps, 1);
+  const HealthReport& offline = reports[0].health;
+
+  ASSERT_TRUE(inline_health.enabled);
+  ASSERT_TRUE(offline.enabled);
+  EXPECT_EQ(offline.completed, inline_health.completed);
+  EXPECT_EQ(offline.violations, inline_health.violations);
+  EXPECT_EQ(offline.evaluations, inline_health.evaluations);
+  EXPECT_EQ(offline.false_positives, inline_health.false_positives);
+  EXPECT_DOUBLE_EQ(offline.false_positive_rate,
+                   inline_health.false_positive_rate);
+  EXPECT_DOUBLE_EQ(offline.first_violation_ms, inline_health.first_violation_ms);
+  EXPECT_DOUBLE_EQ(offline.first_fire_ms, inline_health.first_fire_ms);
+  EXPECT_DOUBLE_EQ(offline.mttd_ms, inline_health.mttd_ms);
+  ASSERT_EQ(offline.alerts.size(), inline_health.alerts.size());
+  for (std::size_t i = 0; i < offline.alerts.size(); ++i) {
+    const HealthAlert& a = offline.alerts[i];
+    const HealthAlert& b = inline_health.alerts[i];
+    EXPECT_EQ(a.rep, b.rep);
+    EXPECT_EQ(a.detector, b.detector);
+    EXPECT_EQ(a.model, b.model);
+    EXPECT_EQ(a.node, b.node);
+    EXPECT_DOUBLE_EQ(a.open_ms, b.open_ms);
+    EXPECT_DOUBLE_EQ(a.fire_ms, b.fire_ms);
+    EXPECT_DOUBLE_EQ(a.resolve_ms, b.resolve_ms);
+    EXPECT_EQ(a.resolved_at_end, b.resolved_at_end);
+    EXPECT_DOUBLE_EQ(a.peak_severity, b.peak_severity);
+    EXPECT_EQ(a.ticks_breached, b.ticks_breached);
+    EXPECT_EQ(a.blame, b.blame);
+    EXPECT_EQ(a.violations, b.violations);
+    EXPECT_EQ(a.completed, b.completed);
+  }
+
+  // Byte parity end to end: serialize both sides through the JSON report
+  // writer and compare the documents.
+  AnalysisReport inline_report;
+  inline_report.label = "scenario / Paldia";
+  inline_report.reps = 1;
+  inline_report.health = inline_health;
+  std::ostringstream inline_json;
+  write_report_json(inline_json, {inline_report});
+  std::ostringstream offline_json;
+  write_report_json(offline_json, reports);
+  EXPECT_EQ(inline_json.str(), offline_json.str());
+}
+
+TEST(AlertRoundTrip, CompliantRunExportsOnlyASummaryRow) {
+  RunTrace trace;
+  trace.collect_health = true;
+  trace.health_config = burn_config();
+  trace.healths.push_back(std::make_unique<HealthEngine>(trace.health_config));
+  HealthEngine& engine = *trace.healths.back();
+  for (int tick = 1; tick <= 10; ++tick) {
+    feed_interval(engine, 500.0 * tick, 10, 0);
+    engine.evaluate(500.0 * tick);
+  }
+  engine.finalize(5500.0);
+
+  std::ostringstream out;
+  AlertWriter writer(out, ExportFormat::kJsonl);
+  writer.write(trace, "compliant");
+  std::vector<AnalysisReport> reports;
+  std::string error;
+  ASSERT_TRUE(analyze_alert_stream(out.str(), &reports, &error)) << error;
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].health.enabled);
+  EXPECT_TRUE(reports[0].health.alerts.empty());
+  EXPECT_EQ(reports[0].health.completed, 100u);
+  EXPECT_DOUBLE_EQ(reports[0].health.first_violation_ms, -1.0);
+  EXPECT_DOUBLE_EQ(reports[0].health.mttd_ms, -1.0);
+  EXPECT_DOUBLE_EQ(reports[0].health.false_positive_rate, 0.0);
+}
+
+TEST(AlertRoundTrip, CsvExportCarriesHeaderAndAllRows) {
+  const RunTrace trace = make_health_trace();
+  std::ostringstream out;
+  AlertWriter writer(out, ExportFormat::kCsv);
+  writer.write(trace, "scenario / Paldia");
+  const std::string text = out.str();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.compare(0, 4, "run,"), 0);
+  std::size_t rows = 0;
+  for (const char c : text) rows += c == '\n' ? 1 : 0;
+  EXPECT_EQ(rows, 1u + 2u + 1u);  // header + 2 alerts + 1 summary
+}
+
+TEST(AlertRoundTrip, MalformedStreamIsAnError) {
+  std::vector<AnalysisReport> reports;
+  std::string error;
+  EXPECT_FALSE(analyze_alert_stream("{not json\n", &reports, &error));
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(analyze_alert_stream(
+      "{\"run\":\"r\",\"rep\":0,\"row\":\"bogus\"}\n", &reports, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace paldia::obs

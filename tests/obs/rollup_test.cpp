@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,59 @@ namespace {
 
 constexpr int kModel = static_cast<int>(models::ModelId::kResNet50);
 constexpr int kNode = static_cast<int>(hw::NodeType::kG3s_xlarge);
+
+TEST(RollupAggregator, RejectsNonPositiveWindow) {
+  // A zero or negative width would make window_of() divide into garbage
+  // indices; the constructor refuses it instead of silently substituting a
+  // default the caller never asked for.
+  EXPECT_THROW(RollupAggregator(RollupConfig{.window_ms = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(RollupAggregator(RollupConfig{.window_ms = -5.0}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(RollupAggregator(RollupConfig{.window_ms = 0.5}));
+}
+
+TEST(RollupAggregator, CellCacheSurvivesMapGrowth) {
+  // The aggregator keeps a one-entry (key -> cell*) cache to skip the map
+  // lookup on same-cell bursts. Interleave keys so every other observation
+  // misses the cache while new keys keep inserting (std::map nodes are
+  // stable, but the cached pointer must also track the *key* correctly), and
+  // assert each count landed in the right cell.
+  RollupAggregator rollup(RollupConfig{.window_ms = 1000.0});
+  constexpr int kModels = 6;
+  constexpr int kRounds = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    for (int m = 0; m < kModels; ++m) {
+      // Two hits on the same key (second one served by the cache), then move
+      // to the next key, forcing a re-lookup after the map may have grown.
+      rollup.observe_completion(100.0, m, kNode, 10.0, std::nullopt);
+      rollup.observe_completion(200.0, m, kNode, 20.0, std::nullopt);
+      // A different window for the same model inserts a fresh key between
+      // revisits of window 0.
+      rollup.observe_completion(1000.0 * (round + 1) + 50.0, m, kNode, 30.0,
+                                std::nullopt);
+    }
+  }
+  EXPECT_EQ(rollup.completions(),
+            static_cast<std::uint64_t>(kModels * kRounds * 3));
+  ASSERT_EQ(rollup.cells().size(),
+            static_cast<std::size_t>(kModels * (kRounds + 1)));
+  for (int m = 0; m < kModels; ++m) {
+    const RollupKey base{0, static_cast<std::int16_t>(m),
+                         static_cast<std::int16_t>(kNode)};
+    const auto it = rollup.cells().find(base);
+    ASSERT_NE(it, rollup.cells().end()) << "model " << m;
+    EXPECT_EQ(it->second.completed, static_cast<std::uint64_t>(kRounds * 2))
+        << "model " << m;
+    for (int round = 0; round < kRounds; ++round) {
+      const RollupKey later{round + 1, static_cast<std::int16_t>(m),
+                            static_cast<std::int16_t>(kNode)};
+      const auto jt = rollup.cells().find(later);
+      ASSERT_NE(jt, rollup.cells().end()) << "model " << m << " w" << round + 1;
+      EXPECT_EQ(jt->second.completed, 1u) << "model " << m << " w" << round + 1;
+    }
+  }
+}
 
 TEST(RollupAggregator, WindowAssignment) {
   RollupAggregator rollup(RollupConfig{.window_ms = 1000.0});

@@ -11,15 +11,21 @@
 //
 // Rollup-only mode ingests a --rollup-out JSONL stream instead of (or in
 // addition to) full traces: compliance and attribution are rebuilt from the
-// windowed cells alone, without any lifecycle trace on disk.
+// windowed cells alone, without any lifecycle trace on disk. Alert mode
+// (--alerts) likewise rebuilds the report's "health" section — incident
+// timeline, MTTD, false-positive rate — from an --alerts-out JSONL stream,
+// byte-identical to the inline --report-out section.
 //
 // Options:
 //   --rollup PATH       rebuild reports from a rollup JSONL stream
+//   --alerts PATH       rebuild health reports from an alert JSONL stream
 //   --report-out PATH   also write the report as JSON
 //   --metrics PATH      echo a metrics JSONL/CSV export (cross-check section)
 //   --decisions PATH    count rows of a decision-log export
 //   --json              print the JSON report to stdout instead of text
 //   --quiet             suppress the text report (use with --report-out)
+//
+// Unknown or malformed flags exit nonzero with the usage message.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -55,14 +61,25 @@ std::string label_for_path(const std::string& path) {
   return name;
 }
 
-int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [trace.json ...] [--rollup rollups.jsonl]\n"
-               "          [--report-out out.json]\n"
-               "          [--metrics metrics.jsonl|.csv] [--decisions log.jsonl]\n"
-               "          [--json] [--quiet]\n"
-               "at least one trace file or --rollup stream is required\n",
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
+               "usage: %s [trace.json ...] [options]\n"
+               "  --rollup PATH      rebuild reports from a rollup JSONL stream\n"
+               "  --alerts PATH      rebuild health reports from an alert JSONL\n"
+               "                     stream (--alerts-out output)\n"
+               "  --report-out PATH  also write the report as JSON\n"
+               "  --metrics PATH     echo a metrics JSONL/CSV export\n"
+               "  --decisions PATH   count rows of a decision-log export\n"
+               "  --json             print the JSON report to stdout\n"
+               "  --quiet            suppress the text report\n"
+               "  --help, -h         this message\n"
+               "at least one trace file, --rollup, or --alerts stream is "
+               "required\n",
                argv0);
+}
+
+int usage(const char* argv0) {
+  print_usage(stderr, argv0);
   return 2;
 }
 
@@ -118,6 +135,7 @@ void print_decisions_echo(std::ostream& out, const std::string& path) {
 int main(int argc, char** argv) {
   std::vector<std::string> trace_paths;
   std::string rollup_path;
+  std::string alerts_path;
   std::string report_out;
   std::string metrics_path;
   std::string decisions_path;
@@ -148,6 +166,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--rollup") {
       rollup_path = next("--rollup");
+    } else if (arg == "--alerts") {
+      alerts_path = next("--alerts");
     } else if (arg == "--report-out") {
       report_out = next("--report-out");
     } else if (arg == "--metrics") {
@@ -159,7 +179,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
-      return usage(argv[0]);
+      print_usage(stdout, argv[0]);
+      return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return usage(argv[0]);
@@ -167,7 +188,9 @@ int main(int argc, char** argv) {
       trace_paths.push_back(arg);
     }
   }
-  if (trace_paths.empty() && rollup_path.empty()) return usage(argv[0]);
+  if (trace_paths.empty() && rollup_path.empty() && alerts_path.empty()) {
+    return usage(argv[0]);
+  }
 
   std::vector<paldia::obs::AnalysisReport> reports;
   for (const std::string& path : trace_paths) {
@@ -204,6 +227,23 @@ int main(int argc, char** argv) {
       return 1;
     }
     for (auto& report : rollup_reports) {
+      reports.push_back(std::move(report));
+    }
+  }
+
+  if (!alerts_path.empty()) {
+    std::string text;
+    std::string error;
+    if (!read_file(alerts_path, &text, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::vector<paldia::obs::AnalysisReport> alert_reports;
+    if (!paldia::obs::analyze_alert_stream(text, &alert_reports, &error)) {
+      std::fprintf(stderr, "%s: %s\n", alerts_path.c_str(), error.c_str());
+      return 1;
+    }
+    for (auto& report : alert_reports) {
       reports.push_back(std::move(report));
     }
   }
