@@ -51,6 +51,11 @@ struct BenchOptions {
   /// byte-identical to --shards=1 — the serial drain is the reference side
   /// of that check.
   int shards = 1;
+  /// --no-prune: run Algorithm 1's candidate sweep as the exhaustive linear
+  /// enumeration instead of the pruned (capability-masked, lower-bounded,
+  /// cost-bucketed) walk. Choices and exports must come out byte-identical
+  /// to the pruned run; this flag is the reference side of that check.
+  bool prune = true;
   /// --sample-rate=N: keep every SLO-violating request lifecycle in the
   /// trace plus a deterministic 1-in-N of compliant ones (1 = keep all).
   /// The decision hashes the request id against a fixed seed — never wall
@@ -103,6 +108,8 @@ inline BenchOptions parse_options(int argc, char** argv) {
       options.tmax_cache = false;
     } else if (arg == "--no-request-pool") {
       options.request_pool = false;
+    } else if (arg == "--no-prune") {
+      options.prune = false;
     } else if (arg.rfind("--shards=", 0) == 0) {
       options.shards = std::max(1, std::atoi(arg.c_str() + 9));
     } else if (arg.rfind("--sample-rate=", 0) == 0) {
@@ -128,7 +135,7 @@ inline BenchOptions parse_options(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--reps=N] [--threads=N] [--full] [--no-tmax-cache]\n"
-          "          [--no-request-pool] [--shards=N]\n"
+          "          [--no-request-pool] [--no-prune] [--shards=N]\n"
           "          [--trace-out=FILE.json]   Chrome trace-event JSON per\n"
           "                                    (scenario, scheme) run (Perfetto)\n"
           "          [--metrics-out=FILE]      RunMetrics rows, streaming\n"
@@ -141,6 +148,8 @@ inline BenchOptions parse_options(int argc, char** argv) {
           "                                    (memoization bypass reference)\n"
           "          [--no-request-pool]       drop request buffers instead of\n"
           "                                    pooling (arena bypass reference)\n"
+          "          [--no-prune]              exhaustive linear Algorithm 1\n"
+          "                                    sweep (pruning bypass reference)\n"
           "          [--shards=N]              event shards per simulation run\n"
           "                                    (sharded drain; 1 = serial)\n"
           "          [--sample-rate=N]         keep all SLO violators + 1-in-N\n"
@@ -177,6 +186,7 @@ inline exp::SchemeFactoryOptions factory_options(const BenchOptions& options) {
   exp::SchemeFactoryOptions factory;
   factory.tmax_cache = options.tmax_cache;
   factory.request_pool = options.request_pool;
+  factory.prune = options.prune;
   factory.shards = options.shards;
   factory.sample_rate = options.sample_rate;
   factory.slo_target = options.slo_target;

@@ -13,6 +13,7 @@
 #include "src/core/batcher.hpp"
 #include "src/core/gateway.hpp"
 #include "src/core/hardware_selection.hpp"
+#include "src/hw/catalog_gen.hpp"
 #include "src/models/profile.hpp"
 #include "src/models/zoo.hpp"
 #include "src/obs/attribution.hpp"
@@ -66,6 +67,46 @@ void BM_HardwareSelectionChoose(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HardwareSelectionChoose)->Arg(10)->Arg(200)->Arg(700);
+
+// Algorithm 1 on a fleet-scale generated catalog (64 node types): the pruned
+// candidate walk versus the exhaustive linear reference. Same rotating
+// demand points, same catalog, no T_max cache — the benchmark measures raw
+// sweep work, which is exactly what pruning saves. perf_baseline.py tracks
+// the pruned/linear ratio (target >= 3x) via BENCH_perf.json.
+void SelectionSweepLargeCatalog(benchmark::State& state, bool prune) {
+  static const hw::Catalog catalog =
+      hw::generate_catalog({.node_count = 64, .seed = 7});
+  static const models::ProfileTable profile(catalog);
+  perfmodel::YOptimizer optimizer(perfmodel::TmaxModel(0.2));
+  core::HardwareSelectionConfig config;
+  config.prune = prune;
+  core::HardwareSelection selection(models::Zoo::instance(), catalog, profile,
+                                    optimizer, nullptr, config);
+  std::vector<std::vector<core::DemandSnapshot>> demands;
+  for (int i = 0; i < 32; ++i) {
+    core::DemandSnapshot demand;
+    demand.model = static_cast<models::ModelId>(i % models::kModelCount);
+    demand.observed_rps = demand.predicted_rps = demand.smoothed_rps =
+        5.0 * (1 + (i * 7) % 40);
+    demand.backlog = (i * 13) % 32;
+    demands.push_back({demand});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selection.choose(demands[i++ % demands.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_SelectionSweepLargeCatalog(benchmark::State& state) {
+  SelectionSweepLargeCatalog(state, /*prune=*/true);
+}
+BENCHMARK(BM_SelectionSweepLargeCatalog);
+
+void BM_SelectionSweepLinearLargeCatalog(benchmark::State& state) {
+  SelectionSweepLargeCatalog(state, /*prune=*/false);
+}
+BENCHMARK(BM_SelectionSweepLinearLargeCatalog);
 
 void BM_EventQueueChurn(benchmark::State& state) {
   for (auto _ : state) {

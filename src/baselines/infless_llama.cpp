@@ -47,7 +47,9 @@ hw::NodeType cheapest_single_batch_node(
     }
     if (capable) return type;
   }
-  return catalog.most_performant_gpu();
+  // Nothing fits: the most performant GPU, or on a CPU-only catalog the
+  // most expensive (most capable) CPU tier.
+  return catalog.most_performant_gpu().value_or(catalog.by_cost_ascending().back());
 }
 
 InflessLlamaPolicy::InflessLlamaPolicy(const models::Zoo& zoo,
@@ -74,7 +76,10 @@ hw::NodeType InflessLlamaPolicy::select_hardware(
     const std::vector<core::DemandSnapshot>& demand, hw::NodeType /*current*/,
     TimeMs /*now*/) {
   if (pinned_.has_value()) return *pinned_;
-  if (variant_ == Variant::kPerformance) return catalog().most_performant_gpu();
+  if (variant_ == Variant::kPerformance) {
+    return catalog().most_performant_gpu().value_or(
+        catalog().by_cost_ascending().back());
+  }
   return cheapest_single_batch_node(*zoo_, catalog(), *profile_, demand);
 }
 

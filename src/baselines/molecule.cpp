@@ -26,7 +26,10 @@ hw::NodeType MoleculePolicy::select_hardware(
     const std::vector<core::DemandSnapshot>& demand, hw::NodeType /*current*/,
     TimeMs /*now*/) {
   if (pinned_.has_value()) return *pinned_;
-  if (variant_ == Variant::kPerformance) return catalog().most_performant_gpu();
+  if (variant_ == Variant::kPerformance) {
+    return catalog().most_performant_gpu().value_or(
+        catalog().by_cost_ascending().back());
+  }
   return cheapest_single_batch_node(*zoo_, catalog(), *profile_, demand);
 }
 

@@ -6,13 +6,14 @@ namespace paldia::baselines {
 
 OraclePolicy::OraclePolicy(const models::Zoo& zoo, const hw::Catalog& catalog,
                            const models::ProfileTable& profile, ThreadPool* pool,
-                           double tmax_beta, bool tmax_cache)
+                           double tmax_beta, bool tmax_cache,
+                           core::HardwareSelectionConfig selection)
     : SchedulerPolicy(catalog),
       zoo_(&zoo),
       profile_(&profile),
       optimizer_(perfmodel::TmaxModel(tmax_beta), pool),
       tmax_cache_(/*bypass=*/!tmax_cache),
-      selection_(zoo, catalog, profile, optimizer_, pool) {
+      selection_(zoo, catalog, profile, optimizer_, pool, selection) {
   selection_.set_tmax_cache(&tmax_cache_);
 }
 

@@ -17,7 +17,8 @@ class OraclePolicy final : public core::SchedulerPolicy {
  public:
   OraclePolicy(const models::Zoo& zoo, const hw::Catalog& catalog,
                const models::ProfileTable& profile, ThreadPool* pool = nullptr,
-               double tmax_beta = 0.2, bool tmax_cache = true);
+               double tmax_beta = 0.2, bool tmax_cache = true,
+               core::HardwareSelectionConfig selection = {});
 
   /// Register the true trace of a workload (clairvoyance source).
   void reveal_trace(models::ModelId model, const trace::Trace& trace);

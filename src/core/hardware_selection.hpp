@@ -13,6 +13,7 @@
 
 #include "src/common/thread_pool.hpp"
 #include "src/core/scheduler_policy.hpp"
+#include "src/core/selection_index.hpp"
 #include "src/hw/catalog.hpp"
 #include "src/models/profile.hpp"
 #include "src/models/zoo.hpp"
@@ -30,6 +31,12 @@ struct HardwareSelectionConfig {
   /// Headroom factor on the SLO when judging feasibility (leaves room for
   /// batching delay and model error).
   double slo_headroom = 0.85;
+  /// Pruned candidate enumeration (capability bitmasks, twin-dominance
+  /// dedup, T_max lower bounds, cost-bucket early exit). false is the
+  /// --no-prune reference: the exhaustive linear sweep. Both settings
+  /// return identical choices and byte-identical exports (CI-enforced);
+  /// the flag only changes how much sweep work runs.
+  bool prune = true;
 };
 
 struct HardwareChoice {
@@ -47,6 +54,15 @@ struct SelectionSweep {
   /// Best feasible GPU T_max (the band anchor); 0 when none was feasible.
   DurationMs best_feasible_gpu_t_max_ms = 0.0;
   bool cpu_short_circuit = false;  // a feasible CPU node won outright
+  /// Sweep-work accounting. The pruned walk touches `evaluated` of the
+  /// `pool_size` capable candidates and proves the other `pruned` away
+  /// (twin dedup, lower-bound skips, early exit); both counts are computed
+  /// by replaying the pruned walk, so they are identical under --no-prune
+  /// (the bypass changes work, never results — paldia-analyze reports the
+  /// savings either way). Escalations outside the pool count as evaluated.
+  int pool_size = 0;
+  int evaluated = 0;
+  int pruned = 0;
 };
 
 class HardwareSelection {
@@ -61,10 +77,17 @@ class HardwareSelection {
   HardwareChoice evaluate(hw::NodeType node,
                           const std::vector<DemandSnapshot>& demand) const;
 
-  /// Full Algorithm 1 selection (pool, par_for, choose_best_HW). When no
-  /// node is feasible the most performant GPU is returned (the escalation
-  /// path of Section III). When `sweep` is non-null it receives the whole
-  /// candidate evaluation (observability decision log).
+  /// Full Algorithm 1 selection (pool, choose_best_HW). When no node is
+  /// feasible the most performant GPU is returned (the escalation path of
+  /// Section III); on a CPU-only catalog the least-bad CPU is returned
+  /// instead of aborting. When `sweep` is non-null it receives the whole
+  /// candidate evaluation (observability decision log) — every pool member
+  /// is then evaluated regardless of the prune setting, so exported
+  /// candidate tables and cache counters stay byte-identical across modes;
+  /// the pruned walk is replayed over the results for the work counts (and,
+  /// when pruning is on, the returned choice). With `sweep == nullptr` and
+  /// pruning on, the walk evaluates candidates lazily — the fleet-scale
+  /// fast path.
   HardwareChoice choose(const std::vector<DemandSnapshot>& demand,
                         SelectionSweep* sweep = nullptr) const;
 
@@ -80,10 +103,38 @@ class HardwareSelection {
   /// wall-clock time — choose()/evaluate() results are bit-identical.
   void set_tmax_cache(perfmodel::TmaxCache* cache) { cache_ = cache; }
 
+  /// Analytic lower bound on evaluate(node).t_max_ms for a GPU node (two
+  /// profile reads per model, no y-sweep). Sets *provably_infeasible when
+  /// the bound alone already exceeds some model's headroomed SLO. Exposed
+  /// for the equivalence tests.
+  DurationMs gpu_t_max_lower_bound(hw::NodeType node,
+                                   const std::vector<DemandSnapshot>& demand,
+                                   bool* provably_infeasible) const;
+
+  const SelectionIndex& index() const { return index_; }
+
  private:
   /// best_split through the cache when one is attached.
   perfmodel::SharingDecision sweep(models::ModelId model, hw::NodeType node,
                                    const perfmodel::WorkloadPoint& point) const;
+
+  /// One pruned Algorithm 1 walk over the pool; see the .cpp for the
+  /// exactness argument. `eval` maps a pool position to its evaluation
+  /// (lazily computed or replayed from a recorded sweep).
+  struct WalkOutcome {
+    HardwareChoice choice;
+    int evaluated = 0;               // distinct pool entries evaluated
+    bool cpu_short_circuit = false;
+    DurationMs best_feasible_gpu_t_max_ms = 0.0;  // 0 when none feasible
+    bool escalated_outside_pool = false;  // caller must evaluate the top GPU
+  };
+  template <typename Evaluator>
+  WalkOutcome pruned_walk(const std::vector<DemandSnapshot>& demand,
+                          const std::vector<hw::NodeType>& pool,
+                          Evaluator&& eval) const;
+
+  std::vector<hw::NodeType> build_pool(const std::vector<DemandSnapshot>& demand,
+                                       bool use_masks) const;
 
   const models::Zoo* zoo_;
   const hw::Catalog* catalog_;
@@ -92,6 +143,7 @@ class HardwareSelection {
   perfmodel::TmaxCache* cache_ = nullptr;
   ThreadPool* pool_;
   HardwareSelectionConfig config_;
+  SelectionIndex index_;
 };
 
 }  // namespace paldia::core

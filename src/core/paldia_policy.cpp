@@ -37,13 +37,18 @@ void PaldiaPolicy::sync_cache_counters() {
 
 hw::NodeType PaldiaPolicy::select_hardware(const std::vector<DemandSnapshot>& demand,
                                            hw::NodeType current, TimeMs now) {
-  // The framework opened the tick's decision record before calling us; the
-  // sweep is only collected when someone will actually read it.
+  // The framework opened the tick's decision record before calling us.
   obs::DecisionRecord* rec =
       tracer() != nullptr ? tracer()->current_decision() : nullptr;
   SelectionSweep sweep;
+  // Collect the sweep whenever a tracer observes the run — not just while a
+  // decision record is open. An observed choose() evaluates the full pool
+  // in both prune modes, so the TmaxCache counters in the sampled metrics
+  // stream cannot drift between --no-prune and the default even after the
+  // decision log hits capacity mid-run.
+  const bool observed = tracer() != nullptr;
   const HardwareChoice choice =
-      selection_.choose(demand, rec != nullptr ? &sweep : nullptr);
+      selection_.choose(demand, observed ? &sweep : nullptr);
   const hw::NodeType decided = apply_hysteresis(choice, current, demand, now);
   // The monitor tick samples counters right after this call; flushing here
   // folds the interval's dispatch-round sweeps into the same sample.
@@ -56,6 +61,9 @@ hw::NodeType PaldiaPolicy::select_hardware(const std::vector<DemandSnapshot>& de
     rec->band_ms = sweep.band_ms;
     rec->best_t_max_ms = sweep.best_feasible_gpu_t_max_ms;
     rec->cpu_short_circuit = sweep.cpu_short_circuit;
+    rec->pool_size = sweep.pool_size;
+    rec->evaluated_candidates = sweep.evaluated;
+    rec->pruned_candidates = sweep.pruned;
     rec->wait_ctr = wait_ctr_;  // counter state *after* the decision
     rec->downgrade_ctr = downgrade_ctr_;
     rec->emergency_ctr = emergency_ctr_;

@@ -1,0 +1,67 @@
+#include "src/core/selection_index.hpp"
+
+#include <cstddef>
+#include <map>
+#include <tuple>
+
+namespace paldia::core {
+
+namespace {
+
+// The profile-relevant silicon parameters: ProfileTable::lookup reads
+// exactly (speed, mem_bandwidth_gbps) for GPUs and (vcpus, per_core_speed)
+// for CPUs, so two nodes agreeing on these produce identical evaluations
+// for every model and batch size. Exact comparison is intentional — twins
+// are copies by construction (regional price variants), not approximations.
+using TwinKey = std::tuple<bool, double, double>;
+
+TwinKey twin_key(const hw::NodeSpec& spec) {
+  if (spec.is_gpu()) {
+    return TwinKey{true, spec.gpu->speed, spec.gpu->mem_bandwidth_gbps};
+  }
+  return TwinKey{false, static_cast<double>(spec.cpu.vcpus), spec.cpu.per_core_speed};
+}
+
+}  // namespace
+
+SelectionIndex::SelectionIndex(const models::Zoo& zoo, const hw::Catalog& catalog,
+                               const models::ProfileTable& profile) {
+  const std::size_t nodes = catalog.size();
+  words_ = (nodes + 63) / 64;
+  capable_.assign(static_cast<std::size_t>(models::kModelCount) * words_, 0);
+  for (int m = 0; m < models::kModelCount; ++m) {
+    const auto& model = zoo.spec(models::ModelId(m));
+    for (std::size_t i = 0; i < nodes; ++i) {
+      const auto node = hw::make_node_type(static_cast<int>(i));
+      if (profile.lookup(model, node, 1).solo_ms <= model.slo_ms) {
+        capable_[static_cast<std::size_t>(m) * words_ + i / 64] |= 1ull << (i % 64);
+      }
+    }
+  }
+
+  twin_rep_.resize(nodes);
+  std::map<TwinKey, int> seen;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const auto [it, inserted] =
+        seen.emplace(twin_key(catalog.spec(hw::make_node_type(static_cast<int>(i)))),
+                     static_cast<int>(i));
+    twin_rep_[i] = it->second;
+    if (!inserted) ++twin_count_;
+  }
+
+  cost_rank_.resize(nodes);
+  const auto& order = catalog.by_cost_ascending();
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    cost_rank_[static_cast<std::size_t>(hw::node_index(order[rank]))] =
+        static_cast<int>(rank);
+  }
+  bucket_of_rank_.resize(nodes);
+  const auto& buckets = catalog.cost_buckets();
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    for (std::size_t rank = buckets[b].begin; rank < buckets[b].end; ++rank) {
+      bucket_of_rank_[rank] = static_cast<int>(b);
+    }
+  }
+}
+
+}  // namespace paldia::core

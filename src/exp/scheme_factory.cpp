@@ -40,7 +40,8 @@ std::unique_ptr<core::SchedulerPolicy> SchemeFactory::make(SchemeId id) const {
   using baselines::InflessLlamaPolicy;
   using baselines::MoleculePolicy;
   using baselines::Variant;
-  const hw::NodeType top_gpu = catalog_->most_performant_gpu();
+  const hw::NodeType top_gpu =
+      catalog_->most_performant_gpu().value_or(catalog_->by_cost_ascending().back());
   const hw::NodeType cheap_gpu = hw::NodeType::kG3s_xlarge;  // M60 in Table II
 
   switch (id) {
@@ -48,6 +49,7 @@ std::unique_ptr<core::SchedulerPolicy> SchemeFactory::make(SchemeId id) const {
       core::PaldiaPolicyConfig config;
       config.tmax_beta = options_.tmax_beta;
       config.tmax_cache = options_.tmax_cache;
+      config.selection.prune = options_.prune;
       return std::make_unique<core::PaldiaPolicy>(*zoo_, *catalog_, *profile_, pool_,
                                                   config);
     }
@@ -63,10 +65,13 @@ std::unique_ptr<core::SchedulerPolicy> SchemeFactory::make(SchemeId id) const {
     case SchemeId::kMoleculePerf:
       return std::make_unique<MoleculePolicy>(*zoo_, *catalog_, *profile_,
                                               Variant::kPerformance);
-    case SchemeId::kOracle:
+    case SchemeId::kOracle: {
+      core::HardwareSelectionConfig selection;
+      selection.prune = options_.prune;
       return std::make_unique<baselines::OraclePolicy>(*zoo_, *catalog_, *profile_,
                                                        pool_, options_.tmax_beta,
-                                                       options_.tmax_cache);
+                                                       options_.tmax_cache, selection);
+    }
     case SchemeId::kOfflineHybrid:
       return std::make_unique<baselines::OfflineHybridPolicy>(
           *zoo_, *catalog_, *profile_, cheap_gpu, options_.offline_spatial_fraction);
@@ -92,7 +97,8 @@ hw::NodeType SchemeFactory::initial_node(SchemeId id) const {
     case SchemeId::kMoleculePerf:
     case SchemeId::kMpsOnlyPerf:
     case SchemeId::kTimeSharedPerf:
-      return catalog_->most_performant_gpu();
+      return catalog_->most_performant_gpu().value_or(
+          catalog_->by_cost_ascending().back());
     case SchemeId::kMpsOnlyCost:
     case SchemeId::kTimeSharedCost:
     case SchemeId::kOfflineHybrid:

@@ -58,6 +58,10 @@ struct SchemeFactoryOptions {
   /// multi-window rule fires only when both breach the threshold.
   DurationMs burn_fast_ms = 60'000.0;
   DurationMs burn_slow_ms = 600'000.0;
+  /// Pruned Algorithm 1 candidate sweep in Paldia/Oracle. false = the
+  /// --no-prune reference: exhaustive linear enumeration — choices and
+  /// exports must stay byte-identical either way.
+  bool prune = true;
 };
 
 class SchemeFactory {

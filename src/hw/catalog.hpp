@@ -1,42 +1,80 @@
-// The node-type catalog (paper Table II) and lookups over it.
+// The node-type catalog (paper Table II by default) and lookups over it.
 #pragma once
 
+#include <cstddef>
+#include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "src/hw/node_spec.hpp"
 
 namespace paldia::hw {
 
-/// Immutable catalog of the six Table II node types. A singleton view —
-/// specs never change during a run; tests may build their own Catalog.
+/// Immutable catalog of node types. The default holds the six Table II rows;
+/// generated catalogs (catalog_gen.hpp) can hold hundreds. A singleton view
+/// exists for the default — specs never change during a run; tests and the
+/// fleet paths build their own Catalog.
+///
+/// All orderings are computed once at construction: by_cost_ascending() and
+/// gpus_by_capability_ascending() sit inside the per-tick selection sweep, so
+/// they return cached references rather than re-sorting per call.
 class Catalog {
  public:
   /// Build the default Table II catalog.
   Catalog();
 
-  /// Build from explicit specs (test seam). specs[i] corresponds to
-  /// NodeType(i).
+  /// Build from explicit specs (test seam and generated catalogs). specs[i]
+  /// corresponds to NodeType(i).
   explicit Catalog(std::vector<NodeSpec> specs);
 
   const NodeSpec& spec(NodeType type) const;
   std::span<const NodeSpec> all() const { return specs_; }
+  std::size_t size() const { return specs_.size(); }
+
+  /// Instance name of a node type. Unlike node_type_name() this works for
+  /// generated catalogs, whose names live in the specs.
+  std::string_view name(NodeType type) const { return spec(type).instance; }
 
   /// All node types ordered by ascending hourly price (Algorithm 1 iterates
-  /// the candidate pool cheapest-first).
-  std::vector<NodeType> by_cost_ascending() const;
+  /// the candidate pool cheapest-first). Ties break on catalog index so the
+  /// order is deterministic for generated catalogs.
+  const std::vector<NodeType>& by_cost_ascending() const { return cost_ascending_; }
 
   /// GPU-equipped node types ordered by ascending compute capability.
-  std::vector<NodeType> gpus_by_capability_ascending() const;
+  /// Ties break on catalog index.
+  const std::vector<NodeType>& gpus_by_capability_ascending() const {
+    return gpus_by_capability_;
+  }
 
   /// The most performant GPU node (highest speed) — the "(P)" baselines pin
-  /// this.
-  NodeType most_performant_gpu() const;
+  /// this. nullopt on a CPU-only catalog; callers degrade to CPU selection.
+  std::optional<NodeType> most_performant_gpu() const { return most_performant_gpu_; }
+
+  /// One contiguous [begin, end) slice of by_cost_ascending() whose prices
+  /// span at most a fixed geometric band. The pruned selection sweep walks
+  /// buckets cheapest-first and can discard a whole bucket once a feasible
+  /// in-band winner is found in a cheaper one.
+  struct CostBucket {
+    std::size_t begin = 0;  // index into by_cost_ascending()
+    std::size_t end = 0;    // exclusive
+    Dollars min_price = 0;
+    Dollars max_price = 0;
+  };
+
+  /// Partition of by_cost_ascending() into price bands (geometric factor 2).
+  const std::vector<CostBucket>& cost_buckets() const { return cost_buckets_; }
 
   static const Catalog& instance();
 
  private:
+  void build_indexes();
+
   std::vector<NodeSpec> specs_;
+  std::vector<NodeType> cost_ascending_;
+  std::vector<NodeType> gpus_by_capability_;
+  std::vector<CostBucket> cost_buckets_;
+  std::optional<NodeType> most_performant_gpu_;
 };
 
 }  // namespace paldia::hw

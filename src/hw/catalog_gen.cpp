@@ -1,0 +1,277 @@
+#include "src/hw/catalog_gen.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <string>
+
+#include "src/common/rng.hpp"
+
+namespace paldia::hw {
+
+namespace {
+
+// Synthetic GPU generations, loosely modeled on real parts so the spread of
+// speed/bandwidth/price matches what a heterogeneous fleet actually looks
+// like. Speed is relative to V100, as everywhere else in the repo; nominal
+// prices are calibrated against the Table II anchors (K80 $0.90, M60 $0.75,
+// V100 $3.06) and extended up and down the range.
+struct GpuGen {
+  const char* family;     // NodeSpec::family suffix
+  const char* name;       // GpuSpec::name
+  const char* tag;        // instance-name token
+  double speed;
+  double bandwidth_gbps;
+  double mem_gib;
+  int sm_count;
+  Watts idle_power;
+  Watts peak_power;
+  Dollars nominal_price;  // per hour, before variant scaling and noise
+};
+
+constexpr GpuGen kGpuGens[] = {
+    {"nvidia-kepler", "K80", "k80", 0.20, 240.0, 12.0, 13, 62.0, 149.0, 0.90},
+    {"nvidia-maxwell", "M60", "m60", 0.30, 160.0, 8.0, 16, 40.0, 150.0, 0.75},
+    {"nvidia-pascal", "P4", "p4", 0.40, 192.0, 8.0, 20, 26.0, 75.0, 0.95},
+    {"nvidia-pascal", "P100", "p100", 0.65, 720.0, 16.0, 56, 30.0, 250.0, 1.85},
+    {"nvidia-volta", "V100", "v100", 1.00, 900.0, 16.0, 80, 55.0, 300.0, 3.06},
+    {"nvidia-turing", "T4", "t4", 0.50, 320.0, 16.0, 40, 17.0, 70.0, 1.10},
+    {"nvidia-ampere", "A10G", "a10g", 1.25, 600.0, 24.0, 80, 35.0, 150.0, 1.60},
+    {"nvidia-ampere", "A100", "a100", 2.05, 1555.0, 40.0, 108, 60.0, 400.0, 4.10},
+    {"nvidia-hopper", "H100", "h100", 3.30, 2000.0, 80.0, 132, 70.0, 700.0, 7.90},
+};
+
+struct CpuGen {
+  const char* family;
+  const char* name;
+  const char* tag;
+  double per_core_speed;    // relative to IceLake, as in Table II
+  Dollars price_per_vcpu;   // per hour, before noise
+};
+
+constexpr CpuGen kCpuGens[] = {
+    {"intel-broadwell", "Intel Broadwell", "bdw", 0.72, 0.050},
+    {"intel-skylake", "Intel Skylake", "skl", 0.85, 0.046},
+    {"intel-cascadelake", "Intel CascadeLake", "clx", 0.92, 0.044},
+    {"intel-icelake", "Intel IceLake", "icx", 1.00, 0.0425},
+    {"intel-sapphirerapids", "Intel SapphireRapids", "spr", 1.15, 0.050},
+};
+
+constexpr int kVcpuBins[] = {2, 4, 8, 16, 32, 48, 64};
+
+double round_to(double value, double step) { return std::round(value / step) * step; }
+
+NodeSpec make_gpu_node(int index, Rng& rng) {
+  const GpuGen& gen = kGpuGens[static_cast<std::size_t>(
+      rng.uniform_int(0, std::size(kGpuGens) - 1))];
+  // Variant bins are quantized so distinct nodes of the same generation can
+  // share identical profile-relevant parameters (speed, bandwidth) — twin
+  // groups are what makes dominance pruning pay off, and real fleets are
+  // full of same-silicon SKUs at different prices.
+  static constexpr double kSpeedBins[] = {0.9, 1.0, 1.1};
+  static constexpr double kBwBins[] = {0.85, 1.0};
+  const double speed_bin = kSpeedBins[rng.uniform_int(0, 2)];
+  const double bw_bin = kBwBins[rng.uniform_int(0, 1)];
+  const double mem_scale = rng.bernoulli(0.25) ? 2.0 : 1.0;
+
+  GpuSpec gpu;
+  gpu.name = gen.name;
+  gpu.speed = round_to(gen.speed * speed_bin, 0.01);
+  gpu.mem_bandwidth_gbps = round_to(gen.bandwidth_gbps * bw_bin, 10.0);
+  gpu.memory = GiB(gen.mem_gib * mem_scale);
+  gpu.sm_count = gen.sm_count;
+  gpu.idle_power = gen.idle_power;
+  gpu.peak_power = gen.peak_power * (0.9 + 0.2 * speed_bin);
+
+  // Price follows capability super-linearly (big parts carry a premium) with
+  // lognormal regional noise; memory upgrades cost extra.
+  const double capability_scale =
+      std::pow(speed_bin, 1.2) * (bw_bin >= 1.0 ? 1.0 : 0.93);
+  const Dollars price = round_to(
+      gen.nominal_price * capability_scale * (mem_scale > 1.0 ? 1.15 : 1.0) *
+          rng.lognormal(0.0, 0.10),
+      0.0001);
+
+  const int host_vcpus = static_cast<int>(rng.uniform_int(1, 4)) * 4;
+  NodeSpec spec;
+  spec.instance = std::string("g9.") + gen.tag + ".n" + std::to_string(index);
+  spec.kind = DeviceKind::kGpu;
+  spec.price_per_hour = price;
+  spec.cpu = CpuSpec{"Intel Broadwell", host_vcpus, 0.75, 25.0 + host_vcpus,
+                     70.0 + 4.0 * host_vcpus};
+  spec.gpu = gpu;
+  spec.family = gen.family;
+  return spec;
+}
+
+NodeSpec make_cpu_node(int index, Rng& rng) {
+  const CpuGen& gen = kCpuGens[static_cast<std::size_t>(
+      rng.uniform_int(0, std::size(kCpuGens) - 1))];
+  const int vcpus =
+      kVcpuBins[static_cast<std::size_t>(rng.uniform_int(0, std::size(kVcpuBins) - 1))];
+  NodeSpec spec;
+  spec.instance = std::string("c7.") + gen.tag + "-" + std::to_string(vcpus) + ".n" +
+                  std::to_string(index);
+  spec.kind = DeviceKind::kCpu;
+  spec.price_per_hour =
+      round_to(gen.price_per_vcpu * vcpus * rng.lognormal(0.0, 0.10), 0.0001);
+  spec.cpu = CpuSpec{gen.name, vcpus, gen.per_core_speed, 12.0 + 2.0 * vcpus,
+                     30.0 + 9.5 * vcpus};
+  spec.gpu = std::nullopt;
+  spec.family = gen.family;
+  return spec;
+}
+
+// A regional price variant: identical silicon (so the profile-relevant
+// parameters match the base node exactly), never cheaper.
+NodeSpec make_twin_node(int index, const NodeSpec& base, Rng& rng) {
+  NodeSpec spec = base;
+  spec.instance = base.instance + ".r" + std::to_string(index);
+  spec.price_per_hour =
+      round_to(base.price_per_hour * rng.uniform(1.05, 1.45), 0.0001);
+  return spec;
+}
+
+}  // namespace
+
+std::vector<NodeSpec> generate_specs(const CatalogGenConfig& config) {
+  const int count = std::clamp(config.node_count, 2, 256);
+  const double gpu_fraction = std::clamp(config.gpu_fraction, 0.0, 1.0);
+  const double twin_fraction = std::clamp(config.twin_fraction, 0.0, 0.9);
+
+  Rng root(config.seed);
+  std::vector<NodeSpec> specs;
+  specs.reserve(static_cast<std::size_t>(count));
+  int gpus = 0;
+  for (int i = 0; i < count; ++i) {
+    Rng rng = root.fork("node-" + std::to_string(i));
+    if (i >= 2 && rng.bernoulli(twin_fraction)) {
+      const auto j = static_cast<std::size_t>(rng.uniform_int(0, i - 1));
+      specs.push_back(make_twin_node(i, specs[j], rng));
+      if (specs.back().is_gpu()) ++gpus;
+      continue;
+    }
+    // Node 0 is always CPU (a catalog must be able to serve the CPU
+    // short-circuit); otherwise track the GPU quota deterministically.
+    const bool want_gpu =
+        i > 0 && static_cast<double>(gpus) < gpu_fraction * static_cast<double>(i + 1);
+    if (want_gpu) {
+      specs.push_back(make_gpu_node(i, rng));
+      ++gpus;
+    } else {
+      specs.push_back(make_cpu_node(i, rng));
+    }
+  }
+  // Apply the configured price-noise knob as a final deterministic scale
+  // relative to the calibrated sigma of 0.10 baked into the draws above.
+  if (config.price_noise != 0.10) {
+    Rng noise = root.fork("price-noise");
+    for (NodeSpec& spec : specs) {
+      const double extra = noise.lognormal(0.0, std::abs(config.price_noise - 0.10));
+      spec.price_per_hour = round_to(spec.price_per_hour * extra, 0.0001);
+    }
+  }
+  return specs;
+}
+
+Catalog generate_catalog(const CatalogGenConfig& config) {
+  return Catalog(generate_specs(config));
+}
+
+namespace {
+
+bool parse_double(std::string_view text, double* out) {
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool parse_u64(std::string_view text, std::uint64_t* out) {
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+void set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+}  // namespace
+
+std::optional<CatalogGenConfig> parse_catalog_spec(std::string_view spec,
+                                                   std::string* error) {
+  set_error(error, "");
+  if (spec.empty() || spec == "table2") return std::nullopt;
+  if (spec.substr(0, 4) != "gen:") {
+    set_error(error, "unknown catalog spec '" + std::string(spec) +
+                         "' (expected 'table2' or 'gen:<count>[:seed=N][:gpu=F]')");
+    return std::nullopt;
+  }
+
+  CatalogGenConfig config;
+  std::string_view rest = spec.substr(4);
+  bool first = true;
+  while (!rest.empty()) {
+    const std::size_t colon = rest.find(':');
+    const std::string_view token =
+        colon == std::string_view::npos ? rest : rest.substr(0, colon);
+    rest = colon == std::string_view::npos ? std::string_view{} : rest.substr(colon + 1);
+    if (first) {
+      double count = 0;
+      if (!parse_double(token, &count) || count < 2 || count > 256) {
+        set_error(error, "catalog spec needs a node count in [2, 256], got '" +
+                             std::string(token) + "'");
+        return std::nullopt;
+      }
+      config.node_count = static_cast<int>(count);
+      first = false;
+      continue;
+    }
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      set_error(error, "malformed catalog option '" + std::string(token) + "'");
+      return std::nullopt;
+    }
+    const std::string_view key = token.substr(0, eq);
+    const std::string_view value = token.substr(eq + 1);
+    if (key == "seed") {
+      std::uint64_t seed = 0;
+      if (!parse_u64(value, &seed)) {
+        set_error(error, "bad catalog seed '" + std::string(value) + "'");
+        return std::nullopt;
+      }
+      config.seed = seed;
+    } else if (key == "gpu") {
+      double fraction = 0;
+      if (!parse_double(value, &fraction) || fraction < 0.0 || fraction > 1.0) {
+        set_error(error, "bad catalog gpu fraction '" + std::string(value) + "'");
+        return std::nullopt;
+      }
+      config.gpu_fraction = fraction;
+    } else if (key == "noise") {
+      double noise = 0;
+      if (!parse_double(value, &noise) || noise < 0.0 || noise > 1.0) {
+        set_error(error, "bad catalog price noise '" + std::string(value) + "'");
+        return std::nullopt;
+      }
+      config.price_noise = noise;
+    } else if (key == "twins") {
+      double twins = 0;
+      if (!parse_double(value, &twins) || twins < 0.0 || twins > 0.9) {
+        set_error(error, "bad catalog twin fraction '" + std::string(value) + "'");
+        return std::nullopt;
+      }
+      config.twin_fraction = twins;
+    } else {
+      set_error(error, "unknown catalog option '" + std::string(key) + "'");
+      return std::nullopt;
+    }
+  }
+  if (first) {
+    set_error(error, "catalog spec 'gen:' needs a node count");
+    return std::nullopt;
+  }
+  return config;
+}
+
+}  // namespace paldia::hw

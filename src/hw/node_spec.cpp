@@ -16,7 +16,13 @@ std::string_view node_type_name(NodeType type) {
     case NodeType::kC6i_2xlarge: return "c6i.2xlarge";
     case NodeType::kM4_xlarge: return "m4.xlarge";
   }
-  return "?";
+  // Generated-catalog index: no static name. The returned view aliases a
+  // thread-local scratch buffer valid until the next call on this thread —
+  // fine for display/debug, which is all this function serves; catalogs
+  // carry the real instance names (Catalog::name()).
+  thread_local std::string scratch;
+  scratch = "node" + std::to_string(static_cast<int>(type));
+  return scratch;
 }
 
 }  // namespace paldia::hw

@@ -42,13 +42,15 @@ struct CpuSpec {
   Watts peak_power = 0;
 };
 
-/// One node (instance) type from Table II.
+/// One node (instance) type. The default catalog holds the six Table II
+/// rows; generated catalogs (catalog_gen.hpp) add fleet-scale variety.
 struct NodeSpec {
   std::string instance;  // AWS instance name, e.g. "p3.2xlarge"
   DeviceKind kind = DeviceKind::kCpu;
   Dollars price_per_hour = 0;
   CpuSpec cpu;                   // host CPU (always present)
   std::optional<GpuSpec> gpu;    // present iff kind == kGpu
+  std::string family;            // architecture family, e.g. "nvidia-volta"
 
   /// Display name used in figures: the primary compute device.
   std::string display_name() const;
@@ -56,7 +58,14 @@ struct NodeSpec {
   bool is_gpu() const { return kind == DeviceKind::kGpu; }
 };
 
-/// Stable identifier of a node type: index into the catalog.
+/// Stable identifier of a node type: an index into the owning Catalog, not a
+/// closed enumeration. The named constants are the indices of the six
+/// Table II rows in the *default* catalog; generated catalogs use indices
+/// beyond any named constant, addressed via make_node_type(). Code that needs
+/// fixed-size per-node-type storage (telemetry, chrome-trace pid layout) is
+/// sized by kNodeTypeCount and therefore only supports the default catalog;
+/// the fleet-scale paths (HardwareSelection, exp::fleet) take the catalog
+/// size at runtime.
 enum class NodeType : int {
   kP3_2xlarge = 0,   // NVIDIA V100
   kP2_xlarge = 1,    // NVIDIA K80
@@ -66,8 +75,16 @@ enum class NodeType : int {
   kM4_xlarge = 5,    // Broadwell 2 vCPU
 };
 
+constexpr NodeType make_node_type(int index) { return static_cast<NodeType>(index); }
+constexpr int node_index(NodeType type) { return static_cast<int>(type); }
+
+/// Number of node types in the *default* Table II catalog. Fixed-size
+/// telemetry arrays are bounded by this; generated catalogs bypass them.
 inline constexpr int kNodeTypeCount = 6;
 
+/// Instance name for the default catalog's node types; "node<i>" for catalog
+/// indices beyond Table II (generated catalogs carry their names in the
+/// NodeSpec — prefer Catalog::name() when a catalog is at hand).
 std::string_view node_type_name(NodeType type);
 
 }  // namespace paldia::hw

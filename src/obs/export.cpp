@@ -250,7 +250,7 @@ void DecisionLogWriter::write_record(const DecisionRecord& record, int rep,
       *out_ << "scheme,scenario,rep,t_ms,current,chosen,final,switch_begun,"
                "feasible,t_max_ms,best_t_max_ms,band_ms,wait_ctr,downgrade_ctr,"
                "emergency_ctr,cpu_short_circuit,predicted_rps,observed_rps,"
-               "candidates\n";
+               "pool_size,evaluated,pruned,candidates\n";
     }
     // Candidates as "node:t_max:feasible:price" joined with ';' — one cell,
     // still splittable without a CSV-in-CSV parser.
@@ -269,8 +269,9 @@ void DecisionLogWriter::write_record(const DecisionRecord& record, int rep,
           << "," << num(record.band_ms) << "," << record.wait_ctr << ","
           << record.downgrade_ctr << "," << record.emergency_ctr << ","
           << (record.cpu_short_circuit ? 1 : 0) << "," << num(record.predicted_rps)
-          << "," << num(record.observed_rps) << "," << csv_escape(candidates)
-          << "\n";
+          << "," << num(record.observed_rps) << "," << record.pool_size << ","
+          << record.evaluated_candidates << "," << record.pruned_candidates << ","
+          << csv_escape(candidates) << "\n";
   } else {
     *out_ << "{\"scheme\":\"" << json_escape(scheme) << "\",\"scenario\":\""
           << json_escape(scenario) << "\",\"rep\":" << rep
@@ -288,6 +289,9 @@ void DecisionLogWriter::write_record(const DecisionRecord& record, int rep,
           << ",\"cpu_short_circuit\":" << (record.cpu_short_circuit ? "true" : "false")
           << ",\"predicted_rps\":" << num(record.predicted_rps)
           << ",\"observed_rps\":" << num(record.observed_rps)
+          << ",\"pool_size\":" << record.pool_size
+          << ",\"evaluated\":" << record.evaluated_candidates
+          << ",\"pruned\":" << record.pruned_candidates
           << ",\"candidates\":[";
     bool first = true;
     for (const auto& candidate : record.candidates) {

@@ -115,6 +115,13 @@ struct DecisionRecord {
   int wait_ctr = 0;                // hysteresis state after the decision
   int downgrade_ctr = 0;
   int emergency_ctr = 0;
+  /// Sweep-work accounting (SelectionSweep): the capable pool size, how many
+  /// candidates the pruned walk evaluates, and how many it proves away.
+  /// Identical under --no-prune (the counts replay the pruned walk either
+  /// way); paldia-analyze reports the sweep work saved from these.
+  int pool_size = 0;
+  int evaluated_candidates = 0;
+  int pruned_candidates = 0;
   /// EWMA horizon forecast and trailing observed rate at the tick, summed
   /// over workloads — the calibration layer pairs these with what actually
   /// happened in the following interval.

@@ -167,6 +167,39 @@ TEST_F(HardwareSelectionTest, NegativePerformanceBandClampedToZero) {
   EXPECT_EQ(choice.node, baseline.node);
 }
 
+TEST_F(HardwareSelectionTest, NoPruneReturnsIdenticalChoices) {
+  HardwareSelectionConfig config;
+  config.prune = false;
+  HardwareSelection linear(models::Zoo::instance(), hw::Catalog::instance(),
+                           profile_, optimizer_, nullptr, config);
+  for (Rps rate : {0.0, 5.0, 60.0, 150.0, 700.0, 20000.0}) {
+    const auto pruned = selection_.choose({demand(models::ModelId::kResNet50, rate)});
+    const auto exhaustive = linear.choose({demand(models::ModelId::kResNet50, rate)});
+    EXPECT_EQ(pruned.node, exhaustive.node) << "rate " << rate;
+    EXPECT_EQ(pruned.best_y, exhaustive.best_y) << "rate " << rate;
+    EXPECT_EQ(pruned.t_max_ms, exhaustive.t_max_ms) << "rate " << rate;
+    EXPECT_EQ(pruned.feasible, exhaustive.feasible) << "rate " << rate;
+  }
+}
+
+TEST_F(HardwareSelectionTest, SweepRecordsPruningWork) {
+  // CPU short-circuit: one evaluation settles it; the counters must show
+  // the other pool members pruned, and add up exactly.
+  SelectionSweep sweep;
+  const auto choice = selection_.choose({demand(models::ModelId::kResNet50, 10.0)},
+                                        &sweep);
+  EXPECT_TRUE(sweep.cpu_short_circuit);
+  EXPECT_FALSE(hw::Catalog::instance().spec(choice.node).is_gpu());
+  EXPECT_EQ(sweep.pool_size, static_cast<int>(sweep.candidates.size()));
+  EXPECT_EQ(sweep.pool_size, sweep.evaluated + sweep.pruned);
+  EXPECT_GE(sweep.evaluated, 1);
+  EXPECT_GT(sweep.pruned, 0);
+  // Recorded mode still evaluates every pool member for the export tables.
+  for (const auto& candidate : sweep.candidates) {
+    EXPECT_GE(candidate.t_max_ms, 0.0);
+  }
+}
+
 // Sweep: the chosen node's price must be monotone (non-decreasing) in the
 // offered rate for a given model — more load never selects cheaper
 // hardware.

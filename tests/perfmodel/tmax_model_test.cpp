@@ -142,5 +142,51 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(0.2, 0.5, 0.9),
                        ::testing::Values(0.0, 0.2, 0.4)));
 
+// The analytic lower bound used by the pruned candidate sweep: for every y
+// in [0, N], t_max_lower_bound(point) <= t_max_ms(point, y). The pruning
+// exactness proof leans on exactly this inequality, so it gets the full
+// parameter sweep — including compute-bound points and nonzero beta.
+class TmaxLowerBound
+    : public ::testing::TestWithParam<std::tuple<int, double, double, double>> {
+};
+
+TEST_P(TmaxLowerBound, BelowEveryY) {
+  const auto [n, fbr, compute, beta] = GetParam();
+  TmaxModel model(beta);
+  for (int bs : {1, 16, 64}) {
+    WorkloadPoint p{n, bs, 80.0, fbr, 200.0, compute};
+    const double bound = model.t_max_lower_bound(p);
+    for (int y = 0; y <= n; y += std::max(1, n / 37)) {
+      EXPECT_LE(bound, model.t_max_ms(p, y) + 1e-9)
+          << "n=" << n << " bs=" << bs << " fbr=" << fbr
+          << " compute=" << compute << " beta=" << beta << " y=" << y;
+    }
+    EXPECT_LE(bound, model.t_max_ms(p, n) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TmaxLowerBound,
+    ::testing::Combine(::testing::Values(1, 7, 64, 256, 1024),
+                       ::testing::Values(0.1, 0.5, 0.9, 1.4),
+                       ::testing::Values(0.0, 0.3, 1.1),
+                       ::testing::Values(0.0, 0.2, 0.4)));
+
+// Monotone in N (under bs = min(max_batch, N)): the node-level bound at the
+// fixed point's floor n_lb stays below the bound at any larger N — the
+// other half of the pruning proof.
+TEST(TmaxModel, LowerBoundMonotoneInN) {
+  TmaxModel model(0.2);
+  for (double fbr : {0.2, 0.7, 1.3}) {
+    double previous = 0.0;
+    for (int n = 1; n <= 2048; n = n * 2 + 1) {
+      WorkloadPoint p{n, std::min(64, n), 80.0, fbr, 200.0, 0.4};
+      const double bound = model.t_max_lower_bound(p);
+      EXPECT_GE(bound, previous - 1e-9) << "fbr=" << fbr << " n=" << n;
+      previous = bound;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace paldia::perfmodel

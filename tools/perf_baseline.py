@@ -91,14 +91,42 @@ def main():
     failures = []
     for requirement in args.require_bench:
         entry = current.get(requirement)
-        if not entry or not (entry.get("items_per_second") or 0) > 0:
-            failures.append(f"{requirement}: missing or zero throughput")
+        if entry is None:
+            failures.append(
+                f"{requirement}: not in the current run {args.current} — "
+                f"check the benchmark name and --benchmark_filter")
+        elif not (entry.get("items_per_second") or 0) > 0:
+            failures.append(f"{requirement}: present but has zero throughput "
+                            f"(benchmark must SetItemsProcessed)")
     for requirement in args.require_speedup:
-        name, _, floor = requirement.rpartition(":")
-        floor = float(floor)
+        name, sep, floor = requirement.rpartition(":")
+        if not sep or not name:
+            failures.append(f"--require-speedup '{requirement}': expected "
+                            f"BM_Name:RATIO")
+            continue
+        try:
+            floor = float(floor)
+        except ValueError:
+            failures.append(f"--require-speedup '{requirement}': ratio "
+                            f"'{floor}' is not a number")
+            continue
+        if name not in current:
+            failures.append(
+                f"{name}: not in the current run {args.current} — "
+                f"check the benchmark name and --benchmark_filter")
+            continue
+        if not baseline:
+            failures.append(f"{name}: --require-speedup needs --baseline")
+            continue
+        if name not in baseline:
+            failures.append(
+                f"{name}: not in the baseline run {args.baseline} — "
+                f"re-record the baseline with this benchmark included")
+            continue
         speedup = report["benchmarks"].get(name, {}).get("speedup")
         if speedup is None:
-            failures.append(f"{name}: no baseline/current pair to compare")
+            failures.append(f"{name}: present in both runs but neither "
+                            f"throughput nor wall time is comparable")
         elif speedup < floor:
             failures.append(f"{name}: speedup {speedup:.2f}x < required "
                             f"{floor:.2f}x")
