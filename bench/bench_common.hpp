@@ -84,6 +84,13 @@ struct BenchOptions {
   /// multi-window rule fires only when both windows breach the threshold.
   double burn_fast_ms = 60'000.0;
   double burn_slow_ms = 600'000.0;
+  /// --catalog=SPEC: global node catalog for fleet drivers — 'table2'
+  /// (default) or 'gen:<count>' with optional :seed=/:gpu=/:noise=/:twins=
+  /// (hw::parse_catalog_spec). Non-fleet drivers ignore it.
+  std::string catalog = "table2";
+  /// --endpoints=N: serving endpoints (gateways) for fleet drivers. Each
+  /// endpoint owns a slice of the catalog and an independent serving loop.
+  int endpoints = 4;
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -123,6 +130,10 @@ inline BenchOptions parse_options(int argc, char** argv) {
       options.alerts_out = arg.substr(13);
     } else if (arg.rfind("--slo-target=", 0) == 0) {
       options.slo_target = std::atof(arg.c_str() + 13);
+    } else if (arg.rfind("--catalog=", 0) == 0) {
+      options.catalog = arg.substr(10);
+    } else if (arg.rfind("--endpoints=", 0) == 0) {
+      options.endpoints = std::max(1, std::atoi(arg.c_str() + 12));
     } else if (arg.rfind("--burn-windows=", 0) == 0) {
       double fast = 0.0, slow = 0.0;
       if (std::sscanf(arg.c_str() + 15, "%lf,%lf", &fast, &slow) == 2) {
@@ -164,7 +175,11 @@ inline BenchOptions parse_options(int argc, char** argv) {
           "          [--slo-target=F]          SLO objective for the health\n"
           "                                    error budget (default 0.999)\n"
           "          [--burn-windows=FAST,SLOW] burn-rate windows in ms\n"
-          "                                    (default 60000,600000)\n",
+          "                                    (default 60000,600000)\n"
+          "          [--catalog=SPEC]          fleet catalog: 'table2' or\n"
+          "                                    'gen:<count>[:seed=S][:gpu=F]'\n"
+          "          [--endpoints=N]           fleet serving endpoints, each\n"
+          "                                    over a slice of the catalog\n",
           argv[0]);
       std::exit(0);
     }

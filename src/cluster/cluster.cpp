@@ -19,8 +19,11 @@ Cluster::Cluster(sim::Simulator& simulator, Rng rng, const models::Zoo& zoo,
                                             rng.fork(catalog.spec(hw::NodeType(i)).instance),
                                             zoo, catalog, config.node));
     // Node-local events (device completions, cold-start timers) round-robin
-    // over the worker shards; control-plane events stay on shard 0.
-    nodes_.back()->set_shard(simulator.shard_of(static_cast<int>(i)));
+    // over the worker shards; control-plane events stay on shard 0. A fleet
+    // endpoint pins all of its nodes to the endpoint's shard instead.
+    nodes_.back()->set_shard(config.shard >= 0
+                                 ? config.shard
+                                 : simulator.shard_of(static_cast<int>(i)));
   }
 }
 

@@ -81,14 +81,36 @@ using DeviceCompletionFn = InlineFunction<void(const ExecutionReport&), 160>;
 
 /// Monotonic id generators (one per run; not thread-safe by design — the
 /// simulation loop is single-threaded).
+///
+/// A fleet runs one allocator per endpoint (each gateway mints its own
+/// request ids), so ids carry the endpoint index in the high bits: tagged
+/// allocators can never collide, and everything keyed by raw id value —
+/// trace sampling, lifecycle spans, attribution retry sets — stays exact
+/// across gateways. Tag 0 (the default) emits the same ids as the untagged
+/// allocator always did, bit for bit, so single-endpoint runs are unchanged.
 class IdAllocator {
  public:
-  RequestId next_request() { return RequestId{next_request_++}; }
-  BatchId next_batch() { return BatchId{next_batch_++}; }
-  ContainerId next_container() { return ContainerId{next_container_++}; }
-  NodeId next_node() { return NodeId{next_node_++}; }
+  /// Low bits per endpoint: 2^40 ids each, 2^23 endpoints, still positive
+  /// int64. A single endpoint overflowing 2^40 requests would bleed into the
+  /// next tag's range; no simulated workload gets within orders of magnitude.
+  static constexpr int kEndpointShift = 40;
+
+  IdAllocator() = default;
+  explicit IdAllocator(int endpoint_tag)
+      : base_(static_cast<std::int64_t>(endpoint_tag) << kEndpointShift) {}
+
+  RequestId next_request() { return RequestId{base_ | next_request_++}; }
+  BatchId next_batch() { return BatchId{base_ | next_batch_++}; }
+  ContainerId next_container() { return ContainerId{base_ | next_container_++}; }
+  NodeId next_node() { return NodeId{base_ | next_node_++}; }
+
+  /// Endpoint tag carried by an id minted from a tagged allocator.
+  static int endpoint_of(std::int64_t id) {
+    return static_cast<int>(id >> kEndpointShift);
+  }
 
  private:
+  std::int64_t base_ = 0;
   std::int64_t next_request_ = 0;
   std::int64_t next_batch_ = 0;
   std::int64_t next_container_ = 0;

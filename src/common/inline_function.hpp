@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstring>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -66,8 +67,15 @@ class InlineFunction<R(Args...), InlineBytes> {
   struct VTable {
     R (*invoke)(void* self, Args&&... args);
     /// Move-construct the callable at dst from the one at src, then destroy
-    /// the source. dst is raw storage.
+    /// the source. dst is raw storage. nullptr means the callable is
+    /// trivially relocatable — move_from memcpys the buffer inline instead
+    /// of paying an indirect call. Nearly every closure the simulator
+    /// schedules (captures of pointers, indices and times) takes this path,
+    /// and each event is relocated several times between scheduling and
+    /// firing, so this shows up on the drain hot path.
     void (*relocate)(void* dst, void* src) noexcept;
+    /// nullptr when destruction is a no-op (trivially destructible inline
+    /// callables) — reset skips the indirect call entirely.
     void (*destroy)(void* self) noexcept;
   };
 
@@ -77,39 +85,61 @@ class InlineFunction<R(Args...), InlineBytes> {
       std::is_nothrow_move_constructible_v<Fn>;
 
   template <typename Fn>
+  static R invoke_inline(void* self, Args&&... args) {
+    return (*static_cast<Fn*>(self))(std::forward<Args>(args)...);
+  }
+  template <typename Fn>
+  static void relocate_inline(void* dst, void* src) noexcept {
+    ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+    static_cast<Fn*>(src)->~Fn();
+  }
+  template <typename Fn>
+  static void destroy_inline(void* self) noexcept {
+    static_cast<Fn*>(self)->~Fn();
+  }
+
+  template <typename Fn>
   static constexpr VTable inline_vtable = {
-      [](void* self, Args&&... args) -> R {
-        return (*static_cast<Fn*>(self))(std::forward<Args>(args)...);
-      },
-      [](void* dst, void* src) noexcept {
-        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
-        static_cast<Fn*>(src)->~Fn();
-      },
-      [](void* self) noexcept { static_cast<Fn*>(self)->~Fn(); },
+      &invoke_inline<Fn>,
+      std::is_trivially_copyable_v<Fn> ? nullptr : &relocate_inline<Fn>,
+      std::is_trivially_destructible_v<Fn> ? nullptr : &destroy_inline<Fn>,
   };
 
   template <typename Fn>
+  static R invoke_heap(void* self, Args&&... args) {
+    return (**static_cast<Fn**>(self))(std::forward<Args>(args)...);
+  }
+  template <typename Fn>
+  static void destroy_heap(void* self) noexcept {
+    delete *static_cast<Fn**>(self);
+  }
+
+  // Heap-held callables relocate by moving the owning pointer — a plain
+  // memcpy. The source is never left dangling: move_from clears the source's
+  // vtable, so its destroy can no longer run.
+  template <typename Fn>
   static constexpr VTable heap_vtable = {
-      [](void* self, Args&&... args) -> R {
-        return (**static_cast<Fn**>(self))(std::forward<Args>(args)...);
-      },
-      [](void* dst, void* src) noexcept {
-        ::new (dst) Fn*(*static_cast<Fn**>(src));
-        *static_cast<Fn**>(src) = nullptr;
-      },
-      [](void* self) noexcept { delete *static_cast<Fn**>(self); },
+      &invoke_heap<Fn>,
+      nullptr,
+      &destroy_heap<Fn>,
   };
 
   void move_from(InlineFunction& other) noexcept {
     if (other.vtable_ == nullptr) return;
-    other.vtable_->relocate(storage_, other.storage_);
+    if (other.vtable_->relocate == nullptr) {
+      // Trivially relocatable: blit the whole buffer (fixed size, so the
+      // compiler lowers it to a few vector moves, no branching on sizeof).
+      std::memcpy(storage_, other.storage_, InlineBytes);
+    } else {
+      other.vtable_->relocate(storage_, other.storage_);
+    }
     vtable_ = other.vtable_;
     other.vtable_ = nullptr;
   }
 
   void reset() noexcept {
     if (vtable_ != nullptr) {
-      vtable_->destroy(storage_);
+      if (vtable_->destroy != nullptr) vtable_->destroy(storage_);
       vtable_ = nullptr;
     }
   }

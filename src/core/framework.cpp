@@ -31,17 +31,23 @@ Framework::Framework(sim::Simulator& simulator, cluster::Cluster& cluster,
       profiler_(config.profiler),
       health_(config.health),
       request_arena_(config.request_pool),
-      gateway_(rng.fork("gateway"), &request_arena_),
+      gateway_(rng.fork("gateway"), &request_arena_, config.endpoint_id),
       batcher_(config.batcher),
-      autoscaler_(config.autoscaler) {
+      autoscaler_(config.autoscaler),
+      ids_(config.endpoint_id) {
   if (simulator.shard_count() > 1) {
-    // Conservative lookahead for the sharded drain: the fastest cadence at
-    // which control-plane events reach node shards. Correctness never
-    // depends on this value (intra-window schedules are merged exactly); it
-    // only sizes how much queue work each barrier epoch batches.
-    simulator.set_lookahead(std::max(
-        1.0, std::min({config.dispatch_interval_ms, config.monitor_interval_ms,
-                       config.autoscaler.predictive_interval_ms})));
+    // Epoch window for the sharded drain. Conservative auto: the fastest
+    // cadence at which control-plane events reach node shards. Correctness
+    // never depends on this value (intra-window schedules are merged
+    // exactly); it only sizes how much queue work each barrier epoch
+    // batches — fleet-scale runs override it upward so each epoch extracts
+    // a whole window instead of rescanning the resident heap per tick.
+    simulator.set_lookahead(
+        config.lookahead_ms > 0.0
+            ? config.lookahead_ms
+            : std::max(1.0, std::min({config.dispatch_interval_ms,
+                                      config.monitor_interval_ms,
+                                      config.autoscaler.predictive_interval_ms})));
   }
   simulator.set_profiler(profiler_);
   gateway_.set_tracer(tracer_);
@@ -70,6 +76,8 @@ Framework::Framework(sim::Simulator& simulator, cluster::Cluster& cluster,
   distributor_->set_calibration(calibration_);
   power_ = std::make_unique<telemetry::PowerTracker>(simulator, cluster);
   util_ = std::make_unique<telemetry::UtilTracker>(simulator, cluster);
+  power_->set_shard(config_.shard);
+  util_->set_shard(config_.shard);
 }
 
 void Framework::add_workload(models::ModelId model, trace::Trace trace) {
@@ -133,23 +141,40 @@ DemandSnapshot Framework::snapshot(const Workload& workload, TimeMs now) {
 }
 
 void Framework::schedule_injections(const Workload& workload) {
+  // Chained: only the next non-zero epoch's injection is resident at any
+  // time, so the queues hold O(workloads) injection events instead of
+  // O(trace epochs). Pre-scheduling the whole trace kept every far-future
+  // epoch resident for the entire run — at fleet scale (hundreds of
+  // endpoint sub-traces) that population dominated the sharded drain's
+  // per-epoch extraction scan, which is linear in queue residency.
+  schedule_injection_epoch(workload, 0);
+}
+
+void Framework::schedule_injection_epoch(const Workload& workload,
+                                         std::size_t from_epoch) {
   const auto& trace = workload.trace;
+  std::size_t epoch = from_epoch;
+  while (epoch < trace.epoch_count() && trace.count_at(epoch) == 0) ++epoch;
+  if (epoch >= trace.epoch_count()) return;
   const auto model = workload.model;
-  // One event per trace epoch keeps the event count proportional to trace
-  // length, not request count.
-  for (std::size_t epoch = 0; epoch < trace.epoch_count(); ++epoch) {
-    const auto count = trace.count_at(epoch);
-    if (count == 0) continue;
-    const TimeMs start = static_cast<double>(epoch) * trace.epoch_ms();
-    simulator_->schedule_at(start, [this, model, count, start, &trace] {
-      gateway_.inject(model, static_cast<int>(count), start, trace.epoch_ms());
-      auto& slo = *this->workload(model).slo;
-      // Arrival seconds are attributed per request for the goodput series.
-      for (std::uint32_t i = 0; i < count; ++i) {
-        slo.record_arrival(start + trace.epoch_ms() * (i + 0.5) / count);
-      }
-    });
-  }
+  const auto count = trace.count_at(epoch);
+  const TimeMs start = static_cast<double>(epoch) * trace.epoch_ms();
+  simulator_->schedule_at(
+      start,
+      [this, &workload, model, count, start, epoch] {
+        // Stamp the successor before anything else this firing does, so the
+        // chain's sequence numbers stay as small as this timestamp allows.
+        schedule_injection_epoch(workload, epoch + 1);
+        gateway_.inject(model, static_cast<int>(count), start,
+                        workload.trace.epoch_ms());
+        auto& slo = *this->workload(model).slo;
+        // Arrival seconds are attributed per request for the goodput series.
+        for (std::uint32_t i = 0; i < count; ++i) {
+          slo.record_arrival(start +
+                             workload.trace.epoch_ms() * (i + 0.5) / count);
+        }
+      },
+      config_.shard);
 }
 
 void Framework::dispatch_tick() {
@@ -251,7 +276,9 @@ void Framework::monitor_tick() {
     // cluster-wide saturation signals, then the cumulative counters.
     auto& node = cluster_->node(active_node_);
     std::uint64_t cold_starts = 0;
-    for (int i = 0; i < hw::kNodeTypeCount; ++i) {
+    // Every node the cluster actually has: generated catalogs run larger
+    // than Table II and fleet slice catalogs smaller.
+    for (int i = 0; i < static_cast<int>(cluster_->catalog().size()); ++i) {
       cold_starts += cluster_->node(hw::NodeType(i)).cold_starts();
     }
     for (const auto& workload : workloads_) {
@@ -340,35 +367,41 @@ void Framework::begin_switch(hw::NodeType target) {
     const DurationMs warmup = cluster_->catalog().spec(target).is_gpu()
                                   ? cluster_->config().node.gpu_cold_start_ms
                                   : cluster_->config().node.cpu_cold_start_ms;
-    simulator_->schedule_in(warmup, [this, target, generation] {
-      if (generation != switch_generation_) {
-        if (target != active_node_ && target != pending_target_) {
-          cluster_->release(target);
-        }
-        return;
-      }
-      const hw::NodeType old_node = active_node_;
-      active_node_ = target;
-      ++hardware_switches_;
-      switch_in_progress_ = false;
-      if (tracer_ != nullptr) {
-        tracer_->instant("switch_active", simulator_->now(), target);
-        tracer_->count("hardware_switches");
-      }
-      if (attribution_ != nullptr) {
-        attribution_->on_switch_active(simulator_->now());
-      }
-      if (std::getenv("PALDIA_TRACE_SWITCH")) {
-        std::fprintf(stderr, "[switch] t=%.0f active -> %s gen=%llu\n",
-                     simulator_->now(),
-                     std::string(hw::node_type_name(target)).c_str(),
-                     (unsigned long long)generation);
-      }
-      // Relinquish the old node after its in-flight work drains.
-      simulator_->schedule_in(config_.release_grace_ms, [this, old_node] {
-        if (old_node != active_node_) cluster_->release(old_node);
-      });
-    });
+    simulator_->schedule_in(
+        warmup,
+        [this, target, generation] {
+          if (generation != switch_generation_) {
+            if (target != active_node_ && target != pending_target_) {
+              cluster_->release(target);
+            }
+            return;
+          }
+          const hw::NodeType old_node = active_node_;
+          active_node_ = target;
+          ++hardware_switches_;
+          switch_in_progress_ = false;
+          if (tracer_ != nullptr) {
+            tracer_->instant("switch_active", simulator_->now(), target);
+            tracer_->count("hardware_switches");
+          }
+          if (attribution_ != nullptr) {
+            attribution_->on_switch_active(simulator_->now());
+          }
+          if (std::getenv("PALDIA_TRACE_SWITCH")) {
+            std::fprintf(stderr, "[switch] t=%.0f active -> %s gen=%llu\n",
+                         simulator_->now(),
+                         std::string(hw::node_type_name(target)).c_str(),
+                         (unsigned long long)generation);
+          }
+          // Relinquish the old node after its in-flight work drains.
+          simulator_->schedule_in(
+              config_.release_grace_ms,
+              [this, old_node] {
+                if (old_node != active_node_) cluster_->release(old_node);
+              },
+              config_.shard);
+        },
+        config_.shard);
   });
 }
 
@@ -458,7 +491,7 @@ void Framework::handle_failure() {
 void Framework::handle_recovery() {
   // Recovered node stays released; the policy re-selects it at the next
   // monitor tick if it is still the right choice.
-  for (int i = 0; i < hw::kNodeTypeCount; ++i) {
+  for (int i = 0; i < static_cast<int>(cluster_->catalog().size()); ++i) {
     auto& node = cluster_->node(hw::NodeType(i));
     if (!node.is_up()) {
       node.recover();
@@ -479,7 +512,7 @@ bool Framework::drained(TimeMs now) const {
   return true;
 }
 
-TimeMs Framework::run() {
+void Framework::begin_run() {
   assert(!workloads_.empty());
 
   // Fresh slab state per repetition: any block leaked from a previous run
@@ -498,9 +531,8 @@ TimeMs Framework::run() {
 
   for (const auto& workload : workloads_) schedule_injections(workload);
 
-  const TimeMs hard_end = trace_end_ms_ + config_.max_drain_ms;
-  power_->arm(hard_end);
-  util_->arm(hard_end);
+  power_->arm(hard_end());
+  util_->arm(hard_end());
 
   if (failure_config_) {
     failure_injector_ = std::make_unique<cluster::FailureInjector>(
@@ -511,50 +543,52 @@ TimeMs Framework::run() {
   if (!coresidents_.empty()) {
     host_interference_ = std::make_unique<cluster::HostInterference>(
         *simulator_, coresidents_, rng_.fork("host-interference"));
-    for (int i = 0; i < hw::kNodeTypeCount; ++i) {
+    for (int i = 0; i < static_cast<int>(cluster_->catalog().size()); ++i) {
       host_interference_->attach(cluster_->node(hw::NodeType(i)));
     }
     host_interference_->arm(trace_end_ms_);
   }
 
-  // Self-rescheduling ticks that stop once the trace ended and everything
-  // drained (or the hard drain cap is reached).
-  auto dispatch_loop = std::make_shared<std::function<void()>>();
-  *dispatch_loop = [this, dispatch_loop, hard_end] {
-    dispatch_tick();
-    const TimeMs now = simulator_->now();
-    if (now >= hard_end) return;
-    if (now >= trace_end_ms_ && drained(now)) return;
-    simulator_->schedule_in(config_.dispatch_interval_ms,
-                            [dispatch_loop] { (*dispatch_loop)(); });
-  };
-  simulator_->schedule_at(0.0, [dispatch_loop] { (*dispatch_loop)(); });
+  // Repeating ticks (pooled slots, no per-firing allocation) that stop once
+  // the trace ended and everything drained (or the hard drain cap is
+  // reached). The re-arm is stamped after the tick body, so the event order
+  // matches the old shared_ptr<std::function> self-rescheduling chains.
+  const TimeMs cap = hard_end();
+  simulator_->schedule_repeating(
+      0.0, config_.dispatch_interval_ms,
+      [this, cap] {
+        dispatch_tick();
+        const TimeMs now = simulator_->now();
+        if (now >= cap) return false;
+        return now < trace_end_ms_ || !drained(now);
+      },
+      config_.shard);
+  simulator_->schedule_repeating(
+      config_.monitor_interval_ms, config_.monitor_interval_ms,
+      [this] {
+        monitor_tick();
+        return simulator_->now() + config_.monitor_interval_ms <= trace_end_ms_;
+      },
+      config_.shard);
+  simulator_->schedule_repeating(
+      config_.autoscaler.predictive_interval_ms,
+      config_.autoscaler.predictive_interval_ms,
+      [this] {
+        predictive_tick();
+        return simulator_->now() + config_.autoscaler.predictive_interval_ms <=
+               trace_end_ms_;
+      },
+      config_.shard);
+}
 
-  auto monitor_loop = std::make_shared<std::function<void()>>();
-  *monitor_loop = [this, monitor_loop] {
-    monitor_tick();
-    if (simulator_->now() + config_.monitor_interval_ms <= trace_end_ms_) {
-      simulator_->schedule_in(config_.monitor_interval_ms,
-                              [monitor_loop] { (*monitor_loop)(); });
-    }
-  };
-  simulator_->schedule_at(config_.monitor_interval_ms,
-                          [monitor_loop] { (*monitor_loop)(); });
+TimeMs Framework::run() {
+  begin_run();
+  const TimeMs end = simulator_->run_until(hard_end());
+  finish_run(end);
+  return end;
+}
 
-  auto predictive_loop = std::make_shared<std::function<void()>>();
-  *predictive_loop = [this, predictive_loop] {
-    predictive_tick();
-    if (simulator_->now() + config_.autoscaler.predictive_interval_ms <=
-        trace_end_ms_) {
-      simulator_->schedule_in(config_.autoscaler.predictive_interval_ms,
-                              [predictive_loop] { (*predictive_loop)(); });
-    }
-  };
-  simulator_->schedule_at(config_.autoscaler.predictive_interval_ms,
-                          [predictive_loop] { (*predictive_loop)(); });
-
-  const TimeMs end = simulator_->run_until(hard_end);
-
+void Framework::finish_run(TimeMs end) {
   // Requests still unserved at the drain cap are SLO violations.
   for (auto& workload : workloads_) {
     const int leftover = gateway_.pending_total(workload.model);
@@ -596,7 +630,6 @@ TimeMs Framework::run() {
   // One last detector pass over the drain tail, then close still-firing
   // incidents so every alert carries a resolve timestamp.
   if (health_ != nullptr) health_->finalize(end);
-  return end;
 }
 
 }  // namespace paldia::core

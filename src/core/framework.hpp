@@ -85,6 +85,25 @@ struct FrameworkConfig {
   /// and drain-cap unserved counts; evaluated once per monitor tick and
   /// finalized at the run end.
   obs::HealthEngine* health = nullptr;
+  /// Fleet endpoint this serving loop belongs to. Tags every allocated id
+  /// (requests, batches, containers) in the high bits so ids stay globally
+  /// unique across gateways; 0 (standalone runs) is bit-identical to the
+  /// untagged allocator.
+  int endpoint_id = 0;
+  /// Sharded-drain epoch window (simulated ms). 0 = conservative auto: the
+  /// fastest control cadence (min of the dispatch/monitor/predictive
+  /// intervals). Correctness never depends on this value — intra-window
+  /// schedules are merged exactly and stamps are global — it only sizes how
+  /// much queue work each barrier epoch batches. Fleets size it in hundreds
+  /// of ms (Fleet defaults it to kFleetLookaheadMs) so one epoch extracts a
+  /// whole timer population instead of rescanning the resident heap once
+  /// per dispatch tick.
+  DurationMs lookahead_ms = 0.0;
+  /// Event shard all of this framework's timers (ticks, injections, tracker
+  /// samples, switch warmups) land on. Fleets pin each endpoint to its own
+  /// shard so steady-state serving never crosses the cross-shard mailbox;
+  /// placement never changes event order (stamps are global).
+  int shard = 0;
 };
 
 class Framework {
@@ -106,12 +125,33 @@ class Framework {
   void enable_host_interference(std::vector<cluster::CoResident> coresidents);
 
   /// Run the experiment to completion (trace + drain). Returns the
-  /// simulated end time.
+  /// simulated end time. Equivalent to begin_run(); run_until(hard_end());
+  /// finish_run(end) — fleets use the split form so many endpoints share
+  /// one run_until.
   TimeMs run();
+
+  /// Arm the experiment without advancing time: initial node + prewarm,
+  /// trace injections, tracker/tick scheduling. The caller then drives the
+  /// shared simulator (to at least hard_end()) and calls finish_run().
+  void begin_run();
+
+  /// Latest simulated time this run can produce events for (trace end plus
+  /// the drain cap). Valid after add_workload().
+  TimeMs hard_end() const { return trace_end_ms_ + config_.max_drain_ms; }
+
+  /// Close out the run at simulated time `end`: count drain-cap leftovers
+  /// as unserved violations, release held nodes, flush final counters,
+  /// finalize health.
+  void finish_run(TimeMs end);
 
   // --- Telemetry access (valid after run()) --------------------------------
   const telemetry::LatencyRecorder& latency(models::ModelId model) const;
   const telemetry::SloTracker& slo(models::ModelId model) const;
+  /// The workload's arrival trace as registered (a fleet endpoint's is its
+  /// routed sub-trace). Metric extraction reads it for the goodput window.
+  const trace::Trace& workload_trace(models::ModelId model) const {
+    return workload(model).trace;
+  }
   const telemetry::PowerTracker& power() const { return *power_; }
   const telemetry::UtilTracker& util() const { return *util_; }
   std::uint64_t unserved_requests() const { return unserved_; }
@@ -138,6 +178,11 @@ class Framework {
 
   DemandSnapshot snapshot(const Workload& workload, TimeMs now);
   void schedule_injections(const Workload& workload);
+  /// Schedules the next non-zero trace epoch at or after `from_epoch`; the
+  /// injection event re-invokes this for its successor (chained, so only
+  /// one injection event per workload is ever resident).
+  void schedule_injection_epoch(const Workload& workload,
+                                std::size_t from_epoch);
   void dispatch_tick();
   void monitor_tick();
   void predictive_tick();

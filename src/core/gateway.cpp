@@ -7,8 +7,10 @@
 
 namespace paldia::core {
 
-Gateway::Gateway(Rng rng, cluster::RequestArena* arena)
-    : rng_(rng), per_model_(static_cast<std::size_t>(models::kModelCount)) {
+Gateway::Gateway(Rng rng, cluster::RequestArena* arena, int endpoint_tag)
+    : rng_(rng),
+      ids_(endpoint_tag),
+      per_model_(static_cast<std::size_t>(models::kModelCount)) {
   if (arena == nullptr) {
     owned_arena_ = std::make_unique<cluster::RequestArena>();
     arena_ = owned_arena_.get();

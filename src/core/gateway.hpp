@@ -27,8 +27,12 @@ namespace paldia::core {
 class Gateway {
  public:
   /// `arena` supplies take()'s pooled blocks; when null (tests, benchmarks)
-  /// the gateway owns a private always-pooling arena.
-  explicit Gateway(Rng rng, cluster::RequestArena* arena = nullptr);
+  /// the gateway owns a private always-pooling arena. `endpoint_tag` lands
+  /// in the high bits of every request id this gateway mints (see
+  /// cluster::IdAllocator), keeping ids globally unique across a fleet's
+  /// gateways; tag 0 emits the classic single-gateway ids unchanged.
+  explicit Gateway(Rng rng, cluster::RequestArena* arena = nullptr,
+                   int endpoint_tag = 0);
 
   /// Observability hook (null = tracing disabled; single-branch cost).
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }

@@ -78,18 +78,37 @@ RunResult Runner::run_once(const Scenario& scenario, SchemeId scheme,
 
   framework.run();
 
+  ExtractOptions extract;
+  extract.scheme = scheme_name(scheme);
+  extract.trace_label = scenario.name;
+  extract.goodput_window_ms = scenario.goodput_window_ms;
+  extract.keep_cdf = keep_cdf;
+  std::vector<models::ModelId> workload_models;
+  workload_models.reserve(scenario.workloads.size());
+  for (const auto& workload : scenario.workloads) {
+    workload_models.push_back(workload.model);
+  }
+  return extract_run_metrics(framework, cluster, workload_models, &calibration,
+                             extract);
+}
+
+RunResult extract_run_metrics(core::Framework& framework,
+                              cluster::Cluster& cluster,
+                              const std::vector<models::ModelId>& workloads,
+                              obs::CalibrationTracker* calibration,
+                              const ExtractOptions& options) {
   RunResult result;
   Histogram merged_e2e;
   telemetry::TailBreakdown combined_breakdown;
   std::uint64_t total_requests = 0, total_compliant = 0, total_completed = 0;
 
-  for (const auto& workload : scenario.workloads) {
-    const auto& latency = framework.latency(workload.model);
-    const auto& slo = framework.slo(workload.model);
+  for (const auto model : workloads) {
+    const auto& latency = framework.latency(model);
+    const auto& slo = framework.slo(model);
     telemetry::RunMetrics metrics;
-    metrics.scheme = scheme_name(scheme);
-    metrics.workload = std::string(models::model_id_name(workload.model));
-    metrics.trace = scenario.name;
+    metrics.scheme = options.scheme;
+    metrics.workload = std::string(models::model_id_name(model));
+    metrics.trace = options.trace_label;
     metrics.requests = slo.total();
     metrics.slo_compliance = slo.compliance();
     metrics.mean_latency_ms = latency.mean_ms();
@@ -102,8 +121,9 @@ RunResult Runner::run_once(const Scenario& scenario, SchemeId scheme,
     // The goodput window covers the busiest span *including its ramp* —
     // surge-onset violations land on the rising edge, just before the peak
     // itself (Fig. 7a measures "periods of highest request traffic").
-    auto window = trace::busiest_window(workload.trace, scenario.goodput_window_ms);
-    window.start_ms = std::max(0.0, window.start_ms - scenario.goodput_window_ms);
+    auto window = trace::busiest_window(framework.workload_trace(model),
+                                        options.goodput_window_ms);
+    window.start_ms = std::max(0.0, window.start_ms - options.goodput_window_ms);
     metrics.goodput_rps = slo.goodput_rps(window.start_ms, window.end_ms);
     metrics.offered_rps = slo.arrival_rps(window.start_ms, window.end_ms);
     metrics.slo_violations = static_cast<double>(slo.violations());
@@ -112,7 +132,7 @@ RunResult Runner::run_once(const Scenario& scenario, SchemeId scheme,
           static_cast<double>(
               slo.violation_causes()[static_cast<std::size_t>(cause)]);
     }
-    if (keep_cdf) metrics.latency_cdf = latency.cdf();
+    if (options.keep_cdf) metrics.latency_cdf = latency.cdf();
 
     merged_e2e.merge(latency.e2e());
     const auto weight = static_cast<double>(latency.count());
@@ -130,7 +150,7 @@ RunResult Runner::run_once(const Scenario& scenario, SchemeId scheme,
   }
 
   telemetry::RunMetrics combined = result.per_workload.front();
-  combined.workload = scenario.workloads.size() == 1
+  combined.workload = workloads.size() == 1
                           ? result.per_workload.front().workload
                           : "combined";
   combined.requests = total_completed;
@@ -173,11 +193,14 @@ RunResult Runner::run_once(const Scenario& scenario, SchemeId scheme,
       combined.violations_by_cause[cause] += per_workload.violations_by_cause[cause];
     }
   }
-  const obs::CalibrationSummary calibration_summary = calibration.finalize();
-  combined.tmax_mape = calibration_summary.tmax_mape;
-  combined.tmax_coverage = calibration_summary.tmax_coverage;
-  combined.rate_mape = calibration_summary.rate.mape;
-  combined.calib_intervals = static_cast<double>(calibration_summary.intervals_total);
+  if (calibration != nullptr) {
+    const obs::CalibrationSummary calibration_summary = calibration->finalize();
+    combined.tmax_mape = calibration_summary.tmax_mape;
+    combined.tmax_coverage = calibration_summary.tmax_coverage;
+    combined.rate_mape = calibration_summary.rate.mape;
+    combined.calib_intervals =
+        static_cast<double>(calibration_summary.intervals_total);
+  }
 
   // Sweep-memoization totals are policy-wide (the cache is shared across
   // workloads), mirrored into every row like the other shared columns.

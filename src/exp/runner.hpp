@@ -8,12 +8,37 @@
 #include "src/obs/tracer.hpp"
 #include "src/telemetry/metrics.hpp"
 
+namespace paldia::obs {
+class CalibrationTracker;
+}  // namespace paldia::obs
+
 namespace paldia::exp {
 
 struct RunResult {
   std::vector<telemetry::RunMetrics> per_workload;
   telemetry::RunMetrics combined;
 };
+
+/// Labels and knobs for extract_run_metrics.
+struct ExtractOptions {
+  std::string scheme;       // RunMetrics::scheme column
+  std::string trace_label;  // RunMetrics::trace column (scenario name, or a
+                            // fleet endpoint label like "azure-fleet-e003")
+  DurationMs goodput_window_ms = 10'000.0;
+  bool keep_cdf = false;    // retain the merged latency CDF per workload
+};
+
+/// Pull one completed Framework run into RunMetrics rows: one per workload
+/// (model) plus the merged "combined" row with cluster-wide cost / power /
+/// utilization / calibration columns. Shared by Runner::run_once and the
+/// fleet driver (which calls it once per endpoint). `calibration` may be
+/// null (fleet endpoints without decision sweeps); the tmax columns then
+/// stay zero.
+RunResult extract_run_metrics(core::Framework& framework,
+                              cluster::Cluster& cluster,
+                              const std::vector<models::ModelId>& workloads,
+                              obs::CalibrationTracker* calibration,
+                              const ExtractOptions& options);
 
 class Runner {
  public:

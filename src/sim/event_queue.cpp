@@ -116,7 +116,8 @@ EventQueue::Fired EventQueue::pop() {
   return fired;
 }
 
-void EventQueue::extract_until(TimeMs t, std::vector<Entry>& out) {
+void EventQueue::extract_until(TimeMs t, std::uint32_t shard,
+                               std::vector<Tagged>& out) {
   const std::size_t first = out.size();
   // One linear pass decides the strategy: dense windows (an epoch that
   // drains a sizeable fraction of the heap) pay O(n) once for a partition
@@ -140,10 +141,11 @@ void EventQueue::extract_until(TimeMs t, std::vector<Entry>& out) {
         heap_.begin(), heap_.end(), t,
         [](TimeMs bound, const Entry& item) { return bound < item.time; });
     for (auto it = heap_.begin(); it != window_end; ++it) {
+      if (window_end - it > 8) __builtin_prefetch(&slots_[it[8].index]);
       const Slot& slot = slots_[it->index];
       if (slot.generation == it->generation &&
           slot.state == SlotState::kPending) {
-        out.push_back(*it);
+        out.push_back(Tagged{*it, shard});
       } else {
         collect_dead(*it);
       }
@@ -157,14 +159,15 @@ void EventQueue::extract_until(TimeMs t, std::vector<Entry>& out) {
       const Slot& slot = slots_[item.index];
       if (slot.generation == item.generation &&
           slot.state == SlotState::kPending) {
-        out.push_back(item);
+        out.push_back(Tagged{item, shard});
       } else {
         collect_dead(item);
       }
     }
   }
   for (std::size_t i = first; i < out.size(); ++i) {
-    Slot& slot = slots_[out[i].index];
+    if (i + 8 < out.size()) __builtin_prefetch(&slots_[out[i + 8].entry.index]);
+    Slot& slot = slots_[out[i].entry.index];
     slot.state = SlotState::kExtracted;
     --live_;  // the entry now belongs to the epoch run, not the queue
   }
@@ -179,6 +182,23 @@ bool EventQueue::ready(const Entry& entry) {
     release_slot(entry.index);  // collect: nothing else references this slot
   }
   return false;
+}
+
+EventFn EventQueue::take(const Entry& entry) {
+  Slot& slot = slots_[entry.index];
+  if (slot.generation != entry.generation) return {};  // recycled tombstone
+  if (slot.state == SlotState::kCancelled) {
+    release_slot(entry.index);  // collect: nothing else references this slot
+    return {};
+  }
+  assert(slot.state == SlotState::kExtracted ||
+         slot.state == SlotState::kPending);
+  if (slot.state == SlotState::kPending) {
+    --live_;  // staged-but-uncommitted entries still count as queued
+  }
+  EventFn fn = std::move(slot.fn);
+  release_slot(entry.index);
+  return fn;
 }
 
 void EventQueue::fire(const Entry& entry) {

@@ -103,16 +103,24 @@ class EventQueue {
     return EventHandle(this, entry.index, entry.generation);
   }
 
+  /// An entry tagged with the shard whose queue owns it — the unit the
+  /// sharded Simulator's merged epoch run, insert calendar and mailbox all
+  /// carry, so entries from different queues can interleave in one array.
+  struct Tagged {
+    Entry entry;
+    std::uint32_t shard;
+  };
+
   /// Batch-remove every live entry with time <= t, appending them to `out`
-  /// sorted by (time, sequence). Dead entries inside the window are
-  /// collected. Extracted slots stay alive (their state moves to
-  /// kExtracted) so outstanding handles can still cancel them until
-  /// ready()/fire() replays them; the live counter treats them as gone —
-  /// they now belong to the epoch, not the queue. Dense windows switch from
-  /// per-item pops to a linear partition + one re-heapify, which is what
-  /// makes the sharded drain cheaper than the serial pop loop even before
-  /// any parallelism.
-  void extract_until(TimeMs t, std::vector<Entry>& out);
+  /// tagged with `shard` and sorted by (time, sequence). Dead entries
+  /// inside the window are collected. Extracted slots stay alive (their
+  /// state moves to kExtracted) so outstanding handles can still cancel
+  /// them until ready()/fire() replays them; the live counter treats them
+  /// as gone — they now belong to the epoch, not the queue. Dense windows
+  /// switch from per-item pops to a linear partition + one re-heapify,
+  /// which is what makes the sharded drain cheaper than the serial pop loop
+  /// even before any parallelism.
+  void extract_until(TimeMs t, std::uint32_t shard, std::vector<Tagged>& out);
 
   /// True when the extracted/staged entry is still live; collects the slot
   /// of a dead entry (cancelled while it sat in the epoch run). Call
@@ -123,6 +131,22 @@ class EventQueue {
   /// callback (same order as pop(): the slot is recycled before the
   /// callback executes). Precondition: ready(entry) just returned true.
   void fire(const Entry& entry);
+
+  /// ready() + fire() fused into one slot lookup, minus the call itself:
+  /// claims the extracted/staged entry's callback and releases the slot, or
+  /// returns an empty function (collecting the slot) when the entry died in
+  /// the epoch run. The sharded drain calls this once per event, so the
+  /// second slab access ready()/fire() would pay is gone; the caller runs
+  /// the callback after stamping its own clock.
+  EventFn take(const Entry& entry);
+
+  /// Hint the cache that `entry`'s slot is about to be touched. The merged
+  /// epoch run tells the sharded drain which slots fire next — lookahead a
+  /// heap can never give the serial pop loop — so prefetching a few entries
+  /// ahead hides the random slab access that otherwise dominates take().
+  void prefetch(const Entry& entry) const {
+    __builtin_prefetch(&slots_[entry.index]);
+  }
 
   /// True when no live (non-cancelled) event remains. O(1): tracked by a
   /// live-entry counter, so no lazy cleanup (and no `mutable`) is needed.

@@ -8,16 +8,25 @@
 
 namespace paldia::sim {
 
-namespace {
-
-/// Strict total order on entries: sequences are globally unique, so this
-/// never declares a tie.
-bool entry_earlier(const EventQueue::Entry& a, const EventQueue::Entry& b) {
-  if (a.time != b.time) return a.time < b.time;
-  return a.sequence < b.sequence;
+void Simulator::InsertCalendar::begin(TimeMs start, TimeMs end) {
+  assert(size_ == 0);
+  heap_.clear();
+  current_ = 0;
+  start_ = start;
+  inv_width_ = end > start ? static_cast<double>(kBuckets) / (end - start) : 0.0;
 }
 
-}  // namespace
+void Simulator::InsertCalendar::advance() {
+  assert(size_ > 0);
+  while (heap_.empty()) {
+    ++current_;
+    assert(current_ < kBuckets);
+    // Swap recycles both vectors' capacity across epochs; the bucket is
+    // unordered, so heapify it in one linear pass.
+    heap_.swap(buckets_[current_]);
+    std::make_heap(heap_.begin(), heap_.end(), StagedLater{});
+  }
+}
 
 Simulator::Simulator(const ShardOptions& options)
     : shards_(static_cast<std::size_t>(std::max(1, options.shards))),
@@ -48,11 +57,7 @@ EventHandle Simulator::schedule_at(TimeMs t, EventFn fn, int shard) {
     // Intra-window schedule: merge it into the executing epoch at its exact
     // (time, sequence) position so zero-delay chains and device completions
     // shorter than the lookahead fire in serial order.
-    inserts_.push_back(Staged{entry, target});
-    std::push_heap(inserts_.begin(), inserts_.end(),
-                   [](const Staged& a, const Staged& b) {
-                     return entry_earlier(b.entry, a.entry);
-                   });
+    inserts_.push(Staged{entry, target});
   } else {
     // Cross-shard mailbox message: committed at the epoch barrier.
     mailbox_.push_back(Staged{entry, target});
@@ -149,8 +154,7 @@ void Simulator::drain_epoch(TimeMs window) {
   const auto extract = [this, window](std::size_t s) {
     Shard& shard = shards_[s];
     shard.run.clear();
-    shard.cursor = 0;
-    shard.queue.extract_until(window, shard.run);
+    shard.queue.extract_until(window, static_cast<std::uint32_t>(s), shard.run);
   };
   {
     // Timed whole from the driver thread, parallel fan-out included, so the
@@ -166,70 +170,84 @@ void Simulator::drain_epoch(TimeMs window) {
   obs::ScopedPhase merge_prof(profiler_, obs::ProfilePhase::kEpochMerge);
   in_epoch_ = true;
   window_end_ = window;
-  // Merged execution: always the globally-earliest (time, sequence) entry,
-  // whether it came from a shard's extracted run or was scheduled inside
-  // this window. Intra-window inserts always carry larger sequence numbers
-  // than every extracted entry, so ties at equal times resolve exactly as
-  // the serial pop loop would. The scan runs over the compact heads_ array
-  // (one {time, sequence, shard} per non-exhausted run); exhausted runs are
-  // swap-removed, which is order-safe because the minimum is keyed, not
-  // positional.
-  heads_.clear();
+  inserts_.begin(now_, window);
+  // Pre-merge the per-shard sorted runs into one contiguous execution run:
+  // tournament rounds of std::merge, log2(shards) strictly-sequential
+  // passes. This replaces the old per-event scan over one head per shard —
+  // the hot execution loop below then walks a single array and compares
+  // only against the insert calendar. With one non-empty run the span
+  // aliases that shard's run directly (zero copies).
+  const auto earlier = [](const Staged& a, const Staged& b) {
+    if (a.entry.time != b.entry.time) return a.entry.time < b.entry.time;
+    return a.entry.sequence < b.entry.sequence;
+  };
+  spans_.clear();
+  std::size_t run_total = 0;
   for (std::size_t s = 0; s < n; ++s) {
     if (!shards_[s].run.empty()) {
-      const EventQueue::Entry& head = shards_[s].run.front();
-      heads_.push_back(
-          RunHead{head.time, head.sequence, static_cast<std::uint32_t>(s)});
+      spans_.push_back(Span{shards_[s].run.data(),
+                            shards_[s].run.data() + shards_[s].run.size()});
+      run_total += shards_[s].run.size();
     }
   }
-  while (true) {
-    std::size_t best_at = heads_.size();
-    for (std::size_t i = 0; i < heads_.size(); ++i) {
-      if (best_at == heads_.size() ||
-          heads_[i].time < heads_[best_at].time ||
-          (heads_[i].time == heads_[best_at].time &&
-           heads_[i].sequence < heads_[best_at].sequence)) {
-        best_at = i;
-      }
+  std::vector<Staged>* out = &merge_front_;
+  std::vector<Staged>* spare = &merge_back_;
+  while (spans_.size() > 1) {
+    out->clear();
+    out->reserve(run_total);  // back_inserter must never reallocate: the
+                              // spans recorded below point into out
+    next_spans_.clear();
+    std::size_t i = 0;
+    for (; i + 1 < spans_.size(); i += 2) {
+      const std::size_t offset = out->size();
+      std::merge(spans_[i].begin, spans_[i].end, spans_[i + 1].begin,
+                 spans_[i + 1].end, std::back_inserter(*out), earlier);
+      next_spans_.push_back(Span{out->data() + offset, nullptr});
     }
-    const bool have_run = best_at != heads_.size();
+    if (i < spans_.size()) {
+      // Odd run out: copy it through so no span of the next round aliases
+      // the buffer that round writes into.
+      const std::size_t offset = out->size();
+      out->insert(out->end(), spans_[i].begin, spans_[i].end);
+      next_spans_.push_back(Span{out->data() + offset, nullptr});
+    }
+    for (std::size_t j = 0; j + 1 < next_spans_.size(); ++j) {
+      next_spans_[j].end = next_spans_[j + 1].begin;
+    }
+    next_spans_.back().end = out->data() + out->size();
+    spans_.swap(next_spans_);
+    std::swap(out, spare);
+  }
+  const Staged* run_it = nullptr;
+  const Staged* run_end = nullptr;
+  if (!spans_.empty()) {
+    run_it = spans_.front().begin;
+    run_end = spans_.front().end;
+  }
+  // Merged execution: always the globally-earliest (time, sequence) entry,
+  // whether it came from the merged run or was scheduled inside this
+  // window. Intra-window inserts always carry larger sequence numbers than
+  // every extracted entry, so ties at equal times resolve exactly as the
+  // serial pop loop would.
+  while (true) {
+    const bool have_run = run_it != run_end;
+    if (have_run && run_it + 3 < run_end) {
+      // The run is a few events of exact lookahead — prefetch the slot that
+      // fires shortly so take()'s slab access hits cache. The serial heap
+      // can never do this: its next event is unknown until the sift ends.
+      const Staged& ahead = run_it[3];
+      shards_[ahead.shard].queue.prefetch(ahead.entry);
+    }
     const bool use_insert =
         !inserts_.empty() &&
-        (!have_run ||
-         inserts_.front().entry.time < heads_[best_at].time ||
-         (inserts_.front().entry.time == heads_[best_at].time &&
-          inserts_.front().entry.sequence < heads_[best_at].sequence));
-    if (use_insert) {
-      std::pop_heap(inserts_.begin(), inserts_.end(),
-                    [](const Staged& a, const Staged& b) {
-                      return entry_earlier(b.entry, a.entry);
-                    });
-      const Staged staged = inserts_.back();
-      inserts_.pop_back();
-      EventQueue& queue = shards_[staged.shard].queue;
-      if (queue.ready(staged.entry)) {
-        now_ = staged.entry.time;
-        ++events_processed_;
-        queue.fire(staged.entry);
-      }
-    } else if (have_run) {
-      Shard& shard = shards_[heads_[best_at].shard];
-      const EventQueue::Entry entry = shard.run[shard.cursor++];
-      if (shard.cursor < shard.run.size()) {
-        const EventQueue::Entry& next = shard.run[shard.cursor];
-        heads_[best_at].time = next.time;
-        heads_[best_at].sequence = next.sequence;
-      } else {
-        heads_[best_at] = heads_.back();
-        heads_.pop_back();
-      }
-      if (shard.queue.ready(entry)) {
-        now_ = entry.time;
-        ++events_processed_;
-        shard.queue.fire(entry);
-      }
-    } else {
-      break;
+        (!have_run || earlier(inserts_.front(), *run_it));
+    if (!use_insert && !have_run) break;
+    const Staged staged = use_insert ? inserts_.pop() : *run_it++;
+    EventFn fn = shards_[staged.shard].queue.take(staged.entry);
+    if (fn) {
+      now_ = staged.entry.time;
+      ++events_processed_;
+      fn();
     }
   }
   in_epoch_ = false;
@@ -293,7 +311,6 @@ void Simulator::reset() {
   for (Shard& shard : shards_) {
     shard.queue.clear();
     shard.run.clear();
-    shard.cursor = 0;
   }
   // Retire every periodic slot without restarting generations, so handles
   // from before the reset cannot cancel series scheduled after it.

@@ -23,7 +23,7 @@
 //      merged order equals the serial drain order event for event — which
 //      is what keeps every export byte-identical to --shards=1.
 //   4. Callbacks scheduled *inside* the window join the merge immediately
-//      (an insert heap, so zero-delay chains keep their serial order);
+//      (an insert calendar, so zero-delay chains keep their serial order);
 //      callbacks scheduled *past* the window are cross-shard mailbox
 //      messages, committed at the barrier. Their (time, sequence) stamps —
 //      assigned when scheduled — already define the total order, so commit
@@ -37,6 +37,8 @@
 // node shards (the dispatch interval).
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -178,29 +180,97 @@ class Simulator {
     bool active = false;
   };
 
+  /// A staged entry bound for `shard`'s queue: an extracted epoch-run
+  /// entry, an intra-window insert (merged into the executing epoch
+  /// immediately) or a cross-shard mailbox message (committed at the
+  /// barrier).
+  using Staged = EventQueue::Tagged;
+
   /// One event shard: a pooled queue plus its current epoch run.
   struct Shard {
     EventQueue queue;
-    std::vector<EventQueue::Entry> run;
-    std::size_t cursor = 0;
+    std::vector<Staged> run;
   };
 
-  /// A staged entry bound for `shard`'s queue: either an intra-window
-  /// insert (merged into the executing epoch immediately) or a cross-shard
-  /// mailbox message (committed at the barrier).
-  struct Staged {
-    EventQueue::Entry entry;
-    std::uint32_t shard;
+  /// Intra-window inserts of the executing epoch, consumed in exact global
+  /// (time, sequence) order. A bucketed calendar over [epoch start, window
+  /// end]: a push appends to its time bucket in O(1), and the merge loop
+  /// only ever needs the global minimum, which lives in the earliest
+  /// non-empty bucket — kept as a small binary heap that stays cache-hot.
+  /// The previous single epoch-wide heap paid one multi-megabyte sift per
+  /// reschedule once fleet-scale timer populations pushed most events
+  /// through the insert path.
+  class InsertCalendar {
+   public:
+    /// Arm for one epoch spanning [start, end]. Requires empty() — the merge
+    /// drains every insert before the epoch barrier.
+    void begin(TimeMs start, TimeMs end);
+
+    void push(const Staged& staged) {
+      const std::size_t index =
+          inv_width_ > 0.0
+              ? std::min(kBuckets - 1,
+                         static_cast<std::size_t>(
+                             (staged.entry.time - start_) * inv_width_))
+              : 0;
+      if (index <= current_) {
+        heap_.push_back(staged);
+        std::push_heap(heap_.begin(), heap_.end(), StagedLater{});
+      } else {
+        buckets_[index].push_back(staged);
+      }
+      ++size_;
+    }
+
+    bool empty() const { return size_ == 0; }
+
+    /// Global (time, sequence) minimum; requires !empty().
+    const Staged& front() {
+      if (heap_.empty()) advance();
+      return heap_.front();
+    }
+
+    Staged pop() {
+      if (heap_.empty()) advance();
+      std::pop_heap(heap_.begin(), heap_.end(), StagedLater{});
+      const Staged staged = heap_.back();
+      heap_.pop_back();
+      --size_;
+      return staged;
+    }
+
+   private:
+    static constexpr std::size_t kBuckets = 256;
+
+    /// Strict-weak "later" order on staged entries (max-heap comparator
+    /// yielding a (time, sequence) min-heap). Sequences are globally
+    /// unique, so this never declares a tie.
+    struct StagedLater {
+      bool operator()(const Staged& a, const Staged& b) const {
+        if (a.entry.time != b.entry.time) return a.entry.time > b.entry.time;
+        return a.entry.sequence > b.entry.sequence;
+      }
+    };
+
+    /// Move current_ to the next non-empty bucket and heapify it. Only
+    /// called with size_ > 0 and heap_ empty, so termination is guaranteed.
+    void advance();
+
+    std::array<std::vector<Staged>, kBuckets> buckets_;
+    std::vector<Staged> heap_;  // current bucket, min-heap by (time, sequence)
+    std::size_t current_ = 0;
+    std::size_t size_ = 0;
+    TimeMs start_ = 0.0;
+    double inv_width_ = 0.0;  // buckets per simulated ms; 0 = zero-width
   };
 
-  /// Compact cursor of one shard's sorted epoch run, scanned by the merge
-  /// loop. Keeping the head keys contiguous here (instead of chasing
-  /// Shard::run[cursor] through each ~100-byte Shard) makes the per-event
-  /// min-scan a walk over a few L1 cache lines.
-  struct RunHead {
-    TimeMs time;
-    std::uint64_t sequence;
-    std::uint32_t shard;
+  /// Half-open range over staged entries, the unit of the tournament merge
+  /// in drain_epoch. Spans point either into a shard's run (round 0, and
+  /// the zero-copy single-run case) or into one of the ping-pong merge
+  /// buffers.
+  struct Span {
+    const Staged* begin;
+    const Staged* end;
   };
 
   void fire_periodic(std::uint32_t index, std::uint32_t generation);
@@ -233,9 +303,14 @@ class Simulator {
   std::uint64_t next_sequence_ = 0;
   bool in_epoch_ = false;
   TimeMs window_end_ = 0.0;
-  std::vector<Staged> inserts_;  // min-heap by (time, sequence)
+  InsertCalendar inserts_;
   std::vector<Staged> mailbox_;
-  std::vector<RunHead> heads_;  // merge-scan scratch, reused across epochs
+  // Tournament-merge scratch, reused across epochs: spans of the current /
+  // next round and the two buffers the rounds ping-pong between.
+  std::vector<Span> spans_;
+  std::vector<Span> next_spans_;
+  std::vector<Staged> merge_front_;
+  std::vector<Staged> merge_back_;
   obs::Profiler* profiler_ = nullptr;  // self-profiling hooks (optional)
 };
 

@@ -8,22 +8,27 @@ PowerTracker::PowerTracker(sim::Simulator& simulator, const cluster::Cluster& cl
                            DurationMs sample_period_ms)
     : simulator_(&simulator), cluster_(&cluster), period_ms_(sample_period_ms) {}
 
+int PowerTracker::tracked_types() const {
+  return std::min(hw::kNodeTypeCount,
+                  static_cast<int>(cluster_->catalog().size()));
+}
+
 void PowerTracker::arm(TimeMs end_ms) {
   end_ms_ = end_ms;
   started_ms_ = simulator_->now();
   last_sample_ms_ = started_ms_;
-  for (int i = 0; i < hw::kNodeTypeCount; ++i) {
+  for (int i = 0; i < tracked_types(); ++i) {
     last_busy_ms_[static_cast<std::size_t>(i)] =
         cluster_->node(hw::NodeType(i)).device_busy_time_ms();
   }
-  simulator_->schedule_in(period_ms_, [this] { sample(); });
+  simulator_->schedule_in(period_ms_, [this] { sample(); }, shard_);
 }
 
 void PowerTracker::sample() {
   const TimeMs now = simulator_->now();
   const DurationMs dt = now - last_sample_ms_;
   if (dt > 0.0) {
-    for (int i = 0; i < hw::kNodeTypeCount; ++i) {
+    for (int i = 0; i < tracked_types(); ++i) {
       const auto type = hw::NodeType(i);
       const auto& node = cluster_->node(type);
       const DurationMs busy = node.device_busy_time_ms();
@@ -40,7 +45,7 @@ void PowerTracker::sample() {
   }
   last_sample_ms_ = now;
   if (now + period_ms_ <= end_ms_) {
-    simulator_->schedule_in(period_ms_, [this] { sample(); });
+    simulator_->schedule_in(period_ms_, [this] { sample(); }, shard_);
   }
 }
 

@@ -8,21 +8,26 @@ UtilTracker::UtilTracker(sim::Simulator& simulator, const cluster::Cluster& clus
                          DurationMs sample_period_ms)
     : simulator_(&simulator), cluster_(&cluster), period_ms_(sample_period_ms) {}
 
+int UtilTracker::tracked_types() const {
+  return std::min(hw::kNodeTypeCount,
+                  static_cast<int>(cluster_->catalog().size()));
+}
+
 void UtilTracker::arm(TimeMs end_ms) {
   end_ms_ = end_ms;
   last_sample_ms_ = simulator_->now();
-  for (int i = 0; i < hw::kNodeTypeCount; ++i) {
+  for (int i = 0; i < tracked_types(); ++i) {
     last_busy_ms_[static_cast<std::size_t>(i)] =
         cluster_->node(hw::NodeType(i)).device_busy_time_ms();
   }
-  simulator_->schedule_in(period_ms_, [this] { sample(); });
+  simulator_->schedule_in(period_ms_, [this] { sample(); }, shard_);
 }
 
 void UtilTracker::sample() {
   const TimeMs now = simulator_->now();
   const DurationMs dt = now - last_sample_ms_;
   if (dt > 0.0) {
-    for (int i = 0; i < hw::kNodeTypeCount; ++i) {
+    for (int i = 0; i < tracked_types(); ++i) {
       const auto index = static_cast<std::size_t>(i);
       const auto type = hw::NodeType(i);
       const DurationMs busy = cluster_->node(type).device_busy_time_ms();
@@ -35,7 +40,7 @@ void UtilTracker::sample() {
   }
   last_sample_ms_ = now;
   if (now + period_ms_ <= end_ms_) {
-    simulator_->schedule_in(period_ms_, [this] { sample(); });
+    simulator_->schedule_in(period_ms_, [this] { sample(); }, shard_);
   }
 }
 
@@ -46,7 +51,7 @@ double UtilTracker::utilization(hw::NodeType type) const {
 
 double UtilTracker::gpu_utilization() const {
   DurationMs busy = 0.0, held = 0.0;
-  for (int i = 0; i < hw::kNodeTypeCount; ++i) {
+  for (int i = 0; i < tracked_types(); ++i) {
     if (!cluster_->catalog().spec(hw::NodeType(i)).is_gpu()) continue;
     busy += busy_while_held_ms_[static_cast<std::size_t>(i)];
     held += held_ms_[static_cast<std::size_t>(i)];
@@ -56,7 +61,7 @@ double UtilTracker::gpu_utilization() const {
 
 double UtilTracker::cpu_utilization() const {
   DurationMs busy = 0.0, held = 0.0;
-  for (int i = 0; i < hw::kNodeTypeCount; ++i) {
+  for (int i = 0; i < tracked_types(); ++i) {
     if (cluster_->catalog().spec(hw::NodeType(i)).is_gpu()) continue;
     busy += busy_while_held_ms_[static_cast<std::size_t>(i)];
     held += held_ms_[static_cast<std::size_t>(i)];

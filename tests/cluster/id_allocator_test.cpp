@@ -1,0 +1,117 @@
+// Fleet id regression tests: endpoint-tagged IdAllocators must never
+// collide across endpoints, and tag 0 must be bit-identical to the
+// untagged allocator so every single-endpoint artifact (trace sampling
+// decisions, decision logs, exports keyed by id) is unchanged by the
+// fleet work.
+#include "src/cluster/request.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/core/gateway.hpp"
+#include "src/obs/sampler.hpp"
+
+namespace paldia::cluster {
+namespace {
+
+TEST(IdAllocator, TagZeroIsBitIdenticalToDefault) {
+  IdAllocator untagged;
+  IdAllocator tagged(0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(untagged.next_request().value, tagged.next_request().value);
+    EXPECT_EQ(untagged.next_batch().value, tagged.next_batch().value);
+    EXPECT_EQ(untagged.next_container().value, tagged.next_container().value);
+    EXPECT_EQ(untagged.next_node().value, tagged.next_node().value);
+  }
+}
+
+TEST(IdAllocator, DistinctTagsNeverCollideAcrossAllIdKinds) {
+  IdAllocator a(1);
+  IdAllocator b(2);
+  std::set<std::int64_t> requests, batches, containers, nodes;
+  for (int i = 0; i < 5000; ++i) {
+    requests.insert(a.next_request().value);
+    requests.insert(b.next_request().value);
+    batches.insert(a.next_batch().value);
+    batches.insert(b.next_batch().value);
+    containers.insert(a.next_container().value);
+    containers.insert(b.next_container().value);
+    nodes.insert(a.next_node().value);
+    nodes.insert(b.next_node().value);
+  }
+  EXPECT_EQ(requests.size(), 10000u);
+  EXPECT_EQ(batches.size(), 10000u);
+  EXPECT_EQ(containers.size(), 10000u);
+  EXPECT_EQ(nodes.size(), 10000u);
+}
+
+TEST(IdAllocator, EndpointOfRecoversTheTag) {
+  for (const int tag : {0, 1, 5, 63, 1023}) {
+    IdAllocator ids(tag);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_EQ(IdAllocator::endpoint_of(ids.next_request().value), tag);
+      EXPECT_EQ(IdAllocator::endpoint_of(ids.next_batch().value), tag);
+    }
+  }
+}
+
+TEST(IdAllocator, TaggedIdsStayPositive) {
+  // 2^23 - 1 is the largest endpoint tag; the sign bit must stay clear so
+  // Id::valid() and every int64 comparison keep working.
+  IdAllocator ids((1 << 23) - 1);
+  const std::int64_t id = ids.next_request().value;
+  EXPECT_GT(id, 0);
+  EXPECT_EQ(IdAllocator::endpoint_of(id), (1 << 23) - 1);
+}
+
+TEST(IdAllocator, SamplerDecisionsUnchangedForSingleEndpoint) {
+  // The TraceSampler hashes raw id bits. Tag 0 emits the exact ids the
+  // untagged allocator always did, so the kept-request set of any existing
+  // single-endpoint run is bit-for-bit reproducible.
+  const obs::TraceSampler sampler(64);
+  IdAllocator untagged;
+  IdAllocator tagged(0);
+  int kept = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const std::int64_t a = untagged.next_request().value;
+    const std::int64_t b = tagged.next_request().value;
+    ASSERT_EQ(a, b);
+    const bool keep = sampler.keep_compliant(a);
+    EXPECT_EQ(keep, sampler.keep_compliant(b));
+    kept += keep ? 1 : 0;
+  }
+  // ~1/64 of 100k; loose band just guards against all/none degeneracy.
+  EXPECT_GT(kept, 1000);
+  EXPECT_LT(kept, 2200);
+}
+
+TEST(IdAllocator, TwoGatewaysNeverMintTheSameRequestId) {
+  // Fleet regression: endpoint-tagged gateways draw from disjoint id
+  // ranges, so tracing/attribution keyed by request id cannot alias.
+  constexpr auto kModel = models::ModelId::kResNet50;
+  core::Gateway first(Rng(1), nullptr, /*endpoint_tag=*/0);
+  core::Gateway second(Rng(1), nullptr, /*endpoint_tag=*/1);
+  first.add_workload(kModel);
+  second.add_workload(kModel);
+  first.inject(kModel, 2000, 0.0, 10.0);
+  second.inject(kModel, 2000, 0.0, 10.0);
+  std::set<std::int64_t> ids;
+  for (auto* gateway : {&first, &second}) {
+    auto taken = gateway->take(kModel, 2000, 100.0);
+    EXPECT_EQ(taken.size(), 2000u);
+    for (const auto& request : taken) {
+      EXPECT_TRUE(ids.insert(request.id.value).second)
+          << "duplicate id " << request.id.value;
+    }
+  }
+  EXPECT_EQ(ids.size(), 4000u);
+  // Both gateways saw identical Rng streams, so the collision freedom comes
+  // from the tag alone — the low bits do collide.
+  EXPECT_EQ(IdAllocator::endpoint_of(*ids.begin()), 0);
+  EXPECT_EQ(IdAllocator::endpoint_of(*ids.rbegin()), 1);
+}
+
+}  // namespace
+}  // namespace paldia::cluster

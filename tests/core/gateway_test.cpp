@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
 #include <set>
+#include <vector>
 
 namespace paldia::core {
 namespace {
@@ -132,6 +135,113 @@ TEST(Gateway, ZeroCountInjectIsNoop) {
   gateway.add_workload(kModel);
   gateway.inject(kModel, 0, 0.0, 100.0);
   EXPECT_EQ(gateway.pending_total(kModel), 0);
+}
+
+TEST(Gateway, FleetFanInRandomizedAgainstReferenceModel) {
+  // Fleet fan-in shape: many models on one gateway under a random
+  // interleaving of inject / take / requeue (batches held in flight come
+  // back after simulated failures) while the clock only moves forward.
+  // Cross-checked against a reference count model per model, plus the
+  // queue invariants every consumer depends on:
+  //   * take() returns arrival-sorted requests, all arrived (<= now);
+  //   * an uncapped take drains everything arrived (oldest-first implies
+  //     nothing arrived may linger behind);
+  //   * pending_total == injected + requeued - taken, nothing lost or
+  //     duplicated (ids conserved through requeue).
+  const std::vector<models::ModelId> kModels = {
+      models::ModelId::kResNet50, models::ModelId::kMobileNet,
+      models::ModelId::kBert, models::ModelId::kAlbert,
+      models::ModelId::kShuffleNetV2};
+  Gateway gateway(Rng(11));
+  std::vector<std::int64_t> injected(kModels.size(), 0);
+  std::vector<std::int64_t> drained(kModels.size(), 0);
+  // Injection epochs per model advance monotonically and never overlap —
+  // the trace-driven contract inject() relies on to append in arrival
+  // order (arrivals inside one epoch are sorted by the gateway itself).
+  std::vector<double> epoch_cursor(kModels.size(), 0.0);
+  std::vector<std::vector<cluster::RequestBlock>> in_flight(kModels.size());
+  std::vector<std::set<std::int64_t>> seen_ids(kModels.size());
+  for (const auto model : kModels) gateway.add_workload(model);
+
+  std::mt19937_64 rng(2024);
+  double now = 0.0;
+  for (int step = 0; step < 2000; ++step) {
+    const std::size_t m = rng() % kModels.size();
+    const auto model = kModels[m];
+    switch (rng() % 4) {
+      case 0: {  // inject the model's next trace epoch
+        const int count = static_cast<int>(rng() % 20);
+        const double epoch = 1.0 + static_cast<double>(rng() % 50);
+        epoch_cursor[m] = std::max(epoch_cursor[m], now);
+        gateway.inject(model, count, epoch_cursor[m], epoch);
+        epoch_cursor[m] += epoch;
+        injected[m] += count;
+        break;
+      }
+      case 1: {  // take a capped batch
+        now += static_cast<double>(rng() % 10);
+        const int max_count = 1 + static_cast<int>(rng() % 8);
+        auto block = gateway.take(model, max_count, now);
+        ASSERT_LE(static_cast<int>(block.size()), max_count);
+        for (std::size_t i = 0; i < block.size(); ++i) {
+          ASSERT_LE(block[i].arrival_ms, now);
+          if (i > 0) ASSERT_LE(block[i - 1].arrival_ms, block[i].arrival_ms);
+          seen_ids[m].insert(block[i].id.value);
+        }
+        drained[m] += static_cast<std::int64_t>(block.size());
+        if (!block.empty() && rng() % 2 == 0) {
+          in_flight[m].push_back(std::move(block));  // fails later, requeues
+          drained[m] -= static_cast<std::int64_t>(in_flight[m].back().size());
+        }
+        break;
+      }
+      case 2: {  // a held batch comes back (failure path)
+        if (!in_flight[m].empty()) {
+          auto block = std::move(in_flight[m].back());
+          in_flight[m].pop_back();
+          gateway.requeue(model, std::move(block));
+        }
+        break;
+      }
+      default: {  // uncapped take must drain everything arrived
+        now += static_cast<double>(rng() % 5);
+        auto block = gateway.take(model, 1 << 20, now);
+        for (std::size_t i = 0; i < block.size(); ++i) {
+          ASSERT_LE(block[i].arrival_ms, now);
+          if (i > 0) ASSERT_LE(block[i - 1].arrival_ms, block[i].arrival_ms);
+          seen_ids[m].insert(block[i].id.value);
+        }
+        drained[m] += static_cast<std::int64_t>(block.size());
+        EXPECT_EQ(gateway.pending(model, now), 0);
+        break;
+      }
+    }
+    std::int64_t held = 0;
+    for (const auto& block : in_flight[m]) {
+      held += static_cast<std::int64_t>(block.size());
+    }
+    ASSERT_EQ(gateway.pending_total(model), injected[m] - drained[m] - held)
+        << "model " << static_cast<int>(model) << " step " << step;
+  }
+
+  // Final drain: requeue everything still held, then empty each queue and
+  // check conservation — every injected request comes out exactly once.
+  now += 1000.0;
+  for (std::size_t m = 0; m < kModels.size(); ++m) {
+    for (auto& block : in_flight[m]) {
+      gateway.requeue(kModels[m], std::move(block));
+    }
+    in_flight[m].clear();
+    auto block = gateway.take(kModels[m], 1 << 20, now);
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      if (i > 0) ASSERT_LE(block[i - 1].arrival_ms, block[i].arrival_ms);
+      seen_ids[m].insert(block[i].id.value);
+    }
+    drained[m] += static_cast<std::int64_t>(block.size());
+    EXPECT_EQ(gateway.pending_total(kModels[m]), 0);
+    EXPECT_EQ(drained[m], injected[m]);
+    EXPECT_EQ(seen_ids[m].size(), static_cast<std::size_t>(injected[m]));
+  }
 }
 
 }  // namespace

@@ -21,10 +21,19 @@ timing assertions flaky.
 With only --current (no --baseline), the report records the current run
 alone; ratios are null. This keeps the CI smoke path independent of any
 checked-in timing numbers.
+
+--prune-stale updates an existing --out report in place: entries from the
+previous report that are missing from the current run are carried forward
+when they have a recorded baseline (a filtered run must not lose tracked
+history), but entries whose baseline is null AND which no longer exist in
+the current run are deleted benchmarks — they are dropped and listed under
+the report's "pruned" key instead of being carried forever.
 """
 
 import argparse
 import json
+import os
+import re
 import sys
 
 
@@ -38,6 +47,9 @@ def load_benchmarks(path):
                 "aggregate_name") != "mean":
             continue
         name = bench.get("run_name", bench.get("name"))
+        # ->Iterations(N) lands in the benchmark name; strip it so report
+        # keys (and the colon-separated --require-speedup specs) stay clean.
+        name = re.sub(r"/iterations:\d+", "", name)
         unit = bench.get("time_unit", "ns")
         scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
         out[name] = {
@@ -82,11 +94,31 @@ def main():
                         metavar="BM_Name",
                         help="fail unless the named benchmark appears in the "
                              "current run with a positive throughput")
+    parser.add_argument("--prune-stale", action="store_true",
+                        help="merge with the existing --out report: carry "
+                             "forward absent benchmarks that have a baseline, "
+                             "drop (and list under 'pruned') absent ones whose "
+                             "baseline is null")
     args = parser.parse_args()
 
     current = load_benchmarks(args.current)
     baseline = load_benchmarks(args.baseline) if args.baseline else {}
     report = build_report(baseline, current)
+
+    if args.prune_stale:
+        previous = {}
+        if os.path.exists(args.out):
+            with open(args.out, "r", encoding="utf-8") as fh:
+                previous = json.load(fh).get("benchmarks", {})
+        pruned = []
+        for name, row in sorted(previous.items()):
+            if name in report["benchmarks"]:
+                continue
+            if row.get("baseline") is None:
+                pruned.append(name)
+            else:
+                report["benchmarks"][name] = row
+        report["pruned"] = pruned
 
     failures = []
     for requirement in args.require_bench:
@@ -143,6 +175,8 @@ def main():
         if row["speedup"] is not None:
             line += f"  ({row['speedup']:.2f}x vs baseline)"
         print(line)
+    for name in report.get("pruned", []):
+        print(f"pruned stale benchmark: {name}")
 
     if failures:
         for failure in failures:
